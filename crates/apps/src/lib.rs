@@ -1,0 +1,24 @@
+//! Workloads for the Oasis evaluation.
+//!
+//! Server applications (attached to pod instances) and client endpoints
+//! (attached to switch ports) for every experiment in the paper:
+//!
+//! * [`udp`] — UDP echo server and a load-generating client with fixed-gap,
+//!   Poisson, and trace-replay pacing (Figs. 10–13 and the Fig. 12
+//!   multiplexing replay),
+//! * [`memcached`] — a memcached-like key/value server over TCP-lite and a
+//!   paced GET/SET client (Figs. 9 and 14),
+//! * [`webapp`] — request/response web applications with per-framework
+//!   service-time models (Fig. 8's Python / Rocket / nginx / Tomcat),
+//! * [`stats`] — shared client-side recorders (RTT histograms, per-request
+//!   timelines, loss accounting) accessible from outside the pod via
+//!   `Rc<RefCell<...>>` handles.
+
+pub mod memcached;
+pub mod stats;
+pub mod tcp_client;
+pub mod udp;
+pub mod webapp;
+
+pub use stats::{ClientStats, StatsHandle};
+pub use udp::{EchoServer, Pacing, UdpClient};

@@ -1,0 +1,226 @@
+//! A memcached-like key/value server and client (Figs. 9 and 14).
+//!
+//! Text protocol subset:
+//!
+//! * `get <key>\r\n` → `VALUE <key> <len>\r\n<data>\r\nEND\r\n`, or
+//!   `END\r\n` on miss,
+//! * `set <key> <len>\r\n<data>\r\n` → `STORED\r\n`.
+
+use oasis_core::instance::{TcpApp, TcpResponse};
+use oasis_net::addr::Ipv4Addr;
+use oasis_sim::detmap::DetMap;
+use oasis_sim::time::{SimDuration, SimTime};
+
+use crate::tcp_client::{RequestBuilder, ResponseFramer};
+
+/// The standard memcached port.
+pub const MEMCACHED_PORT: u16 = 11211;
+
+/// The server application.
+pub struct MemcachedServer {
+    /// Per-operation service time (hash lookup + stack).
+    pub service: SimDuration,
+    store: DetMap<Vec<u8>, Vec<u8>>,
+    /// Per-peer partial command buffers.
+    partial: DetMap<(u32, u16), Vec<u8>>,
+    /// Operations served.
+    pub ops: u64,
+}
+
+impl MemcachedServer {
+    /// Empty cache with the given per-op service time.
+    pub fn new(service: SimDuration) -> Self {
+        MemcachedServer {
+            service,
+            store: DetMap::default(),
+            partial: DetMap::default(),
+            ops: 0,
+        }
+    }
+
+    /// Preload a key (experiments issue GETs against warm data).
+    pub fn preload(&mut self, key: &[u8], value: &[u8]) {
+        self.store.insert(key.to_vec(), value.to_vec());
+    }
+
+    fn serve_one(&mut self, buf: &mut Vec<u8>) -> Option<Vec<u8>> {
+        let line_end = buf.windows(2).position(|w| w == b"\r\n")?;
+        let line = buf[..line_end].to_vec();
+        let parts: Vec<&[u8]> = line.split(|&b| b == b' ').collect();
+        match parts.as_slice() {
+            [b"get", key] => {
+                buf.drain(..line_end + 2);
+                self.ops += 1;
+                match self.store.get(*key) {
+                    Some(v) => {
+                        let mut resp = Vec::with_capacity(v.len() + 48);
+                        resp.extend_from_slice(b"VALUE ");
+                        resp.extend_from_slice(key);
+                        resp.extend_from_slice(format!(" {}\r\n", v.len()).as_bytes());
+                        resp.extend_from_slice(v);
+                        resp.extend_from_slice(b"\r\nEND\r\n");
+                        Some(resp)
+                    }
+                    None => Some(b"END\r\n".to_vec()),
+                }
+            }
+            [b"set", key, len] => {
+                let len: usize = std::str::from_utf8(len).ok()?.parse().ok()?;
+                let total = line_end + 2 + len + 2;
+                if buf.len() < total {
+                    return None; // wait for the data block
+                }
+                let data = buf[line_end + 2..line_end + 2 + len].to_vec();
+                self.store.insert(key.to_vec(), data);
+                buf.drain(..total);
+                self.ops += 1;
+                Some(b"STORED\r\n".to_vec())
+            }
+            _ => {
+                // Unknown command: drop the line.
+                buf.drain(..line_end + 2);
+                Some(b"ERROR\r\n".to_vec())
+            }
+        }
+    }
+}
+
+impl TcpApp for MemcachedServer {
+    fn on_data(&mut self, _now: SimTime, peer: (Ipv4Addr, u16), data: &[u8]) -> Vec<TcpResponse> {
+        let key = (peer.0.to_u32(), peer.1);
+        let mut buf = self.partial.remove(&key).unwrap_or_default();
+        buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        while let Some(resp) = self.serve_one(&mut buf) {
+            out.push(TcpResponse {
+                delay: self.service,
+                bytes: resp,
+            });
+        }
+        if !buf.is_empty() {
+            self.partial.insert(key, buf);
+        }
+        out
+    }
+}
+
+/// Builds `get key<seq % keys>` requests.
+pub struct GetRequests {
+    /// Number of distinct keys cycled through.
+    pub keys: u64,
+}
+
+impl RequestBuilder for GetRequests {
+    fn build(&mut self, seq: u64) -> Vec<u8> {
+        format!("get key{}\r\n", seq % self.keys).into_bytes()
+    }
+}
+
+/// Frames memcached responses (`...END\r\n`, `STORED\r\n`, `ERROR\r\n`).
+#[derive(Default)]
+pub struct MemcachedFramer;
+
+impl ResponseFramer for MemcachedFramer {
+    fn complete(&mut self, buf: &[u8]) -> Option<usize> {
+        for prefix in [&b"STORED\r\n"[..], &b"ERROR\r\n"[..], &b"END\r\n"[..]] {
+            if buf.starts_with(prefix) {
+                return Some(prefix.len());
+            }
+        }
+        if buf.starts_with(b"VALUE ") {
+            let line_end = buf.windows(2).position(|w| w == b"\r\n")?;
+            let line = std::str::from_utf8(&buf[..line_end]).ok()?;
+            let len: usize = line.rsplit(' ').next()?.parse().ok()?;
+            let total = line_end + 2 + len + 2 + 5; // data + \r\n + END\r\n
+            if buf.len() >= total && &buf[total - 5..total] == b"END\r\n" {
+                return Some(total);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> MemcachedServer {
+        let mut s = MemcachedServer::new(SimDuration::from_micros(2));
+        s.preload(b"key0", b"hello-world");
+        s
+    }
+
+    fn peer() -> (Ipv4Addr, u16) {
+        (Ipv4Addr::client(1), 40000)
+    }
+
+    #[test]
+    fn get_hit_and_miss() {
+        let mut s = server();
+        let out = s.on_data(SimTime::ZERO, peer(), b"get key0\r\n");
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out[0].bytes,
+            b"VALUE key0 11\r\nhello-world\r\nEND\r\n".to_vec()
+        );
+        let out = s.on_data(SimTime::ZERO, peer(), b"get nope\r\n");
+        assert_eq!(out[0].bytes, b"END\r\n".to_vec());
+        assert_eq!(s.ops, 2);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut s = MemcachedServer::new(SimDuration::ZERO);
+        let out = s.on_data(SimTime::ZERO, peer(), b"set k 3\r\nabc\r\n");
+        assert_eq!(out[0].bytes, b"STORED\r\n".to_vec());
+        let out = s.on_data(SimTime::ZERO, peer(), b"get k\r\n");
+        assert_eq!(out[0].bytes, b"VALUE k 3\r\nabc\r\nEND\r\n".to_vec());
+    }
+
+    #[test]
+    fn fragmented_commands_reassembled() {
+        let mut s = server();
+        assert!(s.on_data(SimTime::ZERO, peer(), b"get ke").is_empty());
+        let out = s.on_data(SimTime::ZERO, peer(), b"y0\r\nget key0\r\n");
+        assert_eq!(out.len(), 2, "both pipelined commands served");
+    }
+
+    #[test]
+    fn set_waits_for_data_block() {
+        let mut s = MemcachedServer::new(SimDuration::ZERO);
+        assert!(s
+            .on_data(SimTime::ZERO, peer(), b"set k 5\r\nab")
+            .is_empty());
+        let out = s.on_data(SimTime::ZERO, peer(), b"cde\r\n");
+        assert_eq!(out[0].bytes, b"STORED\r\n".to_vec());
+    }
+
+    #[test]
+    fn framer_parses_value_and_terminals() {
+        let mut f = MemcachedFramer;
+        let resp = b"VALUE key0 11\r\nhello-world\r\nEND\r\n";
+        assert_eq!(f.complete(resp), Some(resp.len()));
+        assert_eq!(f.complete(b"END\r\n extra"), Some(5));
+        assert_eq!(f.complete(b"STORED\r\n"), Some(8));
+        assert_eq!(f.complete(b"VALUE key0 11\r\nhello"), None);
+        assert_eq!(f.complete(b"VAL"), None);
+    }
+
+    #[test]
+    fn per_peer_buffers_are_isolated() {
+        let mut s = server();
+        let p2 = (Ipv4Addr::client(2), 40001);
+        assert!(s.on_data(SimTime::ZERO, peer(), b"get ke").is_empty());
+        // Another peer's complete command is unaffected by peer 1's
+        // fragment.
+        let out = s.on_data(SimTime::ZERO, p2, b"get key0\r\n");
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn request_builder_cycles_keys() {
+        let mut b = GetRequests { keys: 2 };
+        assert_eq!(b.build(0), b"get key0\r\n".to_vec());
+        assert_eq!(b.build(3), b"get key1\r\n".to_vec());
+    }
+}

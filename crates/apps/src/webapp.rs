@@ -1,0 +1,204 @@
+//! Web-application models for the Fig. 8 overhead experiment.
+//!
+//! The paper measures four "typical web applications" — a Python HTTP
+//! server, a Rust Rocket server, nginx, and Apache Tomcat — and shows Oasis
+//! adds a consistent 4–7 µs regardless of the stack. The applications are
+//! modelled as request/response servers over TCP-lite with per-framework
+//! service-time distributions (lognormal, calibrated to typical
+//! small-response latencies of each stack) and response sizes.
+//!
+//! Framing is length-prefixed: `u32-le length` then the body, in both
+//! directions.
+
+use oasis_core::instance::{TcpApp, TcpResponse};
+use oasis_net::addr::Ipv4Addr;
+use oasis_sim::detmap::DetMap;
+use oasis_sim::rng::SimRng;
+use oasis_sim::time::{SimDuration, SimTime};
+
+use crate::tcp_client::{RequestBuilder, ResponseFramer};
+
+/// One of the paper's four web stacks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WebFramework {
+    /// `python -m http.server`: interpreted, slowest.
+    PythonHttp,
+    /// Rocket (Rust): compiled, fast.
+    Rocket,
+    /// nginx serving static content: fastest.
+    Nginx,
+    /// Apache Tomcat (JVM): mid-range.
+    Tomcat,
+}
+
+impl WebFramework {
+    /// All four, in Fig. 8 order.
+    pub const ALL: [WebFramework; 4] = [
+        WebFramework::PythonHttp,
+        WebFramework::Rocket,
+        WebFramework::Nginx,
+        WebFramework::Tomcat,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WebFramework::PythonHttp => "python-http",
+            WebFramework::Rocket => "rocket",
+            WebFramework::Nginx => "nginx",
+            WebFramework::Tomcat => "tomcat",
+        }
+    }
+
+    /// (median service time, lognormal sigma, response bytes).
+    fn profile(self) -> (SimDuration, f64, usize) {
+        match self {
+            WebFramework::PythonHttp => (SimDuration::from_micros(700), 0.40, 2048),
+            WebFramework::Rocket => (SimDuration::from_micros(130), 0.30, 1024),
+            WebFramework::Nginx => (SimDuration::from_micros(55), 0.25, 1024),
+            WebFramework::Tomcat => (SimDuration::from_micros(280), 0.45, 2048),
+        }
+    }
+}
+
+/// The server application.
+pub struct WebAppServer {
+    framework: WebFramework,
+    rng: SimRng,
+    partial: DetMap<(u32, u16), Vec<u8>>,
+    /// Requests served.
+    pub requests: u64,
+}
+
+impl WebAppServer {
+    /// A server for one framework.
+    pub fn new(framework: WebFramework, seed: u64) -> Self {
+        WebAppServer {
+            framework,
+            rng: SimRng::new(seed ^ 0x3eb),
+            partial: DetMap::default(),
+            requests: 0,
+        }
+    }
+
+    fn service_time(&mut self) -> SimDuration {
+        let (median, sigma, _) = self.framework.profile();
+        let mu = (median.as_nanos() as f64).ln();
+        SimDuration::from_nanos(self.rng.lognormal(mu, sigma) as u64)
+    }
+}
+
+impl TcpApp for WebAppServer {
+    fn on_data(&mut self, _now: SimTime, peer: (Ipv4Addr, u16), data: &[u8]) -> Vec<TcpResponse> {
+        let key = (peer.0.to_u32(), peer.1);
+        let mut buf = self.partial.remove(&key).unwrap_or_default();
+        buf.extend_from_slice(data);
+        let mut out = Vec::new();
+        loop {
+            if buf.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+            if buf.len() < 4 + len {
+                break;
+            }
+            buf.drain(..4 + len);
+            self.requests += 1;
+            let (_, _, resp_len) = self.framework.profile();
+            let delay = self.service_time();
+            let mut resp = Vec::with_capacity(4 + resp_len);
+            resp.extend_from_slice(&(resp_len as u32).to_le_bytes());
+            resp.resize(4 + resp_len, 0x42);
+            out.push(TcpResponse { delay, bytes: resp });
+        }
+        if !buf.is_empty() {
+            self.partial.insert(key, buf);
+        }
+        out
+    }
+}
+
+/// Builds fixed-size length-prefixed requests.
+pub struct WebRequests {
+    /// Request body size.
+    pub body: usize,
+}
+
+impl RequestBuilder for WebRequests {
+    fn build(&mut self, _seq: u64) -> Vec<u8> {
+        let mut req = Vec::with_capacity(4 + self.body);
+        req.extend_from_slice(&(self.body as u32).to_le_bytes());
+        req.resize(4 + self.body, 0x51);
+        req
+    }
+}
+
+/// Frames length-prefixed responses.
+#[derive(Default)]
+pub struct LengthFramer;
+
+impl ResponseFramer for LengthFramer {
+    fn complete(&mut self, buf: &[u8]) -> Option<usize> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        if buf.len() >= 4 + len {
+            Some(4 + len)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peer() -> (Ipv4Addr, u16) {
+        (Ipv4Addr::client(1), 40000)
+    }
+
+    #[test]
+    fn request_response_framing() {
+        let mut s = WebAppServer::new(WebFramework::Nginx, 1);
+        let mut req = WebRequests { body: 100 }.build(0);
+        assert_eq!(req.len(), 104);
+        // Split delivery.
+        let tail = req.split_off(50);
+        assert!(s.on_data(SimTime::ZERO, peer(), &req).is_empty());
+        let out = s.on_data(SimTime::ZERO, peer(), &tail);
+        assert_eq!(out.len(), 1);
+        assert_eq!(s.requests, 1);
+        let mut f = LengthFramer;
+        assert_eq!(f.complete(&out[0].bytes), Some(out[0].bytes.len()));
+    }
+
+    #[test]
+    fn service_times_ordered_by_framework() {
+        // Medians across many samples must preserve the stack ordering:
+        // nginx < rocket < tomcat < python.
+        let mut medians = Vec::new();
+        for fw in WebFramework::ALL {
+            let mut s = WebAppServer::new(fw, 7);
+            let mut samples: Vec<u64> = (0..2000).map(|_| s.service_time().as_nanos()).collect();
+            samples.sort_unstable();
+            medians.push((fw, samples[1000]));
+        }
+        let by = |f: WebFramework| medians.iter().find(|(x, _)| *x == f).unwrap().1;
+        assert!(by(WebFramework::Nginx) < by(WebFramework::Rocket));
+        assert!(by(WebFramework::Rocket) < by(WebFramework::Tomcat));
+        assert!(by(WebFramework::Tomcat) < by(WebFramework::PythonHttp));
+    }
+
+    #[test]
+    fn pipelined_requests_all_served() {
+        let mut s = WebAppServer::new(WebFramework::Rocket, 3);
+        let mut batch = Vec::new();
+        for i in 0..5 {
+            batch.extend(WebRequests { body: 32 }.build(i));
+        }
+        let out = s.on_data(SimTime::ZERO, peer(), &batch);
+        assert_eq!(out.len(), 5);
+    }
+}

@@ -1,0 +1,86 @@
+//! Criterion benches for the CXL memory-model hot paths.
+//!
+//! These operations run millions of times per simulated second; their wall
+//! cost bounds every experiment's runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use oasis_cxl::pool::{PortId, TrafficClass};
+use oasis_cxl::{CxlPool, HostCtx, RegionAllocator};
+
+fn setup() -> (CxlPool, HostCtx) {
+    let mut pool = CxlPool::new(1 << 22, 2);
+    let mut ra = RegionAllocator::new(&pool);
+    ra.alloc(&mut pool, "area", 1 << 21, TrafficClass::Payload);
+    (pool, HostCtx::new(PortId(0), 0))
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hostctx");
+
+    group.bench_function("read_hit_u64", |b| {
+        let (mut pool, mut host) = setup();
+        host.read_u64(&mut pool, 0);
+        b.iter(|| host.read_u64(&mut pool, 0));
+    });
+
+    group.bench_function("read_miss_u64", |b| {
+        let (mut pool, mut host) = setup();
+        b.iter(|| {
+            host.read_u64(&mut pool, 64);
+            host.clflushopt(&mut pool, 64); // evict so the next read misses
+        });
+    });
+
+    group.bench_function("write_clwb_line", |b| {
+        let (mut pool, mut host) = setup();
+        let line = [7u8; 64];
+        b.iter(|| {
+            host.write(&mut pool, 128, &line);
+            host.clwb(&mut pool, 128);
+        });
+    });
+
+    group.throughput(Throughput::Bytes(1500));
+    group.bench_function("read_stream_1500B", |b| {
+        let (mut pool, mut host) = setup();
+        let mut out = [0u8; 1500];
+        b.iter(|| {
+            host.read_stream(&mut pool, 4096, &mut out);
+            for la in oasis_cxl::lines_covering(4096, 1500) {
+                host.clflushopt(&mut pool, la);
+            }
+        });
+    });
+
+    group.bench_function("dma_write_1500B", |b| {
+        let (mut pool, host) = setup();
+        let data = [9u8; 1500];
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            pool.dma_write(
+                oasis_sim::time::SimTime::from_nanos(t),
+                host.port,
+                8192,
+                &data,
+            );
+        });
+    });
+    group.finish();
+}
+
+fn bench_cache_pressure(c: &mut Criterion) {
+    // Streaming through 4x the cache capacity: constant evictions.
+    c.bench_function("cache_thrash_16k_lines", |b| {
+        let (mut pool, mut host) = setup();
+        b.iter(|| {
+            for i in 0..16_384u64 {
+                host.read_u64(&mut pool, (i * 64) % (1 << 20));
+            }
+            host.stats.misses
+        });
+    });
+}
+
+criterion_group!(benches, bench_ops, bench_cache_pressure);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for the wire-format codecs.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oasis_net::addr::{Ipv4Addr, MacAddr};
+use oasis_net::packet::{GarpPacket, TcpFlags, TcpSegment, UdpPacket};
+
+fn udp(payload: usize) -> UdpPacket {
+    UdpPacket {
+        src_mac: MacAddr::nic(1),
+        dst_mac: MacAddr::nic(2),
+        src_ip: Ipv4Addr::instance(1),
+        dst_ip: Ipv4Addr::instance(2),
+        src_port: 1234,
+        dst_port: 80,
+        payload: Bytes::from(vec![0x5a; payload]),
+    }
+}
+
+fn bench_udp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("udp_codec");
+    for payload in [32usize, 1458] {
+        group.throughput(Throughput::Bytes(payload as u64 + 42));
+        group.bench_with_input(
+            BenchmarkId::new("encode", payload),
+            &payload,
+            |b, &payload| {
+                let p = udp(payload);
+                b.iter(|| p.encode());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parse", payload),
+            &payload,
+            |b, &payload| {
+                let frame = udp(payload).encode();
+                b.iter(|| UdpPacket::parse(&frame).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_tcp_and_garp(c: &mut Criterion) {
+    let seg = TcpSegment {
+        src_mac: MacAddr::nic(1),
+        dst_mac: MacAddr::nic(2),
+        src_ip: Ipv4Addr::instance(1),
+        dst_ip: Ipv4Addr::instance(2),
+        src_port: 11211,
+        dst_port: 40000,
+        seq: 1000,
+        ack: 2000,
+        flags: TcpFlags {
+            ack: true,
+            psh: true,
+            ..Default::default()
+        },
+        window: 0xffff,
+        payload: Bytes::from(vec![0x6f; 512]),
+    };
+    c.bench_function("tcp_encode_512B", |b| b.iter(|| seg.encode()));
+    let frame = seg.encode();
+    c.bench_function("tcp_parse_512B", |b| {
+        b.iter(|| TcpSegment::parse(&frame).unwrap())
+    });
+    let garp = GarpPacket {
+        sender_mac: MacAddr::nic(1),
+        sender_ip: Ipv4Addr::instance(1),
+    };
+    c.bench_function("garp_roundtrip", |b| {
+        b.iter(|| GarpPacket::parse(&garp.encode()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_udp, bench_tcp_and_garp);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Calibration probe: baseline vs Oasis RTT across workloads.
+use oasis_apps::udp::Pacing;
+use oasis_bench::harness::{run_memcached, run_udp_echo, Mode};
+use oasis_sim::time::SimDuration;
+
+fn main() {
+    for payload in [75usize, 1400] {
+        let mut p50s = Vec::new();
+        for mode in Mode::ALL {
+            let stats = run_udp_echo(
+                mode,
+                payload,
+                Pacing::FixedGap {
+                    gap: SimDuration::from_micros(50),
+                    count: 400,
+                },
+                SimDuration::from_millis(25),
+                SimDuration::from_millis(2),
+            );
+            let s = stats.borrow();
+            p50s.push((
+                mode.label(),
+                s.rtt.percentile(50.0),
+                s.rtt.percentile(99.0),
+                s.sent,
+                s.received,
+            ));
+        }
+        println!("udp {payload}B:");
+        for (m, p50, p99, tx, rx) in &p50s {
+            println!(
+                "  {m:20} p50={:.2}us p99={:.2}us ({tx} tx {rx} rx)",
+                *p50 as f64 / 1e3,
+                *p99 as f64 / 1e3
+            );
+        }
+    }
+    for mode in [Mode::Baseline, Mode::Oasis] {
+        let stats = run_memcached(
+            mode,
+            100,
+            SimDuration::from_micros(100),
+            200,
+            SimDuration::from_millis(25),
+            SimDuration::from_millis(2),
+        );
+        let s = stats.borrow();
+        println!(
+            "memcached {:18} p50={:.2}us p99={:.2}us ({} tx {} rx)",
+            mode.label(),
+            s.rtt.percentile(50.0) as f64 / 1e3,
+            s.rtt.percentile(99.0) as f64 / 1e3,
+            s.sent,
+            s.received
+        );
+    }
+}

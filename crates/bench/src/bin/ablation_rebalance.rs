@@ -1,0 +1,113 @@
+//! §6 "Load balancing policies": telemetry-driven rebalancing in action.
+//!
+//! Three equally-leased instances land on two NICs (least-loaded placement
+//! alternates, so one NIC serves two of them). All the *traffic* goes to
+//! the two instances that share a NIC: that NIC runs hot while the other
+//! idles. With the rebalancer enabled, the allocator notices the load skew
+//! in the 100 ms telemetry and gracefully migrates one instance over —
+//! without losing a packet (§3.3.4).
+
+use oasis_apps::stats::{ClientStats, StatsHandle};
+use oasis_apps::udp::{EchoServer, Pacing, UdpClient};
+use oasis_core::allocator::RebalancePolicy;
+use oasis_core::config::OasisConfig;
+use oasis_core::instance::AppKind;
+use oasis_core::pod::{Pod, PodBuilder};
+use oasis_sim::report::Table;
+use oasis_sim::time::{SimDuration, SimTime};
+
+fn run(rebalance: bool) -> (Pod, Vec<StatsHandle>, Vec<usize>) {
+    let mut b = PodBuilder::new(OasisConfig::default());
+    let host_a = b.add_host();
+    let host_b = b.add_host();
+    let _n0 = b.add_nic_host();
+    let _n1 = b.add_nic_host();
+    let mut pod = b.build();
+    if rebalance {
+        pod.allocator.enable_rebalancing(RebalancePolicy::new(
+            2.0,
+            50_000,
+            SimDuration::from_millis(200),
+        ));
+    }
+    // Placement: #1 (host A) -> NIC 0; the idle decoy (host A) -> NIC 1;
+    // #3 (host B) ties and lands on NIC 0. The heavy pair therefore sits on
+    // *different frontend cores* but shares NIC 0's backend core — the
+    // contended resource the rebalancer relieves.
+    let echo = || AppKind::Udp(Box::new(EchoServer::new(SimDuration::from_micros(1))));
+    let i1 = pod.launch_instance(host_a, echo(), 10_000);
+    let _decoy = pod.launch_instance(host_a, echo(), 10_000);
+    let i3 = pod.launch_instance(host_b, echo(), 10_000);
+    let instances = vec![i1, _decoy, i3];
+
+    let end = SimTime::from_secs(1);
+    let mut stats = Vec::new();
+    for (i, &inst) in [i1, i3].iter().enumerate() {
+        let h = ClientStats::handle();
+        h.borrow_mut().record_from = SimTime::from_millis(500); // post-migration window
+        pod.add_endpoint(Box::new(UdpClient::new(
+            (i + 1) as u64,
+            pod.instance_mac(inst),
+            pod.instance_ip(inst),
+            7,
+            1000,
+            Pacing::Poisson {
+                rate_rps: 320_000.0,
+                until: end - SimDuration::from_millis(20),
+            },
+            SimTime::from_millis(1),
+            h.clone(),
+        )));
+        stats.push(h);
+    }
+    pod.run(end);
+    (pod, stats, instances)
+}
+
+fn main() {
+    println!("== Ablation: telemetry-driven load rebalancing (Section 6) ==\n");
+    let mut t = Table::new(vec![
+        "rebalancer",
+        "migrations",
+        "heavy pair shares a NIC?",
+        "p50 (us)",
+        "p99 (us)",
+        "lost",
+    ]);
+    for rebalance in [false, true] {
+        let (pod, stats, instances) = run(rebalance);
+        let nic_of = |inst: usize| {
+            pod.allocator
+                .state
+                .instances
+                .iter()
+                .find(|i| i.ip == pod.instance_ip(inst))
+                .map(|i| i.nic)
+                .unwrap()
+        };
+        let shared = nic_of(instances[0]) == nic_of(instances[2]);
+        let mut p50 = 0u64;
+        let mut p99 = 0u64;
+        let mut lost = 0u64;
+        for h in &stats {
+            let s = h.borrow();
+            p50 = p50.max(s.rtt.percentile(50.0));
+            p99 = p99.max(s.rtt.percentile(99.0));
+            lost += s.lost();
+        }
+        t.row(vec![
+            if rebalance { "on" } else { "off" }.to_string(),
+            format!("{}", pod.allocator.rebalance_migrations),
+            format!("{shared}"),
+            format!("{:.2}", p50 as f64 / 1e3),
+            format!("{:.2}", p99 as f64 / 1e3),
+            format!("{lost}"),
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "With the policy on, the allocator separates the heavy hitters onto\n\
+         different NICs via graceful migration (GARP; zero loss), shrinking the\n\
+         tail that NIC sharing under load inflicts."
+    );
+}

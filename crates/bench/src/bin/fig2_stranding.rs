@@ -1,0 +1,100 @@
+//! Figure 2: average percentage of stranded resources vs. pod size.
+//!
+//! Replays identical synthetic allocation streams against pod sizes 1–16.
+//! The paper's anchor points: at pod size 1, 27 % of NIC bandwidth and
+//! 33 % of SSD capacity are stranded (CPU 5 %, memory 9 %); a pod of 8
+//! cuts SSD stranding to 7 % and lets the provider deploy ~16 % less NIC
+//! bandwidth.
+
+use oasis_sim::report::{fmt_pct, Table};
+use oasis_sim::time::SimDuration;
+use oasis_trace::alloc_trace::{AllocTrace, ArrivalStream, HostCapacity};
+use oasis_trace::stranding::stranding_by_pod_size;
+
+fn main() {
+    let hosts = 32;
+    let duration = SimDuration::from_secs(6 * 3600);
+    let pod_sizes = [1usize, 2, 4, 8, 16];
+    let repeats = 3;
+
+    println!("== Figure 2: stranded resources vs pod size ==");
+    println!(
+        "({hosts} hosts, {}h of arrivals, {repeats} streams averaged)\n",
+        6
+    );
+
+    let pts = stranding_by_pod_size(hosts, duration, &pod_sizes, repeats, 2025);
+
+    let mut t = Table::new(vec![
+        "pod size",
+        "NIC stranded",
+        "SSD stranded",
+        "CPU stranded",
+        "Mem stranded",
+        "rejected",
+    ]);
+    for p in &pts {
+        t.row(vec![
+            format!("{}", p.pod_size),
+            fmt_pct(p.nic_stranded),
+            fmt_pct(p.ssd_stranded),
+            fmt_pct(p.cpu_stranded),
+            fmt_pct(p.mem_stranded),
+            format!("{}", p.rejected),
+        ]);
+    }
+    println!("{}", t.render());
+    // The paper's provisioning claim: "repeated simulations find the
+    // minimum number of devices required to successfully place all
+    // instances on the same hosts as in the trace" — i.e. host placement
+    // is fixed (the unpooled trace), and a pod of k hosts only needs
+    // devices for its *pooled peak* demand. At pod=8 the paper finds 16%
+    // less NIC bandwidth and 26% less SSD capacity suffice.
+    // Moderately loaded regime (the paper's hosts peak well below their
+    // device capacity; stranding comes from ratio mismatch, not overload).
+    let stream = ArrivalStream::generate_with_load(hosts, duration, 0.85, 2025);
+    let reference = AllocTrace::place(&stream, hosts, 1);
+    let cap = HostCapacity::default();
+    let mut needs = Vec::new();
+    let mut t = Table::new(vec![
+        "pod size",
+        "min NIC provisioning",
+        "min SSD provisioning",
+        "NIC saved vs pod=1",
+        "SSD saved vs pod=1",
+    ]);
+    for &k in &[1usize, 2, 4, 8] {
+        let pods: Vec<Vec<usize>> = (0..hosts)
+            .collect::<Vec<_>>()
+            .chunks(k)
+            .map(|c| c.to_vec())
+            .collect();
+        let mut nic_need = 0.0;
+        let mut ssd_need = 0.0;
+        for pod in &pods {
+            nic_need += reference.peak_demand(pod, |ty| ty.nic_gbps);
+            ssd_need += reference.peak_demand(pod, |ty| ty.ssd_gb as f64);
+        }
+        needs.push((k, nic_need, ssd_need));
+        let (_, nic1, ssd1) = needs[0];
+        t.row(vec![
+            format!("{k}"),
+            fmt_pct(nic_need / (hosts as f64 * cap.nic_gbps)),
+            fmt_pct(ssd_need / (hosts as f64 * cap.ssd_gb as f64)),
+            fmt_pct(1.0 - nic_need / nic1),
+            fmt_pct(1.0 - ssd_need / ssd1),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper: pod=8 needs 16% less NIC bandwidth and 26% less SSD capacity than pod=1\n");
+    println!("paper anchors: pod=1 -> NIC 27%, SSD 33%, CPU 5%, Mem 9%; pod=8 -> SSD 7%, NIC -16%");
+    let p1 = &pts[0];
+    let p8 = pts.iter().find(|p| p.pod_size == 8).unwrap();
+    println!(
+        "measured:      pod=1 -> NIC {}, SSD {}; pod=8 -> NIC {}, SSD {}",
+        fmt_pct(p1.nic_stranded),
+        fmt_pct(p1.ssd_stranded),
+        fmt_pct(p8.nic_stranded),
+        fmt_pct(p8.ssd_stranded),
+    );
+}

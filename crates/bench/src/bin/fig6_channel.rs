@@ -1,0 +1,66 @@
+//! Figure 6: throughput and median latency of one-way message passing for
+//! the four channel designs over non-coherent CXL memory.
+//!
+//! Paper anchors: bypass-cache saturates at 3.0 MOp/s; naive prefetching
+//! at 8.6 MOp/s; +invalidate-consumed reaches 87 MOp/s but spikes to
+//! ~1.2 µs latency at moderate load; +invalidate-prefetched holds ~0.6 µs
+//! at the 14 MOp/s target.
+
+use oasis_channel::runner::run_offered_load;
+use oasis_channel::{Policy, DEFAULT_SLOTS};
+use oasis_sim::report::Table;
+use oasis_sim::time::SimDuration;
+
+fn main() {
+    let duration = SimDuration::from_millis(10);
+    println!("== Figure 6: message channel designs (16B messages, 8192 slots) ==\n");
+
+    // Saturation throughput per design.
+    let mut t = Table::new(vec!["design", "max throughput", "paper"]);
+    let paper_max = ["3.0", "8.6", "87.0", "~87"];
+    let mut max_tput = Vec::new();
+    for (i, policy) in Policy::ALL.iter().enumerate() {
+        let r = run_offered_load(*policy, DEFAULT_SLOTS, f64::INFINITY, duration);
+        max_tput.push(r.achieved_mops);
+        t.row(vec![
+            policy.label().to_string(),
+            format!("{:.1} MOp/s", r.achieved_mops),
+            format!("{} MOp/s", paper_max[i]),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // Latency vs offered load curves.
+    println!("latency vs offered load (p50 one-way, ns):\n");
+    let loads = [
+        0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0, 12.0, 14.0, 20.0, 30.0, 50.0, 70.0,
+    ];
+    let mut t = Table::new(vec![
+        "offered MOp/s",
+        Policy::ALL[0].label(),
+        Policy::ALL[1].label(),
+        Policy::ALL[2].label(),
+        Policy::ALL[3].label(),
+    ]);
+    for &load in &loads {
+        let mut cells = vec![format!("{load:.1}")];
+        for (i, policy) in Policy::ALL.iter().enumerate() {
+            if load > max_tput[i] * 1.05 {
+                cells.push("-".to_string());
+                continue;
+            }
+            let r = run_offered_load(*policy, DEFAULT_SLOTS, load, duration);
+            if r.achieved_mops < load * 0.9 {
+                cells.push(format!("sat({:.1})", r.achieved_mops));
+            } else {
+                cells.push(format!("{}", r.p50_latency_ns));
+            }
+        }
+        t.row(cells);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: idle ~600ns for all; (3) spikes ~1.2us in the 8.6-30 MOp/s band;\n\
+         (4) stays ~600ns at the 14 MOp/s target."
+    );
+}

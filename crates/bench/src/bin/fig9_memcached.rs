@@ -1,0 +1,52 @@
+//! Figure 9: Oasis overhead on memcached.
+//!
+//! Paper anchor: latency overhead is consistently about 4–7 µs at all
+//! percentiles.
+
+use oasis_bench::harness::{run_memcached, Mode};
+use oasis_sim::report::Table;
+use oasis_sim::time::SimDuration;
+
+fn main() {
+    println!("== Figure 9: memcached GET latency, baseline vs Oasis ==\n");
+    let duration = SimDuration::from_millis(200);
+    let warmup = SimDuration::from_millis(20);
+
+    let mut t = Table::new(vec![
+        "load",
+        "mode",
+        "p50 (us)",
+        "p90 (us)",
+        "p99 (us)",
+        "p99.9 (us)",
+        "overhead p50 (us)",
+    ]);
+    for (load_label, gap_us) in [("low", 1000u64), ("moderate", 200), ("high", 60)] {
+        let gap = SimDuration::from_micros(gap_us);
+        let count = (duration.as_nanos() / gap.as_nanos()).saturating_sub(20);
+        let mut base_p50 = 0f64;
+        for mode in [Mode::Baseline, Mode::Oasis] {
+            let stats = run_memcached(mode, 100, gap, count, duration, warmup);
+            let s = stats.borrow();
+            let p50 = s.rtt.percentile(50.0) as f64 / 1e3;
+            if mode == Mode::Baseline {
+                base_p50 = p50;
+            }
+            t.row(vec![
+                load_label.to_string(),
+                mode.label().to_string(),
+                format!("{p50:.1}"),
+                format!("{:.1}", s.rtt.percentile(90.0) as f64 / 1e3),
+                format!("{:.1}", s.rtt.percentile(99.0) as f64 / 1e3),
+                format!("{:.1}", s.rtt.percentile(99.9) as f64 / 1e3),
+                if mode == Mode::Oasis {
+                    format!("{:+.1}", p50 - base_p50)
+                } else {
+                    "-".to_string()
+                },
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("paper: ~4-7us overhead at every percentile");
+}

@@ -1,0 +1,56 @@
+//! Table 1: performance requirements for NICs and SSDs, plus the derived
+//! §2.1 aggregate datapath demand and the §2.3 CXL feasibility check.
+
+use oasis_core::config::{total_datapath_demand, NIC_REQUIREMENTS, SSD_REQUIREMENTS};
+use oasis_cxl::topology::PodTopology;
+use oasis_sim::report::{fmt_gbps, Table};
+
+fn main() {
+    println!("== Table 1: performance requirements for NICs and SSDs ==\n");
+    let mut t = Table::new(vec!["Type", "Bandwidth", "IOPS", "Latency", "Count"]);
+    for r in [NIC_REQUIREMENTS, SSD_REQUIREMENTS] {
+        t.row(vec![
+            r.class.to_string(),
+            fmt_gbps(r.bandwidth),
+            format!("{:.1} MOp/s", r.iops / 1e6),
+            if r.latency_ns.0 == r.latency_ns.1 {
+                format!("{} us", r.latency_ns.0 / 1000)
+            } else {
+                format!("{}-{} us", r.latency_ns.0 / 1000, r.latency_ns.1 / 1000)
+            },
+            if r.count.0 == r.count.1 {
+                format!("{}", r.count.0)
+            } else {
+                format!("{}-{}", r.count.0, r.count.1)
+            },
+        ]);
+    }
+    println!("{}", t.render());
+
+    let (bw, iops) = total_datapath_demand();
+    println!(
+        "Aggregate demand (1 NIC + 6 SSDs): {} and {:.1} MOp/s (paper: 56 GB/s, 7 MOp/s)\n",
+        fmt_gbps(bw),
+        iops / 1e6
+    );
+
+    println!("== CXL link feasibility (Section 2.3) ==\n");
+    let mut t = Table::new(vec![
+        "Platform",
+        "Lanes/host",
+        "Usable BW",
+        "Carries 56 GB/s?",
+    ]);
+    for (name, pod) in [
+        ("testbed (x8)", PodTopology::testbed(0)),
+        ("production (x64)", PodTopology::production(8, 0)),
+    ] {
+        t.row(vec![
+            name.to_string(),
+            format!("{}", pod.lanes_per_host),
+            fmt_gbps(pod.host_link_bw()),
+            format!("{}", pod.link_sufficient_for(bw)),
+        ]);
+    }
+    println!("{}", t.render());
+}

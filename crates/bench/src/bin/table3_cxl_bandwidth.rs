@@ -1,0 +1,105 @@
+//! Table 3: CXL link bandwidth usage under varying network loads.
+//!
+//! Measures the pool's per-port traffic meters, split into payload
+//! (packet buffers) and message (channel) classes, under idle, small-packet
+//! and MTU-packet echo load. Paper anchors: idle 0.2 GB/s (busy polling);
+//! 75 B busy: 0.7 payload + 1.6 message; 1500 B busy: 12.0 payload + 1.5
+//! message (89 % of link traffic is payload).
+
+use oasis_apps::stats::ClientStats;
+use oasis_apps::udp::{EchoServer, Pacing, UdpClient};
+use oasis_bench::harness::{single_instance_pod, Mode};
+use oasis_core::config::OasisConfig;
+use oasis_core::instance::AppKind;
+use oasis_cxl::pool::{PortId, TrafficClass};
+use oasis_sim::report::Table;
+use oasis_sim::time::{SimDuration, SimTime};
+
+fn measure(load: Option<(usize, f64)>) -> (f64, f64, f64, f64) {
+    let (mut pod, inst) = single_instance_pod(
+        Mode::Oasis,
+        OasisConfig::default(),
+        AppKind::Udp(Box::new(EchoServer::new(SimDuration::from_micros(1)))),
+    );
+    let warmup = SimTime::from_millis(5);
+    let window = SimDuration::from_millis(20);
+    let stats = ClientStats::handle();
+    let mut achieved_pps = 0.0;
+    if let Some((payload, rate_rps)) = load {
+        let client = UdpClient::new(
+            1,
+            pod.instance_mac(inst),
+            pod.instance_ip(inst),
+            7,
+            payload,
+            Pacing::Poisson {
+                rate_rps,
+                until: warmup + window,
+            },
+            SimTime::from_micros(50),
+            stats.clone(),
+        );
+        pod.add_endpoint(Box::new(client));
+    }
+    pod.run(warmup);
+    pod.pool.reset_meters();
+    let sent_before = stats.borrow().sent;
+    pod.run(warmup + window);
+    achieved_pps += (stats.borrow().sent - sent_before) as f64 / window.as_secs_f64();
+
+    let mut payload_b = 0u64;
+    let mut message_b = 0u64;
+    let mut other_b = 0u64;
+    for p in 0..pod.pool.ports() {
+        let m = pod.pool.meter(PortId(p));
+        payload_b += m.class_bytes(TrafficClass::Payload);
+        message_b += m.class_bytes(TrafficClass::Message);
+        other_b += m.class_bytes(TrafficClass::Control) + m.class_bytes(TrafficClass::Unclassified);
+    }
+    let secs = window.as_secs_f64();
+    (
+        payload_b as f64 / secs / 1e9,
+        (message_b + other_b) as f64 / secs / 1e9,
+        (payload_b + message_b + other_b) as f64 / secs / 1e9,
+        achieved_pps,
+    )
+}
+
+fn main() {
+    println!("== Table 3: CXL link bandwidth under varying network loads ==\n");
+    let mut t = Table::new(vec![
+        "Load",
+        "Payload (GB/s)",
+        "Message (GB/s)",
+        "Total (GB/s)",
+        "echo rate",
+    ]);
+    // The simulated pod runs one channel pair per direction (the paper's
+    // single-threaded datapath) at the rate one polling core sustains.
+    let cases: [(&str, Option<(usize, f64)>); 3] = [
+        ("Idle", None),
+        ("Busy (75 B)", Some((75 - 42, 1.0e6))),
+        ("Busy (1500 B)", Some((1500 - 42, 1.0e6))),
+    ];
+    for (label, load) in cases {
+        let (p, m, tot, pps) = measure(load);
+        t.row(vec![
+            label.to_string(),
+            format!("{p:.2}"),
+            format!("{m:.2}"),
+            format!("{tot:.2}"),
+            if pps > 0.0 {
+                format!("{:.2} MOp/s", pps / 1e6)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "paper: idle 0.0+0.2=0.2; busy 75B 0.7+1.6=2.3; busy 1500B 12.0+1.5=13.5 GB/s\n\
+         (paper's busy load is ~4 MOp/s on real hardware; the simulated single\n\
+         polling core sustains ~1 MOp/s, so absolute numbers scale accordingly —\n\
+         the payload/message split and idle polling floor are the claims)."
+    );
+}

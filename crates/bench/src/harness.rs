@@ -1,0 +1,167 @@
+//! Shared experiment runners.
+//!
+//! Every overhead experiment compares the same three configurations the
+//! paper uses (§5.1, Fig. 11):
+//!
+//! * **Baseline** — Junction-style: instance served by its local NIC,
+//!   I/O buffers in local DDR,
+//! * **Baseline + CXL buffers** — local NIC but buffer areas in pool
+//!   memory,
+//! * **Oasis** — instance on a NIC-less host, served by a remote NIC over
+//!   the full Oasis datapath.
+
+use oasis_apps::memcached::{GetRequests, MemcachedFramer, MemcachedServer, MEMCACHED_PORT};
+use oasis_apps::stats::{ClientStats, StatsHandle};
+use oasis_apps::tcp_client::TcpRequestClient;
+use oasis_apps::udp::{EchoServer, Pacing, UdpClient};
+use oasis_apps::webapp::{LengthFramer, WebAppServer, WebFramework, WebRequests};
+use oasis_core::config::{BufferPlacement, OasisConfig};
+use oasis_core::instance::AppKind;
+use oasis_core::pod::{Pod, PodBuilder};
+use oasis_core::tcp::TcpConfig;
+use oasis_sim::time::{SimDuration, SimTime};
+
+/// Which datapath serves the instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Junction baseline: local NIC, local-DDR buffers.
+    Baseline,
+    /// §5.1 modified baseline: local NIC, buffers in CXL pool memory.
+    BaselineCxlBufs,
+    /// Full Oasis: remote NIC over the pool datapath.
+    Oasis,
+}
+
+impl Mode {
+    /// All three, in Fig. 11 order.
+    pub const ALL: [Mode; 3] = [Mode::Baseline, Mode::BaselineCxlBufs, Mode::Oasis];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Baseline => "baseline",
+            Mode::BaselineCxlBufs => "baseline+cxl-bufs",
+            Mode::Oasis => "oasis",
+        }
+    }
+}
+
+/// Build a pod for `mode` and launch one instance with `app`. Returns the
+/// pod and instance index.
+pub fn single_instance_pod(mode: Mode, cfg: OasisConfig, app: AppKind) -> (Pod, usize) {
+    let mut b = PodBuilder::new(cfg);
+    let host = match mode {
+        Mode::Baseline => b.add_baseline_host(BufferPlacement::LocalDdr),
+        Mode::BaselineCxlBufs => b.add_baseline_host(BufferPlacement::CxlPool),
+        Mode::Oasis => {
+            let host_a = b.add_host(); // instance host, no NIC
+            b.add_nic_host(); // remote NIC host
+            host_a
+        }
+    };
+    let mut pod = b.build();
+    let inst = pod.launch_instance(host, app, 10_000);
+    (pod, inst)
+}
+
+/// Run a UDP echo workload and return the client stats.
+pub fn run_udp_echo(
+    mode: Mode,
+    payload: usize,
+    pacing: Pacing,
+    duration: SimDuration,
+    warmup: SimDuration,
+) -> StatsHandle {
+    let (mut pod, inst) = single_instance_pod(
+        mode,
+        OasisConfig::default(),
+        AppKind::Udp(Box::new(EchoServer::new(SimDuration::from_micros(1)))),
+    );
+    let stats = ClientStats::handle();
+    stats.borrow_mut().record_from = SimTime::ZERO + warmup;
+    let client = UdpClient::new(
+        1,
+        pod.instance_mac(inst),
+        pod.instance_ip(inst),
+        7,
+        payload,
+        pacing,
+        SimTime::from_micros(20),
+        stats.clone(),
+    );
+    pod.add_endpoint(Box::new(client));
+    pod.run(SimTime::ZERO + duration);
+    stats
+}
+
+/// Run a paced memcached GET workload and return the client stats.
+pub fn run_memcached(
+    mode: Mode,
+    value_len: usize,
+    gap: SimDuration,
+    count: u64,
+    duration: SimDuration,
+    warmup: SimDuration,
+) -> StatsHandle {
+    let mut server = MemcachedServer::new(SimDuration::from_micros(3));
+    let value = vec![0x6fu8; value_len];
+    for k in 0..16 {
+        server.preload(format!("key{k}").as_bytes(), &value);
+    }
+    let (mut pod, inst) =
+        single_instance_pod(mode, OasisConfig::default(), AppKind::Tcp(Box::new(server)));
+    pod.instances[inst].server_port = MEMCACHED_PORT;
+    let stats = ClientStats::handle();
+    stats.borrow_mut().record_from = SimTime::ZERO + warmup;
+    let client = TcpRequestClient::new(
+        1,
+        pod.instance_mac(inst),
+        pod.instance_ip(inst),
+        MEMCACHED_PORT,
+        gap,
+        count,
+        SimTime::from_micros(50),
+        TcpConfig::default(),
+        Box::new(GetRequests { keys: 16 }),
+        Box::new(MemcachedFramer),
+        stats.clone(),
+    );
+    pod.add_endpoint(Box::new(client));
+    pod.run(SimTime::ZERO + duration);
+    stats
+}
+
+/// Run a web-application workload (Fig. 8) and return the client stats.
+pub fn run_webapp(
+    mode: Mode,
+    framework: WebFramework,
+    gap: SimDuration,
+    count: u64,
+    duration: SimDuration,
+    warmup: SimDuration,
+) -> StatsHandle {
+    let (mut pod, inst) = single_instance_pod(
+        mode,
+        OasisConfig::default(),
+        AppKind::Tcp(Box::new(WebAppServer::new(framework, 11))),
+    );
+    pod.instances[inst].server_port = 80;
+    let stats = ClientStats::handle();
+    stats.borrow_mut().record_from = SimTime::ZERO + warmup;
+    let client = TcpRequestClient::new(
+        1,
+        pod.instance_mac(inst),
+        pod.instance_ip(inst),
+        80,
+        gap,
+        count,
+        SimTime::from_micros(50),
+        TcpConfig::default(),
+        Box::new(WebRequests { body: 256 }),
+        Box::new(LengthFramer),
+        stats.clone(),
+    );
+    pod.add_endpoint(Box::new(client));
+    pod.run(SimTime::ZERO + duration);
+    stats
+}

@@ -1,0 +1,9 @@
+//! Shared helpers for the Oasis experiment binaries.
+//!
+//! Each table and figure of the paper has a binary in `src/bin/`; this
+//! library holds the pieces they share (pod assembly shortcuts, sweep
+//! helpers, output formatting).
+
+pub mod harness;
+
+pub use harness::Mode;

@@ -1,0 +1,237 @@
+//! Allocator state-machine commands (the Raft log payload).
+
+use oasis_net::addr::Ipv4Addr;
+
+/// A command applied to the replicated allocator state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AllocCommand {
+    /// Register a NIC attached to `host` with `capacity_mbps` of
+    /// allocatable bandwidth.
+    RegisterNic {
+        /// NIC id.
+        nic: u32,
+        /// Host the NIC is attached to.
+        host: u32,
+        /// Allocatable bandwidth in Mbit/s.
+        capacity_mbps: u32,
+        /// Reserved as the pod's failover backup (§3.3.3).
+        backup: bool,
+    },
+    /// Assign an instance to a NIC with a bandwidth lease.
+    Assign {
+        /// Instance IP.
+        ip: Ipv4Addr,
+        /// Instance host.
+        host: u32,
+        /// Serving NIC.
+        nic: u32,
+        /// Leased bandwidth in Mbit/s.
+        lease_mbps: u32,
+    },
+    /// Remove an instance's assignment.
+    Unassign {
+        /// Instance IP.
+        ip: Ipv4Addr,
+    },
+    /// Mark a NIC failed; its leases are revoked by the state machine.
+    MarkFailed {
+        /// NIC id.
+        nic: u32,
+    },
+    /// Mark a NIC healthy again after repair.
+    MarkRepaired {
+        /// NIC id.
+        nic: u32,
+    },
+    /// Register an SSD attached to `host` with allocatable capacity.
+    RegisterSsd {
+        /// SSD id.
+        ssd: u32,
+        /// Host the SSD is attached to.
+        host: u32,
+        /// Allocatable capacity in whole blocks.
+        capacity_blocks: u32,
+    },
+    /// Carve a volume for an instance out of an SSD.
+    AssignVolume {
+        /// Owning instance IP.
+        ip: Ipv4Addr,
+        /// SSD the volume lives on.
+        ssd: u32,
+        /// First block of the volume.
+        base_block: u32,
+        /// Volume length in blocks.
+        blocks: u32,
+    },
+    /// Release an instance's volumes (instance teardown; local NVMe is
+    /// ephemeral, as §3.4 notes).
+    ReleaseVolumes {
+        /// Owning instance IP.
+        ip: Ipv4Addr,
+    },
+}
+
+impl AllocCommand {
+    /// Serialize for the Raft log.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(16);
+        match self {
+            AllocCommand::RegisterNic {
+                nic,
+                host,
+                capacity_mbps,
+                backup,
+            } => {
+                b.push(1);
+                b.extend_from_slice(&nic.to_le_bytes());
+                b.extend_from_slice(&host.to_le_bytes());
+                b.extend_from_slice(&capacity_mbps.to_le_bytes());
+                b.push(*backup as u8);
+            }
+            AllocCommand::Assign {
+                ip,
+                host,
+                nic,
+                lease_mbps,
+            } => {
+                b.push(2);
+                b.extend_from_slice(&ip.0);
+                b.extend_from_slice(&host.to_le_bytes());
+                b.extend_from_slice(&nic.to_le_bytes());
+                b.extend_from_slice(&lease_mbps.to_le_bytes());
+            }
+            AllocCommand::Unassign { ip } => {
+                b.push(3);
+                b.extend_from_slice(&ip.0);
+            }
+            AllocCommand::MarkFailed { nic } => {
+                b.push(4);
+                b.extend_from_slice(&nic.to_le_bytes());
+            }
+            AllocCommand::MarkRepaired { nic } => {
+                b.push(5);
+                b.extend_from_slice(&nic.to_le_bytes());
+            }
+            AllocCommand::RegisterSsd {
+                ssd,
+                host,
+                capacity_blocks,
+            } => {
+                b.push(6);
+                b.extend_from_slice(&ssd.to_le_bytes());
+                b.extend_from_slice(&host.to_le_bytes());
+                b.extend_from_slice(&capacity_blocks.to_le_bytes());
+            }
+            AllocCommand::AssignVolume {
+                ip,
+                ssd,
+                base_block,
+                blocks,
+            } => {
+                b.push(7);
+                b.extend_from_slice(&ip.0);
+                b.extend_from_slice(&ssd.to_le_bytes());
+                b.extend_from_slice(&base_block.to_le_bytes());
+                b.extend_from_slice(&blocks.to_le_bytes());
+            }
+            AllocCommand::ReleaseVolumes { ip } => {
+                b.push(8);
+                b.extend_from_slice(&ip.0);
+            }
+        }
+        b
+    }
+
+    /// Deserialize from the Raft log. `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<AllocCommand> {
+        let u32_at = |o: usize| -> Option<u32> {
+            Some(u32::from_le_bytes(b.get(o..o + 4)?.try_into().ok()?))
+        };
+        match *b.first()? {
+            1 => Some(AllocCommand::RegisterNic {
+                nic: u32_at(1)?,
+                host: u32_at(5)?,
+                capacity_mbps: u32_at(9)?,
+                backup: *b.get(13)? != 0,
+            }),
+            2 => Some(AllocCommand::Assign {
+                ip: Ipv4Addr(b.get(1..5)?.try_into().ok()?),
+                host: u32_at(5)?,
+                nic: u32_at(9)?,
+                lease_mbps: u32_at(13)?,
+            }),
+            3 => Some(AllocCommand::Unassign {
+                ip: Ipv4Addr(b.get(1..5)?.try_into().ok()?),
+            }),
+            4 => Some(AllocCommand::MarkFailed { nic: u32_at(1)? }),
+            5 => Some(AllocCommand::MarkRepaired { nic: u32_at(1)? }),
+            6 => Some(AllocCommand::RegisterSsd {
+                ssd: u32_at(1)?,
+                host: u32_at(5)?,
+                capacity_blocks: u32_at(9)?,
+            }),
+            7 => Some(AllocCommand::AssignVolume {
+                ip: Ipv4Addr(b.get(1..5)?.try_into().ok()?),
+                ssd: u32_at(5)?,
+                base_block: u32_at(9)?,
+                blocks: u32_at(13)?,
+            }),
+            8 => Some(AllocCommand::ReleaseVolumes {
+                ip: Ipv4Addr(b.get(1..5)?.try_into().ok()?),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_commands() {
+        let cmds = vec![
+            AllocCommand::RegisterNic {
+                nic: 3,
+                host: 1,
+                capacity_mbps: 100_000,
+                backup: true,
+            },
+            AllocCommand::Assign {
+                ip: Ipv4Addr::instance(9),
+                host: 2,
+                nic: 0,
+                lease_mbps: 10_000,
+            },
+            AllocCommand::Unassign {
+                ip: Ipv4Addr::instance(9),
+            },
+            AllocCommand::MarkFailed { nic: 7 },
+            AllocCommand::MarkRepaired { nic: 7 },
+            AllocCommand::RegisterSsd {
+                ssd: 2,
+                host: 1,
+                capacity_blocks: 4096,
+            },
+            AllocCommand::AssignVolume {
+                ip: Ipv4Addr::instance(9),
+                ssd: 2,
+                base_block: 128,
+                blocks: 256,
+            },
+            AllocCommand::ReleaseVolumes {
+                ip: Ipv4Addr::instance(9),
+            },
+        ];
+        for c in cmds {
+            assert_eq!(AllocCommand::decode(&c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(AllocCommand::decode(&[]).is_none());
+        assert!(AllocCommand::decode(&[99]).is_none());
+        assert!(AllocCommand::decode(&[1, 0]).is_none());
+    }
+}

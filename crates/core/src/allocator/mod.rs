@@ -1,0 +1,27 @@
+//! The pod-wide allocator (§3.5).
+//!
+//! A logically centralized control-plane service that owns the mapping from
+//! instances to PCIe devices. It is never on the data path. State mutations
+//! are commands through a Raft log (`oasis-raft`) — the paper replicates
+//! the allocator with Raft over the message channels; the pod runtime runs
+//! it with a single replica (commands commit immediately), and
+//! [`replicated`] exercises the same state machine across a multi-node
+//! cluster.
+//!
+//! Responsibilities implemented:
+//!
+//! * **Device allocation**: local-first, then least-loaded (§3.5).
+//! * **Monitoring**: backends send telemetry every 100 ms; records renew
+//!   the leases of instances served by that device.
+//! * **Failure management**: `LinkFailed` reports — or missing telemetry,
+//!   which is how *host* failures are inferred — revoke the device's
+//!   leases and reroute affected instances to the pod's backup NIC.
+
+pub mod command;
+pub mod replicated;
+pub mod service;
+
+pub use command::AllocCommand;
+pub use service::{
+    AllocState, InstanceInfo, NicInfo, PodAllocator, RebalancePolicy, SsdInfo, VolumeInfo,
+};

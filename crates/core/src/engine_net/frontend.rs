@@ -1,0 +1,474 @@
+//! The network-engine frontend driver (§3.3).
+
+use oasis_channel::{Receiver, Sender};
+use oasis_cxl::{lines_covering, CxlPool, HostCtx};
+use oasis_net::addr::Ipv4Addr;
+use oasis_net::packet::Frame;
+use oasis_sim::time::{SimDuration, SimTime};
+
+use crate::config::OasisConfig;
+use crate::datapath::BufferArea;
+use crate::instance::Instance;
+use crate::msg::{NetMsg, NetOp};
+
+use super::POLL_BATCH;
+
+/// Frontend counters.
+#[derive(Clone, Debug, Default)]
+pub struct FrontendStats {
+    /// TX packets forwarded to backends.
+    pub tx_packets: u64,
+    /// TX packets dropped: no free TX buffer.
+    pub tx_drop_nobuf: u64,
+    /// TX packets dropped: channel full.
+    pub tx_drop_channel: u64,
+    /// TX packets policed: over the instance's bandwidth lease.
+    pub tx_policed: u64,
+    /// RX packets copied to instances.
+    pub rx_packets: u64,
+    /// RX packets for unknown instances.
+    pub rx_unknown: u64,
+    /// Reroute commands handled (failover).
+    pub reroutes: u64,
+    /// Graceful migrations started.
+    pub migrations: u64,
+}
+
+struct FeInstance {
+    inst_idx: usize,
+    ip: Ipv4Addr,
+    tx_area: BufferArea,
+    serving_nic: usize,
+    backup_nic: Option<usize>,
+    /// Graceful migration: `(old_nic, unregister_deadline)` (§3.3.4).
+    migrating_from: Option<(usize, SimTime)>,
+    /// Token-bucket policer enforcing the allocator's bandwidth lease
+    /// (bytes of credit; `None` disables enforcement).
+    policer: Option<TokenBucket>,
+}
+
+/// Byte-granular token bucket (PicNIC-style lease enforcement).
+struct TokenBucket {
+    rate_bytes_per_sec: f64,
+    burst_bytes: f64,
+    tokens: f64,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    fn new(rate_mbps: u32, burst_bytes: f64) -> Self {
+        TokenBucket {
+            rate_bytes_per_sec: rate_mbps as f64 * 1e6 / 8.0,
+            burst_bytes,
+            tokens: burst_bytes,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// Take `bytes` of credit at `now`; `false` = over the lease.
+    fn admit(&mut self, now: SimTime, bytes: f64) -> bool {
+        let dt = (now - self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + dt * self.rate_bytes_per_sec).min(self.burst_bytes);
+        if self.tokens >= bytes {
+            self.tokens -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One channel link to a backend driver.
+struct BackendLink {
+    nic: usize,
+    to: Sender,
+    from: Receiver,
+}
+
+/// The frontend driver: one busy-polling core per host.
+pub struct FrontendDriver {
+    /// The host this frontend runs on.
+    pub host: usize,
+    /// The dedicated polling core.
+    pub core: HostCtx,
+    /// Counters.
+    pub stats: FrontendStats,
+    cfg: OasisConfig,
+    links: Vec<BackendLink>,
+    to_alloc: Sender,
+    from_alloc: Receiver,
+    insts: Vec<FeInstance>,
+}
+
+impl FrontendDriver {
+    /// Create a frontend on `host` with its allocator channel pair.
+    pub fn new(
+        host: usize,
+        core: HostCtx,
+        cfg: OasisConfig,
+        to_alloc: Sender,
+        from_alloc: Receiver,
+    ) -> Self {
+        FrontendDriver {
+            host,
+            core,
+            stats: FrontendStats::default(),
+            cfg,
+            links: Vec::new(),
+            to_alloc,
+            from_alloc,
+            insts: Vec::new(),
+        }
+    }
+
+    /// Wire a channel pair to a backend driver (done once at pod boot).
+    pub fn add_backend_link(&mut self, nic: usize, to: Sender, from: Receiver) {
+        self.links.push(BackendLink { nic, to, from });
+    }
+
+    /// Attach a local instance with its TX buffer area and NIC assignment
+    /// from the pod-wide allocator.
+    pub fn attach_instance(
+        &mut self,
+        inst_idx: usize,
+        ip: Ipv4Addr,
+        tx_area: BufferArea,
+        serving_nic: usize,
+        backup_nic: Option<usize>,
+    ) {
+        self.insts.push(FeInstance {
+            inst_idx,
+            ip,
+            tx_area,
+            serving_nic,
+            backup_nic,
+            migrating_from: None,
+            policer: None,
+        });
+    }
+
+    /// Enforce the allocator's bandwidth lease for `ip` with a token-bucket
+    /// policer (frames over the lease are dropped and counted in
+    /// [`FrontendStats::tx_policed`]).
+    pub fn enforce_lease(&mut self, ip: Ipv4Addr, lease_mbps: u32, burst_bytes: u64) {
+        if let Some(inst) = self.insts.iter_mut().find(|i| i.ip == ip) {
+            inst.policer = Some(TokenBucket::new(lease_mbps, burst_bytes as f64));
+        }
+    }
+
+    /// The NIC currently serving an instance (tests and the allocator's
+    /// bookkeeping).
+    pub fn serving_nic(&self, ip: Ipv4Addr) -> Option<usize> {
+        self.insts
+            .iter()
+            .find(|i| i.ip == ip)
+            .map(|i| i.serving_nic)
+    }
+
+    /// The backup NIC an instance was pre-registered with at launch
+    /// (§3.3.3), if any.
+    pub fn backup_nic(&self, ip: Ipv4Addr) -> Option<usize> {
+        self.insts
+            .iter()
+            .find(|i| i.ip == ip)
+            .and_then(|i| i.backup_nic)
+    }
+
+    fn link_idx(&self, nic: usize) -> Option<usize> {
+        self.links.iter().position(|l| l.nic == nic)
+    }
+
+    /// Transmit one frame from an instance through its serving NIC: write
+    /// the payload into a TX buffer in shared CXL memory, write it back
+    /// from CPU caches, and signal the backend (§3.3.1).
+    ///
+    /// The Ethernet source MAC is rewritten to `src_mac` (the instance's
+    /// *current* MAC): frames queued before a graceful migration would
+    /// otherwise carry the old NIC's MAC out of the new NIC and re-teach
+    /// the switch that MAC on the wrong port — black-holing every other
+    /// instance behind the old NIC. (Failover's deliberate MAC borrowing
+    /// is unaffected: there the instance keeps the failed NIC's MAC.)
+    fn tx_frame(
+        &mut self,
+        pool: &mut CxlPool,
+        slot: usize,
+        frame: &Frame,
+        src_mac: oasis_net::addr::MacAddr,
+    ) {
+        // Lease enforcement first: a policed frame consumes no buffer.
+        let now = self.core.clock;
+        if let Some(p) = self.insts[slot].policer.as_mut() {
+            if !p.admit(now, frame.len() as f64 + 24.0) {
+                self.stats.tx_policed += 1;
+                return;
+            }
+        }
+        let Some(buf) = self.insts[slot].tx_area.alloc() else {
+            self.stats.tx_drop_nobuf += 1;
+            return;
+        };
+        let mut patched;
+        let bytes: &[u8] = if frame.src_mac() == src_mac {
+            frame.bytes()
+        } else {
+            patched = frame.bytes().to_vec();
+            patched[6..12].copy_from_slice(&src_mac.0);
+            &patched
+        };
+        self.core.write(pool, buf, bytes);
+        for la in lines_covering(buf, bytes.len() as u64) {
+            self.core.clwb(pool, la);
+        }
+        let nic = self.insts[slot].serving_nic;
+        let msg = NetMsg {
+            ptr: buf,
+            size: bytes.len() as u16,
+            op: NetOp::Tx,
+            ip: self.insts[slot].ip,
+        };
+        let Some(li) = self.link_idx(nic) else {
+            self.insts[slot].tx_area.free(buf);
+            self.stats.tx_drop_channel += 1;
+            return;
+        };
+        let link = &mut self.links[li];
+        if link.to.try_send(&mut self.core, pool, &msg.encode()) {
+            self.stats.tx_packets += 1;
+        } else {
+            self.insts[slot].tx_area.free(buf);
+            self.stats.tx_drop_channel += 1;
+        }
+    }
+
+    fn handle_alloc_msg(
+        &mut self,
+        pool: &mut CxlPool,
+        instances: &mut [Instance],
+        msg: NetMsg,
+        nic_macs: &[oasis_net::addr::MacAddr],
+    ) {
+        match msg.op {
+            NetOp::Reroute => {
+                // Failover (§3.3.3): switch TX to the backup NIC and borrow
+                // the failed NIC's MAC so the switch re-points RX to the
+                // backup immediately. The instance keeps its old MAC.
+                self.stats.reroutes += 1;
+                let new_nic = msg.ptr as usize;
+                if let Some(slot) = self.insts.iter().position(|i| i.ip == msg.ip) {
+                    self.insts[slot].serving_nic = new_nic;
+                    let inst_idx = self.insts[slot].inst_idx;
+                    let mac = instances[inst_idx].mac();
+                    let borrow = oasis_net::packet::GarpPacket {
+                        sender_mac: mac,
+                        sender_ip: msg.ip,
+                    }
+                    .encode();
+                    self.tx_frame(pool, slot, &borrow, mac);
+                }
+            }
+            NetOp::Migrate => {
+                // Graceful migration (§3.3.4): register with the new NIC's
+                // backend *first* (over the same channel the GARP's TX will
+                // use, so FIFO ordering guarantees the registration lands
+                // before any packet), then announce the new MAC via GARP;
+                // keep receiving from both NICs until the grace period
+                // expires.
+                self.stats.migrations += 1;
+                let new_nic = msg.ptr as usize;
+                if let Some(slot) = self.insts.iter().position(|i| i.ip == msg.ip) {
+                    let old = self.insts[slot].serving_nic;
+                    if old == new_nic {
+                        return;
+                    }
+                    let inst_idx = self.insts[slot].inst_idx;
+                    if let Some(li) = self.link_idx(new_nic) {
+                        let reg = NetMsg {
+                            ptr: 0,
+                            size: inst_idx as u16, // flow tag
+                            op: NetOp::Register,
+                            ip: msg.ip,
+                        };
+                        let link = &mut self.links[li];
+                        let _ = link.to.try_send(&mut self.core, pool, &reg.encode());
+                    }
+                    self.insts[slot].serving_nic = new_nic;
+                    self.insts[slot].migrating_from =
+                        Some((old, self.core.clock + self.cfg.migration_grace));
+                    instances[inst_idx].set_mac(self.core.clock, nic_macs[new_nic], true);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// One busy-polling round: drain allocator messages, forward instance
+    /// TX, drain backend channels (RX packets + completions), and run
+    /// migration timers. Returns `true` if any work was done.
+    pub fn step(
+        &mut self,
+        pool: &mut CxlPool,
+        instances: &mut [Instance],
+        nic_macs: &[oasis_net::addr::MacAddr],
+    ) -> bool {
+        let mut worked = false;
+        self.core.advance(self.cfg.driver_loop_ns);
+
+        // 1. Allocator control messages.
+        let mut buf16 = [0u8; 16];
+        for _ in 0..POLL_BATCH {
+            if !self.from_alloc.try_recv(&mut self.core, pool, &mut buf16) {
+                break;
+            }
+            worked = true;
+            if let Some(msg) = NetMsg::decode(&buf16) {
+                self.handle_alloc_msg(pool, instances, msg, nic_macs);
+            }
+        }
+
+        // 2. Instance TX (IPC poll, §3.3.1).
+        for slot in 0..self.insts.len() {
+            let inst_idx = self.insts[slot].inst_idx;
+            instances[inst_idx].tick(self.core.clock);
+            let current_mac = instances[inst_idx].mac();
+            for _ in 0..POLL_BATCH {
+                let Some(frame) = instances[inst_idx].pop_tx(self.core.clock) else {
+                    break;
+                };
+                worked = true;
+                self.core.advance(self.cfg.ipc_cost_ns);
+                self.tx_frame(pool, slot, &frame, current_mac);
+            }
+        }
+
+        // 3. Backend channels: RX packets and TX completions.
+        for li in 0..self.links.len() {
+            for _ in 0..POLL_BATCH {
+                let got = self.links[li]
+                    .from
+                    .try_recv(&mut self.core, pool, &mut buf16);
+                if !got {
+                    break;
+                }
+                worked = true;
+                let Some(msg) = NetMsg::decode(&buf16) else {
+                    continue;
+                };
+                match msg.op {
+                    NetOp::Rx => {
+                        // Copy the packet out of the shared RX buffer into
+                        // instance-local memory (isolation, §3.3.2), then
+                        // invalidate the RX buffer lines so the next use
+                        // reads fresh DMA data (§3.3.1).
+                        let len = msg.size as usize;
+                        let mut pkt = vec![0u8; len];
+                        self.core.read_stream(pool, msg.ptr, &mut pkt);
+                        for la in lines_covering(msg.ptr, len as u64) {
+                            self.core.clflushopt(pool, la);
+                        }
+                        self.core.advance(self.cfg.ipc_cost_ns);
+                        if let Some(fe_inst) = self.insts.iter().find(|i| i.ip == msg.ip) {
+                            self.stats.rx_packets += 1;
+                            let frame = Frame(bytes::Bytes::from(pkt));
+                            instances[fe_inst.inst_idx].deliver(self.core.clock, &frame);
+                        } else {
+                            self.stats.rx_unknown += 1;
+                        }
+                        // Recycle the RX buffer at the backend.
+                        let done = NetMsg {
+                            ptr: msg.ptr,
+                            size: 0,
+                            op: NetOp::RxComplete,
+                            ip: msg.ip,
+                        };
+                        let link = &mut self.links[li];
+                        let _ = link.to.try_send(&mut self.core, pool, &done.encode());
+                    }
+                    NetOp::TxComplete => {
+                        // Reclaim the TX buffer into its owner's area.
+                        if let Some(inst) = self
+                            .insts
+                            .iter_mut()
+                            .find(|i| i.tx_area.region().contains(msg.ptr))
+                        {
+                            inst.tx_area.free(msg.ptr);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // 4. Migration grace expiry: unregister from the old NIC (§3.3.4).
+        for slot in 0..self.insts.len() {
+            if let Some((old_nic, deadline)) = self.insts[slot].migrating_from {
+                if self.core.clock >= deadline {
+                    self.insts[slot].migrating_from = None;
+                    let ip = self.insts[slot].ip;
+                    if let Some(li) = self.link_idx(old_nic) {
+                        let msg = NetMsg {
+                            ptr: 0,
+                            size: 0,
+                            op: NetOp::Unregister,
+                            ip,
+                        };
+                        let link = &mut self.links[li];
+                        let _ = link.to.try_send(&mut self.core, pool, &msg.encode());
+                    }
+                    worked = true;
+                }
+            }
+        }
+
+        // 5. Flush partially filled channel lines so low-rate messages do
+        // not linger invisibly in this core's cache (§3.2.2).
+        for link in &mut self.links {
+            link.to.flush(&mut self.core, pool);
+        }
+        self.to_alloc.flush(&mut self.core, pool);
+        // Let senders reuse our consumed slots promptly.
+        for link in &mut self.links {
+            link.from.publish_consumed(&mut self.core, pool);
+        }
+        self.from_alloc.publish_consumed(&mut self.core, pool);
+
+        worked
+    }
+
+    /// Earliest pending local deadline (instance timers, migration grace);
+    /// used by tests that step the frontend manually.
+    pub fn next_deadline(&self, instances: &[Instance]) -> Option<SimTime> {
+        let mut t: Option<SimTime> = None;
+        let mut consider = |x: SimTime| t = Some(t.map_or(x, |cur: SimTime| cur.min(x)));
+        for fi in &self.insts {
+            if let Some((_, dl)) = fi.migrating_from {
+                consider(dl);
+            }
+            if let Some(e) = instances[fi.inst_idx].next_event() {
+                consider(e);
+            }
+        }
+        t
+    }
+
+    /// Debug view of per-backend channel counters:
+    /// `(nic, messages_sent, messages_received)`.
+    pub fn channel_debug(&self) -> Vec<(usize, u64, u64)> {
+        self.links
+            .iter()
+            .map(|l| (l.nic, l.to.sent(), l.from.consumed()))
+            .collect()
+    }
+
+    /// Idle-advance the core clock (used by harnesses between bursts).
+    pub fn skip_to(&mut self, t: SimTime) {
+        if self.core.clock < t {
+            self.core.clock = t;
+        }
+    }
+
+    /// Poll-loop period estimate for pacing harnesses.
+    pub fn poll_period(&self) -> SimDuration {
+        SimDuration::from_nanos(self.cfg.driver_loop_ns.max(1))
+    }
+}

@@ -1,0 +1,28 @@
+//! The Oasis network engine (§3.3).
+//!
+//! * [`frontend::FrontendDriver`] — one per host; bridges local instances'
+//!   packet I/O (IPC rings) to backend drivers over Oasis message channels.
+//!   Owns per-instance TX buffer areas in shared CXL memory, performs the
+//!   frontend-side coherence operations (write-back TX buffers, invalidate
+//!   consumed RX buffers), the RX security copy into instance memory
+//!   (§3.3.2), failover rerouting with MAC borrowing (§3.3.3), and graceful
+//!   migration (§3.3.4).
+//! * [`backend::BackendDriver`] — one per NIC-attached host; drives the
+//!   NIC's queue pairs through its native driver interface, forwards TX/RX
+//!   and completions, keeps the RX ring stocked from the per-NIC RX buffer
+//!   area, monitors link status, and reports telemetry. It never inspects
+//!   I/O buffers except for the flow-tag-miss fallback (§3.3.1 fn. 6),
+//!   after which it invalidates what it read.
+//!
+//! Each driver dedicates one busy-polling core (`HostCtx`), as the paper's
+//! implementation does (§3.3).
+
+pub mod backend;
+pub mod frontend;
+
+pub use backend::BackendDriver;
+pub use frontend::FrontendDriver;
+
+/// Per-step batch limit for channel drains; bounds the work one polling
+/// round can do, like the paper's driver loop.
+pub const POLL_BATCH: usize = 64;

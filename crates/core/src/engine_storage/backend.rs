@@ -1,0 +1,155 @@
+//! Storage-engine backend driver: operates the SSD's queues (§3.4).
+
+use oasis_channel::{Receiver, Sender};
+use oasis_cxl::dma::{DmaMemory, MemRef};
+use oasis_cxl::{CxlPool, HostCtx};
+use oasis_storage::command::{NvmeCommand, NvmeCompletion, NvmeStatus};
+use oasis_storage::ssd::Ssd;
+
+use crate::config::OasisConfig;
+
+struct PoolDma<'a> {
+    pool: &'a mut CxlPool,
+    port: oasis_cxl::pool::PortId,
+    dma_cxl_ns: u64,
+}
+
+impl DmaMemory for PoolDma<'_> {
+    fn dma_read(&mut self, now: oasis_sim::time::SimTime, mem: MemRef, out: &mut [u8]) {
+        match mem {
+            MemRef::Pool(a) => self.pool.dma_read(now, self.port, a, out),
+            MemRef::HostLocal(_) => unreachable!("storage buffers live in the pool"),
+        }
+    }
+    fn dma_write(&mut self, now: oasis_sim::time::SimTime, mem: MemRef, data: &[u8]) {
+        match mem {
+            MemRef::Pool(a) => self.pool.dma_write(now, self.port, a, data),
+            MemRef::HostLocal(_) => unreachable!("storage buffers live in the pool"),
+        }
+    }
+    fn dma_latency_ns(&self, _mem: MemRef) -> u64 {
+        self.dma_cxl_ns
+    }
+}
+
+/// One channel link to a frontend driver.
+struct FeLink {
+    fe_host: usize,
+    to: Sender,
+    from: Receiver,
+}
+
+/// Backend counters.
+#[derive(Clone, Debug, Default)]
+pub struct StorageBeStats {
+    /// Commands forwarded to the SSD.
+    pub forwarded: u64,
+    /// Commands refused by a full submission queue and bounced with an
+    /// error.
+    pub sq_full: u64,
+    /// Completions returned to frontends.
+    pub completions: u64,
+}
+
+/// The storage backend driver: runs only on hosts with local SSDs (§3.4),
+/// one dedicated polling core.
+pub struct StorageBackend {
+    /// The SSD this backend drives.
+    pub ssd_id: usize,
+    /// The host the SSD is attached to.
+    pub host: usize,
+    /// The polling core.
+    pub core: HostCtx,
+    /// Counters.
+    pub stats: StorageBeStats,
+    cfg: OasisConfig,
+    links: Vec<FeLink>,
+}
+
+impl StorageBackend {
+    /// Create a backend for `ssd_id` on `host`.
+    pub fn new(ssd_id: usize, host: usize, core: HostCtx, cfg: OasisConfig) -> Self {
+        StorageBackend {
+            ssd_id,
+            host,
+            core,
+            stats: StorageBeStats::default(),
+            cfg,
+            links: Vec::new(),
+        }
+    }
+
+    /// Wire a channel pair to a frontend on `fe_host`.
+    pub fn add_frontend_link(&mut self, fe_host: usize, to: Sender, from: Receiver) {
+        self.links.push(FeLink { fe_host, to, from });
+    }
+
+    fn send_completion(&mut self, pool: &mut CxlPool, comp: NvmeCompletion) {
+        if let Some(li) = self
+            .links
+            .iter()
+            .position(|l| l.fe_host == comp.frontend as usize)
+        {
+            let link = &mut self.links[li];
+            if link.to.try_send(&mut self.core, pool, &comp.encode()) {
+                link.to.flush(&mut self.core, pool);
+                self.stats.completions += 1;
+            }
+        }
+    }
+
+    /// One polling round: commands in, completions out. The backend never
+    /// touches data buffers — the SSD DMAs them directly (§3.2.1).
+    pub fn step(&mut self, pool: &mut CxlPool, ssd: &mut Ssd) {
+        self.core.advance(self.cfg.driver_loop_ns);
+        let mut buf = [0u8; 64];
+
+        // Frontend commands → SSD submission queue.
+        for li in 0..self.links.len() {
+            loop {
+                let got = self.links[li].from.try_recv(&mut self.core, pool, &mut buf);
+                if !got {
+                    break;
+                }
+                let Some(cmd) = NvmeCommand::decode(&buf) else {
+                    continue;
+                };
+                if ssd.submit(cmd) {
+                    self.stats.forwarded += 1;
+                } else {
+                    // Bounce with an error so the frontend can retry.
+                    self.stats.sq_full += 1;
+                    self.send_completion(
+                        pool,
+                        NvmeCompletion {
+                            cid: cmd.cid,
+                            status: NvmeStatus::DeviceFailure,
+                            frontend: cmd.frontend,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Drive the SSD.
+        let clock = self.core.clock;
+        {
+            let mut dma = PoolDma {
+                pool,
+                port: self.core.port,
+                dma_cxl_ns: self.core.costs.dma_cxl_ns,
+            };
+            ssd.process(clock, &mut dma);
+        }
+
+        // SSD completions → frontends (including error statuses from a
+        // failed drive, which the engine simply propagates, §3.4).
+        for comp in ssd.poll_completions(self.core.clock) {
+            self.send_completion(pool, comp);
+        }
+
+        for link in &mut self.links {
+            link.from.publish_consumed(&mut self.core, pool);
+        }
+    }
+}

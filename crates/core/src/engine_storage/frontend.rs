@@ -1,0 +1,235 @@
+//! Storage-engine frontend driver: the block-device interface instances
+//! see.
+
+use oasis_channel::{Receiver, Sender};
+use oasis_cxl::{lines_covering, CxlPool, HostCtx};
+use oasis_sim::detmap::DetMap;
+use oasis_storage::command::{NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus};
+use oasis_storage::BLOCK_SIZE;
+
+use crate::config::OasisConfig;
+use crate::datapath::BufferArea;
+
+/// A completed block I/O returned to the caller.
+#[derive(Clone, Debug)]
+pub struct IoResult {
+    /// The command id returned at submit time.
+    pub cid: u16,
+    /// Completion status (drive failures surface here, §3.4).
+    pub status: NvmeStatus,
+    /// For reads: the data, copied out of shared CXL memory.
+    pub data: Option<Vec<u8>>,
+}
+
+struct PendingIo {
+    op: NvmeOpcode,
+    buf: u64,
+    bytes: u64,
+}
+
+/// One channel link to a storage backend.
+struct SsdLink {
+    ssd: usize,
+    to: Sender,
+    from: Receiver,
+}
+
+/// Frontend counters.
+#[derive(Clone, Debug, Default)]
+pub struct StorageFeStats {
+    /// Commands submitted.
+    pub submitted: u64,
+    /// Completions delivered.
+    pub completed: u64,
+    /// Completions with error status.
+    pub errors: u64,
+    /// Submissions refused (no buffer / channel full).
+    pub refused: u64,
+}
+
+/// The storage frontend driver (one busy-polling core per host, §3.4).
+pub struct StorageFrontend {
+    /// Host this frontend runs on.
+    pub host: usize,
+    /// The polling core.
+    pub core: HostCtx,
+    /// Counters.
+    pub stats: StorageFeStats,
+    #[allow(dead_code)]
+    cfg: OasisConfig,
+    links: Vec<SsdLink>,
+    data_area: BufferArea,
+    pending: DetMap<u16, PendingIo>,
+    done: Vec<IoResult>,
+    next_cid: u16,
+}
+
+impl StorageFrontend {
+    /// Create a frontend with its I/O data buffer area in pool memory.
+    pub fn new(host: usize, core: HostCtx, cfg: OasisConfig, data_area: BufferArea) -> Self {
+        StorageFrontend {
+            host,
+            core,
+            stats: StorageFeStats::default(),
+            cfg,
+            links: Vec::new(),
+            data_area,
+            pending: DetMap::default(),
+            done: Vec::new(),
+            next_cid: 0,
+        }
+    }
+
+    /// Wire a channel pair to an SSD's backend.
+    pub fn add_ssd_link(&mut self, ssd: usize, to: Sender, from: Receiver) {
+        self.links.push(SsdLink { ssd, to, from });
+    }
+
+    fn link_idx(&self, ssd: usize) -> Option<usize> {
+        self.links.iter().position(|l| l.ssd == ssd)
+    }
+
+    fn submit(
+        &mut self,
+        pool: &mut CxlPool,
+        ssd: usize,
+        op: NvmeOpcode,
+        lba: u64,
+        nlb: u32,
+        data: Option<&[u8]>,
+    ) -> Option<u16> {
+        let li = self.link_idx(ssd)?;
+        let bytes = nlb as u64 * BLOCK_SIZE;
+        let buf = if op == NvmeOpcode::Flush {
+            0
+        } else {
+            if bytes > self.data_area.buf_size() {
+                self.stats.refused += 1;
+                return None;
+            }
+            match self.data_area.alloc() {
+                Some(b) => b,
+                None => {
+                    self.stats.refused += 1;
+                    return None;
+                }
+            }
+        };
+        // For writes, stage the data in shared CXL memory and write it back
+        // so the SSD's DMA sees it (§3.2.1).
+        if let Some(data) = data {
+            debug_assert_eq!(data.len() as u64, bytes);
+            self.core.write(pool, buf, data);
+            for la in lines_covering(buf, bytes) {
+                self.core.clwb(pool, la);
+            }
+        }
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        let cmd = NvmeCommand {
+            opcode: op,
+            cid,
+            nsid: 1,
+            data_ptr: buf,
+            slba: lba,
+            nlb,
+            frontend: self.host as u32,
+        };
+        let link = &mut self.links[li];
+        if !link.to.try_send(&mut self.core, pool, &cmd.encode()) {
+            if op != NvmeOpcode::Flush {
+                self.data_area.free(buf);
+            }
+            self.stats.refused += 1;
+            return None;
+        }
+        link.to.flush(&mut self.core, pool);
+        self.stats.submitted += 1;
+        self.pending.insert(cid, PendingIo { op, buf, bytes });
+        Some(cid)
+    }
+
+    /// Submit a write of whole blocks starting at `lba`.
+    pub fn submit_write(
+        &mut self,
+        pool: &mut CxlPool,
+        ssd: usize,
+        lba: u64,
+        data: &[u8],
+    ) -> Option<u16> {
+        assert_eq!(data.len() as u64 % BLOCK_SIZE, 0, "whole blocks only");
+        let nlb = (data.len() as u64 / BLOCK_SIZE) as u32;
+        self.submit(pool, ssd, NvmeOpcode::Write, lba, nlb, Some(data))
+    }
+
+    /// Submit a read of `nlb` blocks starting at `lba`.
+    pub fn submit_read(
+        &mut self,
+        pool: &mut CxlPool,
+        ssd: usize,
+        lba: u64,
+        nlb: u32,
+    ) -> Option<u16> {
+        self.submit(pool, ssd, NvmeOpcode::Read, lba, nlb, None)
+    }
+
+    /// Submit a flush.
+    pub fn submit_flush(&mut self, pool: &mut CxlPool, ssd: usize) -> Option<u16> {
+        self.submit(pool, ssd, NvmeOpcode::Flush, 0, 0, None)
+    }
+
+    /// One polling round: drain completion channels.
+    pub fn step(&mut self, pool: &mut CxlPool) {
+        self.core.advance(self.cfg.driver_loop_ns);
+        let mut buf = [0u8; 64];
+        for li in 0..self.links.len() {
+            loop {
+                let got = self.links[li].from.try_recv(&mut self.core, pool, &mut buf);
+                if !got {
+                    break;
+                }
+                let Some(comp) = NvmeCompletion::decode(&buf) else {
+                    continue;
+                };
+                let Some(p) = self.pending.remove(&comp.cid) else {
+                    continue;
+                };
+                let data = if p.op == NvmeOpcode::Read && comp.status.is_ok() {
+                    // Copy the data out of shared memory and invalidate the
+                    // buffer lines before reuse.
+                    let mut out = vec![0u8; p.bytes as usize];
+                    self.core.read_stream(pool, p.buf, &mut out);
+                    for la in lines_covering(p.buf, p.bytes) {
+                        self.core.clflushopt(pool, la);
+                    }
+                    Some(out)
+                } else {
+                    None
+                };
+                if p.op != NvmeOpcode::Flush {
+                    self.data_area.free(p.buf);
+                }
+                self.stats.completed += 1;
+                if !comp.status.is_ok() {
+                    self.stats.errors += 1;
+                }
+                self.done.push(IoResult {
+                    cid: comp.cid,
+                    status: comp.status,
+                    data,
+                });
+            }
+            self.links[li].from.publish_consumed(&mut self.core, pool);
+        }
+    }
+
+    /// Take completed I/Os.
+    pub fn take_completions(&mut self) -> Vec<IoResult> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// I/Os still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}

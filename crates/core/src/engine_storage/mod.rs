@@ -1,0 +1,51 @@
+//! The Oasis storage engine (§3.4).
+//!
+//! Mirrors the network engine's structure: a frontend driver per host gives
+//! local instances a block-device interface; a backend driver runs only on
+//! hosts with local SSDs and operates their submission/completion queues
+//! through the native driver. Frontend and backend exchange **64 B
+//! messages that mirror NVMe commands** over Oasis channels; data moves
+//! through I/O buffers in shared CXL memory that the SSD DMAs directly
+//! (the backend never inspects them, §3.2.1).
+//!
+//! The paper designs this engine but does not implement it; we implement it
+//! fully, including the §3.4 failure semantics: a failed drive completes
+//! I/O with an error status that propagates to the guest — there is no
+//! transparent failover for stateful devices.
+//!
+//! [`harness::StoragePod`] co-simulates a frontend host, a backend host,
+//! and an SSD for the integration tests and the storage benchmarks.
+
+pub mod backend;
+pub mod frontend;
+pub mod harness;
+
+pub use backend::StorageBackend;
+pub use frontend::{IoResult, StorageFrontend};
+pub use harness::StoragePod;
+
+use oasis_channel::{ChannelLayout, Policy, Receiver, Sender, MSG64};
+use oasis_cxl::pool::TrafficClass;
+use oasis_cxl::{CxlPool, RegionAllocator};
+
+use crate::datapath::ChannelPair;
+
+/// Allocate one direction of a storage driver link: a 64 B message channel.
+pub fn alloc_storage_channel(
+    pool: &mut CxlPool,
+    ra: &mut RegionAllocator,
+    name: &str,
+    slots: u64,
+) -> ChannelPair {
+    let region = ra.alloc(
+        pool,
+        name,
+        ChannelLayout::bytes_needed(slots, MSG64 as u64),
+        TrafficClass::Message,
+    );
+    let layout = ChannelLayout::in_region(&region, slots, MSG64 as u64);
+    ChannelPair {
+        sender: Sender::new(layout.clone()),
+        receiver: Receiver::new(layout, Policy::InvalidatePrefetched),
+    }
+}

@@ -1,0 +1,753 @@
+//! The pod runtime: one deterministic co-simulation of an entire Oasis pod.
+//!
+//! A [`Pod`] owns the CXL pool, the hosts' polling cores (frontend and
+//! backend drivers, or the Junction baseline driver), the NICs, the ToR
+//! switch, the instances, the pod-wide allocator, and any external client
+//! endpoints. [`Pod::run`] steps whichever component has the earliest local
+//! clock, exactly like the co-simulated microbenchmarks — so cross-host
+//! latencies, failover timelines, and CXL link traffic all emerge from the
+//! same component models the unit tests exercise.
+//!
+//! Instance launch (placement + registration) is performed synchronously at
+//! build time, as a cloud control plane would before a VM starts; the
+//! *runtime* control paths that the paper measures — link-failure
+//! detection, telemetry, failover rerouting, graceful migration — all flow
+//! through message channels with simulated timing.
+
+use oasis_cxl::pool::{PortId, TrafficClass};
+use oasis_cxl::{CxlPool, HostCtx, RegionAllocator};
+use oasis_net::addr::{Ipv4Addr, MacAddr};
+use oasis_net::nic::{Nic, NicConfig};
+use oasis_net::packet::Frame;
+use oasis_net::switch::Switch;
+use oasis_sim::event::EventQueue;
+use oasis_sim::time::SimTime;
+
+use oasis_storage::ssd::{Ssd, SsdConfig};
+
+use crate::allocator::{AllocCommand, PodAllocator};
+use crate::baseline::LocalDriver;
+use crate::config::{BufferPlacement, OasisConfig};
+use crate::datapath::{alloc_net_channel, BufferArea};
+use crate::engine_net::{BackendDriver, FrontendDriver};
+use crate::engine_storage::{alloc_storage_channel, StorageBackend, StorageFrontend};
+use crate::instance::{AppKind, Instance};
+
+/// An external client attached directly to a switch port (load generators,
+/// echo clients, trace replayers — implemented in `oasis-apps`).
+pub trait Endpoint {
+    /// When this endpoint next wants to act ([`SimTime::MAX`] when idle).
+    fn next_time(&self) -> SimTime;
+    /// Act at `now`; emitted frames enter the switch on this endpoint's
+    /// port.
+    fn poll(&mut self, now: SimTime) -> Vec<Frame>;
+    /// A frame arrives from the switch at `at`.
+    fn deliver(&mut self, at: SimTime, frame: Frame);
+}
+
+/// The driver serving a host's instances.
+pub enum HostDriver {
+    /// Oasis frontend (instances may be served by remote NICs).
+    Oasis(FrontendDriver),
+    /// Junction-style baseline: combined driver + local NIC.
+    Local(LocalDriver),
+}
+
+enum PortOwner {
+    Nic(usize),
+    Endpoint(usize),
+}
+
+enum PodEvent {
+    /// Operator/failure injection: disable the switch port of a NIC
+    /// (§5.3's failure method).
+    DisableNicPort(usize),
+    /// The NIC's PHY notices carrier loss (after `link_detect`).
+    LinkDown(usize),
+    /// Repair: re-enable the port.
+    EnableNicPort(usize),
+    /// Carrier restored.
+    LinkUp(usize),
+    /// Start a graceful migration of an instance to a NIC (§3.3.4).
+    Migrate(Ipv4Addr, u32),
+    /// Crash a host: all of its polling cores stop, and its devices go
+    /// silent. The allocator infers the failure from missing telemetry
+    /// (§3.5).
+    FailHost(usize),
+}
+
+/// A block volume carved for an instance by the pod-wide allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct VolumeHandle {
+    /// Owning instance.
+    pub inst: usize,
+    /// SSD the volume lives on.
+    pub ssd: usize,
+    /// First device block.
+    pub base_block: u64,
+    /// Length in blocks.
+    pub blocks: u64,
+}
+
+/// The assembled pod.
+pub struct Pod {
+    /// Configuration.
+    pub cfg: OasisConfig,
+    /// The shared CXL pool.
+    pub pool: CxlPool,
+    /// The ToR switch.
+    pub switch: Switch,
+    /// NICs by id.
+    pub nics: Vec<Nic>,
+    /// Per-host drivers.
+    pub drivers: Vec<HostDriver>,
+    /// Backend drivers (Oasis NICs only).
+    pub backends: Vec<BackendDriver>,
+    /// Instances by index (instance id == index).
+    pub instances: Vec<Instance>,
+    /// The pod-wide allocator.
+    pub allocator: PodAllocator,
+    /// Client endpoints.
+    pub endpoints: Vec<Box<dyn Endpoint>>,
+    /// SSDs by id.
+    pub ssds: Vec<Ssd>,
+    /// Storage frontends, per host (Oasis hosts in pods with SSDs).
+    pub storage_frontends: Vec<Option<StorageFrontend>>,
+    /// Storage backends, per SSD.
+    pub storage_backends: Vec<StorageBackend>,
+    nic_macs: Vec<MacAddr>,
+    nic_host: Vec<usize>,
+    nic_port: Vec<usize>,
+    backend_of_nic: Vec<Option<usize>>,
+    endpoint_port: Vec<usize>,
+    port_owner: Vec<PortOwner>,
+    pending: EventQueue<PodEvent>,
+    ra: RegionAllocator,
+    /// Hosts that have crashed (their cores are no longer stepped).
+    dead_host: Vec<bool>,
+    now: SimTime,
+}
+
+/// Builds a [`Pod`]. Hosts and NICs are declared first; instances and
+/// endpoints are added to the built pod.
+pub struct PodBuilder {
+    cfg: OasisConfig,
+    pool_bytes: u64,
+    /// (has_nic, baseline placement or None for Oasis).
+    hosts: Vec<(bool, Option<BufferPlacement>)>,
+    backup_nic_host: Option<usize>,
+    /// (host, config) per SSD.
+    ssds: Vec<(usize, SsdConfig)>,
+}
+
+impl PodBuilder {
+    /// Start building with a configuration.
+    pub fn new(cfg: OasisConfig) -> Self {
+        PodBuilder {
+            cfg,
+            pool_bytes: 64 << 20,
+            hosts: Vec::new(),
+            backup_nic_host: None,
+            ssds: Vec::new(),
+        }
+    }
+
+    /// Override the pool size (default 64 MiB of simulated CXL memory).
+    pub fn pool_bytes(mut self, bytes: u64) -> Self {
+        self.pool_bytes = bytes;
+        self
+    }
+
+    /// Add an Oasis host without a local NIC. Returns the host index.
+    pub fn add_host(&mut self) -> usize {
+        self.hosts.push((false, None));
+        self.hosts.len() - 1
+    }
+
+    /// Add an Oasis host with a local NIC (and backend driver).
+    pub fn add_nic_host(&mut self) -> usize {
+        self.hosts.push((true, None));
+        self.hosts.len() - 1
+    }
+
+    /// Add a baseline (Junction) host with a local NIC and the given buffer
+    /// placement.
+    pub fn add_baseline_host(&mut self, placement: BufferPlacement) -> usize {
+        self.hosts.push((true, Some(placement)));
+        self.hosts.len() - 1
+    }
+
+    /// Attach an SSD to `host` (drives the storage engine, §3.4). Returns
+    /// the SSD id.
+    pub fn add_ssd(&mut self, host: usize, cfg: SsdConfig) -> usize {
+        assert!(host < self.hosts.len(), "add hosts before their SSDs");
+        self.ssds.push((host, cfg));
+        self.ssds.len() - 1
+    }
+
+    /// Reserve the NIC of `host` as the pod's failover backup (§3.3.3).
+    pub fn backup_nic_on(mut self, host: usize) -> Self {
+        self.backup_nic_host = Some(host);
+        self
+    }
+
+    /// Assemble the pod.
+    pub fn build(self) -> Pod {
+        let n_hosts = self.hosts.len();
+        let mut pool = CxlPool::new(self.pool_bytes, n_hosts);
+        let mut ra = RegionAllocator::new(&pool);
+        let mut switch = Switch::new(0);
+        let mut nics = Vec::new();
+        let mut nic_macs = Vec::new();
+        let mut nic_host = Vec::new();
+        let mut nic_port = Vec::new();
+        let mut backend_of_nic: Vec<Option<usize>> = Vec::new();
+        let mut backends: Vec<BackendDriver> = Vec::new();
+        let mut port_owner = Vec::new();
+
+        // Allocator service core (control plane; port 0's host).
+        let alloc_core = HostCtx::new(PortId(0), 0);
+        let mut allocator = PodAllocator::new(alloc_core, self.cfg.clone());
+
+        // Create NICs and backend drivers.
+        let mut oasis_nic_ids = Vec::new();
+        for (host, &(has_nic, baseline)) in self.hosts.iter().enumerate() {
+            if !has_nic {
+                continue;
+            }
+            let nic_id = nics.len();
+            let mac = MacAddr::nic(nic_id as u64);
+            let nic = Nic::new(mac, NicConfig::default());
+            let port = switch.add_port();
+            port_owner.push(PortOwner::Nic(nic_id));
+            let backup = self.backup_nic_host == Some(host);
+            allocator.propose(AllocCommand::RegisterNic {
+                nic: nic_id as u32,
+                host: host as u32,
+                capacity_mbps: (nic.bandwidth_gbps() * 1000.0) as u32,
+                backup,
+            });
+            if baseline.is_none() {
+                // Oasis backend: RX area + allocator channel.
+                let rx_region = ra.alloc(
+                    &mut pool,
+                    format!("nic{nic_id}.rx_area"),
+                    self.cfg.rx_area_per_nic,
+                    TrafficClass::Payload,
+                );
+                let pair =
+                    alloc_net_channel(&mut pool, &mut ra, &format!("be{nic_id}->alloc"), 256);
+                allocator.add_backend(nic_id as u32, pair.receiver);
+                let be_to_alloc = pair.sender;
+                let be_core = HostCtx::new(PortId(host), 1 << 20);
+                // Backends do not receive from the allocator in this
+                // implementation; give them an inert receiver on a tiny
+                // private channel.
+                let inert =
+                    alloc_net_channel(&mut pool, &mut ra, &format!("alloc->be{nic_id}"), 16);
+                let backend = BackendDriver::new(
+                    nic_id,
+                    host,
+                    be_core,
+                    self.cfg.clone(),
+                    BufferArea::new(rx_region, self.cfg.buf_size),
+                    be_to_alloc,
+                    inert.receiver,
+                );
+                backend_of_nic.push(Some(backends.len()));
+                backends.push(backend);
+                oasis_nic_ids.push(nic_id);
+            } else {
+                backend_of_nic.push(None);
+            }
+            nic_macs.push(mac);
+            nic_host.push(host);
+            nic_port.push(port);
+            nics.push(nic);
+        }
+
+        // Create host drivers.
+        let mut drivers = Vec::new();
+        for (host, &(has_nic, baseline)) in self.hosts.iter().enumerate() {
+            match baseline {
+                Some(placement) => {
+                    let nic_id = nic_host
+                        .iter()
+                        .position(|&h| h == host)
+                        .expect("baseline host has a NIC");
+                    let core = HostCtx::new(PortId(host), 8 << 20);
+                    let ld = LocalDriver::new(
+                        host,
+                        nic_id,
+                        core,
+                        self.cfg.clone(),
+                        placement,
+                        &mut pool,
+                        &mut ra,
+                    );
+                    drivers.push(HostDriver::Local(ld));
+                }
+                None => {
+                    let _ = has_nic;
+                    let fe_core = HostCtx::new(PortId(host), 8 << 20);
+                    let fe_alloc_tx =
+                        alloc_net_channel(&mut pool, &mut ra, &format!("fe{host}->alloc"), 256);
+                    let alloc_fe =
+                        alloc_net_channel(&mut pool, &mut ra, &format!("alloc->fe{host}"), 256);
+                    allocator.add_frontend(host, alloc_fe.sender, fe_alloc_tx.receiver);
+                    let mut fe = FrontendDriver::new(
+                        host,
+                        fe_core,
+                        self.cfg.clone(),
+                        fe_alloc_tx.sender,
+                        alloc_fe.receiver,
+                    );
+                    // Channel pairs to every Oasis backend.
+                    for &nic_id in &oasis_nic_ids {
+                        let fe_be = alloc_net_channel(
+                            &mut pool,
+                            &mut ra,
+                            &format!("fe{host}->be{nic_id}"),
+                            self.cfg.channel_slots,
+                        );
+                        let be_fe = alloc_net_channel(
+                            &mut pool,
+                            &mut ra,
+                            &format!("be{nic_id}->fe{host}"),
+                            self.cfg.channel_slots,
+                        );
+                        fe.add_backend_link(nic_id, fe_be.sender, be_fe.receiver);
+                        let be_idx = backend_of_nic[nic_id].unwrap();
+                        backends[be_idx].add_frontend_link(host, be_fe.sender, fe_be.receiver);
+                    }
+                    drivers.push(HostDriver::Oasis(fe));
+                }
+            }
+        }
+
+        // Storage engine: one backend per SSD, one frontend per Oasis host
+        // (only when the pod has SSDs), fully meshed with 64 B channels.
+        let mut ssds = Vec::new();
+        let mut storage_backends: Vec<StorageBackend> = Vec::new();
+        let mut storage_frontends: Vec<Option<StorageFrontend>> = Vec::new();
+        for (ssd_id, (host, ssd_cfg)) in self.ssds.iter().enumerate() {
+            allocator.propose(AllocCommand::RegisterSsd {
+                ssd: ssd_id as u32,
+                host: *host as u32,
+                capacity_blocks: ssd_cfg.blocks_per_ns as u32 * ssd_cfg.namespaces,
+            });
+            let be_core = HostCtx::new(PortId(*host), 0);
+            storage_backends.push(StorageBackend::new(
+                ssd_id,
+                *host,
+                be_core,
+                self.cfg.clone(),
+            ));
+            ssds.push(Ssd::new(ssd_cfg.clone()));
+        }
+        for (host, &(_, baseline)) in self.hosts.iter().enumerate() {
+            if self.ssds.is_empty() || baseline.is_some() {
+                storage_frontends.push(None);
+                continue;
+            }
+            let data_region = ra.alloc(
+                &mut pool,
+                format!("host{host}.storage_data"),
+                self.cfg.storage_area_per_host,
+                TrafficClass::Payload,
+            );
+            let fe_core = HostCtx::new(PortId(host), 0);
+            let mut fe = StorageFrontend::new(
+                host,
+                fe_core,
+                self.cfg.clone(),
+                BufferArea::new(data_region, self.cfg.storage_buf_size),
+            );
+            for (ssd_id, be) in storage_backends.iter_mut().enumerate() {
+                let cmd = alloc_storage_channel(
+                    &mut pool,
+                    &mut ra,
+                    &format!("sfe{host}->sbe{ssd_id}"),
+                    1024,
+                );
+                let cpl = alloc_storage_channel(
+                    &mut pool,
+                    &mut ra,
+                    &format!("sbe{ssd_id}->sfe{host}"),
+                    1024,
+                );
+                fe.add_ssd_link(ssd_id, cmd.sender, cpl.receiver);
+                be.add_frontend_link(host, cpl.sender, cmd.receiver);
+            }
+            storage_frontends.push(Some(fe));
+        }
+
+        Pod {
+            cfg: self.cfg,
+            pool,
+            switch,
+            nics,
+            drivers,
+            backends,
+            instances: Vec::new(),
+            allocator,
+            endpoints: Vec::new(),
+            ssds,
+            storage_frontends,
+            storage_backends,
+            nic_macs,
+            nic_host,
+            nic_port,
+            backend_of_nic,
+            endpoint_port: Vec::new(),
+            port_owner,
+            pending: EventQueue::new(),
+            ra,
+            dead_host: vec![false; n_hosts],
+            now: SimTime::ZERO,
+        }
+    }
+}
+
+impl Pod {
+    /// Current simulated time (max of all dispatched clocks).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The MAC of a NIC.
+    pub fn nic_mac(&self, nic: usize) -> MacAddr {
+        self.nic_macs[nic]
+    }
+
+    /// The host a NIC is attached to.
+    pub fn nic_host(&self, nic: usize) -> usize {
+        self.nic_host[nic]
+    }
+
+    /// The IP assigned to an instance.
+    pub fn instance_ip(&self, inst: usize) -> Ipv4Addr {
+        self.instances[inst].ip
+    }
+
+    /// The MAC an instance currently answers on (its serving NIC's MAC).
+    pub fn instance_mac(&self, inst: usize) -> MacAddr {
+        self.instances[inst].mac()
+    }
+
+    /// Launch an instance on `host` with a NIC-bandwidth lease. Placement
+    /// is local-first via the pod-wide allocator; the instance is also
+    /// pre-registered with the pod's backup NIC (§3.3.3).
+    pub fn launch_instance(&mut self, host: usize, app: AppKind, lease_mbps: u32) -> usize {
+        let idx = self.instances.len();
+        let id = idx as u32;
+        let ip = Ipv4Addr::instance(id + 1);
+        let mut inst = Instance::new(id, ip, host, app);
+
+        match &self.drivers[host] {
+            HostDriver::Oasis(_) => {
+                let nic = self
+                    .allocator
+                    .place_instance(host, ip, lease_mbps)
+                    .expect("no NIC with spare capacity in the pod")
+                    as usize;
+                let backup = self
+                    .allocator
+                    .state
+                    .backup_nic()
+                    .map(|b| b as usize)
+                    .filter(|&b| b != nic);
+                let tx_region = self.ra.alloc(
+                    &mut self.pool,
+                    format!("inst{id}.tx_area"),
+                    self.cfg.tx_area_per_instance,
+                    TrafficClass::Payload,
+                );
+                let area = BufferArea::new(tx_region, self.cfg.buf_size);
+                let HostDriver::Oasis(fe) = &mut self.drivers[host] else {
+                    unreachable!()
+                };
+                fe.attach_instance(idx, ip, area, nic, backup);
+                // Register with the serving and backup backends (flow rules
+                // + ip→frontend routing).
+                for target in [Some(nic), backup].into_iter().flatten() {
+                    if let Some(b) = self.backend_of_nic[target] {
+                        self.backends[b].register_instance(&mut self.nics[target], ip, id, host);
+                    }
+                }
+                inst.set_mac(self.now, self.nic_macs[nic], false);
+            }
+            HostDriver::Local(_) => {
+                let HostDriver::Local(ld) = &mut self.drivers[host] else {
+                    unreachable!()
+                };
+                let nic = ld.nic_id;
+                ld.attach_instance(&mut self.nics[nic], idx, ip, id);
+                inst.set_mac(self.now, self.nic_macs[nic], false);
+            }
+        }
+        self.instances.push(inst);
+        idx
+    }
+
+    /// Attach a client endpoint to a new switch port. Returns its index.
+    pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) -> usize {
+        let port = self.switch.add_port();
+        self.port_owner
+            .push(PortOwner::Endpoint(self.endpoints.len()));
+        self.endpoint_port.push(port);
+        self.endpoints.push(ep);
+        self.endpoints.len() - 1
+    }
+
+    /// Schedule a NIC failure at `at` using the paper's §5.3 method:
+    /// disable the NIC's switch port; carrier loss is detected
+    /// `cfg.link_detect` later.
+    pub fn schedule_nic_failure(&mut self, at: SimTime, nic: usize) {
+        self.pending.push(at, PodEvent::DisableNicPort(nic));
+    }
+
+    /// Schedule a NIC repair.
+    pub fn schedule_nic_repair(&mut self, at: SimTime, nic: usize) {
+        self.pending.push(at, PodEvent::EnableNicPort(nic));
+    }
+
+    /// Schedule a graceful migration of instance `ip` to `nic` (§3.3.4).
+    pub fn schedule_migration(&mut self, at: SimTime, ip: Ipv4Addr, nic: u32) {
+        self.pending.push(at, PodEvent::Migrate(ip, nic));
+    }
+
+    /// Schedule a host crash at `at`: its frontend/backend cores stop
+    /// polling and its devices go silent. The allocator detects this from
+    /// missing telemetry within 3 telemetry periods (§3.5).
+    pub fn schedule_host_failure(&mut self, at: SimTime, host: usize) {
+        self.pending.push(at, PodEvent::FailHost(host));
+    }
+
+    /// Carve a block volume for an instance out of the pod's pooled SSD
+    /// capacity (local-first, then most-free — the storage analog of §3.5
+    /// placement).
+    pub fn create_volume(&mut self, inst: usize, blocks: u64) -> Option<VolumeHandle> {
+        let host = self.instances[inst].host;
+        let ip = self.instances[inst].ip;
+        let (ssd, base) = self.allocator.place_volume(host, ip, blocks as u32)?;
+        Some(VolumeHandle {
+            inst,
+            ssd: ssd as usize,
+            base_block: base as u64,
+            blocks,
+        })
+    }
+
+    /// Submit a write of whole blocks to a volume. Returns the command id.
+    pub fn volume_write(&mut self, vol: VolumeHandle, lba: u64, data: &[u8]) -> Option<u16> {
+        let nlb = data.len() as u64 / oasis_storage::BLOCK_SIZE;
+        assert!(lba + nlb <= vol.blocks, "write escapes the volume");
+        let host = self.instances[vol.inst].host;
+        let fe = self.storage_frontends[host].as_mut()?;
+        fe.submit_write(&mut self.pool, vol.ssd, vol.base_block + lba, data)
+    }
+
+    /// Submit a read of `nlb` blocks from a volume. Returns the command id.
+    pub fn volume_read(&mut self, vol: VolumeHandle, lba: u64, nlb: u32) -> Option<u16> {
+        assert!(lba + nlb as u64 <= vol.blocks, "read escapes the volume");
+        let host = self.instances[vol.inst].host;
+        let fe = self.storage_frontends[host].as_mut()?;
+        fe.submit_read(&mut self.pool, vol.ssd, vol.base_block + lba, nlb)
+    }
+
+    /// Drain completed block I/Os for instances on `host`.
+    pub fn take_storage_completions(
+        &mut self,
+        host: usize,
+    ) -> Vec<crate::engine_storage::IoResult> {
+        self.storage_frontends[host]
+            .as_mut()
+            .map(|fe| fe.take_completions())
+            .unwrap_or_default()
+    }
+
+    /// Tear an instance down: release its NIC lease and volumes (local
+    /// NVMe is ephemeral — §3.4), unregister it from every backend, and
+    /// remove its flow rules. The instance object remains for post-mortem
+    /// stats but receives no further traffic.
+    pub fn terminate_instance(&mut self, inst: usize) {
+        let ip = self.instances[inst].ip;
+        self.allocator
+            .propose(crate::allocator::AllocCommand::Unassign { ip });
+        self.allocator
+            .propose(crate::allocator::AllocCommand::ReleaseVolumes { ip });
+        for nic in 0..self.nics.len() {
+            if let Some(b) = self.backend_of_nic[nic] {
+                self.backends[b].unregister_instance(&mut self.nics[nic], ip);
+            }
+        }
+        self.instances[inst].set_mac(self.now, MacAddr::ZERO, false);
+    }
+
+    /// Mark a repaired NIC usable for new placements again (operator
+    /// action after `schedule_nic_repair`'s link restoration).
+    pub fn mark_nic_repaired(&mut self, nic: usize) {
+        self.allocator
+            .propose(crate::allocator::AllocCommand::MarkRepaired { nic: nic as u32 });
+    }
+
+    /// Fail (or repair) an SSD; in-flight and future I/O completes with an
+    /// error status that propagates to the guest (§3.4).
+    pub fn set_ssd_failed(&mut self, ssd: usize, failed: bool) {
+        self.ssds[ssd].set_failed(failed);
+    }
+
+    fn forward(&mut self, now: SimTime, in_port: usize, frame: Frame) {
+        for (port, at, f) in self.switch.forward(now, in_port, frame) {
+            match self.port_owner[port] {
+                PortOwner::Nic(n) => self.nics[n].deliver(at, f),
+                PortOwner::Endpoint(e) => self.endpoints[e].deliver(at, f),
+            }
+        }
+    }
+
+    fn apply_event(&mut self, at: SimTime, ev: PodEvent) {
+        match ev {
+            PodEvent::DisableNicPort(nic) => {
+                self.switch.set_port_enabled(self.nic_port[nic], false);
+                self.pending
+                    .push(at + self.cfg.link_detect, PodEvent::LinkDown(nic));
+            }
+            PodEvent::LinkDown(nic) => self.nics[nic].set_link(false),
+            PodEvent::EnableNicPort(nic) => {
+                self.switch.set_port_enabled(self.nic_port[nic], true);
+                self.pending
+                    .push(at + self.cfg.link_detect, PodEvent::LinkUp(nic));
+            }
+            PodEvent::LinkUp(nic) => {
+                self.nics[nic].set_link(true);
+                if let Some(b) = self.backend_of_nic[nic] {
+                    self.backends[b].clear_failure_latch();
+                }
+            }
+            PodEvent::FailHost(host) => {
+                self.dead_host[host] = true;
+            }
+            PodEvent::Migrate(ip, nic) => {
+                // The frontend registers with the new NIC's backend over
+                // its message channel (§3.3.4 ordering); the pod only
+                // relays the operator's intent to the allocator.
+                self.allocator.migrate_instance(&mut self.pool, ip, nic);
+            }
+        }
+    }
+
+    /// Run the co-simulation until every component's clock reaches `until`.
+    pub fn run(&mut self, until: SimTime) {
+        loop {
+            // Find the earliest component.
+            let mut best: Option<(SimTime, usize)> = None;
+            let mut consider = |t: SimTime, who: usize| {
+                if t < until && best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, who));
+                }
+            };
+            // Who encoding: 0..D drivers, D..D+B backends, D+B allocator,
+            // then endpoints, then pending events.
+            let d = self.drivers.len();
+            let b = self.backends.len();
+            for (i, drv) in self.drivers.iter().enumerate() {
+                if self.dead_host[i] {
+                    continue;
+                }
+                let clock = match drv {
+                    HostDriver::Oasis(fe) => fe.core.clock,
+                    HostDriver::Local(ld) => ld.core.clock,
+                };
+                consider(clock, i);
+            }
+            for (i, be) in self.backends.iter().enumerate() {
+                if self.dead_host[be.host] {
+                    continue;
+                }
+                consider(be.core.clock, d + i);
+            }
+            consider(self.allocator.core.clock, d + b);
+            let e = self.endpoints.len();
+            for (i, ep) in self.endpoints.iter().enumerate() {
+                consider(ep.next_time(), d + b + 1 + i);
+            }
+            let sf_base = d + b + 1 + e;
+            for (i, fe) in self.storage_frontends.iter().enumerate() {
+                if self.dead_host[i] {
+                    continue;
+                }
+                if let Some(fe) = fe {
+                    consider(fe.core.clock, sf_base + i);
+                }
+            }
+            let sb_base = sf_base + self.storage_frontends.len();
+            for (i, be) in self.storage_backends.iter().enumerate() {
+                if self.dead_host[be.host] {
+                    continue;
+                }
+                consider(be.core.clock, sb_base + i);
+            }
+            if let Some(t) = self.pending.peek_time() {
+                consider(t, usize::MAX);
+            }
+
+            let Some((t, who)) = best else { break };
+            self.now = self.now.max(t);
+
+            if who == usize::MAX {
+                let (at, ev) = self.pending.pop().unwrap();
+                self.apply_event(at, ev);
+            } else if who < d {
+                let mut local_out: Option<(usize, Vec<(SimTime, Frame)>)> = None;
+                match &mut self.drivers[who] {
+                    HostDriver::Oasis(fe) => {
+                        fe.step(&mut self.pool, &mut self.instances, &self.nic_macs);
+                    }
+                    HostDriver::Local(ld) => {
+                        let nic = ld.nic_id;
+                        let egress =
+                            ld.step(&mut self.pool, &mut self.nics[nic], &mut self.instances);
+                        local_out = Some((self.nic_port[nic], egress));
+                    }
+                }
+                if let Some((port, egress)) = local_out {
+                    for (at, f) in egress {
+                        self.forward(at, port, f);
+                    }
+                }
+            } else if who < d + b {
+                let bi = who - d;
+                let nic = self.backends[bi].nic_id;
+                let egress = {
+                    let (be, nic_ref) = (&mut self.backends[bi], &mut self.nics[nic]);
+                    be.step(&mut self.pool, nic_ref)
+                };
+                let port = self.nic_port[nic];
+                for (at, f) in egress {
+                    self.forward(at, port, f);
+                }
+            } else if who == d + b {
+                self.allocator.step(&mut self.pool);
+            } else if who < d + b + 1 + self.endpoints.len() {
+                let ei = who - d - b - 1;
+                let frames = self.endpoints[ei].poll(t);
+                let port = self.endpoint_port[ei];
+                for f in frames {
+                    self.forward(t, port, f);
+                }
+            } else if who < d + b + 1 + self.endpoints.len() + self.storage_frontends.len() {
+                let fi = who - d - b - 1 - self.endpoints.len();
+                if let Some(fe) = self.storage_frontends[fi].as_mut() {
+                    fe.step(&mut self.pool);
+                }
+            } else {
+                let bi = who - d - b - 1 - self.endpoints.len() - self.storage_frontends.len();
+                let ssd = self.storage_backends[bi].ssd_id;
+                self.storage_backends[bi].step(&mut self.pool, &mut self.ssds[ssd]);
+            }
+        }
+        self.now = self.now.max(until);
+    }
+}

@@ -1,0 +1,431 @@
+//! TCP-lite: a minimal reliable byte stream for the memcached experiments.
+//!
+//! The paper's memcached failover experiment (§5.3, Fig. 14) depends on TCP
+//! semantics: packets lost during the NIC failure are retransmitted after
+//! the failover, temporarily inflating latency. This module implements just
+//! enough of TCP to reproduce that behaviour faithfully:
+//!
+//! * cumulative ACKs and in-order delivery with an out-of-order reassembly
+//!   buffer,
+//! * go-back-N retransmission on a fixed RTO,
+//! * a fixed receive window,
+//! * pre-established connections (no handshake/teardown — the experiments
+//!   run over long-lived connections, as memcached clients do).
+//!
+//! Sequence numbers are 32-bit and wrap; comparisons use serial-number
+//! arithmetic.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use oasis_sim::time::{SimDuration, SimTime};
+
+/// `a < b` in serial-number (RFC 1982) arithmetic.
+#[inline]
+fn seq_lt(a: u32, b: u32) -> bool {
+    a != b && b.wrapping_sub(a) < 0x8000_0000
+}
+
+/// TCP-lite tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpConfig {
+    /// Retransmission timeout (fixed; no RTT estimation).
+    pub rto: SimDuration,
+    /// Send window in bytes.
+    pub window: u32,
+    /// Maximum segment size (payload bytes per segment).
+    pub mss: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            rto: SimDuration::from_millis(60),
+            window: 64 * 1024,
+            mss: 1448,
+        }
+    }
+}
+
+/// A segment the connection wants transmitted. The network stack wraps it
+/// with addresses and checksums.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentOut {
+    /// Sequence number of the first payload byte.
+    pub seq: u32,
+    /// Cumulative acknowledgment.
+    pub ack: u32,
+    /// Payload bytes (may be empty for a pure ACK).
+    pub payload: Vec<u8>,
+}
+
+/// Counters for assertions and reports.
+#[derive(Clone, Debug, Default)]
+pub struct TcpStats {
+    /// Data segments sent (first transmissions).
+    pub data_segments: u64,
+    /// Segments retransmitted after RTO.
+    pub retransmits: u64,
+    /// Pure ACKs sent.
+    pub acks_sent: u64,
+    /// Bytes delivered to the application in order.
+    pub bytes_delivered: u64,
+}
+
+/// One direction-pair of a pre-established TCP-lite connection.
+pub struct TcpConn {
+    cfg: TcpConfig,
+    /// First unacknowledged sequence number.
+    snd_una: u32,
+    /// Next sequence number to send.
+    snd_nxt: u32,
+    /// Bytes from `snd_una` onward (in-flight prefix + unsent suffix).
+    send_buf: VecDeque<u8>,
+    /// Next expected receive sequence number.
+    rcv_nxt: u32,
+    /// In-order bytes ready for the application.
+    recv_ready: Vec<u8>,
+    /// Out-of-order segments keyed by their start sequence.
+    ooo: BTreeMap<u32, Vec<u8>>,
+    /// Retransmission deadline while data is in flight.
+    rto_deadline: Option<SimTime>,
+    /// An ACK is owed to the peer.
+    need_ack: bool,
+    /// Counters.
+    pub stats: TcpStats,
+}
+
+impl TcpConn {
+    /// A fresh pre-established connection (both sides start at seq 0).
+    pub fn new(cfg: TcpConfig) -> Self {
+        TcpConn {
+            cfg,
+            snd_una: 0,
+            snd_nxt: 0,
+            send_buf: VecDeque::new(),
+            rcv_nxt: 0,
+            recv_ready: Vec::new(),
+            ooo: BTreeMap::new(),
+            rto_deadline: None,
+            need_ack: false,
+            stats: TcpStats::default(),
+        }
+    }
+
+    /// Queue application data for transmission.
+    pub fn send(&mut self, data: &[u8]) {
+        self.send_buf.extend(data.iter().copied());
+    }
+
+    /// Bytes queued but not yet acknowledged.
+    pub fn unacked(&self) -> usize {
+        self.send_buf.len()
+    }
+
+    /// Take delivered in-order bytes.
+    pub fn take_received(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.recv_ready)
+    }
+
+    /// Process a peer segment.
+    pub fn on_segment(&mut self, now: SimTime, seq: u32, ack: u32, payload: &[u8]) {
+        // --- ACK processing ---
+        if seq_lt(self.snd_una, ack) || ack == self.snd_nxt {
+            let advance = ack.wrapping_sub(self.snd_una);
+            if advance as usize <= self.send_buf.len() + self.in_flight() as usize {
+                let drop = (advance as usize).min(self.send_buf.len());
+                self.send_buf.drain(..drop);
+                self.snd_una = ack;
+                if seq_lt(self.snd_nxt, self.snd_una) {
+                    self.snd_nxt = self.snd_una;
+                }
+                // Restart or clear the RTO.
+                self.rto_deadline = if self.snd_una == self.snd_nxt {
+                    None
+                } else {
+                    Some(now + self.cfg.rto)
+                };
+            }
+        }
+
+        // --- Data processing ---
+        if payload.is_empty() {
+            return;
+        }
+        let end = seq.wrapping_add(payload.len() as u32);
+        if !seq_lt(self.rcv_nxt, end) {
+            // Entirely old data: re-ACK so the peer resynchronizes.
+            self.need_ack = true;
+            return;
+        }
+        if seq_lt(self.rcv_nxt, seq) {
+            // Future segment: stash for reassembly.
+            self.ooo.entry(seq).or_insert_with(|| payload.to_vec());
+            self.need_ack = true;
+            return;
+        }
+        // Overlapping or exactly in order: take the new suffix.
+        let skip = self.rcv_nxt.wrapping_sub(seq) as usize;
+        if skip < payload.len() {
+            self.recv_ready.extend_from_slice(&payload[skip..]);
+            self.stats.bytes_delivered += (payload.len() - skip) as u64;
+            self.rcv_nxt = end;
+            // Drain any now-contiguous out-of-order segments.
+            while let Some((&s, _)) = self.ooo.iter().next() {
+                if seq_lt(self.rcv_nxt, s) {
+                    break;
+                }
+                let (s, data) = self.ooo.pop_first().unwrap();
+                let skip = self.rcv_nxt.wrapping_sub(s) as usize;
+                if skip < data.len() {
+                    self.recv_ready.extend_from_slice(&data[skip..]);
+                    self.stats.bytes_delivered += (data.len() - skip) as u64;
+                    self.rcv_nxt = s.wrapping_add(data.len() as u32);
+                }
+            }
+        }
+        self.need_ack = true;
+    }
+
+    fn in_flight(&self) -> u32 {
+        self.snd_nxt.wrapping_sub(self.snd_una)
+    }
+
+    /// Emit segments due at `now`: RTO retransmissions, new data within the
+    /// window, and a pure ACK if one is owed.
+    pub fn poll(&mut self, now: SimTime) -> Vec<SegmentOut> {
+        let mut out = Vec::new();
+
+        // RTO: go-back-N.
+        if let Some(dl) = self.rto_deadline {
+            if now >= dl {
+                self.snd_nxt = self.snd_una;
+                self.rto_deadline = Some(now + self.cfg.rto);
+                self.stats.retransmits += 1;
+            }
+        }
+
+        // Send new data within the window.
+        while self.in_flight() < self.cfg.window {
+            let offset = self.in_flight() as usize;
+            if offset >= self.send_buf.len() {
+                break;
+            }
+            let n = (self.send_buf.len() - offset)
+                .min(self.cfg.mss)
+                .min((self.cfg.window - self.in_flight()) as usize);
+            let payload: Vec<u8> = self.send_buf.iter().skip(offset).take(n).copied().collect();
+            out.push(SegmentOut {
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                payload,
+            });
+            self.snd_nxt = self.snd_nxt.wrapping_add(n as u32);
+            self.stats.data_segments += 1;
+            if self.rto_deadline.is_none() {
+                self.rto_deadline = Some(now + self.cfg.rto);
+            }
+            self.need_ack = false;
+        }
+
+        if self.need_ack {
+            out.push(SegmentOut {
+                seq: self.snd_nxt,
+                ack: self.rcv_nxt,
+                payload: Vec::new(),
+            });
+            self.stats.acks_sent += 1;
+            self.need_ack = false;
+        }
+        out
+    }
+
+    /// Earliest time this connection needs `poll` called for a timer (the
+    /// RTO deadline), if any.
+    pub fn next_timer(&self) -> Option<SimTime> {
+        self.rto_deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Deliver segments from a to b (optionally dropping some by index).
+    fn exchange(a: &mut TcpConn, b: &mut TcpConn, now: SimTime, drop: &[usize]) {
+        let segs = a.poll(now);
+        for (i, s) in segs.iter().enumerate() {
+            if !drop.contains(&i) {
+                b.on_segment(now, s.seq, s.ack, &s.payload);
+            }
+        }
+    }
+
+    #[test]
+    fn lossless_transfer_in_order() {
+        let mut a = TcpConn::new(TcpConfig::default());
+        let mut b = TcpConn::new(TcpConfig::default());
+        let data: Vec<u8> = (0..5000).map(|i| i as u8).collect();
+        a.send(&data);
+        for step in 0..10 {
+            exchange(&mut a, &mut b, t(step), &[]);
+            exchange(&mut b, &mut a, t(step), &[]);
+        }
+        assert_eq!(b.take_received(), data);
+        assert_eq!(a.unacked(), 0);
+        assert_eq!(a.stats.retransmits, 0);
+    }
+
+    #[test]
+    fn mss_respected() {
+        let mut a = TcpConn::new(TcpConfig {
+            mss: 100,
+            ..Default::default()
+        });
+        a.send(&[7u8; 450]);
+        let segs = a.poll(t(0));
+        assert_eq!(segs.len(), 5);
+        assert!(segs[..4].iter().all(|s| s.payload.len() == 100));
+        assert_eq!(segs[4].payload.len(), 50);
+    }
+
+    #[test]
+    fn window_limits_in_flight() {
+        let mut a = TcpConn::new(TcpConfig {
+            window: 300,
+            mss: 100,
+            ..Default::default()
+        });
+        a.send(&[1u8; 1000]);
+        let segs = a.poll(t(0));
+        assert_eq!(segs.iter().map(|s| s.payload.len()).sum::<usize>(), 300);
+        // No more until acked.
+        assert!(a.poll(t(1)).is_empty());
+    }
+
+    #[test]
+    fn lost_segment_retransmitted_after_rto() {
+        let cfg = TcpConfig {
+            rto: SimDuration::from_millis(60),
+            mss: 100,
+            ..Default::default()
+        };
+        let mut a = TcpConn::new(cfg);
+        let mut b = TcpConn::new(cfg);
+        a.send(&[9u8; 200]);
+        // First segment dropped; second arrives out of order.
+        exchange(&mut a, &mut b, t(0), &[0]);
+        exchange(&mut b, &mut a, t(0), &[]); // ACK (rcv_nxt still 0)
+        assert!(b.take_received().is_empty(), "nothing in order yet");
+        // Before RTO nothing happens.
+        assert!(a.poll(t(30)).is_empty());
+        // After RTO: go-back-N resends everything from snd_una.
+        exchange(&mut a, &mut b, t(61), &[]);
+        exchange(&mut b, &mut a, t(61), &[]);
+        assert_eq!(b.take_received(), vec![9u8; 200]);
+        assert_eq!(a.stats.retransmits, 1);
+        assert_eq!(a.unacked(), 0);
+    }
+
+    #[test]
+    fn out_of_order_reassembly_without_retransmit_of_later_data() {
+        let cfg = TcpConfig {
+            mss: 100,
+            ..Default::default()
+        };
+        let mut a = TcpConn::new(cfg);
+        let mut b = TcpConn::new(cfg);
+        let data: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        a.send(&data);
+        let segs = a.poll(t(0));
+        assert_eq!(segs.len(), 3);
+        // Deliver 2,0,1.
+        b.on_segment(t(0), segs[2].seq, segs[2].ack, &segs[2].payload);
+        assert!(b.take_received().is_empty());
+        b.on_segment(t(0), segs[0].seq, segs[0].ack, &segs[0].payload);
+        assert_eq!(b.take_received(), data[..100].to_vec());
+        b.on_segment(t(0), segs[1].seq, segs[1].ack, &segs[1].payload);
+        assert_eq!(b.take_received(), data[100..].to_vec());
+    }
+
+    #[test]
+    fn duplicate_segments_not_redelivered() {
+        let mut a = TcpConn::new(TcpConfig::default());
+        let mut b = TcpConn::new(TcpConfig::default());
+        a.send(b"hello");
+        let segs = a.poll(t(0));
+        b.on_segment(t(0), segs[0].seq, segs[0].ack, &segs[0].payload);
+        b.on_segment(t(0), segs[0].seq, segs[0].ack, &segs[0].payload);
+        assert_eq!(b.take_received(), b"hello".to_vec());
+        assert_eq!(b.stats.bytes_delivered, 5);
+    }
+
+    #[test]
+    fn pure_ack_emitted_for_received_data() {
+        let mut a = TcpConn::new(TcpConfig::default());
+        let mut b = TcpConn::new(TcpConfig::default());
+        a.send(b"ping");
+        exchange(&mut a, &mut b, t(0), &[]);
+        let acks = b.poll(t(0));
+        assert_eq!(acks.len(), 1);
+        assert!(acks[0].payload.is_empty());
+        assert_eq!(acks[0].ack, 4);
+        assert_eq!(b.stats.acks_sent, 1);
+    }
+
+    #[test]
+    fn bidirectional_request_response() {
+        let mut c = TcpConn::new(TcpConfig::default());
+        let mut s = TcpConn::new(TcpConfig::default());
+        c.send(b"GET k\r\n");
+        exchange(&mut c, &mut s, t(0), &[]);
+        assert_eq!(s.take_received(), b"GET k\r\n".to_vec());
+        s.send(b"VALUE 1\r\n");
+        exchange(&mut s, &mut c, t(0), &[]);
+        exchange(&mut c, &mut s, t(1), &[]);
+        assert_eq!(c.take_received(), b"VALUE 1\r\n".to_vec());
+    }
+
+    #[test]
+    fn long_outage_recovers_after_multiple_rtos() {
+        // Models the Fig. 14 failover: ~38ms of black-hole, then recovery.
+        let cfg = TcpConfig {
+            rto: SimDuration::from_millis(60),
+            mss: 100,
+            ..Default::default()
+        };
+        let mut a = TcpConn::new(cfg);
+        let mut b = TcpConn::new(cfg);
+        a.send(&[5u8; 300]);
+        // All transmissions at t=0..38ms are lost.
+        let _ = a.poll(t(0));
+        let _ = a.poll(t(20));
+        // Link restored; first RTO at t=60 retransmits everything.
+        exchange(&mut a, &mut b, t(61), &[]);
+        exchange(&mut b, &mut a, t(61), &[]);
+        assert_eq!(b.take_received(), vec![5u8; 300]);
+        assert!(a.stats.retransmits >= 1);
+    }
+
+    #[test]
+    fn sequence_wraparound() {
+        // Force both endpoints near the u32 wrap point.
+        let mut a = TcpConn::new(TcpConfig::default());
+        let mut b = TcpConn::new(TcpConfig::default());
+        a.snd_una = u32::MAX - 50;
+        a.snd_nxt = a.snd_una;
+        b.rcv_nxt = u32::MAX - 50;
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        a.send(&data);
+        for step in 0..6 {
+            exchange(&mut a, &mut b, t(step), &[]);
+            exchange(&mut b, &mut a, t(step), &[]);
+        }
+        assert_eq!(b.take_received(), data);
+        assert_eq!(a.unacked(), 0);
+    }
+}

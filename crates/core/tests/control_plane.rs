@@ -1,0 +1,237 @@
+//! Control-plane integration: host-failure inference from missing
+//! telemetry (§3.5) and the §6 telemetry-driven load-balancing policy.
+
+use std::collections::VecDeque;
+
+use oasis_core::allocator::RebalancePolicy;
+use oasis_core::config::OasisConfig;
+use oasis_core::instance::{AppKind, UdpApp, UdpResponse};
+use oasis_core::pod::{Endpoint, HostDriver, PodBuilder};
+use oasis_net::addr::{Ipv4Addr, MacAddr};
+use oasis_net::packet::{Frame, GarpPacket, UdpPacket};
+use oasis_sim::time::{SimDuration, SimTime};
+
+struct Echo;
+impl UdpApp for Echo {
+    fn on_datagram(
+        &mut self,
+        _now: SimTime,
+        src: (Ipv4Addr, u16),
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<UdpResponse> {
+        vec![UdpResponse {
+            delay: SimDuration::from_micros(1),
+            dst: src,
+            src_port: dst_port,
+            payload: payload.to_vec(),
+        }]
+    }
+}
+
+/// Simple paced client that follows GARPs (no stats needed here).
+struct Pinger {
+    mac: MacAddr,
+    ip: Ipv4Addr,
+    dst_mac: MacAddr,
+    dst_ip: Ipv4Addr,
+    gap: SimDuration,
+    until: SimTime,
+    next: SimTime,
+    received: u64,
+    inbox: VecDeque<(SimTime, Frame)>,
+}
+
+impl Pinger {
+    fn new(id: u64, dst_mac: MacAddr, dst_ip: Ipv4Addr, gap: SimDuration, until: SimTime) -> Self {
+        Pinger {
+            mac: MacAddr::client(id),
+            ip: Ipv4Addr::client(id as u32),
+            dst_mac,
+            dst_ip,
+            gap,
+            until,
+            next: SimTime::from_millis(1),
+            received: 0,
+            inbox: VecDeque::new(),
+        }
+    }
+}
+
+impl Endpoint for Pinger {
+    fn next_time(&self) -> SimTime {
+        let mut t = if self.next <= self.until {
+            self.next
+        } else {
+            SimTime::MAX
+        };
+        if let Some(&(at, _)) = self.inbox.front() {
+            t = t.min(at);
+        }
+        t
+    }
+
+    fn poll(&mut self, now: SimTime) -> Vec<Frame> {
+        while let Some(&(at, _)) = self.inbox.front() {
+            if at > now {
+                break;
+            }
+            let (_, frame) = self.inbox.pop_front().unwrap();
+            if let Some(garp) = GarpPacket::parse(&frame) {
+                if garp.sender_ip == self.dst_ip {
+                    self.dst_mac = garp.sender_mac;
+                }
+                continue;
+            }
+            if let Some(udp) = UdpPacket::parse(&frame) {
+                if udp.dst_ip == self.ip {
+                    self.received += 1;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        while self.next <= now && self.next <= self.until {
+            out.push(
+                UdpPacket {
+                    src_mac: self.mac,
+                    dst_mac: self.dst_mac,
+                    src_ip: self.ip,
+                    dst_ip: self.dst_ip,
+                    src_port: 40000,
+                    dst_port: 7,
+                    payload: bytes::Bytes::from(vec![0u8; 64]),
+                }
+                .encode(),
+            );
+            self.next += self.gap;
+        }
+        out
+    }
+
+    fn deliver(&mut self, at: SimTime, frame: Frame) {
+        self.inbox.push_back((at, frame));
+    }
+}
+
+fn fast_cfg() -> OasisConfig {
+    OasisConfig {
+        link_detect: SimDuration::from_millis(5),
+        telemetry_period: SimDuration::from_millis(10),
+        migration_grace: SimDuration::from_millis(20),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn host_failure_inferred_from_missing_telemetry() {
+    let mut b = PodBuilder::new(fast_cfg());
+    let host_a = b.add_host(); // instance host
+    let host_b = b.add_nic_host(); // serving NIC (0)
+    let host_c = b.add_nic_host(); // backup NIC (1)
+    let mut pod = b.backup_nic_on(host_c).build();
+    let inst = pod.launch_instance(host_a, AppKind::Udp(Box::new(Echo)), 10_000);
+    assert_eq!(pod.instance_mac(inst), pod.nic_mac(0));
+
+    // Crash the whole NIC host: its backend stops sending telemetry. The
+    // link itself never reports down (the NIC is fine; its host is not),
+    // so only the §3.5 inference path can catch this.
+    pod.schedule_host_failure(SimTime::from_millis(50), host_b);
+    pod.run(SimTime::from_millis(200));
+
+    assert!(
+        pod.allocator.state.nics[0].as_ref().unwrap().failed,
+        "allocator must infer the host failure from missing telemetry"
+    );
+    assert_eq!(pod.allocator.failovers, 1);
+    let HostDriver::Oasis(fe) = &pod.drivers[host_a] else {
+        unreachable!()
+    };
+    assert_eq!(fe.serving_nic(pod.instance_ip(inst)), Some(1));
+}
+
+#[test]
+fn rebalancer_moves_load_off_hot_nic() {
+    let mut b = PodBuilder::new(fast_cfg());
+    let host_a = b.add_host();
+    let _host_b = b.add_nic_host(); // nic 0
+    let _host_c = b.add_nic_host(); // nic 1
+    let mut pod = b.build();
+    pod.allocator.enable_rebalancing(RebalancePolicy::new(
+        2.0,
+        10_000, // bytes per telemetry window
+        SimDuration::from_millis(50),
+    ));
+
+    // Two instances on host A. Local-first doesn't apply (no local NIC);
+    // least-loaded placement puts one on each NIC... so force the hot
+    // pattern: both leases small enough that nic 0 takes the first, nic 1
+    // the second, then only instance 0 gets traffic. To create a *hot*
+    // NIC with >1 instance, launch three: nic0 gets #1 and #3.
+    let i0 = pod.launch_instance(host_a, AppKind::Udp(Box::new(Echo)), 10_000);
+    let i1 = pod.launch_instance(host_a, AppKind::Udp(Box::new(Echo)), 10_000);
+    let _ = i1;
+    let i2 = pod.launch_instance(host_a, AppKind::Udp(Box::new(Echo)), 10_000);
+    let nic_of = |pod: &oasis_core::pod::Pod, inst: usize| {
+        pod.allocator
+            .state
+            .instances
+            .iter()
+            .find(|i| i.ip == pod.instance_ip(inst))
+            .map(|i| i.nic)
+            .unwrap()
+    };
+    assert_eq!(
+        nic_of(&pod, i0),
+        nic_of(&pod, i2),
+        "least-loaded alternates"
+    );
+
+    // Drive heavy traffic only to i0 and i2: their shared NIC becomes hot.
+    let end = SimTime::from_millis(400);
+    for (cid, inst) in [(1u64, i0), (2, i2)] {
+        let p = Pinger::new(
+            cid,
+            pod.instance_mac(inst),
+            pod.instance_ip(inst),
+            SimDuration::from_micros(20),
+            end - SimDuration::from_millis(20),
+        );
+        pod.add_endpoint(Box::new(p));
+    }
+    pod.run(end);
+
+    assert!(
+        pod.allocator.rebalance_migrations >= 1,
+        "hot NIC must shed load"
+    );
+    // The two heavy instances no longer share a NIC.
+    assert_ne!(
+        nic_of(&pod, i0),
+        nic_of(&pod, i2),
+        "rebalancer separates the heavy hitters"
+    );
+    let HostDriver::Oasis(fe) = &pod.drivers[host_a] else {
+        unreachable!()
+    };
+    assert!(fe.stats.migrations >= 1);
+}
+
+#[test]
+fn rebalancer_idle_pod_does_nothing() {
+    let mut b = PodBuilder::new(fast_cfg());
+    let host_a = b.add_host();
+    let _b = b.add_nic_host();
+    let _c = b.add_nic_host();
+    let mut pod = b.build();
+    pod.allocator.enable_rebalancing(RebalancePolicy::new(
+        2.0,
+        10_000,
+        SimDuration::from_millis(50),
+    ));
+    pod.launch_instance(host_a, AppKind::Udp(Box::new(Echo)), 10_000);
+    pod.run(SimTime::from_millis(300));
+    assert_eq!(
+        pod.allocator.rebalance_migrations, 0,
+        "no load, no migrations (min_load threshold)"
+    );
+}

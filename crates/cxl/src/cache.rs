@@ -1,0 +1,236 @@
+//! Per-host write-back CPU cache model.
+//!
+//! Only the lines that matter for non-coherence are modelled: presence,
+//! dirtiness, the data snapshot taken at fill time, and the time at which an
+//! asynchronous prefetch fill completes. A host reading a present line gets
+//! the (possibly stale) snapshot — there is no snooping across hosts, and
+//! device DMA never looks in here. That is precisely the CXL 2.0 behaviour
+//! Oasis is designed around.
+//!
+//! Eviction is exact LRU via a `BTreeSet<(tick, addr)>` index, deterministic
+//! and O(log n).
+
+use std::collections::BTreeSet;
+
+use oasis_sim::detmap::DetMap;
+use oasis_sim::time::SimTime;
+
+use crate::LINE;
+
+/// One cached 64 B line.
+#[derive(Clone)]
+pub struct CacheLine {
+    /// Snapshot of the line contents as of fill time plus any local stores.
+    pub data: [u8; LINE as usize],
+    /// True if the host has stored to this line since fill/write-back.
+    pub dirty: bool,
+    /// When an asynchronous (prefetch) fill completes; reads before this
+    /// stall until it.
+    pub ready_at: SimTime,
+    lru_tick: u64,
+}
+
+/// A host's cache of pool lines, keyed by line base address.
+pub struct HostCache {
+    lines: DetMap<u64, CacheLine>,
+    lru: BTreeSet<(u64, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+/// A victim line evicted to make room; dirty victims must be written back by
+/// the caller.
+pub struct Evicted {
+    /// Line base address.
+    pub addr: u64,
+    /// The line, with `dirty` indicating whether a write-back is required.
+    pub line: CacheLine,
+}
+
+impl HostCache {
+    /// Cache with room for `capacity` lines. The default used by hosts is
+    /// 4096 lines (256 KiB), enough for a polling core's working set
+    /// including a full 8192-slot 16 B message ring.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        HostCache {
+            lines: DetMap::default(),
+            lru: BTreeSet::new(),
+            capacity,
+            tick: 0,
+        }
+    }
+
+    /// Number of lines currently cached.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True if no lines are cached.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Line capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Is the line present?
+    pub fn contains(&self, line_addr: u64) -> bool {
+        self.lines.contains_key(&line_addr)
+    }
+
+    fn bump(tick: &mut u64, lru: &mut BTreeSet<(u64, u64)>, addr: u64, line: &mut CacheLine) {
+        lru.remove(&(line.lru_tick, addr));
+        *tick += 1;
+        line.lru_tick = *tick;
+        lru.insert((*tick, addr));
+    }
+
+    /// Access a present line, refreshing its LRU position. Returns `None` on
+    /// miss.
+    pub fn touch(&mut self, line_addr: u64) -> Option<&mut CacheLine> {
+        let line = self.lines.get_mut(&line_addr)?;
+        Self::bump(&mut self.tick, &mut self.lru, line_addr, line);
+        Some(line)
+    }
+
+    /// Look at a line without refreshing LRU (used by assertions/tests).
+    pub fn get(&self, line_addr: u64) -> Option<&CacheLine> {
+        self.lines.get(&line_addr)
+    }
+
+    /// Insert (or replace) a line, evicting the LRU victim if at capacity.
+    pub fn insert(
+        &mut self,
+        line_addr: u64,
+        data: [u8; LINE as usize],
+        dirty: bool,
+        ready_at: SimTime,
+    ) -> Option<Evicted> {
+        // Replacing an existing line never evicts.
+        if let Some(existing) = self.lines.get_mut(&line_addr) {
+            existing.data = data;
+            existing.dirty = dirty;
+            existing.ready_at = ready_at;
+            Self::bump(&mut self.tick, &mut self.lru, line_addr, existing);
+            return None;
+        }
+        let victim = if self.lines.len() >= self.capacity {
+            let &(vt, vaddr) = self.lru.iter().next().expect("lru nonempty at capacity");
+            self.lru.remove(&(vt, vaddr));
+            let line = self.lines.remove(&vaddr).expect("lru entry has line");
+            Some(Evicted { addr: vaddr, line })
+        } else {
+            None
+        };
+        self.tick += 1;
+        self.lines.insert(
+            line_addr,
+            CacheLine {
+                data,
+                dirty,
+                ready_at,
+                lru_tick: self.tick,
+            },
+        );
+        self.lru.insert((self.tick, line_addr));
+        victim
+    }
+
+    /// Remove a line (CLFLUSHOPT). Returns it so the caller can write back a
+    /// dirty victim.
+    pub fn remove(&mut self, line_addr: u64) -> Option<CacheLine> {
+        let line = self.lines.remove(&line_addr)?;
+        self.lru.remove(&(line.lru_tick, line_addr));
+        Some(line)
+    }
+
+    /// Drop everything (e.g. host reset in failure tests). Dirty lines are
+    /// returned for write-back.
+    pub fn drain(&mut self) -> Vec<(u64, CacheLine)> {
+        self.lru.clear();
+        let mut out: Vec<(u64, CacheLine)> = self.lines.drain().collect();
+        out.sort_by_key(|(addr, _)| *addr);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_of(byte: u8) -> [u8; LINE as usize] {
+        [byte; LINE as usize]
+    }
+
+    #[test]
+    fn insert_and_touch() {
+        let mut c = HostCache::new(4);
+        assert!(c.insert(0, line_of(1), false, SimTime::ZERO).is_none());
+        assert!(c.contains(0));
+        assert_eq!(c.touch(0).unwrap().data[0], 1);
+        assert!(c.touch(64).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = HostCache::new(2);
+        c.insert(0, line_of(1), false, SimTime::ZERO);
+        c.insert(64, line_of(2), false, SimTime::ZERO);
+        // Touch 0 so 64 becomes LRU.
+        c.touch(0);
+        let victim = c.insert(128, line_of(3), false, SimTime::ZERO).unwrap();
+        assert_eq!(victim.addr, 64);
+        assert!(c.contains(0) && c.contains(128));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = HostCache::new(1);
+        c.insert(0, line_of(9), true, SimTime::ZERO);
+        let victim = c.insert(64, line_of(1), false, SimTime::ZERO).unwrap();
+        assert!(victim.line.dirty);
+        assert_eq!(victim.line.data[0], 9);
+    }
+
+    #[test]
+    fn replace_does_not_evict() {
+        let mut c = HostCache::new(1);
+        c.insert(0, line_of(1), false, SimTime::ZERO);
+        assert!(c.insert(0, line_of(2), true, SimTime::ZERO).is_none());
+        assert_eq!(c.get(0).unwrap().data[0], 2);
+        assert!(c.get(0).unwrap().dirty);
+    }
+
+    #[test]
+    fn remove_returns_line() {
+        let mut c = HostCache::new(2);
+        c.insert(0, line_of(5), true, SimTime::ZERO);
+        let line = c.remove(0).unwrap();
+        assert!(line.dirty);
+        assert!(!c.contains(0));
+        assert!(c.remove(0).is_none());
+        // LRU index stays consistent after removal.
+        c.insert(64, line_of(1), false, SimTime::ZERO);
+        c.insert(128, line_of(2), false, SimTime::ZERO);
+        let v = c.insert(192, line_of(3), false, SimTime::ZERO).unwrap();
+        assert_eq!(v.addr, 64);
+    }
+
+    #[test]
+    fn drain_returns_all_sorted() {
+        let mut c = HostCache::new(8);
+        c.insert(128, line_of(3), false, SimTime::ZERO);
+        c.insert(0, line_of(1), true, SimTime::ZERO);
+        c.insert(64, line_of(2), false, SimTime::ZERO);
+        let drained = c.drain();
+        assert_eq!(
+            drained.iter().map(|(a, _)| *a).collect::<Vec<_>>(),
+            vec![0, 64, 128]
+        );
+        assert!(c.is_empty());
+    }
+}

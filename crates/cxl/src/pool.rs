@@ -1,0 +1,376 @@
+//! The shared CXL pool memory and its per-port link meters.
+//!
+//! Pool memory is a flat byte array addressed from zero. Hosts reach it
+//! through their [`crate::HostCtx`] (which models their CPU cache); PCIe
+//! devices reach it through [`CxlPool::dma_read`] / [`CxlPool::dma_write`],
+//! which bypass every CPU cache — the paper's datapath depends on exactly
+//! this property (§3.2.1, DDIO disabled).
+//!
+//! Write-backs from CPU caches are *posted*: they become visible in pool
+//! memory only after the configured propagation delay, which is what gives
+//! the one-way message latency its 2× CXL-access floor (Fig. 6).
+//!
+//! Every transfer is metered per host port and per [`TrafficClass`], so
+//! experiments can reproduce Table 3's payload/message bandwidth split.
+
+use oasis_sim::time::SimTime;
+
+use crate::LINE;
+
+/// Identifies a host's port on the multi-headed CXL device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub usize);
+
+/// What a range of pool memory is used for; Table 3 of the paper reports
+/// CXL bandwidth split along these lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// I/O buffer contents (packet payloads, block data).
+    Payload,
+    /// Message-channel slots and consumed counters.
+    Message,
+    /// Allocator/telemetry/Raft state.
+    Control,
+    /// Anything not registered.
+    Unclassified,
+}
+
+impl TrafficClass {
+    const COUNT: usize = 4;
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::Payload => 0,
+            TrafficClass::Message => 1,
+            TrafficClass::Control => 2,
+            TrafficClass::Unclassified => 3,
+        }
+    }
+
+    /// All classes, for iteration in reports.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Payload,
+        TrafficClass::Message,
+        TrafficClass::Control,
+        TrafficClass::Unclassified,
+    ];
+}
+
+/// Cumulative traffic counters for one host's CXL port.
+#[derive(Clone, Debug, Default)]
+pub struct LinkMeter {
+    read_bytes: [u64; TrafficClass::COUNT],
+    write_bytes: [u64; TrafficClass::COUNT],
+}
+
+impl LinkMeter {
+    /// Bytes read from the pool over this port for a class.
+    pub fn read_bytes(&self, class: TrafficClass) -> u64 {
+        self.read_bytes[class.index()]
+    }
+
+    /// Bytes written to the pool over this port for a class.
+    pub fn write_bytes(&self, class: TrafficClass) -> u64 {
+        self.write_bytes[class.index()]
+    }
+
+    /// Total bytes in both directions, all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes.iter().sum::<u64>() + self.write_bytes.iter().sum::<u64>()
+    }
+
+    /// Total bytes in both directions for one class.
+    pub fn class_bytes(&self, class: TrafficClass) -> u64 {
+        self.read_bytes[class.index()] + self.write_bytes[class.index()]
+    }
+
+    /// Reset all counters (used to delimit measurement windows).
+    pub fn reset(&mut self) {
+        self.read_bytes = [0; TrafficClass::COUNT];
+        self.write_bytes = [0; TrafficClass::COUNT];
+    }
+}
+
+/// A write-back posted by a CPU cache, visible in pool memory at `visible_at`.
+struct PendingWrite {
+    visible_at: SimTime,
+    addr: u64,
+    /// Port that posted it: the memory device serializes same-source,
+    /// same-address streams, so a *fetch* from this port observes it even
+    /// before global visibility.
+    port: PortId,
+    data: [u8; LINE as usize],
+}
+
+/// The shared pool: flat memory + meters + class registry + posted writes.
+pub struct CxlPool {
+    mem: Vec<u8>,
+    meters: Vec<LinkMeter>,
+    /// `(start, end, class)` ranges registered by the region allocator.
+    class_ranges: Vec<(u64, u64, TrafficClass)>,
+    /// Posted write-backs not yet visible, kept sorted by `visible_at`.
+    pending: Vec<PendingWrite>,
+}
+
+impl CxlPool {
+    /// Create a pool of `size` bytes shared by `ports` host ports.
+    pub fn new(size: u64, ports: usize) -> Self {
+        CxlPool {
+            mem: vec![0; size as usize],
+            meters: vec![LinkMeter::default(); ports],
+            class_ranges: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Pool capacity in bytes.
+    pub fn size(&self) -> u64 {
+        self.mem.len() as u64
+    }
+
+    /// Number of host ports.
+    pub fn ports(&self) -> usize {
+        self.meters.len()
+    }
+
+    /// Traffic meter of a port.
+    pub fn meter(&self, port: PortId) -> &LinkMeter {
+        &self.meters[port.0]
+    }
+
+    /// Reset all port meters.
+    pub fn reset_meters(&mut self) {
+        for m in &mut self.meters {
+            m.reset();
+        }
+    }
+
+    /// Register a class for an address range (called by the region
+    /// allocator).
+    pub fn register_class(&mut self, start: u64, end: u64, class: TrafficClass) {
+        debug_assert!(start <= end && end <= self.size());
+        self.class_ranges.push((start, end, class));
+    }
+
+    /// Classify an address by its registered region.
+    pub fn classify(&self, addr: u64) -> TrafficClass {
+        for &(s, e, c) in &self.class_ranges {
+            if (s..e).contains(&addr) {
+                return c;
+            }
+        }
+        TrafficClass::Unclassified
+    }
+
+    /// Apply all posted write-backs that have become visible by `now`.
+    pub fn apply_pending(&mut self, now: SimTime) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].visible_at <= now {
+                let w = self.pending.remove(i);
+                let base = w.addr as usize;
+                self.mem[base..base + LINE as usize].copy_from_slice(&w.data);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Force all posted write-backs visible immediately (used when tearing
+    /// down a measurement or by tests).
+    pub fn flush_pending(&mut self) {
+        self.apply_pending(SimTime::MAX);
+    }
+
+    /// Fetch one line for a CPU cache fill. Meters a 64 B read on `port`.
+    ///
+    /// The device serializes requests from the same port to the same
+    /// address, so the fetch observes this port's *own* still-in-flight
+    /// write-backs (read-your-own-writes holds within a host even across a
+    /// flush–refetch race); other hosts' posted writes stay invisible until
+    /// their propagation delay elapses.
+    pub(crate) fn fetch_line(
+        &mut self,
+        now: SimTime,
+        port: PortId,
+        line_addr: u64,
+    ) -> [u8; LINE as usize] {
+        self.apply_pending(now);
+        let class = self.classify(line_addr);
+        self.meters[port.0].read_bytes[class.index()] += LINE;
+        let base = line_addr as usize;
+        let mut out = [0u8; LINE as usize];
+        out.copy_from_slice(&self.mem[base..base + LINE as usize]);
+        // Overlay this port's own pending write-backs, in posting order.
+        for w in &self.pending {
+            if w.addr == line_addr && w.port == port {
+                out.copy_from_slice(&w.data);
+            }
+        }
+        out
+    }
+
+    /// Post a line write-back from a CPU cache; visible at `visible_at`.
+    /// Meters a 64 B write on `port`.
+    pub(crate) fn post_writeback(
+        &mut self,
+        port: PortId,
+        line_addr: u64,
+        data: [u8; LINE as usize],
+        visible_at: SimTime,
+    ) {
+        let class = self.classify(line_addr);
+        self.meters[port.0].write_bytes[class.index()] += LINE;
+        // Insert keeping `pending` sorted by visibility time so apply order
+        // is deterministic even when host clocks are slightly skewed.
+        let idx = self.pending.partition_point(|w| w.visible_at <= visible_at);
+        self.pending.insert(
+            idx,
+            PendingWrite {
+                visible_at,
+                addr: line_addr,
+                port,
+                data,
+            },
+        );
+    }
+
+    /// Device DMA read: bypasses CPU caches entirely, reads pool memory
+    /// directly. Metered on `port` (the port of the host the device hangs
+    /// off).
+    pub fn dma_read(&mut self, now: SimTime, port: PortId, addr: u64, out: &mut [u8]) {
+        self.apply_pending(now);
+        let class = self.classify(addr);
+        self.meters[port.0].read_bytes[class.index()] += out.len() as u64;
+        let base = addr as usize;
+        out.copy_from_slice(&self.mem[base..base + out.len()]);
+    }
+
+    /// Device DMA write: bypasses CPU caches, immediately visible in pool
+    /// memory (devices do not have a posted write-back queue in this model;
+    /// their latency is charged by the device's own timing model).
+    pub fn dma_write(&mut self, now: SimTime, port: PortId, addr: u64, data: &[u8]) {
+        self.apply_pending(now);
+        let class = self.classify(addr);
+        self.meters[port.0].write_bytes[class.index()] += data.len() as u64;
+        let base = addr as usize;
+        self.mem[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Unmetered debug read of pool memory (tests and assertions only).
+    pub fn peek(&self, addr: u64, out: &mut [u8]) {
+        let base = addr as usize;
+        out.copy_from_slice(&self.mem[base..base + out.len()]);
+    }
+
+    /// Unmetered debug write of pool memory (test setup only).
+    pub fn poke(&mut self, addr: u64, data: &[u8]) {
+        let base = addr as usize;
+        self.mem[base..base + data.len()].copy_from_slice(data);
+    }
+
+    /// Number of write-backs still in flight.
+    pub fn pending_writebacks(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn dma_write_then_read_roundtrip() {
+        let mut p = CxlPool::new(4096, 2);
+        p.dma_write(t(0), PortId(0), 100, b"hello");
+        let mut buf = [0u8; 5];
+        p.dma_read(t(1), PortId(1), 100, &mut buf);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn posted_writeback_invisible_until_deadline() {
+        let mut p = CxlPool::new(4096, 1);
+        let mut line = [0u8; 64];
+        line[0] = 42;
+        p.post_writeback(PortId(0), 0, line, t(100));
+        let mut buf = [0u8; 1];
+        p.dma_read(t(50), PortId(0), 0, &mut buf);
+        assert_eq!(buf[0], 0, "write must not be visible before t=100");
+        p.dma_read(t(100), PortId(0), 0, &mut buf);
+        assert_eq!(buf[0], 42, "write must be visible at t=100");
+    }
+
+    #[test]
+    fn meters_attribute_by_class_and_port() {
+        let mut p = CxlPool::new(4096, 2);
+        p.register_class(0, 1024, TrafficClass::Payload);
+        p.register_class(1024, 2048, TrafficClass::Message);
+        p.dma_write(t(0), PortId(0), 0, &[0u8; 128]);
+        p.dma_read(t(0), PortId(1), 1024, &mut [0u8; 64]);
+        assert_eq!(p.meter(PortId(0)).write_bytes(TrafficClass::Payload), 128);
+        assert_eq!(p.meter(PortId(0)).total_bytes(), 128);
+        assert_eq!(p.meter(PortId(1)).read_bytes(TrafficClass::Message), 64);
+        assert_eq!(p.meter(PortId(1)).class_bytes(TrafficClass::Message), 64);
+        p.reset_meters();
+        assert_eq!(p.meter(PortId(0)).total_bytes(), 0);
+    }
+
+    #[test]
+    fn classify_falls_back_to_unclassified() {
+        let mut p = CxlPool::new(4096, 1);
+        p.register_class(0, 64, TrafficClass::Control);
+        assert_eq!(p.classify(10), TrafficClass::Control);
+        assert_eq!(p.classify(64), TrafficClass::Unclassified);
+    }
+
+    #[test]
+    fn fetch_line_sees_applied_writebacks_in_time_order() {
+        // Cross-host view: another port observes write-backs only as their
+        // propagation delays elapse, in visibility order.
+        let mut p = CxlPool::new(4096, 2);
+        let mut l1 = [0u8; 64];
+        l1[0] = 1;
+        let mut l2 = [0u8; 64];
+        l2[0] = 2;
+        // Two write-backs to the same line: later-visible one posted first.
+        p.post_writeback(PortId(0), 0, l2, t(200));
+        p.post_writeback(PortId(0), 0, l1, t(100));
+        let line = p.fetch_line(t(150), PortId(1), 0);
+        assert_eq!(line[0], 1);
+        let line = p.fetch_line(t(250), PortId(1), 0);
+        assert_eq!(line[0], 2);
+    }
+
+    #[test]
+    fn fetch_line_observes_own_port_inflight_writebacks() {
+        // Same-source ordering: the posting port reads its own write-back
+        // immediately, even before global visibility.
+        let mut p = CxlPool::new(4096, 2);
+        let mut l = [0u8; 64];
+        l[0] = 7;
+        p.post_writeback(PortId(0), 0, l, t(1_000));
+        assert_eq!(p.fetch_line(t(10), PortId(0), 0)[0], 7, "own write seen");
+        assert_eq!(p.fetch_line(t(10), PortId(1), 0)[0], 0, "peer still stale");
+        assert_eq!(p.fetch_line(t(1_000), PortId(1), 0)[0], 7);
+    }
+
+    #[test]
+    fn flush_pending_applies_everything() {
+        let mut p = CxlPool::new(4096, 1);
+        let mut l = [0u8; 64];
+        l[7] = 9;
+        p.post_writeback(PortId(0), 64, l, t(1_000_000));
+        assert_eq!(p.pending_writebacks(), 1);
+        p.flush_pending();
+        assert_eq!(p.pending_writebacks(), 0);
+        let mut buf = [0u8; 1];
+        p.peek(64 + 7, &mut buf);
+        assert_eq!(buf[0], 9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Carving the pool into named regions.
+//!
+//! The real system exposes CXL memory as DAX devices and hands out regions
+//! for TX buffer areas (4 GB per frontend), RX buffer areas (4 GB per NIC),
+//! message channels, and allocator state (§3.3, §3.5). This allocator is the
+//! simulated stand-in: bump allocation of line-aligned, class-tagged ranges.
+//! Regions are never freed — pods set up their layout once at boot, exactly
+//! like the paper's prototype.
+
+use crate::pool::{CxlPool, TrafficClass};
+use crate::LINE;
+
+/// A named, class-tagged range of pool memory.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// Human-readable name ("host0.tx_area", "nic1.rx_area", ...).
+    pub name: String,
+    /// First byte.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// Traffic class registered for metering.
+    pub class: TrafficClass,
+}
+
+impl Region {
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.base + self.size
+    }
+
+    /// Does the region contain `addr`?
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.base..self.end()).contains(&addr)
+    }
+
+    /// Split off a line-aligned sub-region (for carving per-instance buffer
+    /// areas out of a frontend's TX area).
+    pub fn sub(&self, name: impl Into<String>, offset: u64, size: u64) -> Region {
+        assert!(
+            offset.is_multiple_of(LINE),
+            "sub-region offset must be line-aligned"
+        );
+        assert!(offset + size <= self.size, "sub-region escapes parent");
+        Region {
+            name: name.into(),
+            base: self.base + offset,
+            size,
+            class: self.class,
+        }
+    }
+}
+
+/// Bump allocator over the pool address space.
+pub struct RegionAllocator {
+    next: u64,
+    limit: u64,
+}
+
+impl RegionAllocator {
+    /// Allocator covering the whole pool.
+    pub fn new(pool: &CxlPool) -> Self {
+        RegionAllocator {
+            next: 0,
+            limit: pool.size(),
+        }
+    }
+
+    /// Bytes not yet allocated.
+    pub fn remaining(&self) -> u64 {
+        self.limit - self.next
+    }
+
+    /// Allocate a line-aligned region and register its traffic class with
+    /// the pool. Panics if the pool is exhausted — pod layout is static and
+    /// sized up front, so running out is a configuration bug.
+    pub fn alloc(
+        &mut self,
+        pool: &mut CxlPool,
+        name: impl Into<String>,
+        size: u64,
+        class: TrafficClass,
+    ) -> Region {
+        let base = (self.next + LINE - 1) & !(LINE - 1);
+        let size_aligned = (size + LINE - 1) & !(LINE - 1);
+        let name = name.into();
+        assert!(
+            base + size_aligned <= self.limit,
+            "CXL pool exhausted allocating {name} ({size} bytes; {} remaining)",
+            self.limit - base
+        );
+        self.next = base + size_aligned;
+        pool.register_class(base, base + size_aligned, class);
+        Region {
+            name,
+            base,
+            size: size_aligned,
+            class,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_line_aligned_and_disjoint() {
+        let mut pool = CxlPool::new(4096, 1);
+        let mut ra = RegionAllocator::new(&pool);
+        let a = ra.alloc(&mut pool, "a", 100, TrafficClass::Payload);
+        let b = ra.alloc(&mut pool, "b", 64, TrafficClass::Message);
+        assert_eq!(a.base % LINE, 0);
+        assert_eq!(b.base % LINE, 0);
+        assert!(a.end() <= b.base);
+        assert_eq!(a.size, 128, "rounded up to lines");
+    }
+
+    #[test]
+    fn classes_registered_with_pool() {
+        let mut pool = CxlPool::new(4096, 1);
+        let mut ra = RegionAllocator::new(&pool);
+        let a = ra.alloc(&mut pool, "payload", 256, TrafficClass::Payload);
+        let b = ra.alloc(&mut pool, "msgs", 256, TrafficClass::Message);
+        assert_eq!(pool.classify(a.base), TrafficClass::Payload);
+        assert_eq!(pool.classify(b.base + 100), TrafficClass::Message);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut pool = CxlPool::new(128, 1);
+        let mut ra = RegionAllocator::new(&pool);
+        ra.alloc(&mut pool, "too-big", 256, TrafficClass::Payload);
+    }
+
+    #[test]
+    fn sub_region_within_parent() {
+        let mut pool = CxlPool::new(4096, 1);
+        let mut ra = RegionAllocator::new(&pool);
+        let area = ra.alloc(&mut pool, "tx", 1024, TrafficClass::Payload);
+        let sub = area.sub("tx.inst0", 256, 128);
+        assert_eq!(sub.base, area.base + 256);
+        assert!(area.contains(sub.base) && area.contains(sub.end() - 1));
+        assert_eq!(sub.class, TrafficClass::Payload);
+    }
+
+    #[test]
+    #[should_panic(expected = "escapes")]
+    fn sub_region_escape_panics() {
+        let mut pool = CxlPool::new(4096, 1);
+        let mut ra = RegionAllocator::new(&pool);
+        let area = ra.alloc(&mut pool, "tx", 256, TrafficClass::Payload);
+        area.sub("oops", 192, 128);
+    }
+
+    #[test]
+    fn remaining_decreases() {
+        let mut pool = CxlPool::new(4096, 1);
+        let mut ra = RegionAllocator::new(&pool);
+        let before = ra.remaining();
+        ra.alloc(&mut pool, "a", 64, TrafficClass::Control);
+        assert_eq!(ra.remaining(), before - 64);
+    }
+}

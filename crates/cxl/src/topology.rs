@@ -1,0 +1,88 @@
+//! CXL pod topology and bandwidth-sufficiency math.
+//!
+//! A pod (§2.3) is a set of hosts in a rack, each connected by a CXL link to
+//! one or more multi-headed memory devices. This module captures the static
+//! shape — host count, lanes per port, pool capacity — and the §2.1/§2.3
+//! feasibility arithmetic the paper uses to argue that CXL bandwidth is
+//! sufficient for PCIe device pooling (Table 1 requirements vs. 64-lane
+//! platform bandwidth).
+
+/// Per-lane CXL 2.0 / PCIe 5.0 bandwidth in each direction, bytes/second.
+pub const LANE_BW: f64 = 4e9;
+
+/// Link efficiency the paper measures for 64 B random accesses (92 %).
+pub const LINK_EFFICIENCY: f64 = 0.92;
+
+/// Static description of a CXL pod.
+#[derive(Clone, Debug)]
+pub struct PodTopology {
+    /// Number of hosts sharing the pool.
+    pub hosts: usize,
+    /// CXL lanes per host port (the paper's testbed uses x8; production
+    /// platforms have up to 64).
+    pub lanes_per_host: u32,
+    /// Pool capacity in bytes.
+    pub pool_bytes: u64,
+}
+
+impl PodTopology {
+    /// The paper's evaluation testbed: two hosts, x8 links, 256 GB device
+    /// (scaled down in simulation via the region allocator).
+    pub fn testbed(pool_bytes: u64) -> Self {
+        PodTopology {
+            hosts: 2,
+            lanes_per_host: 8,
+            pool_bytes,
+        }
+    }
+
+    /// A production-like pod: `hosts` hosts with 64-lane CXL ports.
+    pub fn production(hosts: usize, pool_bytes: u64) -> Self {
+        PodTopology {
+            hosts,
+            lanes_per_host: 64,
+            pool_bytes,
+        }
+    }
+
+    /// Usable per-host CXL bandwidth in one direction, bytes/second.
+    pub fn host_link_bw(&self) -> f64 {
+        self.lanes_per_host as f64 * LANE_BW * LINK_EFFICIENCY
+    }
+
+    /// Can this pod's per-host link carry the given device demand
+    /// (bytes/second, one direction)?
+    pub fn link_sufficient_for(&self, demand_bytes_per_sec: f64) -> bool {
+        self.host_link_bw() >= demand_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn production_link_covers_table1_demand() {
+        // Table 1 / §2.1: one NIC (26 GB/s) + six SSDs (5 GB/s each) = 56 GB/s.
+        let pod = PodTopology::production(8, 1 << 30);
+        let demand = 26e9 + 6.0 * 5e9;
+        assert!(pod.link_sufficient_for(demand));
+        // And even a 400 Gbps NIC (50 GB/s) plus SSDs fits in 64 lanes.
+        assert!(pod.link_sufficient_for(50e9 + 6.0 * 5e9));
+    }
+
+    #[test]
+    fn testbed_link_matches_one_100g_nic() {
+        // §6: a x8 link (29.4 GB/s usable) is "a balanced match" for a
+        // 100 Gbps NIC (12.5 GB/s per direction).
+        let pod = PodTopology::testbed(1 << 30);
+        assert!(pod.link_sufficient_for(12.5e9));
+        assert!(!pod.link_sufficient_for(56e9), "x8 cannot carry a full pod");
+    }
+
+    #[test]
+    fn link_bw_formula() {
+        let pod = PodTopology::production(4, 0);
+        assert!((pod.host_link_bw() - 64.0 * 4e9 * 0.92).abs() < 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! MAC and IPv4 address types.
+
+use core::fmt;
+
+/// A 48-bit Ethernet MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address (unset).
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Deterministic locally-administered MAC for the `i`-th simulated NIC.
+    pub fn nic(i: u64) -> MacAddr {
+        let b = i.to_be_bytes();
+        // 0x02 = locally administered, unicast.
+        MacAddr([0x02, 0x0a, b[4], b[5], b[6], b[7]])
+    }
+
+    /// Deterministic MAC for the `i`-th external client endpoint.
+    pub fn client(i: u64) -> MacAddr {
+        let b = i.to_be_bytes();
+        MacAddr([0x02, 0x0c, b[4], b[5], b[6], b[7]])
+    }
+
+    /// Is this the broadcast address?
+    pub fn is_broadcast(self) -> bool {
+        self == Self::BROADCAST
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An IPv4 address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ipv4Addr(pub [u8; 4]);
+
+impl Ipv4Addr {
+    /// `0.0.0.0`.
+    pub const UNSPECIFIED: Ipv4Addr = Ipv4Addr([0; 4]);
+
+    /// Deterministic address for the `i`-th instance: `10.0.x.y`.
+    pub fn instance(i: u32) -> Ipv4Addr {
+        Ipv4Addr([10, 0, (i >> 8) as u8, i as u8])
+    }
+
+    /// Deterministic address for the `i`-th external client: `10.1.x.y`.
+    pub fn client(i: u32) -> Ipv4Addr {
+        Ipv4Addr([10, 1, (i >> 8) as u8, i as u8])
+    }
+
+    /// Big-endian `u32` form (used in 16 B channel messages).
+    pub fn to_u32(self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// From big-endian `u32`.
+    pub fn from_u32(v: u32) -> Ipv4Addr {
+        Ipv4Addr(v.to_be_bytes())
+    }
+}
+
+impl fmt::Debug for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl fmt::Display for Ipv4Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_formatting() {
+        assert_eq!(format!("{}", MacAddr::BROADCAST), "ff:ff:ff:ff:ff:ff");
+        assert_eq!(format!("{}", MacAddr::nic(1)), "02:0a:00:00:00:01");
+    }
+
+    #[test]
+    fn macs_are_unique_per_index() {
+        assert_ne!(MacAddr::nic(1), MacAddr::nic(2));
+        assert_ne!(MacAddr::nic(1), MacAddr::client(1));
+        assert!(!MacAddr::nic(5).is_broadcast());
+        assert!(MacAddr::BROADCAST.is_broadcast());
+    }
+
+    #[test]
+    fn ipv4_u32_roundtrip() {
+        let ip = Ipv4Addr::instance(777);
+        assert_eq!(Ipv4Addr::from_u32(ip.to_u32()), ip);
+        assert_eq!(format!("{}", Ipv4Addr::instance(0x0102)), "10.0.1.2");
+        assert_eq!(format!("{}", Ipv4Addr::client(3)), "10.1.0.3");
+    }
+}

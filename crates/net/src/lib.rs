@@ -1,0 +1,37 @@
+//! Simulated datacenter network substrate.
+//!
+//! The paper's testbed is a 100 Gbit Mellanox ConnectX-5 NIC per host plus an
+//! Arista ToR switch. This crate provides the simulated equivalents the Oasis
+//! network engine drives:
+//!
+//! * [`addr`] — MAC / IPv4 address types,
+//! * [`packet`] — real Ethernet / ARP / IPv4 / UDP / TCP header codecs
+//!   (packets on the simulated wire are real byte buffers; the engines and
+//!   instances parse them exactly as a kernel-bypass stack would),
+//! * [`nic`] — a NIC with descriptor-ring queue pairs, a DMA engine that
+//!   bypasses CPU caches, `rte_flow`-style destination-IP tagging, a
+//!   serialization-rate bandwidth model, link state, and failure injection,
+//! * [`switch`] — a MAC-learning store-and-forward switch with per-port
+//!   admin state (disabling a port is how §5.3 injects NIC failures).
+//!
+//! The NIC's driver-facing surface mirrors what DPDK exposes: post a work
+//! queue entry carrying a buffer pointer, poll completions, refill RX
+//! descriptors. That is the surface the Oasis backend driver (in
+//! `oasis-core`) programs.
+
+pub mod addr;
+pub mod nic;
+pub mod packet;
+pub mod switch;
+
+pub use addr::{Ipv4Addr, MacAddr};
+pub use nic::{Nic, NicConfig, RxCompletion, RxDesc, TxCompletion, TxDesc};
+pub use oasis_cxl::dma::{DmaMemory, MemRef};
+pub use packet::Frame;
+pub use switch::{Switch, SwitchPort};
+
+/// Per-frame wire overhead besides the L2 payload: preamble (8 B), FCS
+/// (4 B), and inter-frame gap (12 B). Used when converting frame sizes to
+/// line-rate utilization, as the paper does when accounting for Ethernet
+/// line-coding.
+pub const WIRE_OVERHEAD_BYTES: u64 = 24;

@@ -1,0 +1,322 @@
+//! MAC-learning store-and-forward switch.
+//!
+//! Models the testbed's Arista 7060X at the level Oasis cares about:
+//!
+//! * **MAC learning**: the switch maps each observed source MAC to its
+//!   ingress port. This is exactly the mechanism Oasis failover exploits
+//!   (§3.3.3): the backup NIC "borrows" the failed NIC's MAC by sending a
+//!   frame with it as the source, and the switch immediately re-points the
+//!   mapping at the backup's port.
+//! * **Per-port admin state**: §5.3 injects NIC failures by disabling the
+//!   switch port; a disabled port neither accepts nor emits frames, and the
+//!   attached NIC loses carrier.
+//! * **Store-and-forward latency** plus egress serialization at the port
+//!   rate.
+
+use oasis_sim::detmap::DetMap;
+use oasis_sim::time::{SimDuration, SimTime};
+
+use crate::addr::MacAddr;
+use crate::packet::Frame;
+use crate::WIRE_OVERHEAD_BYTES;
+
+/// Identifies a switch port.
+pub type SwitchPort = usize;
+
+/// Forwarding counters.
+#[derive(Clone, Debug, Default)]
+pub struct SwitchStats {
+    /// Frames forwarded to a known unicast destination.
+    pub forwarded: u64,
+    /// Frames flooded (broadcast or unknown destination).
+    pub flooded: u64,
+    /// Frames dropped at a disabled ingress port.
+    pub dropped_ingress_disabled: u64,
+    /// Frame copies dropped at a disabled egress port.
+    pub dropped_egress_disabled: u64,
+}
+
+/// The switch.
+pub struct Switch {
+    enabled: Vec<bool>,
+    /// MAC → (port, learned_at); entries age out after `mac_ttl`.
+    mac_table: DetMap<MacAddr, (SwitchPort, SimTime)>,
+    mac_ttl: SimDuration,
+    /// Store-and-forward latency (ingress to egress start).
+    latency: SimDuration,
+    /// Port rate in Gbit/s (uniform; the testbed is all-100G).
+    port_gbps: f64,
+    /// When each egress port's serializer frees up.
+    egress_free: Vec<SimTime>,
+    /// Forwarding counters.
+    pub stats: SwitchStats,
+}
+
+impl Switch {
+    /// A switch with `ports` ports, all enabled. Defaults match a shallow
+    /// ToR: 600 ns port-to-port latency, 100 Gbit/s ports.
+    pub fn new(ports: usize) -> Self {
+        Switch {
+            enabled: vec![true; ports],
+            mac_table: DetMap::default(),
+            mac_ttl: SimDuration::from_secs(300),
+            latency: SimDuration::from_nanos(600),
+            port_gbps: 100.0,
+            egress_free: vec![SimTime::ZERO; ports],
+            stats: SwitchStats::default(),
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.enabled.len()
+    }
+
+    /// Add a port (patching a new cable into the ToR). Returns its index.
+    pub fn add_port(&mut self) -> SwitchPort {
+        self.enabled.push(true);
+        self.egress_free.push(SimTime::ZERO);
+        self.enabled.len() - 1
+    }
+
+    /// Is a port administratively enabled?
+    pub fn port_enabled(&self, port: SwitchPort) -> bool {
+        self.enabled[port]
+    }
+
+    /// Enable or disable a port (§5.3 failure injection).
+    pub fn set_port_enabled(&mut self, port: SwitchPort, enabled: bool) {
+        self.enabled[port] = enabled;
+    }
+
+    /// Override the MAC-table aging time (datacenter default: 300 s).
+    pub fn set_mac_ttl(&mut self, ttl: SimDuration) {
+        self.mac_ttl = ttl;
+    }
+
+    /// Current port mapping for a MAC, if learned (ignores aging; see
+    /// [`Switch::lookup_at`]).
+    pub fn lookup(&self, mac: MacAddr) -> Option<SwitchPort> {
+        self.mac_table.get(&mac).map(|&(p, _)| p)
+    }
+
+    /// Port mapping for a MAC if the entry hasn't aged out by `now`.
+    pub fn lookup_at(&self, mac: MacAddr, now: SimTime) -> Option<SwitchPort> {
+        self.mac_table
+            .get(&mac)
+            .filter(|&&(_, learned)| now <= learned + self.mac_ttl)
+            .map(|&(p, _)| p)
+    }
+
+    /// Number of learned MAC entries.
+    pub fn mac_table_len(&self) -> usize {
+        self.mac_table.len()
+    }
+
+    fn egress_one(
+        &mut self,
+        now: SimTime,
+        port: SwitchPort,
+        frame: &Frame,
+        out: &mut Vec<(SwitchPort, SimTime, Frame)>,
+    ) {
+        if !self.enabled[port] {
+            self.stats.dropped_egress_disabled += 1;
+            return;
+        }
+        let ser_bits = ((frame.len() as u64 + WIRE_OVERHEAD_BYTES) * 8) as f64;
+        let ser = SimDuration::from_nanos((ser_bits / self.port_gbps).ceil() as u64);
+        let start = (now + self.latency).max(self.egress_free[port]);
+        let done = start + ser;
+        self.egress_free[port] = done;
+        out.push((port, done, frame.clone()));
+    }
+
+    /// Forward a frame that arrived on `in_port` at `now`. Returns the
+    /// deliveries as `(port, arrival_time, frame)`; the caller hands each to
+    /// the attached NIC or endpoint.
+    pub fn forward(
+        &mut self,
+        now: SimTime,
+        in_port: SwitchPort,
+        frame: Frame,
+    ) -> Vec<(SwitchPort, SimTime, Frame)> {
+        let mut out = Vec::new();
+        if !self.enabled[in_port] {
+            self.stats.dropped_ingress_disabled += 1;
+            return out;
+        }
+        // Learn the source MAC. This is the hook MAC borrowing relies on:
+        // any frame sourced with a MAC re-points it here, immediately.
+        let src = frame.src_mac();
+        if !src.is_broadcast() {
+            self.mac_table.insert(src, (in_port, now));
+        }
+        let dst = frame.dst_mac();
+        match (dst.is_broadcast(), self.lookup_at(dst, now)) {
+            (false, Some(port)) if port != in_port => {
+                self.stats.forwarded += 1;
+                self.egress_one(now, port, &frame, &mut out);
+            }
+            (false, Some(_)) => {
+                // Destination learned on the ingress port: hairpin drop.
+            }
+            _ => {
+                // Broadcast or unknown unicast: flood.
+                self.stats.flooded += 1;
+                for port in 0..self.enabled.len() {
+                    if port != in_port && self.enabled[port] {
+                        self.egress_one(now, port, &frame, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+    use crate::packet::UdpPacket;
+    use bytes::Bytes;
+
+    fn frame(src: MacAddr, dst: MacAddr) -> Frame {
+        UdpPacket {
+            src_mac: src,
+            dst_mac: dst,
+            src_ip: Ipv4Addr::instance(0),
+            dst_ip: Ipv4Addr::instance(1),
+            src_port: 1,
+            dst_port: 2,
+            payload: Bytes::from_static(b"x"),
+        }
+        .encode()
+    }
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn unknown_destination_floods_then_learns() {
+        let mut sw = Switch::new(4);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        // a (port 0) -> b: unknown, floods to 1,2,3.
+        let out = sw.forward(t(0), 0, frame(a, b));
+        assert_eq!(out.len(), 3);
+        assert_eq!(sw.lookup(a), Some(0));
+        // b replies from port 2: learned, unicast back to port 0 only.
+        let out = sw.forward(t(0), 2, frame(b, a));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 0);
+        assert_eq!(sw.lookup(b), Some(2));
+        // Now a -> b is unicast.
+        let out = sw.forward(t(0), 0, frame(a, b));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 2);
+        assert_eq!(sw.stats.forwarded, 2);
+        assert_eq!(sw.stats.flooded, 1);
+    }
+
+    #[test]
+    fn mac_borrowing_repoints_mapping() {
+        // The failover mechanism: backup NIC sends with the failed NIC's
+        // MAC as source; subsequent traffic to that MAC goes to the backup.
+        let mut sw = Switch::new(4);
+        let failed = MacAddr::nic(1);
+        sw.forward(t(0), 0, frame(failed, MacAddr::nic(9))); // learned at 0
+        assert_eq!(sw.lookup(failed), Some(0));
+        sw.forward(t(0), 3, frame(failed, MacAddr::nic(9))); // borrowed from 3
+        assert_eq!(sw.lookup(failed), Some(3));
+    }
+
+    #[test]
+    fn disabled_ingress_drops() {
+        let mut sw = Switch::new(2);
+        sw.set_port_enabled(0, false);
+        let out = sw.forward(t(0), 0, frame(MacAddr::nic(1), MacAddr::BROADCAST));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats.dropped_ingress_disabled, 1);
+    }
+
+    #[test]
+    fn disabled_egress_drops_copy() {
+        let mut sw = Switch::new(3);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        sw.forward(t(0), 1, frame(b, a)); // learn b at 1
+        sw.set_port_enabled(1, false);
+        let out = sw.forward(t(0), 0, frame(a, b));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats.dropped_egress_disabled, 1);
+    }
+
+    #[test]
+    fn broadcast_floods_to_enabled_only() {
+        let mut sw = Switch::new(4);
+        sw.set_port_enabled(2, false);
+        let out = sw.forward(t(0), 0, frame(MacAddr::nic(1), MacAddr::BROADCAST));
+        let ports: Vec<SwitchPort> = out.iter().map(|(p, _, _)| *p).collect();
+        assert_eq!(ports, vec![1, 3]);
+        // Broadcast source must never be learned.
+        assert_eq!(sw.lookup(MacAddr::BROADCAST), None);
+    }
+
+    #[test]
+    fn latency_and_serialization_applied() {
+        let mut sw = Switch::new(2);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        sw.forward(t(0), 1, frame(b, a));
+        let f = frame(a, b);
+        let flen = f.len() as u64;
+        let out = sw.forward(t(1_000), 0, f);
+        let ser = (((flen + 24) * 8) as f64 / 100.0).ceil() as u64;
+        assert_eq!(out[0].1.as_nanos(), 1_000 + 600 + ser);
+    }
+
+    #[test]
+    fn egress_serializer_backpressure() {
+        let mut sw = Switch::new(2);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        sw.forward(t(0), 1, frame(b, a));
+        let out1 = sw.forward(t(0), 0, frame(a, b));
+        let out2 = sw.forward(t(0), 0, frame(a, b));
+        assert!(out2[0].1 > out1[0].1, "second frame queues behind first");
+    }
+
+    #[test]
+    fn stale_mac_entries_age_out_and_flood() {
+        let mut sw = Switch::new(3);
+        sw.set_mac_ttl(SimDuration::from_secs(1));
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        sw.forward(t(0), 1, frame(b, a)); // learn b at port 1
+                                          // Within the TTL: unicast.
+        let out = sw.forward(SimTime::from_millis(500), 0, frame(a, b));
+        assert_eq!(out.len(), 1);
+        // Past the TTL: the entry is stale, so the frame floods.
+        let out = sw.forward(SimTime::from_secs(2), 0, frame(a, b));
+        assert_eq!(out.len(), 2, "flooded to both other ports");
+        assert_eq!(sw.lookup_at(b, SimTime::from_secs(2)), None);
+        // Relearning refreshes the entry.
+        sw.forward(SimTime::from_secs(2), 1, frame(b, a));
+        assert_eq!(sw.lookup_at(b, SimTime::from_secs(2)), Some(1));
+    }
+
+    #[test]
+    fn hairpin_to_same_port_dropped() {
+        let mut sw = Switch::new(2);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        // Both MACs behind port 0.
+        sw.forward(t(0), 0, frame(a, MacAddr::BROADCAST));
+        sw.forward(t(0), 0, frame(b, MacAddr::BROADCAST));
+        let out = sw.forward(t(0), 0, frame(a, b));
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Cluster-level Raft tests: a co-simulated cluster with message delays,
+//! loss, and partitions, checking the safety and liveness properties the
+//! allocator depends on.
+
+use oasis_sim::event::EventQueue;
+use oasis_sim::rng::SimRng;
+use oasis_sim::time::{SimDuration, SimTime};
+
+use crate::node::{NodeId, RaftConfig, RaftMessage, RaftNode};
+
+/// Co-simulated cluster harness.
+struct Cluster {
+    nodes: Vec<RaftNode>,
+    wire: EventQueue<(NodeId, NodeId, RaftMessage)>,
+    now: SimTime,
+    /// Per-node reachability (simulates partitions/crashes).
+    up: Vec<bool>,
+    delay: SimDuration,
+    drop_rate: f64,
+    rng: SimRng,
+    /// (term, leader) pairs ever observed, for the election-safety check.
+    leaders_seen: Vec<(u64, NodeId)>,
+}
+
+impl Cluster {
+    fn new(n: usize, seed: u64) -> Self {
+        let ids: Vec<NodeId> = (0..n).collect();
+        let nodes = ids
+            .iter()
+            .map(|&id| {
+                let peers: Vec<NodeId> = ids.iter().copied().filter(|&p| p != id).collect();
+                RaftNode::new(id, peers, RaftConfig::default(), seed)
+            })
+            .collect();
+        Cluster {
+            nodes,
+            wire: EventQueue::new(),
+            now: SimTime::ZERO,
+            up: vec![true; n],
+            delay: SimDuration::from_micros(5), // CXL channel RPC latency
+            drop_rate: 0.0,
+            rng: SimRng::new(seed ^ 0xC1u64),
+            leaders_seen: Vec::new(),
+        }
+    }
+
+    /// Run for `dur`, ticking every 500 µs like the allocator's poll loop.
+    fn run(&mut self, dur: SimDuration) {
+        let end = self.now + dur;
+        let tick = SimDuration::from_micros(500);
+        while self.now < end {
+            self.now += tick;
+            // Deliver due messages.
+            while let Some((_, (from, to, msg))) = self.wire.pop_due(self.now) {
+                if self.up[to] && self.up[from] {
+                    self.nodes[to].handle(self.now, from, msg);
+                }
+            }
+            for i in 0..self.nodes.len() {
+                if self.up[i] {
+                    self.nodes[i].tick(self.now);
+                }
+            }
+            // Collect outboxes.
+            for i in 0..self.nodes.len() {
+                for (to, msg) in self.nodes[i].take_outbox() {
+                    if !self.up[i] || self.rng.chance(self.drop_rate) {
+                        continue;
+                    }
+                    self.wire.push(self.now + self.delay, (i, to, msg));
+                }
+            }
+            // Record leaders for the safety check.
+            for n in &self.nodes {
+                if n.is_leader() {
+                    self.leaders_seen.push((n.term(), n.id()));
+                }
+            }
+        }
+        self.assert_election_safety();
+    }
+
+    fn leader(&self) -> Option<NodeId> {
+        self.nodes.iter().find(|n| n.is_leader()).map(|n| n.id())
+    }
+
+    fn assert_election_safety(&self) {
+        // At most one leader per term, ever.
+        let mut by_term: std::collections::BTreeMap<u64, NodeId> = Default::default();
+        for &(term, id) in &self.leaders_seen {
+            if let Some(&prev) = by_term.get(&term) {
+                assert_eq!(prev, id, "two leaders in term {term}");
+            } else {
+                by_term.insert(term, id);
+            }
+        }
+    }
+}
+
+#[test]
+fn cluster_elects_exactly_one_leader() {
+    let mut c = Cluster::new(3, 42);
+    c.run(SimDuration::from_millis(100));
+    let leaders = c.nodes.iter().filter(|n| n.is_leader()).count();
+    assert_eq!(leaders, 1);
+}
+
+#[test]
+fn committed_commands_apply_on_all_nodes_in_order() {
+    let mut c = Cluster::new(3, 7);
+    c.run(SimDuration::from_millis(100));
+    let leader = c.leader().unwrap();
+    let now = c.now;
+    for i in 0u8..10 {
+        c.nodes[leader].propose(now, vec![i]).unwrap();
+    }
+    c.run(SimDuration::from_millis(50));
+    for n in &mut c.nodes {
+        let applied: Vec<Vec<u8>> = n.take_applied().into_iter().map(|(_, cmd)| cmd).collect();
+        assert_eq!(
+            applied,
+            (0u8..10).map(|i| vec![i]).collect::<Vec<_>>(),
+            "node {} applied out of order",
+            n.id()
+        );
+    }
+}
+
+#[test]
+fn leader_crash_triggers_reelection_and_no_committed_loss() {
+    let mut c = Cluster::new(5, 11);
+    c.run(SimDuration::from_millis(100));
+    let old_leader = c.leader().unwrap();
+    let now = c.now;
+    c.nodes[old_leader]
+        .propose(now, b"pre-crash".to_vec())
+        .unwrap();
+    c.run(SimDuration::from_millis(50));
+
+    // Crash the leader.
+    c.up[old_leader] = false;
+    c.run(SimDuration::from_millis(100));
+    let new_leader = c
+        .nodes
+        .iter()
+        .find(|n| n.is_leader() && n.id() != old_leader)
+        .map(|n| n.id())
+        .expect("a new leader must emerge");
+
+    let now = c.now;
+    c.nodes[new_leader]
+        .propose(now, b"post-crash".to_vec())
+        .unwrap();
+    c.run(SimDuration::from_millis(50));
+
+    // Every live node applied both commands, in order.
+    for i in 0..c.nodes.len() {
+        if !c.up[i] {
+            continue;
+        }
+        let applied: Vec<Vec<u8>> = c.nodes[i]
+            .take_applied()
+            .into_iter()
+            .map(|(_, cmd)| cmd)
+            .collect();
+        assert_eq!(applied, vec![b"pre-crash".to_vec(), b"post-crash".to_vec()]);
+    }
+}
+
+#[test]
+fn minority_partition_cannot_commit() {
+    let mut c = Cluster::new(5, 13);
+    c.run(SimDuration::from_millis(100));
+    let leader = c.leader().unwrap();
+    // Partition the leader with one other node (minority of 2).
+    let mut minority = vec![leader];
+    minority.push((0..5).find(|&i| i != leader).unwrap());
+    for i in 0..5 {
+        if !minority.contains(&i) {
+            c.up[i] = false;
+        }
+    }
+    let now = c.now;
+    let commit_before = c.nodes[leader].commit_index();
+    c.nodes[leader].propose(now, b"doomed".to_vec());
+    c.run(SimDuration::from_millis(100));
+    assert_eq!(
+        c.nodes[leader].commit_index(),
+        commit_before,
+        "minority leader must not commit"
+    );
+
+    // Heal: majority side elects a fresh leader and the doomed entry is
+    // eventually superseded or replicated consistently (we just check
+    // commit progress resumes and safety held throughout — safety is
+    // asserted in run()).
+    for i in 0..5 {
+        c.up[i] = true;
+    }
+    c.run(SimDuration::from_millis(200));
+    let new_leader = c.leader().expect("leader after heal");
+    let now = c.now;
+    c.nodes[new_leader].propose(now, b"alive".to_vec()).unwrap();
+    c.run(SimDuration::from_millis(100));
+    assert!(c.nodes[new_leader].commit_index() >= 1);
+}
+
+#[test]
+fn progress_under_message_loss() {
+    let mut c = Cluster::new(3, 17);
+    c.drop_rate = 0.10;
+    c.run(SimDuration::from_millis(300));
+    let leader = c.leader().expect("leader despite 10% loss");
+    let now = c.now;
+    for i in 0u8..5 {
+        c.nodes[leader].propose(now, vec![i]);
+    }
+    c.run(SimDuration::from_millis(300));
+    // Retries (heartbeat piggybacking) must get everything committed.
+    assert!(
+        c.nodes[leader].commit_index() >= 5,
+        "commit {} < 5 under loss",
+        c.nodes[leader].commit_index()
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let run = |seed| {
+        let mut c = Cluster::new(3, seed);
+        c.run(SimDuration::from_millis(100));
+        (
+            c.leader(),
+            c.nodes.iter().map(|n| n.term()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(99), run(99));
+}

@@ -1,0 +1,268 @@
+//! Log-linear latency histogram (HDR-histogram style).
+//!
+//! Values (nanoseconds) are bucketed with bounded relative error: each
+//! power-of-two magnitude is split into `SUB_BUCKETS` linear sub-buckets, so
+//! recorded values are accurate to better than 1/SUB_BUCKETS ≈ 1.6 % — ample
+//! for reporting P50/P90/P99/P99.99 latencies the way the paper does.
+
+const SUB_BITS: u32 = 6;
+const SUB_BUCKETS: u64 = 1 << SUB_BITS; // 64 linear sub-buckets per magnitude
+const ROWS: u32 = 64 - SUB_BITS + 1; // rows 0..=58 cover the full u64 range
+
+/// Fixed-memory histogram of `u64` values (we use nanoseconds throughout).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; (ROWS as usize) * SUB_BUCKETS as usize],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    #[inline]
+    fn index_of(value: u64) -> usize {
+        if value < SUB_BUCKETS {
+            return value as usize;
+        }
+        let magnitude = 63 - value.leading_zeros(); // >= SUB_BITS here
+        let row = (magnitude - SUB_BITS + 1) as usize;
+        // value in [2^m, 2^(m+1)) shifted right by row lands in
+        // [SUB_BUCKETS/2, SUB_BUCKETS): the top half of the row.
+        let sub = (value >> row) as usize & (SUB_BUCKETS as usize - 1);
+        row * SUB_BUCKETS as usize + sub
+    }
+
+    /// Representative (upper-edge midpoint) value for a bucket index.
+    fn value_of(index: usize) -> u64 {
+        let row = index / SUB_BUCKETS as usize;
+        let sub = (index % SUB_BUCKETS as usize) as u64;
+        if row == 0 {
+            return sub;
+        }
+        let shift = row as u32; // row = magnitude - SUB_BITS + 1
+        let base = sub << shift;
+        // midpoint of the bucket's covered range
+        base + (1u64 << (shift - 1))
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::index_of(value);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128;
+    }
+
+    /// Record a value `n` times.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let idx = Self::index_of(value);
+        self.counts[idx] += n;
+        self.total += n;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`. Exact at the resolution of the
+    /// bucketing; clamped to the recorded min/max so tails never
+    /// over-report.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= rank {
+                return Self::value_of(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand for common percentiles: p in percent, e.g. `percentile(99.9)`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.value_at_quantile(p / 100.0)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+        self.sum = 0;
+    }
+}
+
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Histogram(n={}, min={}, p50={}, p99={}, max={})",
+            self.total,
+            self.min(),
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS - 1);
+        assert_eq!(h.count(), SUB_BUCKETS);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        let p99 = h.percentile(99.0);
+        assert!((4800..=5200).contains(&p50), "p50={p50}");
+        assert!((9700..=10_000).contains(&p99), "p99={p99}");
+        assert_eq!(h.percentile(100.0), 10_000);
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        let mut h = Histogram::new();
+        for exp in 0..50u32 {
+            let v = 3u64 << exp;
+            h.clear();
+            h.record(v);
+            let got = h.percentile(50.0);
+            let err = (got as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 32.0, "v={v} got={got} err={err}");
+        }
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(200);
+        b.record(300);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 100);
+        assert_eq!(a.max(), 300);
+    }
+
+    #[test]
+    fn record_n_equivalent_to_loop() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(777, 50);
+        for _ in 0..50 {
+            b.record(777);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.percentile(50.0), b.percentile(50.0));
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn tail_clamped_to_max() {
+        let mut h = Histogram::new();
+        h.record(1_000_000);
+        assert_eq!(h.percentile(99.99), 1_000_000);
+    }
+}

@@ -1,0 +1,284 @@
+//! Seedable, portable pseudo-random number generation.
+//!
+//! Experiments must be reproducible across machines and Rust versions, so we
+//! implement xoshiro256++ (public domain, Blackman & Vigna) directly instead
+//! of depending on a particular release of an external generator. On top of
+//! the raw generator we provide the distributions that datacenter workload
+//! models need: exponential inter-arrivals, Pareto burst lengths, lognormal
+//! rates, Zipf popularity, and normal service times.
+
+/// xoshiro256++ PRNG with convenience distribution samplers.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+    /// Cached second normal variate from the last Box–Muller draw.
+    spare_normal: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed. Different seeds produce
+    /// independent-looking streams; the same seed always produces the same
+    /// stream.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng {
+            s,
+            spare_normal: None,
+        }
+    }
+
+    /// Derive an independent child generator; useful for giving each actor
+    /// its own stream so that adding an actor does not perturb the others.
+    pub fn fork(&mut self, tag: u64) -> SimRng {
+        SimRng::new(self.next_u64() ^ tag.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 high bits give a uniform double in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        // Lemire-style rejection-free mapping is overkill here; modulo bias
+        // for spans far below 2^64 is negligible for workload generation,
+        // but we debias anyway to keep property tests exact.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return lo + v % span;
+            }
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)` as `usize`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential variate with the given mean (e.g. Poisson inter-arrival
+    /// gaps).
+    #[inline]
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        // Avoid ln(0).
+        let u = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// Pareto variate with scale `xm > 0` and shape `alpha > 0`; heavy-tailed
+    /// burst durations use `alpha` in (1, 2).
+    #[inline]
+    pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
+        let u = 1.0 - self.f64();
+        xm / u.powf(1.0 / alpha)
+    }
+
+    /// Pareto variate truncated to `[xm, cap]` by resampling the CDF.
+    pub fn pareto_capped(&mut self, xm: f64, alpha: f64, cap: f64) -> f64 {
+        // Invert the truncated CDF directly so a huge cap never loops.
+        let f_cap = 1.0 - (xm / cap).powf(alpha);
+        let u = self.f64() * f_cap;
+        xm / (1.0 - u).powf(1.0 / alpha)
+    }
+
+    /// Standard normal via Box–Muller, with the spare variate cached.
+    pub fn std_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let u1 = (1.0 - self.f64()).max(f64::MIN_POSITIVE);
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.std_normal()
+    }
+
+    /// Lognormal variate parameterized by the *underlying* normal's mu and
+    /// sigma.
+    #[inline]
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.std_normal()).exp()
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `s`, via inverse
+    /// transform on the precomputable harmonic weights. O(log n) per draw
+    /// using a cached table is unnecessary for our trace sizes; this is a
+    /// simple rejection-inversion-free linear scan bounded by `n`.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        // For the small catalogs we use (tens of instance types), a direct
+        // CDF walk is fast and exact.
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut u = self.f64() * norm;
+        for k in 1..=n {
+            let w = 1.0 / (k as f64).powf(s);
+            if u < w {
+                return k - 1;
+            }
+            u -= w;
+        }
+        n - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.range_usize(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Pick a uniformly random element.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(7);
+        for _ in 0..10_000 {
+            let v = r.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = SimRng::new(9);
+        for _ in 0..10_000 {
+            let v = r.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut r = SimRng::new(11);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.exp(5.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_close() {
+        let mut r = SimRng::new(13);
+        let n = 200_000;
+        let vals: Vec<f64> = (0..n).map(|_| r.normal(3.0, 2.0)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn pareto_capped_within_bounds() {
+        let mut r = SimRng::new(17);
+        for _ in 0..10_000 {
+            let v = r.pareto_capped(1.0, 1.3, 100.0);
+            assert!((1.0..=100.0 + 1e-9).contains(&v), "v {v}");
+        }
+    }
+
+    #[test]
+    fn zipf_is_monotone_in_popularity() {
+        let mut r = SimRng::new(19);
+        let mut counts = [0usize; 8];
+        for _ in 0..100_000 {
+            counts[r.zipf(8, 1.0)] += 1;
+        }
+        // Rank 0 must dominate rank 7 decisively.
+        assert!(counts[0] > counts[7] * 4, "{counts:?}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = SimRng::new(31);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

@@ -1,0 +1,252 @@
+//! Cooperative actor scheduler.
+//!
+//! An Oasis experiment is a set of concurrently running loops: frontend and
+//! backend driver pollers, NIC DMA engines, switch forwarding, application
+//! instances, load generators, the pod-wide allocator, Raft nodes. Each loop
+//! is an *actor* identified by a dense `usize` id. The scheduler steps
+//! whichever actor has the earliest wake-up time; the actor does a bounded
+//! amount of work against the shared world `W` and reports when it next
+//! wants to run.
+//!
+//! The world type is owned by the experiment harness (e.g.
+//! `oasis_core::pod::Pod`), which implements the dispatch from actor id to
+//! component — this sidesteps the classic "actor inside the world it
+//! mutates" borrow problem without `RefCell` webs.
+
+use crate::event::EventQueue;
+use crate::time::SimTime;
+
+/// What an actor wants after a step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Run again at the given absolute time (clamped to be >= now).
+    WakeAt(SimTime),
+    /// The actor has nothing left to do; it will only run again if someone
+    /// calls [`Scheduler::wake`] on it.
+    Idle,
+    /// The actor is finished for good.
+    Done,
+}
+
+/// Time-ordered actor scheduler.
+///
+/// Dispatch is a callback so the scheduler itself has no opinion about what
+/// an actor is: `run_until` hands `(world, actor_id, now)` to the closure and
+/// obeys the returned [`StepOutcome`].
+pub struct Scheduler {
+    queue: EventQueue<usize>,
+    /// Wake generation per actor: lets `wake` supersede a later scheduled
+    /// wake-up without having to delete heap entries.
+    pending: Vec<Option<SimTime>>,
+    now: SimTime,
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler {
+    /// Create an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            queue: EventQueue::new(),
+            pending: Vec::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulated time (the wake time of the most recently dispatched
+    /// actor).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Register a new actor and schedule its first step at `first_wake`.
+    /// Returns the actor id.
+    pub fn add_actor(&mut self, first_wake: SimTime) -> usize {
+        let id = self.pending.len();
+        self.pending.push(Some(first_wake));
+        self.queue.push(first_wake, id);
+        id
+    }
+
+    /// Register a new actor that starts idle (must be woken explicitly).
+    pub fn add_idle_actor(&mut self) -> usize {
+        let id = self.pending.len();
+        self.pending.push(None);
+        id
+    }
+
+    /// Wake `actor` at time `at` (or earlier if it already has an earlier
+    /// wake pending). Waking an actor that is `Done` is a no-op only if the
+    /// caller stops dispatching it; the scheduler itself keeps no done-list.
+    pub fn wake(&mut self, actor: usize, at: SimTime) {
+        let at = at.max(self.now);
+        match self.pending[actor] {
+            Some(t) if t <= at => {} // already scheduled earlier
+            _ => {
+                self.pending[actor] = Some(at);
+                self.queue.push(at, actor);
+            }
+        }
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Run the simulation until `deadline` (inclusive) or until no actor has
+    /// pending work. `dispatch(world, actor, now)` performs one step of the
+    /// actor. Returns the time the loop stopped at.
+    pub fn run_until<W>(
+        &mut self,
+        world: &mut W,
+        deadline: SimTime,
+        mut dispatch: impl FnMut(&mut W, usize, SimTime) -> StepOutcome,
+    ) -> SimTime {
+        while let Some((at, actor)) = self.queue.pop() {
+            if at > deadline {
+                // Put it back; the caller may continue later.
+                self.queue.push(at, actor);
+                self.now = deadline;
+                break;
+            }
+            // Skip stale heap entries: only the entry matching the actor's
+            // current pending time is live.
+            match self.pending[actor] {
+                Some(t) if t == at => {}
+                _ => continue,
+            }
+            self.pending[actor] = None;
+            self.now = at;
+            match dispatch(world, actor, at) {
+                StepOutcome::WakeAt(next) => {
+                    let next = next.max(at);
+                    self.pending[actor] = Some(next);
+                    self.queue.push(next, actor);
+                }
+                StepOutcome::Idle | StepOutcome::Done => {}
+            }
+        }
+        if self.queue.is_empty() {
+            self.now = self.now.max(SimTime::ZERO);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn actors_interleave_by_time() {
+        // Two counters ticking at different periods; verify interleaving.
+        struct World {
+            log: Vec<(usize, u64)>,
+        }
+        let mut sched = Scheduler::new();
+        let a = sched.add_actor(SimTime::ZERO);
+        let b = sched.add_actor(SimTime::ZERO);
+        let mut world = World { log: vec![] };
+        sched.run_until(&mut world, SimTime::from_nanos(100), |w, id, now| {
+            w.log.push((id, now.as_nanos()));
+            let period = if id == a { 10 } else { 25 };
+            StepOutcome::WakeAt(now + SimDuration::from_nanos(period))
+        });
+        // Actor a fires at 0,10,..,100 (11 times); b at 0,25,50,75,100 (5).
+        let a_count = world.log.iter().filter(|(id, _)| *id == a).count();
+        let b_count = world.log.iter().filter(|(id, _)| *id == b).count();
+        assert_eq!(a_count, 11);
+        assert_eq!(b_count, 5);
+        // Log must be sorted by time.
+        assert!(world.log.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn idle_actor_runs_only_when_woken() {
+        let mut sched = Scheduler::new();
+        let idle = sched.add_idle_actor();
+        let driver = sched.add_actor(SimTime::ZERO);
+        let mut hits = vec![0u32; 2];
+        sched.run_until(&mut hits, SimTime::from_nanos(50), |w, id, _now| {
+            w[id] += 1;
+            if id == driver {
+                StepOutcome::Done
+            } else {
+                StepOutcome::Idle
+            }
+        });
+        assert_eq!(hits[idle], 0);
+        assert_eq!(hits[driver], 1);
+
+        sched.wake(idle, SimTime::from_nanos(60));
+        sched.run_until(&mut hits, SimTime::from_nanos(100), |w, id, _| {
+            w[id] += 1;
+            StepOutcome::Idle
+        });
+        assert_eq!(hits[idle], 1);
+    }
+
+    #[test]
+    fn earlier_wake_supersedes_later() {
+        let mut sched = Scheduler::new();
+        let a = sched.add_idle_actor();
+        sched.wake(a, SimTime::from_nanos(100));
+        sched.wake(a, SimTime::from_nanos(10)); // earlier wins
+        let mut times = Vec::new();
+        sched.run_until(&mut times, SimTime::from_nanos(200), |w, _, now| {
+            w.push(now.as_nanos());
+            StepOutcome::Idle
+        });
+        assert_eq!(times, vec![10]);
+    }
+
+    #[test]
+    fn deadline_pauses_and_resumes() {
+        let mut sched = Scheduler::new();
+        sched.add_actor(SimTime::from_nanos(5));
+        let mut count = 0u32;
+        sched.run_until(&mut count, SimTime::from_nanos(14), |c, _, now| {
+            *c += 1;
+            StepOutcome::WakeAt(now + SimDuration::from_nanos(10))
+        });
+        // Fires at 5, reschedules to 15 which is past the deadline.
+        assert_eq!(count, 1);
+        // Continue to t=30: fires at 15 and 25.
+        sched.run_until(&mut count, SimTime::from_nanos(30), |c, _, now| {
+            *c += 1;
+            StepOutcome::WakeAt(now + SimDuration::from_nanos(10))
+        });
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn wake_in_past_clamps_to_now() {
+        let mut sched = Scheduler::new();
+        let a = sched.add_actor(SimTime::from_nanos(50));
+        let b = sched.add_idle_actor();
+        let mut order = Vec::new();
+        sched.run_until(
+            &mut order,
+            SimTime::from_nanos(100),
+            |o: &mut Vec<usize>, id, _| {
+                o.push(id);
+                StepOutcome::Idle
+            },
+        );
+        assert_eq!(order, vec![a]);
+        // now == 50; waking b "at 10" must not rewind time.
+        sched.wake(b, SimTime::from_nanos(10));
+        sched.run_until(&mut order, SimTime::from_nanos(100), |o, id, now| {
+            o.push(id);
+            assert!(now >= SimTime::from_nanos(50));
+            StepOutcome::Idle
+        });
+        assert_eq!(order, vec![a, b]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Fixed-width time-binned series.
+//!
+//! The paper measures NIC bandwidth utilization by binning traffic at 10 µs
+//! granularity and reporting percentiles over the bins (e.g. "P99.99
+//! utilization of allocated NIC bandwidth is 20 %"). [`BinnedSeries`]
+//! accumulates a value (bytes, packets, losses, ...) into such bins and
+//! answers percentile and excerpt queries.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Accumulates `f64` quantities into fixed-width time bins.
+#[derive(Clone, Debug)]
+pub struct BinnedSeries {
+    bin_width: SimDuration,
+    bins: Vec<f64>,
+}
+
+impl BinnedSeries {
+    /// Create a series with the given bin width.
+    pub fn new(bin_width: SimDuration) -> Self {
+        assert!(bin_width.as_nanos() > 0, "bin width must be positive");
+        BinnedSeries {
+            bin_width,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> SimDuration {
+        self.bin_width
+    }
+
+    /// Add `amount` to the bin containing `at`.
+    pub fn add(&mut self, at: SimTime, amount: f64) {
+        let idx = (at.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += amount;
+    }
+
+    /// Ensure bins exist through `until` (so trailing idle time counts as
+    /// zero-valued bins in percentile queries).
+    pub fn extend_to(&mut self, until: SimTime) {
+        let idx = (until.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+    }
+
+    /// Number of bins (including zero bins created by `extend_to`).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// True if no bins exist.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Raw bin values.
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// Sum over all bins.
+    pub fn total(&self) -> f64 {
+        self.bins.iter().sum()
+    }
+
+    /// Mean bin value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.bins.is_empty() {
+            0.0
+        } else {
+            self.total() / self.bins.len() as f64
+        }
+    }
+
+    /// Maximum bin value (0 if empty).
+    pub fn max(&self) -> f64 {
+        self.bins.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Percentile over bin values, `p` in percent (e.g. 99.99). Uses the
+    /// nearest-rank method on a sorted copy.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.bins.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.bins.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = (p / 100.0).clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        sorted[rank - 1]
+    }
+
+    /// Convert each bin (interpreted as bytes) to a rate in bits/second.
+    pub fn as_bits_per_sec(&self) -> Vec<f64> {
+        let secs = self.bin_width.as_secs_f64();
+        self.bins.iter().map(|b| b * 8.0 / secs).collect()
+    }
+
+    /// Extract the bins covering `[from, to)` as `(bin_start, value)` pairs.
+    pub fn excerpt(&self, from: SimTime, to: SimTime) -> Vec<(SimTime, f64)> {
+        let w = self.bin_width.as_nanos();
+        let lo = (from.as_nanos() / w) as usize;
+        let hi = to.as_nanos().div_ceil(w) as usize;
+        (lo..hi.min(self.bins.len()))
+            .map(|i| (SimTime::from_nanos(i as u64 * w), self.bins[i]))
+            .collect()
+    }
+
+    /// Re-bin into coarser bins by an integer factor (for plotting long
+    /// traces compactly).
+    pub fn coarsen(&self, factor: usize) -> BinnedSeries {
+        assert!(factor > 0);
+        let mut out = BinnedSeries::new(self.bin_width * factor as u64);
+        out.bins = self.bins.chunks(factor).map(|c| c.iter().sum()).collect();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_micros(n)
+    }
+
+    #[test]
+    fn add_places_in_correct_bin() {
+        let mut s = BinnedSeries::new(SimDuration::from_micros(10));
+        s.add(us(5), 1.0);
+        s.add(us(15), 2.0);
+        s.add(us(19), 3.0);
+        s.add(us(20), 4.0);
+        assert_eq!(s.bins(), &[1.0, 5.0, 4.0]);
+    }
+
+    #[test]
+    fn extend_to_creates_zero_bins() {
+        let mut s = BinnedSeries::new(SimDuration::from_micros(10));
+        s.add(us(5), 1.0);
+        s.extend_to(us(45));
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.total(), 1.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s = BinnedSeries::new(SimDuration::from_micros(1));
+        for i in 0..100 {
+            s.add(us(i), i as f64);
+        }
+        assert_eq!(s.percentile(50.0), 49.0);
+        assert_eq!(s.percentile(99.0), 98.0);
+        assert_eq!(s.percentile(100.0), 99.0);
+        assert_eq!(s.max(), 99.0);
+    }
+
+    #[test]
+    fn bits_per_sec_conversion() {
+        let mut s = BinnedSeries::new(SimDuration::from_micros(10));
+        s.add(us(0), 1250.0); // 1250 bytes in 10us = 1 Gbit/s
+        let rates = s.as_bits_per_sec();
+        assert!((rates[0] - 1e9).abs() < 1e-3);
+    }
+
+    #[test]
+    fn excerpt_covers_half_open_range() {
+        let mut s = BinnedSeries::new(SimDuration::from_micros(10));
+        for i in 0..10 {
+            s.add(us(i * 10), i as f64);
+        }
+        let ex = s.excerpt(us(20), us(50));
+        assert_eq!(ex.len(), 3);
+        assert_eq!(ex[0], (us(20), 2.0));
+        assert_eq!(ex[2], (us(40), 4.0));
+    }
+
+    #[test]
+    fn coarsen_preserves_total() {
+        let mut s = BinnedSeries::new(SimDuration::from_micros(1));
+        for i in 0..100 {
+            s.add(us(i), 1.0);
+        }
+        let c = s.coarsen(7);
+        assert_eq!(c.total(), s.total());
+        assert_eq!(c.bin_width(), SimDuration::from_micros(7));
+        assert_eq!(c.len(), 15); // ceil(100/7)
+    }
+}

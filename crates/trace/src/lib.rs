@@ -1,0 +1,26 @@
+//! Synthetic datacenter traces.
+//!
+//! The paper's utilization study (§2.2) uses two production artifacts we do
+//! not have: an Azure allocation trace (instance arrivals/departures with
+//! multi-dimensional resource requests) and rack-level packet captures. This
+//! crate generates synthetic equivalents calibrated to every statistic the
+//! paper publishes about those traces, which are the only quantities the
+//! experiments consume:
+//!
+//! * [`packet_trace`] — per-host ON/OFF bursty traffic whose 10 µs-binned
+//!   utilization matches Table 2 (per-host P99.99 of 23–79 %, P99 < 3 % for
+//!   the burstiest host, aggregated P99.99 ≈ 10–20 %). Used by Fig. 3,
+//!   Table 2, and the Fig. 12 replay.
+//! * [`alloc_trace`] — heterogeneous instance arrivals/departures bin-packed
+//!   onto hosts by CPU/memory, leaving NIC bandwidth and SSD capacity
+//!   stranded the way §2.2 reports (27 % NIC, 33 % SSD at pod size 1).
+//! * [`stranding`] — the Fig. 2 pooling simulation: group hosts into pods,
+//!   pool their NICs/SSDs, and measure how stranding falls with pod size.
+
+pub mod alloc_trace;
+pub mod packet_trace;
+pub mod stranding;
+
+pub use alloc_trace::{AllocTrace, HostCapacity, Instance, InstanceType};
+pub use packet_trace::{HostProfile, PacketTrace};
+pub use stranding::{stranding_by_pod_size, StrandingPoint};

@@ -1,0 +1,356 @@
+//! Bursty per-host packet traces.
+//!
+//! §2.2 / Fig. 3: production NIC traffic is "highly variable and bursty" —
+//! a host's P99 utilization (10 µs bins) is under 3 % while its P99.99
+//! reaches tens of percent. We model each host as a three-level process:
+//!
+//! 1. a *baseline* trickle (RPC chatter) at a fraction of a Gbit/s,
+//! 2. frequent *small bursts* (tens of µs, a few Gbit/s),
+//! 3. rare *large bursts* (hundreds of µs, tens of Gbit/s) that dominate
+//!    the P99.99 but occupy ~0.01–0.1 % of time.
+//!
+//! Burst durations are Pareto (heavy-tailed), inter-burst gaps exponential,
+//! burst rates lognormal around a per-host target. The profiles below are
+//! calibrated so the generated traces reproduce Table 2's published
+//! percentiles for racks A and B.
+
+use oasis_sim::rng::SimRng;
+use oasis_sim::series::BinnedSeries;
+use oasis_sim::time::{SimDuration, SimTime};
+
+/// Wire overhead per packet used for utilization accounting (preamble +
+/// FCS + IFG), matching `oasis_net::WIRE_OVERHEAD_BYTES`.
+const WIRE_OVERHEAD: u64 = 24;
+
+/// Traffic profile of one host.
+#[derive(Clone, Debug)]
+pub struct HostProfile {
+    /// NIC line rate in Gbit/s.
+    pub line_gbps: f64,
+    /// Mean baseline rate in Gbit/s (always on).
+    pub baseline_gbps: f64,
+    /// Mean gap between small bursts.
+    pub small_gap: SimDuration,
+    /// Mean small-burst duration (Pareto scale; alpha 1.5).
+    pub small_dur: SimDuration,
+    /// Small-burst rate, Gbit/s (lognormal median).
+    pub small_gbps: f64,
+    /// Mean gap between large bursts.
+    pub large_gap: SimDuration,
+    /// Mean large-burst duration.
+    pub large_dur: SimDuration,
+    /// Large-burst rate, Gbit/s (lognormal median).
+    pub large_gbps: f64,
+}
+
+impl HostProfile {
+    /// The four hosts of rack A (100 Gbit NICs): Table 2 reports inbound
+    /// P99.99 of 39 %, 30 %, ~0 %, 23 % and 10 % aggregated.
+    pub fn rack_a() -> [HostProfile; 4] {
+        let base = |large_gbps: f64, large_gap_ms: u64| HostProfile {
+            line_gbps: 100.0,
+            baseline_gbps: 0.15,
+            small_gap: SimDuration::from_micros(400),
+            small_dur: SimDuration::from_micros(15),
+            small_gbps: 1.2,
+            large_gap: SimDuration::from_millis(large_gap_ms),
+            large_dur: SimDuration::from_micros(120),
+            large_gbps,
+        };
+        [
+            base(38.0, 700),
+            base(29.0, 800),
+            // Host 3 is nearly idle (P99.99 ~ 0%).
+            HostProfile {
+                line_gbps: 100.0,
+                baseline_gbps: 0.01,
+                small_gap: SimDuration::from_millis(50),
+                small_dur: SimDuration::from_micros(10),
+                small_gbps: 0.2,
+                large_gap: SimDuration::from_secs(3600),
+                large_dur: SimDuration::from_micros(10),
+                large_gbps: 0.3,
+            },
+            base(22.0, 900),
+        ]
+    }
+
+    /// The four hosts of rack B (50 Gbit NICs): inbound P99.99 of 39 %,
+    /// 75 %, 52 %, 79 %, 20 % aggregated.
+    pub fn rack_b() -> [HostProfile; 4] {
+        let base = |large_gbps: f64, large_gap_ms: u64| HostProfile {
+            line_gbps: 50.0,
+            baseline_gbps: 0.2,
+            small_gap: SimDuration::from_micros(300),
+            small_dur: SimDuration::from_micros(15),
+            small_gbps: 1.0,
+            large_gap: SimDuration::from_millis(large_gap_ms),
+            large_dur: SimDuration::from_micros(150),
+            large_gbps,
+        };
+        [
+            base(19.0, 700),
+            base(37.0, 600),
+            base(25.5, 650),
+            base(39.0, 550),
+        ]
+    }
+}
+
+/// A generated packet trace: `(arrival_ns, frame_bytes)` pairs, sorted.
+#[derive(Clone, Debug)]
+pub struct PacketTrace {
+    /// Packet arrivals.
+    pub events: Vec<(u64, u16)>,
+    /// The NIC line rate the trace was generated against, Gbit/s.
+    pub line_gbps: f64,
+    /// Trace duration.
+    pub duration: SimDuration,
+}
+
+impl PacketTrace {
+    /// Generate a trace for one host.
+    pub fn generate(profile: &HostProfile, duration: SimDuration, seed: u64) -> PacketTrace {
+        let mut rng = SimRng::new(seed);
+        let mut events: Vec<(u64, u16)> = Vec::new();
+        let end = duration.as_nanos();
+
+        // Baseline trickle: Poisson arrivals of mixed-size packets.
+        {
+            let mean_pkt = 700.0; // bytes
+            let rate_bps = profile.baseline_gbps * 1e9 / 8.0;
+            let gap_ns = mean_pkt / rate_bps * 1e9;
+            let mut t = rng.exp(gap_ns);
+            while (t as u64) < end {
+                let size = Self::sample_size(&mut rng);
+                events.push((t as u64, size));
+                t += rng.exp(gap_ns);
+            }
+        }
+
+        // Burst levels.
+        for (gap, dur, gbps) in [
+            (profile.small_gap, profile.small_dur, profile.small_gbps),
+            (profile.large_gap, profile.large_dur, profile.large_gbps),
+        ] {
+            let mut t = rng.exp(gap.as_nanos() as f64);
+            while (t as u64) < end {
+                // Heavy-tailed burst duration, capped at 20x the mean.
+                let d = rng.pareto_capped(
+                    dur.as_nanos() as f64 / 3.0,
+                    1.5,
+                    dur.as_nanos() as f64 * 20.0,
+                );
+                let rate = (gbps * rng.lognormal(0.0, 0.25)).min(profile.line_gbps * 0.95);
+                // MTU packets back-to-back at `rate`.
+                let pkt = 1500u64;
+                let pkt_gap = (pkt + WIRE_OVERHEAD) as f64 * 8.0 / rate;
+                let burst_end = (t + d).min(end as f64);
+                let mut pt = t;
+                while pt < burst_end {
+                    events.push((pt as u64, pkt as u16));
+                    pt += pkt_gap;
+                }
+                t = burst_end + rng.exp(gap.as_nanos() as f64);
+            }
+        }
+
+        events.sort_unstable();
+        PacketTrace {
+            events,
+            line_gbps: profile.line_gbps,
+            duration,
+        }
+    }
+
+    /// Production packet-size mix for baseline traffic: mostly small
+    /// control/RPC packets with some MTU data.
+    fn sample_size(rng: &mut SimRng) -> u16 {
+        if rng.chance(0.6) {
+            rng.range_u64(64, 300) as u16
+        } else if rng.chance(0.5) {
+            rng.range_u64(300, 1200) as u16
+        } else {
+            1500
+        }
+    }
+
+    /// Total packets.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace has no packets.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total bytes (L2).
+    pub fn total_bytes(&self) -> u64 {
+        self.events.iter().map(|&(_, s)| s as u64).sum()
+    }
+
+    /// Bin the trace into wire-bytes per `bin` (10 µs in the paper).
+    pub fn binned(&self, bin: SimDuration) -> BinnedSeries {
+        let mut s = BinnedSeries::new(bin);
+        for &(t, size) in &self.events {
+            s.add(SimTime::from_nanos(t), (size as u64 + WIRE_OVERHEAD) as f64);
+        }
+        s.extend_to(SimTime::ZERO + self.duration);
+        s
+    }
+
+    /// Utilization (fraction of line rate) at percentile `p` over 10 µs
+    /// bins — the Table 2 metric.
+    pub fn utilization_percentile(&self, p: f64) -> f64 {
+        let bin = SimDuration::from_micros(10);
+        let series = self.binned(bin);
+        let bytes = series.percentile(p);
+        let capacity = self.line_gbps * 1e9 / 8.0 * bin.as_secs_f64();
+        bytes / capacity
+    }
+
+    /// Mean utilization over the whole trace.
+    pub fn mean_utilization(&self) -> f64 {
+        let wire_bytes: u64 = self
+            .events
+            .iter()
+            .map(|&(_, s)| s as u64 + WIRE_OVERHEAD)
+            .sum();
+        let capacity = self.line_gbps * 1e9 / 8.0 * self.duration.as_secs_f64();
+        wire_bytes as f64 / capacity
+    }
+
+    /// Export as CSV (`arrival_ns,frame_bytes`) for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 16 + 32);
+        out.push_str("arrival_ns,frame_bytes\n");
+        for &(t, size) in &self.events {
+            out.push_str(&format!("{t},{size}\n"));
+        }
+        out
+    }
+
+    /// Merge several traces into an aggregate (for pooled-utilization
+    /// numbers: the "Aggregated" column of Table 2).
+    pub fn aggregate(traces: &[&PacketTrace]) -> PacketTrace {
+        assert!(!traces.is_empty());
+        let mut events: Vec<(u64, u16)> = traces
+            .iter()
+            .flat_map(|t| t.events.iter().copied())
+            .collect();
+        events.sort_unstable();
+        PacketTrace {
+            events,
+            line_gbps: traces.iter().map(|t| t.line_gbps).sum(),
+            duration: traces.iter().map(|t| t.duration).max().unwrap(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn trace_is_sorted_and_bounded() {
+        let p = &HostProfile::rack_a()[0];
+        let t = PacketTrace::generate(p, secs(1), 1);
+        assert!(!t.is_empty());
+        assert!(t.events.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(t.events.last().unwrap().0 < secs(1).as_nanos());
+        assert!(t.events.iter().all(|&(_, s)| (64..=1500).contains(&s)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = &HostProfile::rack_a()[1];
+        let a = PacketTrace::generate(p, secs(1), 7);
+        let b = PacketTrace::generate(p, secs(1), 7);
+        assert_eq!(a.events, b.events);
+        let c = PacketTrace::generate(p, secs(1), 8);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn bursty_host_has_low_p99_high_p9999() {
+        // Fig. 3 host 1: P99 < 3%, P99.99 ~ 39%.
+        let p = &HostProfile::rack_a()[0];
+        let t = PacketTrace::generate(p, secs(30), 42);
+        let p99 = t.utilization_percentile(99.0);
+        let p9999 = t.utilization_percentile(99.99);
+        assert!(p99 < 0.05, "p99 {p99}");
+        assert!((0.20..=0.55).contains(&p9999), "p99.99 {p9999}");
+        assert!(p9999 > 5.0 * p99, "burstiness gap");
+    }
+
+    #[test]
+    fn idle_host_is_nearly_silent() {
+        let p = &HostProfile::rack_a()[2];
+        let t = PacketTrace::generate(p, secs(10), 42);
+        assert!(t.utilization_percentile(99.99) < 0.03);
+    }
+
+    #[test]
+    fn aggregate_multiplexes_below_sum_of_peaks() {
+        // Table 2: per-host P99.99 tens of percent, aggregated ~10%.
+        let profiles = HostProfile::rack_a();
+        let traces: Vec<PacketTrace> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PacketTrace::generate(p, secs(30), 100 + i as u64))
+            .collect();
+        let refs: Vec<&PacketTrace> = traces.iter().collect();
+        let agg = PacketTrace::aggregate(&refs);
+        let agg_p9999 = agg.utilization_percentile(99.99);
+        assert!(
+            (0.05..=0.20).contains(&agg_p9999),
+            "aggregated p99.99 {agg_p9999} (paper: 0.10)"
+        );
+        // Aggregation must be far below the max per-host percentile.
+        let max_host = traces
+            .iter()
+            .map(|t| t.utilization_percentile(99.99))
+            .fold(0.0, f64::max);
+        assert!(agg_p9999 < max_host * 0.6);
+    }
+
+    #[test]
+    fn mean_utilization_low() {
+        // §2.2 takeaway: overall ~15% NIC utilization; per-host means are
+        // in the low percent.
+        let p = &HostProfile::rack_a()[0];
+        let t = PacketTrace::generate(p, secs(10), 3);
+        let m = t.mean_utilization();
+        assert!(m < 0.05, "mean {m}");
+        assert!(m > 0.0005, "mean {m}");
+    }
+
+    #[test]
+    fn csv_export_roundtrips_event_count() {
+        let p = &HostProfile::rack_a()[2];
+        let t = PacketTrace::generate(p, SimDuration::from_millis(200), 5);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), t.len() + 1);
+        assert!(csv.starts_with("arrival_ns,frame_bytes"));
+        // Every line parses back.
+        for line in csv.lines().skip(1) {
+            let (a, b) = line.split_once(',').unwrap();
+            a.parse::<u64>().unwrap();
+            b.parse::<u16>().unwrap();
+        }
+    }
+
+    #[test]
+    fn binned_total_matches_bytes() {
+        let p = &HostProfile::rack_a()[3];
+        let t = PacketTrace::generate(p, secs(1), 5);
+        let binned = t.binned(SimDuration::from_micros(10));
+        let wire: u64 = t.events.iter().map(|&(_, s)| s as u64 + 24).sum();
+        assert_eq!(binned.total() as u64, wire);
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: pool a NIC across hosts with Oasis.
+//!
+//! Builds a two-host CXL pod — host A has no NIC, host B has one — launches
+//! a UDP echo instance on host A, and drives it from an external client.
+//! Every packet crosses the host boundary through shared CXL memory: the
+//! frontend driver on host A writes TX payloads into pool buffers and
+//! signals host B's backend driver over a non-coherent message channel; the
+//! NIC DMAs the buffers directly.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use oasis::apps::stats::ClientStats;
+use oasis::apps::udp::{EchoServer, Pacing, UdpClient};
+use oasis::core::config::OasisConfig;
+use oasis::core::instance::AppKind;
+use oasis::core::pod::PodBuilder;
+use oasis::sim::time::{SimDuration, SimTime};
+
+fn main() {
+    // 1. Describe the pod: two hosts around one CXL memory pool.
+    let mut builder = PodBuilder::new(OasisConfig::default());
+    let host_a = builder.add_host(); // no NIC — will borrow host B's
+    let host_b = builder.add_nic_host(); // owns NIC 0
+    let mut pod = builder.build();
+
+    // 2. Launch an echo instance on the NIC-less host. The pod-wide
+    //    allocator assigns it host B's NIC (10 Gbit/s lease).
+    let inst = pod.launch_instance(
+        host_a,
+        AppKind::Udp(Box::new(EchoServer::new(SimDuration::from_micros(1)))),
+        10_000,
+    );
+    println!(
+        "instance {} on host {host_a} served by remote NIC on host {host_b}",
+        pod.instance_ip(inst)
+    );
+
+    // 3. Attach a client endpoint to the ToR switch and echo 1000 packets.
+    let stats = ClientStats::handle();
+    let client = UdpClient::new(
+        1,
+        pod.instance_mac(inst),
+        pod.instance_ip(inst),
+        7,
+        64,
+        Pacing::FixedGap {
+            gap: SimDuration::from_micros(20),
+            count: 1000,
+        },
+        SimTime::from_micros(50),
+        stats.clone(),
+    );
+    pod.add_endpoint(Box::new(client));
+
+    // 4. Run the co-simulation.
+    pod.run(SimTime::from_millis(30));
+
+    // 5. Results.
+    let s = stats.borrow();
+    println!(
+        "echoed {}/{} packets, RTT p50 {:.2} us, p99 {:.2} us",
+        s.received,
+        s.sent,
+        s.rtt.percentile(50.0) as f64 / 1e3,
+        s.rtt.percentile(99.0) as f64 / 1e3,
+    );
+    println!(
+        "CXL pool traffic: {} payload bytes, {} message bytes",
+        (0..pod.pool.ports())
+            .map(|p| pod
+                .pool
+                .meter(oasis::cxl::pool::PortId(p))
+                .class_bytes(oasis::cxl::pool::TrafficClass::Payload))
+            .sum::<u64>(),
+        (0..pod.pool.ports())
+            .map(|p| pod
+                .pool
+                .meter(oasis::cxl::pool::PortId(p))
+                .class_bytes(oasis::cxl::pool::TrafficClass::Message))
+            .sum::<u64>(),
+    );
+    assert_eq!(s.received, 1000, "every packet echoed");
+}

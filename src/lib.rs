@@ -1,0 +1,32 @@
+//! # Oasis — pooling PCIe devices over CXL, in software
+//!
+//! This is the facade crate of the Oasis workspace, a full reproduction of
+//! *"Oasis: Pooling PCIe Devices Over CXL to Boost Utilization"* (SOSP '25).
+//! It re-exports every member crate under a stable path so applications can
+//! depend on a single crate:
+//!
+//! * [`sim`] — deterministic discrete-event simulation core,
+//! * [`cxl`] — non-coherent CXL 2.0 memory-pool model,
+//! * [`channel`] — Oasis message channels over non-coherent shared memory,
+//! * [`net`] — simulated NICs, switch, and packet codecs,
+//! * [`storage`] — simulated NVMe-like SSDs,
+//! * [`raft`] — Raft consensus replicating the pod-wide allocator,
+//! * [`trace`] — synthetic datacenter traces and the stranding simulator,
+//! * [`core`] — the Oasis system itself: datapath, engines, allocator,
+//! * [`apps`] — workloads used by the evaluation (echo, memcached, web apps).
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs`, which boots a two-host pod sharing one NIC
+//! and echoes UDP packets across the host boundary through the Oasis
+//! datapath.
+
+pub use oasis_apps as apps;
+pub use oasis_channel as channel;
+pub use oasis_core as core;
+pub use oasis_cxl as cxl;
+pub use oasis_net as net;
+pub use oasis_raft as raft;
+pub use oasis_sim as sim;
+pub use oasis_storage as storage;
+pub use oasis_trace as trace;

@@ -1,0 +1,116 @@
+//! Bandwidth-lease enforcement at the frontend driver.
+//!
+//! The pod-wide allocator leases NIC bandwidth to instances (§3.5); the
+//! frontend's token-bucket policer makes the lease real: an instance that
+//! offers more than its lease gets policed, and the delivered rate tracks
+//! the lease.
+
+use oasis::core::config::OasisConfig;
+use oasis::core::instance::{AppKind, UdpApp, UdpResponse};
+use oasis::core::pod::{HostDriver, PodBuilder};
+use oasis::net::addr::Ipv4Addr;
+use oasis::sim::time::{SimDuration, SimTime};
+
+/// A chatty app: every request triggers `amplification` MTU responses, so
+/// the instance's TX rate can exceed its lease even at a modest request
+/// rate.
+struct Blaster {
+    amplification: usize,
+}
+
+impl UdpApp for Blaster {
+    fn on_datagram(
+        &mut self,
+        _now: SimTime,
+        src: (Ipv4Addr, u16),
+        dst_port: u16,
+        _payload: &[u8],
+    ) -> Vec<UdpResponse> {
+        (0..self.amplification)
+            .map(|_| UdpResponse {
+                delay: SimDuration::from_micros(1),
+                dst: src,
+                src_port: dst_port,
+                payload: vec![0u8; 1400],
+            })
+            .collect()
+    }
+}
+
+fn run(lease_mbps: u32, enforce: bool) -> (u64, u64, f64) {
+    use oasis::apps::stats::ClientStats;
+    use oasis::apps::udp::{Pacing, UdpClient};
+
+    let mut b = PodBuilder::new(OasisConfig::default());
+    let host_a = b.add_host();
+    let _n = b.add_nic_host();
+    let mut pod = b.build();
+    let inst = pod.launch_instance(
+        host_a,
+        AppKind::Udp(Box::new(Blaster { amplification: 8 })),
+        lease_mbps,
+    );
+    if enforce {
+        let ip = pod.instance_ip(inst);
+        let HostDriver::Oasis(fe) = &mut pod.drivers[host_a] else {
+            unreachable!()
+        };
+        fe.enforce_lease(ip, lease_mbps, 64 * 1024);
+    }
+
+    let stats = ClientStats::handle();
+    let window = SimDuration::from_millis(20);
+    let client = UdpClient::new(
+        1,
+        pod.instance_mac(inst),
+        pod.instance_ip(inst),
+        7,
+        64,
+        Pacing::Poisson {
+            rate_rps: 40_000.0, // 40k req/s x 8 x 1400B ~ 3.6 Gbit/s offered
+            until: SimTime::ZERO + window,
+        },
+        SimTime::from_micros(100),
+        stats.clone(),
+    );
+    pod.add_endpoint(Box::new(client));
+    pod.run(SimTime::ZERO + window + SimDuration::from_millis(2));
+
+    let HostDriver::Oasis(fe) = &pod.drivers[host_a] else {
+        unreachable!()
+    };
+    let delivered_bits = pod.nics[0].stats.tx_bytes as f64 * 8.0;
+    let gbps = delivered_bits / window.as_secs_f64() / 1e9;
+    (fe.stats.tx_packets, fe.stats.tx_policed, gbps)
+}
+
+#[test]
+fn policer_caps_delivered_rate_at_the_lease() {
+    let (_sent, policed, gbps) = run(1_000, true); // 1 Gbit/s lease
+    assert!(
+        policed > 100,
+        "over-lease traffic must be policed: {policed}"
+    );
+    assert!(
+        gbps < 1.3,
+        "delivered {gbps:.2} Gbit/s must track the 1 Gbit/s lease"
+    );
+    assert!(gbps > 0.5, "delivered {gbps:.2} Gbit/s: policer too strict");
+}
+
+#[test]
+fn without_enforcement_traffic_exceeds_lease() {
+    let (_sent, policed, gbps) = run(1_000, false);
+    assert_eq!(policed, 0);
+    assert!(
+        gbps > 2.0,
+        "unpoliced blaster should exceed its 1 Gbit/s lease: {gbps:.2}"
+    );
+}
+
+#[test]
+fn generous_lease_polices_nothing() {
+    let (_sent, policed, gbps) = run(50_000, true); // 50 Gbit/s lease
+    assert_eq!(policed, 0, "under-lease traffic untouched");
+    assert!(gbps > 2.0);
+}

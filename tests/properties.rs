@@ -1,0 +1,225 @@
+//! Property-based tests on the core invariants (proptest).
+
+use oasis::channel::{ChannelLayout, Policy, Receiver, Sender};
+use oasis::core::tcp::{TcpConfig, TcpConn};
+use oasis::cxl::pool::{PortId, TrafficClass};
+use oasis::cxl::{CxlPool, HostCtx, RegionAllocator};
+use oasis::net::addr::{Ipv4Addr, MacAddr};
+use oasis::net::packet::{TcpFlags, TcpSegment, UdpPacket};
+use oasis::sim::hist::Histogram;
+use oasis::sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// UDP frames round-trip for arbitrary addresses, ports, and payloads.
+    #[test]
+    fn udp_roundtrip(
+        src in any::<[u8; 4]>(),
+        dst in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let p = UdpPacket {
+            src_mac: MacAddr::nic(1),
+            dst_mac: MacAddr::nic(2),
+            src_ip: Ipv4Addr(src),
+            dst_ip: Ipv4Addr(dst),
+            src_port: sport,
+            dst_port: dport,
+            payload: bytes::Bytes::from(payload),
+        };
+        prop_assert_eq!(UdpPacket::parse(&p.encode()), Some(p));
+    }
+
+    /// Corrupting any single byte of a UDP frame makes it unparseable (the
+    /// checksums catch it) or parses to the identical packet (the byte was
+    /// outside every covered field — impossible for UDP, where checksums
+    /// cover everything except the MACs).
+    #[test]
+    fn udp_bitflip_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip_at_frac in 0.0f64..1.0,
+        flip_bit in 0u8..8,
+    ) {
+        let p = UdpPacket {
+            src_mac: MacAddr::nic(1),
+            dst_mac: MacAddr::nic(2),
+            src_ip: Ipv4Addr::instance(1),
+            dst_ip: Ipv4Addr::instance(2),
+            src_port: 9,
+            dst_port: 7,
+            payload: bytes::Bytes::from(payload),
+        };
+        let frame = p.encode();
+        let mut bytes = frame.bytes().to_vec();
+        // Flip one bit beyond the Ethernet header (MACs are not covered by
+        // any checksum, as on real ethernet before the FCS).
+        let idx = 14 + ((bytes.len() - 14) as f64 * flip_at_frac) as usize;
+        let idx = idx.min(bytes.len() - 1);
+        bytes[idx] ^= 1 << flip_bit;
+        let corrupted = oasis::net::packet::Frame(bytes::Bytes::from(bytes));
+        prop_assert!(UdpPacket::parse(&corrupted).is_none());
+    }
+
+    /// TCP segments round-trip.
+    #[test]
+    fn tcp_roundtrip(
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1024),
+    ) {
+        let s = TcpSegment {
+            src_mac: MacAddr::nic(3),
+            dst_mac: MacAddr::nic(4),
+            src_ip: Ipv4Addr::instance(3),
+            dst_ip: Ipv4Addr::instance(4),
+            src_port: 1,
+            dst_port: 2,
+            seq,
+            ack,
+            flags: TcpFlags { ack: true, ..Default::default() },
+            window,
+            payload: bytes::Bytes::from(payload),
+        };
+        prop_assert_eq!(TcpSegment::parse(&s.encode()), Some(s));
+    }
+
+    /// Histogram percentiles stay within the bucketing's relative error of
+    /// the exact percentile for arbitrary samples.
+    #[test]
+    fn histogram_percentile_error_bounded(
+        mut values in proptest::collection::vec(1u64..1_000_000_000, 1..300),
+        p in 1.0f64..100.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((p / 100.0 * values.len() as f64).ceil() as usize).max(1);
+        let exact = values[rank - 1];
+        let got = h.percentile(p);
+        let err = (got as f64 - exact as f64).abs() / exact as f64;
+        prop_assert!(err <= 1.0 / 32.0, "exact {exact} got {got} err {err}");
+    }
+
+    /// Channel FIFO delivery holds for every policy under arbitrary
+    /// send/receive interleavings (batch sizes drawn by proptest).
+    #[test]
+    fn channel_fifo_under_random_interleaving(
+        policy_idx in 0usize..4,
+        ops in proptest::collection::vec((0u8..2, 1u8..8), 1..120),
+    ) {
+        let policy = Policy::ALL[policy_idx];
+        let slots = 16u64;
+        let mut pool = CxlPool::new(1 << 20, 2);
+        let mut ra = RegionAllocator::new(&pool);
+        let region = ra.alloc(
+            &mut pool,
+            "prop",
+            ChannelLayout::bytes_needed(slots, 16),
+            TrafficClass::Message,
+        );
+        let layout = ChannelLayout::in_region(&region, slots, 16);
+        let mut tx = HostCtx::new(PortId(0), 0);
+        let mut rx = HostCtx::new(PortId(1), 0);
+        let mut sender = Sender::new(layout.clone());
+        let mut receiver = Receiver::new(layout, policy);
+
+        let mut next_val = 0u64;
+        let mut received = Vec::new();
+        for (op, batch) in ops {
+            if op == 0 {
+                for _ in 0..batch {
+                    let mut msg = [0u8; 16];
+                    msg[..8].copy_from_slice(&next_val.to_le_bytes());
+                    if sender.try_send(&mut tx, &mut pool, &msg) {
+                        next_val += 1;
+                    }
+                }
+                sender.flush(&mut tx, &mut pool);
+            } else {
+                // Let write-backs become visible before the receiver polls.
+                rx.clock = rx.clock.max(tx.clock) + SimDuration::from_micros(1);
+                for _ in 0..batch {
+                    let mut out = [0u8; 16];
+                    // Poll a few times: stale lines need an invalidation
+                    // round before fresh data appears.
+                    for _ in 0..3 {
+                        if receiver.try_recv(&mut rx, &mut pool, &mut out) {
+                            received.push(u64::from_le_bytes(out[..8].try_into().unwrap()));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        // Drain what's left.
+        rx.clock = rx.clock.max(tx.clock) + SimDuration::from_micros(1);
+        for _ in 0..(next_val as usize + 8) * 3 {
+            let mut out = [0u8; 16];
+            if receiver.try_recv(&mut rx, &mut pool, &mut out) {
+                received.push(u64::from_le_bytes(out[..8].try_into().unwrap()));
+            }
+            receiver.publish_consumed(&mut rx, &mut pool);
+            // Unblock a full ring.
+            tx.clock = tx.clock.max(rx.clock) + SimDuration::from_micros(1);
+        }
+        // FIFO, no loss, no duplicates.
+        prop_assert_eq!(received, (0..next_val).collect::<Vec<_>>());
+    }
+
+    /// TCP delivers the exact byte stream under arbitrary loss patterns
+    /// (given enough RTO rounds).
+    #[test]
+    fn tcp_reliable_under_loss(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        drop_pattern in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let cfg = TcpConfig {
+            rto: SimDuration::from_millis(10),
+            mss: 100,
+            ..Default::default()
+        };
+        let mut a = TcpConn::new(cfg);
+        let mut b = TcpConn::new(cfg);
+        a.send(&data);
+        let mut now = SimTime::ZERO;
+        // Decorrelate the drop decision from the retransmission cadence
+        // (a purely cyclic pattern can phase-lock with go-back-N rounds,
+        // which no real network does).
+        let mut mix = 0x9E37_79B9u64;
+        let mut dropped = |seq: u32, dir: u64| {
+            mix = mix
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(seq as u64 ^ dir);
+            drop_pattern[(mix >> 33) as usize % drop_pattern.len()]
+        };
+        for _round in 0..800 {
+            now += SimDuration::from_millis(3);
+            for seg in a.poll(now) {
+                if !dropped(seg.seq, 1) {
+                    b.on_segment(now, seg.seq, seg.ack, &seg.payload);
+                }
+            }
+            for seg in b.poll(now) {
+                if !dropped(seg.ack, 2) {
+                    a.on_segment(now, seg.seq, seg.ack, &seg.payload);
+                }
+            }
+            if a.unacked() == 0 {
+                break;
+            }
+        }
+        // With any pattern that keeps some packets, the stream eventually
+        // arrives.
+        if drop_pattern.iter().filter(|&&d| !d).count() >= 1 {
+            let mut got = Vec::new();
+            got.extend(b.take_received());
+            prop_assert_eq!(got, data);
+            prop_assert_eq!(a.unacked(), 0);
+        }
+    }
+}
