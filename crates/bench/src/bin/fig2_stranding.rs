@@ -6,6 +6,7 @@
 //! cuts SSD stranding to 7 % and lets the provider deploy ~16 % less NIC
 //! bandwidth.
 
+use oasis_bench::SweepRunner;
 use oasis_sim::report::{fmt_pct, Table};
 use oasis_sim::time::SimDuration;
 use oasis_trace::alloc_trace::{AllocTrace, ArrivalStream, HostCapacity};
@@ -23,7 +24,17 @@ fn main() {
         6
     );
 
-    let pts = stranding_by_pod_size(hosts, duration, &pod_sizes, repeats, 2025);
+    // Each pod size replays the same seeded arrival streams independently,
+    // so the sweep fans one pod size per job across SweepRunner workers;
+    // results come back in input order, identical at any thread count.
+    let runner = SweepRunner::from_env();
+    let pts: Vec<_> = runner
+        .run(&pod_sizes, |&k| {
+            stranding_by_pod_size(hosts, duration, &[k], repeats, 2025)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let mut t = Table::new(vec![
         "pod size",
@@ -55,7 +66,6 @@ fn main() {
     let stream = ArrivalStream::generate_with_load(hosts, duration, 0.85, 2025);
     let reference = AllocTrace::place(&stream, hosts, 1);
     let cap = HostCapacity::default();
-    let mut needs = Vec::new();
     let mut t = Table::new(vec![
         "pod size",
         "min NIC provisioning",
@@ -63,7 +73,10 @@ fn main() {
         "NIC saved vs pod=1",
         "SSD saved vs pod=1",
     ]);
-    for &k in &[1usize, 2, 4, 8] {
+    let prov_sizes = [1usize, 2, 4, 8];
+    // Peak-demand scans of the shared reference trace are read-only, so
+    // they fan out the same way.
+    let needs = runner.run(&prov_sizes, |&k| {
         let pods: Vec<Vec<usize>> = (0..hosts)
             .collect::<Vec<_>>()
             .chunks(k)
@@ -75,8 +88,10 @@ fn main() {
             nic_need += reference.peak_demand(pod, |ty| ty.nic_gbps);
             ssd_need += reference.peak_demand(pod, |ty| ty.ssd_gb as f64);
         }
-        needs.push((k, nic_need, ssd_need));
-        let (_, nic1, ssd1) = needs[0];
+        (nic_need, ssd_need)
+    });
+    let (nic1, ssd1) = needs[0];
+    for (&k, &(nic_need, ssd_need)) in prov_sizes.iter().zip(&needs) {
         t.row(vec![
             format!("{k}"),
             fmt_pct(nic_need / (hosts as f64 * cap.nic_gbps)),

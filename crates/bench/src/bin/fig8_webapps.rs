@@ -3,16 +3,52 @@
 //! Paper anchor: across a Python HTTP server, Rocket, nginx, and Tomcat,
 //! Oasis adds a consistent 4–7 µs at P50/P90/P99 under low and moderate
 //! load (both setups spike together near saturation).
+//!
+//! The 4 frameworks × 2 loads × 2 modes grid runs through [`SweepRunner`]:
+//! each point builds its pod inside the worker thread (stats handles are
+//! `Rc`-based and cannot cross threads, so only the extracted percentiles
+//! come back) and the tables render from results merged in input order —
+//! byte-identical at any `OASIS_SWEEP_THREADS` setting.
 
 use oasis_apps::webapp::WebFramework;
 use oasis_bench::harness::{run_webapp, Mode};
+use oasis_bench::SweepRunner;
 use oasis_sim::report::Table;
 use oasis_sim::time::SimDuration;
+
+/// Percentiles of one (framework, load, mode) point, in microseconds.
+struct Point {
+    p50: f64,
+    p90: f64,
+    p99: f64,
+}
 
 fn main() {
     println!("== Figure 8: web application overhead, baseline vs Oasis ==\n");
     let duration = SimDuration::from_millis(200);
     let warmup = SimDuration::from_millis(20);
+    let loads = [("low", 2000u64), ("moderate", 600)];
+
+    let mut jobs: Vec<(WebFramework, u64, Mode)> = Vec::new();
+    for fw in WebFramework::ALL {
+        for (_, gap_us) in loads {
+            for mode in [Mode::Baseline, Mode::Oasis] {
+                jobs.push((fw, gap_us, mode));
+            }
+        }
+    }
+    let points = SweepRunner::from_env().run(&jobs, |&(fw, gap_us, mode)| {
+        let gap = SimDuration::from_micros(gap_us);
+        let count = (duration.as_nanos() / gap.as_nanos()).saturating_sub(20);
+        let stats = run_webapp(mode, fw, gap, count, duration, warmup);
+        let s = stats.borrow();
+        Point {
+            p50: s.rtt.percentile(50.0) as f64 / 1e3,
+            p90: s.rtt.percentile(90.0) as f64 / 1e3,
+            p99: s.rtt.percentile(99.0) as f64 / 1e3,
+        }
+    });
+    let mut next_point = points.into_iter();
 
     for fw in WebFramework::ALL {
         println!("{}:", fw.label());
@@ -24,25 +60,21 @@ fn main() {
             "p99 (us)",
             "overhead p50 (us)",
         ]);
-        for (load_label, gap_us) in [("low", 2000u64), ("moderate", 600)] {
-            let gap = SimDuration::from_micros(gap_us);
-            let count = (duration.as_nanos() / gap.as_nanos()).saturating_sub(20);
+        for (load_label, _) in loads {
             let mut base_p50 = 0f64;
             for mode in [Mode::Baseline, Mode::Oasis] {
-                let stats = run_webapp(mode, fw, gap, count, duration, warmup);
-                let s = stats.borrow();
-                let p50 = s.rtt.percentile(50.0) as f64 / 1e3;
+                let p = next_point.next().expect("job grid out of sync");
                 if mode == Mode::Baseline {
-                    base_p50 = p50;
+                    base_p50 = p.p50;
                 }
                 t.row(vec![
                     load_label.to_string(),
                     mode.label().to_string(),
-                    format!("{p50:.1}"),
-                    format!("{:.1}", s.rtt.percentile(90.0) as f64 / 1e3),
-                    format!("{:.1}", s.rtt.percentile(99.0) as f64 / 1e3),
+                    format!("{:.1}", p.p50),
+                    format!("{:.1}", p.p90),
+                    format!("{:.1}", p.p99),
                     if mode == Mode::Oasis {
-                        format!("{:+.1}", p50 - base_p50)
+                        format!("{:+.1}", p.p50 - base_p50)
                     } else {
                         "-".to_string()
                     },

@@ -1,0 +1,148 @@
+//! Perf regression guard for the simulation substrate.
+//!
+//! Runs a fixed, deterministic channel + datapath workload, measures how
+//! many *simulated* operations the library executes per *wall-clock*
+//! second, and writes `BENCH_substrate.json` so successive PRs can see the
+//! substrate's speed trajectory. The simulated-op count is a pure function
+//! of the workload (the simulation is deterministic), so the metric only
+//! moves when the substrate itself gets faster or slower.
+//!
+//! Usage:
+//!   perf_smoke              measure; keep any recorded baseline in the JSON
+//!   perf_smoke --baseline   measure and also record this run as the baseline
+
+use std::time::Instant;
+
+use oasis_bench::harness::{run_udp_echo, Mode};
+use oasis_channel::runner::run_offered_load;
+use oasis_channel::Policy;
+use oasis_sim::report::Table;
+use oasis_sim::time::SimDuration;
+
+/// One timed phase: simulated ops done and wall seconds spent.
+struct Phase {
+    name: &'static str,
+    sim_ops: u64,
+    wall_secs: f64,
+}
+
+fn channel_phase() -> Phase {
+    let duration = SimDuration::from_millis(4);
+    let start = Instant::now();
+    let mut sim_ops = 0u64;
+    for policy in Policy::ALL {
+        let r = run_offered_load(policy, 8192, f64::INFINITY, duration);
+        // Every send and receive is one simulated channel operation.
+        sim_ops += r.sent + r.received;
+    }
+    Phase {
+        name: "channel-saturation(4 policies)",
+        sim_ops,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn datapath_phase() -> Phase {
+    let duration = SimDuration::from_millis(30);
+    let warmup = SimDuration::from_millis(2);
+    let start = Instant::now();
+    let mut sim_ops = 0u64;
+    for mode in Mode::ALL {
+        let stats = run_udp_echo(
+            mode,
+            512,
+            oasis_apps::udp::Pacing::FixedGap {
+                gap: SimDuration::from_micros(4),
+                count: 6_000,
+            },
+            duration,
+            warmup,
+        );
+        let s = stats.borrow();
+        // A request and its echo each traverse the full simulated datapath.
+        sim_ops += s.sent + s.received;
+    }
+    Phase {
+        name: "udp-echo-datapath(3 modes)",
+        sim_ops,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Pull `"key": <number>` out of a previously written JSON file. The file
+/// is machine-written by this binary with a fixed shape, so a plain text
+/// scan is reliable; we have no JSON dependency offline.
+fn read_json_number(text: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat)? + pat.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--baseline");
+    println!("== perf_smoke: simulation-substrate throughput ==\n");
+
+    let phases = [channel_phase(), datapath_phase()];
+
+    let mut t = Table::new(vec!["phase", "sim ops", "wall ms", "Mops/wall-s"]);
+    let mut total_ops = 0u64;
+    let mut total_wall = 0.0f64;
+    for p in &phases {
+        total_ops += p.sim_ops;
+        total_wall += p.wall_secs;
+        t.row(vec![
+            p.name.to_string(),
+            p.sim_ops.to_string(),
+            format!("{:.1}", p.wall_secs * 1e3),
+            format!("{:.3}", p.sim_ops as f64 / p.wall_secs / 1e6),
+        ]);
+    }
+    let ops_per_sec = total_ops as f64 / total_wall;
+    t.row(vec![
+        "TOTAL".to_string(),
+        total_ops.to_string(),
+        format!("{:.1}", total_wall * 1e3),
+        format!("{:.3}", ops_per_sec / 1e6),
+    ]);
+    println!("{}", t.render());
+
+    let prior_baseline = std::fs::read_to_string("BENCH_substrate.json")
+        .ok()
+        .and_then(|text| read_json_number(&text, "baseline_ops_per_sec"));
+    let baseline = if record_baseline {
+        Some(ops_per_sec)
+    } else {
+        prior_baseline
+    };
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"perf_smoke\",\n");
+    json.push_str(&format!("  \"sim_ops\": {total_ops},\n"));
+    json.push_str(&format!("  \"wall_seconds\": {total_wall:.6},\n"));
+    json.push_str(&format!("  \"ops_per_sec\": {ops_per_sec:.1},\n"));
+    match baseline {
+        Some(b) => {
+            json.push_str(&format!("  \"baseline_ops_per_sec\": {b:.1},\n"));
+            json.push_str(&format!(
+                "  \"speedup_vs_baseline\": {:.3}\n",
+                ops_per_sec / b
+            ));
+        }
+        None => json.push_str("  \"baseline_ops_per_sec\": null\n"),
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_substrate.json", &json).expect("write BENCH_substrate.json");
+
+    println!("simulated ops/wall-second: {:.0}", ops_per_sec);
+    if let Some(b) = baseline {
+        println!(
+            "baseline:                  {b:.0}  (x{:.2})",
+            ops_per_sec / b
+        );
+    }
+    println!("wrote BENCH_substrate.json");
+}

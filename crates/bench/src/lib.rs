@@ -5,5 +5,7 @@
 //! helpers, output formatting).
 
 pub mod harness;
+pub mod sweep;
 
 pub use harness::Mode;
+pub use sweep::SweepRunner;

@@ -641,11 +641,21 @@ impl Pod {
     /// Run the co-simulation until every component's clock reaches `until`.
     pub fn run(&mut self, until: SimTime) {
         loop {
-            // Find the earliest component.
-            let mut best: Option<(SimTime, usize)> = None;
+            // Find the earliest component. `best_t` starts at the horizon so
+            // a single strict compare both enforces `t < until` and keeps
+            // the first-considered component on ties, exactly as before.
+            let mut best_t = until;
+            let mut second_t = until;
+            let mut best_who = usize::MAX;
+            let mut found = false;
             let mut consider = |t: SimTime, who: usize| {
-                if t < until && best.is_none_or(|(bt, _)| t < bt) {
-                    best = Some((t, who));
+                if t < best_t {
+                    second_t = best_t;
+                    best_t = t;
+                    best_who = who;
+                    found = true;
+                } else if t < second_t {
+                    second_t = t;
                 }
             };
             // Who encoding: 0..D drivers, D..D+B backends, D+B allocator,
@@ -693,7 +703,28 @@ impl Pod {
                 consider(t, usize::MAX);
             }
 
-            let Some((t, who)) = best else { break };
+            if !found {
+                break;
+            }
+            let (t, who) = (best_t, best_who);
+
+            // Idle-skip: a baseline driver that provably has no work until
+            // some future time would burn one selection per polling quantum
+            // just advancing its clock. Batch every iteration that (a) ends
+            // before its next real work and (b) keeps it strictly earliest
+            // (ties fall through to the exact per-step path).
+            if who < d {
+                if let HostDriver::Local(ld) = &self.drivers[who] {
+                    let quanta = ld.idle_quanta(&self.nics[ld.nic_id], &self.instances, second_t);
+                    if quanta > 0 {
+                        match &mut self.drivers[who] {
+                            HostDriver::Local(ld) => ld.skip_idle(quanta),
+                            HostDriver::Oasis(_) => unreachable!(),
+                        }
+                        continue;
+                    }
+                }
+            }
             self.now = self.now.max(t);
 
             if who == usize::MAX {

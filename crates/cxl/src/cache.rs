@@ -7,18 +7,22 @@
 //! device DMA never looks in here. That is precisely the CXL 2.0 behaviour
 //! Oasis is designed around.
 //!
-//! Eviction is exact LRU via a `BTreeSet<(tick, addr)>` index, deterministic
-//! and O(log n).
+//! Eviction is exact LRU in O(1): an intrusive doubly-linked list threaded
+//! through a slab of line slots, with a hash map from line address to slab
+//! index. The list runs LRU (head) → MRU (tail); every hit or (re)insert
+//! unlinks the slot and relinks it at the tail, and eviction pops the head.
+//! This replaces the original `BTreeSet<(tick, addr)>` index — kept below as
+//! a `#[cfg(test)]` reference model — with bit-identical eviction order:
+//! both structures order lines purely by last-access recency (the BTree's
+//! tick was strictly monotonic, so address tiebreaks never fired).
 
-use std::collections::BTreeSet;
-
-use oasis_sim::detmap::DetMap;
+use oasis_sim::addrmap::AddrMap;
 use oasis_sim::time::SimTime;
 
 use crate::LINE;
 
 /// One cached 64 B line.
-#[derive(Clone)]
+#[derive(Clone, Copy, Debug)]
 pub struct CacheLine {
     /// Snapshot of the line contents as of fill time plus any local stores.
     pub data: [u8; LINE as usize],
@@ -27,15 +31,37 @@ pub struct CacheLine {
     /// When an asynchronous (prefetch) fill completes; reads before this
     /// stall until it.
     pub ready_at: SimTime,
-    lru_tick: u64,
 }
 
+/// Intrusive LRU links for one slab slot. Kept in their own array so a
+/// relink (three link updates on every non-MRU hit) stays inside a small
+/// hot region instead of striding across 96 B slots.
+#[derive(Clone, Copy)]
+struct Link {
+    prev: u32,
+    next: u32,
+}
+
+/// Sentinel slab index for "no slot".
+const NIL: u32 = u32::MAX;
+
 /// A host's cache of pool lines, keyed by line base address.
+///
+/// Slot storage is struct-of-arrays: `addrs`/`lines`/`links` are parallel
+/// vectors indexed by slab slot.
 pub struct HostCache {
-    lines: DetMap<u64, CacheLine>,
-    lru: BTreeSet<(u64, u64)>,
+    addrs: Vec<u64>,
+    lines: Vec<CacheLine>,
+    links: Vec<Link>,
+    /// Line base address → slab index.
+    index: AddrMap<u32>,
+    /// LRU end of the recency list (eviction victim).
+    head: u32,
+    /// MRU end of the recency list.
+    tail: u32,
+    /// Head of the free-slot chain (linked through `Link::next`).
+    free: u32,
     capacity: usize,
-    tick: u64,
 }
 
 /// A victim line evicted to make room; dirty victims must be written back by
@@ -54,21 +80,25 @@ impl HostCache {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
         HostCache {
-            lines: DetMap::default(),
-            lru: BTreeSet::new(),
+            addrs: Vec::new(),
+            lines: Vec::new(),
+            links: Vec::new(),
+            index: AddrMap::new(),
+            head: NIL,
+            tail: NIL,
+            free: NIL,
             capacity,
-            tick: 0,
         }
     }
 
     /// Number of lines currently cached.
     pub fn len(&self) -> usize {
-        self.lines.len()
+        self.index.len()
     }
 
     /// True if no lines are cached.
     pub fn is_empty(&self) -> bool {
-        self.lines.is_empty()
+        self.index.is_empty()
     }
 
     /// Line capacity.
@@ -78,27 +108,54 @@ impl HostCache {
 
     /// Is the line present?
     pub fn contains(&self, line_addr: u64) -> bool {
-        self.lines.contains_key(&line_addr)
+        self.index.contains(line_addr)
     }
 
-    fn bump(tick: &mut u64, lru: &mut BTreeSet<(u64, u64)>, addr: u64, line: &mut CacheLine) {
-        lru.remove(&(line.lru_tick, addr));
-        *tick += 1;
-        line.lru_tick = *tick;
-        lru.insert((*tick, addr));
+    /// Detach slot `i` from the recency list (it stays in the slab).
+    fn unlink(&mut self, i: u32) {
+        let Link { prev, next } = self.links[i as usize];
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.links[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.links[next as usize].prev = prev;
+        }
+    }
+
+    /// Attach slot `i` at the MRU tail.
+    fn link_mru(&mut self, i: u32) {
+        let old_tail = self.tail;
+        self.links[i as usize] = Link {
+            prev: old_tail,
+            next: NIL,
+        };
+        if old_tail == NIL {
+            self.head = i;
+        } else {
+            self.links[old_tail as usize].next = i;
+        }
+        self.tail = i;
     }
 
     /// Access a present line, refreshing its LRU position. Returns `None` on
     /// miss.
     pub fn touch(&mut self, line_addr: u64) -> Option<&mut CacheLine> {
-        let line = self.lines.get_mut(&line_addr)?;
-        Self::bump(&mut self.tick, &mut self.lru, line_addr, line);
-        Some(line)
+        let i = *self.index.get(line_addr)?;
+        if self.tail != i {
+            self.unlink(i);
+            self.link_mru(i);
+        }
+        Some(&mut self.lines[i as usize])
     }
 
     /// Look at a line without refreshing LRU (used by assertions/tests).
     pub fn get(&self, line_addr: u64) -> Option<&CacheLine> {
-        self.lines.get(&line_addr)
+        let i = *self.index.get(line_addr)?;
+        Some(&self.lines[i as usize])
     }
 
     /// Insert (or replace) a line, evicting the LRU victim if at capacity.
@@ -110,56 +167,221 @@ impl HostCache {
         ready_at: SimTime,
     ) -> Option<Evicted> {
         // Replacing an existing line never evicts.
-        if let Some(existing) = self.lines.get_mut(&line_addr) {
-            existing.data = data;
-            existing.dirty = dirty;
-            existing.ready_at = ready_at;
-            Self::bump(&mut self.tick, &mut self.lru, line_addr, existing);
+        if let Some(&i) = self.index.get(line_addr) {
+            let line = &mut self.lines[i as usize];
+            line.data = data;
+            line.dirty = dirty;
+            line.ready_at = ready_at;
+            if self.tail != i {
+                self.unlink(i);
+                self.link_mru(i);
+            }
             return None;
         }
-        let victim = if self.lines.len() >= self.capacity {
-            let &(vt, vaddr) = self.lru.iter().next().expect("lru nonempty at capacity");
-            self.lru.remove(&(vt, vaddr));
-            let line = self.lines.remove(&vaddr).expect("lru entry has line");
-            Some(Evicted { addr: vaddr, line })
-        } else {
-            None
+        let line = CacheLine {
+            data,
+            dirty,
+            ready_at,
         };
-        self.tick += 1;
-        self.lines.insert(
-            line_addr,
-            CacheLine {
-                data,
-                dirty,
-                ready_at,
-                lru_tick: self.tick,
-            },
-        );
-        self.lru.insert((self.tick, line_addr));
+        let mut victim = None;
+        let slot = if self.index.len() >= self.capacity {
+            // Reuse the LRU victim's slot for the incoming line.
+            let i = self.head;
+            self.unlink(i);
+            let old_addr = self.addrs[i as usize];
+            self.index.remove(old_addr);
+            victim = Some(Evicted {
+                addr: old_addr,
+                line: self.lines[i as usize],
+            });
+            self.addrs[i as usize] = line_addr;
+            self.lines[i as usize] = line;
+            i
+        } else if self.free != NIL {
+            let i = self.free;
+            self.free = self.links[i as usize].next;
+            self.addrs[i as usize] = line_addr;
+            self.lines[i as usize] = line;
+            i
+        } else {
+            self.addrs.push(line_addr);
+            self.lines.push(line);
+            self.links.push(Link {
+                prev: NIL,
+                next: NIL,
+            });
+            (self.addrs.len() - 1) as u32
+        };
+        self.index.insert(line_addr, slot);
+        self.link_mru(slot);
         victim
     }
 
     /// Remove a line (CLFLUSHOPT). Returns it so the caller can write back a
     /// dirty victim.
     pub fn remove(&mut self, line_addr: u64) -> Option<CacheLine> {
-        let line = self.lines.remove(&line_addr)?;
-        self.lru.remove(&(line.lru_tick, line_addr));
-        Some(line)
+        let i = self.index.remove(line_addr)?;
+        self.unlink(i);
+        self.links[i as usize].next = self.free;
+        self.free = i;
+        // `CacheLine` is `Copy`: the stale bytes stay in the free slot (it
+        // is fully overwritten before reuse), so no blanking write here.
+        Some(self.lines[i as usize])
     }
 
     /// Drop everything (e.g. host reset in failure tests). Dirty lines are
-    /// returned for write-back.
+    /// returned in LRU→MRU order — the recency list itself, which is already
+    /// deterministic — without any intermediate allocation or sort.
     pub fn drain(&mut self) -> Vec<(u64, CacheLine)> {
-        self.lru.clear();
-        let mut out: Vec<(u64, CacheLine)> = self.lines.drain().collect();
-        out.sort_by_key(|(addr, _)| *addr);
+        let mut out = Vec::with_capacity(self.index.len());
+        let mut i = self.head;
+        while i != NIL {
+            out.push((self.addrs[i as usize], self.lines[i as usize]));
+            i = self.links[i as usize].next;
+        }
+        self.addrs.clear();
+        self.lines.clear();
+        self.links.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.free = NIL;
         out
+    }
+}
+
+/// The original `BTreeSet<(tick, addr)>` implementation, kept verbatim as
+/// the executable specification the intrusive-list cache is cross-checked
+/// against (see the `lru_cross_check` proptest below).
+#[cfg(test)]
+pub mod reference {
+    use std::collections::BTreeSet;
+
+    use oasis_sim::detmap::DetMap;
+    use oasis_sim::time::SimTime;
+
+    use super::{CacheLine, Evicted};
+    use crate::LINE;
+
+    struct RefLine {
+        line: CacheLine,
+        lru_tick: u64,
+    }
+
+    /// Reference LRU cache: exact LRU via a sorted `(tick, addr)` index.
+    pub struct RefCache {
+        lines: DetMap<u64, RefLine>,
+        lru: BTreeSet<(u64, u64)>,
+        capacity: usize,
+        tick: u64,
+    }
+
+    impl RefCache {
+        pub fn new(capacity: usize) -> Self {
+            assert!(capacity > 0);
+            RefCache {
+                lines: DetMap::default(),
+                lru: BTreeSet::new(),
+                capacity,
+                tick: 0,
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.lines.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.lines.is_empty()
+        }
+
+        pub fn contains(&self, line_addr: u64) -> bool {
+            self.lines.contains_key(&line_addr)
+        }
+
+        fn bump(tick: &mut u64, lru: &mut BTreeSet<(u64, u64)>, addr: u64, line: &mut RefLine) {
+            lru.remove(&(line.lru_tick, addr));
+            *tick += 1;
+            line.lru_tick = *tick;
+            lru.insert((*tick, addr));
+        }
+
+        pub fn touch(&mut self, line_addr: u64) -> Option<&mut CacheLine> {
+            let line = self.lines.get_mut(&line_addr)?;
+            Self::bump(&mut self.tick, &mut self.lru, line_addr, line);
+            Some(&mut line.line)
+        }
+
+        pub fn get(&self, line_addr: u64) -> Option<&CacheLine> {
+            self.lines.get(&line_addr).map(|l| &l.line)
+        }
+
+        pub fn insert(
+            &mut self,
+            line_addr: u64,
+            data: [u8; LINE as usize],
+            dirty: bool,
+            ready_at: SimTime,
+        ) -> Option<Evicted> {
+            if let Some(existing) = self.lines.get_mut(&line_addr) {
+                existing.line.data = data;
+                existing.line.dirty = dirty;
+                existing.line.ready_at = ready_at;
+                Self::bump(&mut self.tick, &mut self.lru, line_addr, existing);
+                return None;
+            }
+            let victim = if self.lines.len() >= self.capacity {
+                let &(vt, vaddr) = self.lru.iter().next().expect("lru nonempty at capacity");
+                self.lru.remove(&(vt, vaddr));
+                let line = self.lines.remove(&vaddr).expect("lru entry has line");
+                Some(Evicted {
+                    addr: vaddr,
+                    line: line.line,
+                })
+            } else {
+                None
+            };
+            self.tick += 1;
+            self.lines.insert(
+                line_addr,
+                RefLine {
+                    line: CacheLine {
+                        data,
+                        dirty,
+                        ready_at,
+                    },
+                    lru_tick: self.tick,
+                },
+            );
+            self.lru.insert((self.tick, line_addr));
+            victim
+        }
+
+        pub fn remove(&mut self, line_addr: u64) -> Option<CacheLine> {
+            let line = self.lines.remove(&line_addr)?;
+            self.lru.remove(&(line.lru_tick, line_addr));
+            Some(line.line)
+        }
+
+        /// Drain in LRU→MRU order (the `(tick, addr)` index order), matching
+        /// the production cache's recency-list drain.
+        pub fn drain(&mut self) -> Vec<(u64, CacheLine)> {
+            let order: Vec<u64> = self.lru.iter().map(|&(_, addr)| addr).collect();
+            self.lru.clear();
+            let mut out = Vec::with_capacity(order.len());
+            for addr in order {
+                let line = self.lines.remove(&addr).expect("lru entry has line");
+                out.push((addr, line.line));
+            }
+            out
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn line_of(byte: u8) -> [u8; LINE as usize] {
         [byte; LINE as usize]
@@ -221,16 +443,123 @@ mod tests {
     }
 
     #[test]
-    fn drain_returns_all_sorted() {
+    fn drain_returns_lru_order() {
         let mut c = HostCache::new(8);
         c.insert(128, line_of(3), false, SimTime::ZERO);
         c.insert(0, line_of(1), true, SimTime::ZERO);
         c.insert(64, line_of(2), false, SimTime::ZERO);
+        // Touch 128 so it moves to MRU; drain order is recency, not address.
+        c.touch(128);
         let drained = c.drain();
         assert_eq!(
             drained.iter().map(|(a, _)| *a).collect::<Vec<_>>(),
             vec![0, 64, 128]
         );
         assert!(c.is_empty());
+        // The slab is reusable after a drain.
+        assert!(c.insert(256, line_of(7), false, SimTime::ZERO).is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn free_slots_are_reused() {
+        let mut c = HostCache::new(4);
+        for i in 0..4u64 {
+            c.insert(i * 64, line_of(i as u8), false, SimTime::ZERO);
+        }
+        c.remove(64);
+        c.remove(192);
+        c.insert(1024, line_of(9), false, SimTime::ZERO);
+        c.insert(2048, line_of(10), false, SimTime::ZERO);
+        // Slab never grew past capacity despite churn.
+        assert!(c.addrs.len() <= 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.get(1024).unwrap().data[0], 9);
+        assert_eq!(c.get(2048).unwrap().data[0], 10);
+    }
+
+    /// Every operation the cache supports, drawn randomly.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Insert { addr: u64, byte: u8, dirty: bool },
+        Touch { addr: u64 },
+        Remove { addr: u64 },
+        Drain,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // A small address universe (32 lines) against small capacities keeps
+        // eviction constantly exercised.
+        prop_oneof![
+            (0u64..32, any::<u8>(), any::<bool>()).prop_map(|(l, byte, dirty)| Op::Insert {
+                addr: l * 64,
+                byte,
+                dirty
+            }),
+            (0u64..32).prop_map(|l| Op::Touch { addr: l * 64 }),
+            (0u64..32).prop_map(|l| Op::Remove { addr: l * 64 }),
+            Just(Op::Drain),
+        ]
+    }
+
+    proptest! {
+        /// Cross-check the intrusive-list cache against the original
+        /// BTreeSet implementation (the `reference` module): identical
+        /// evictions (address, data, dirtiness), identical hit/miss
+        /// behaviour, identical contents, identical drain order.
+        #[test]
+        fn lru_cross_check(
+            capacity in prop_oneof![Just(1usize), Just(2), Just(7), Just(16)],
+            ops in proptest::collection::vec(op_strategy(), 1..300),
+        ) {
+            let mut new = HostCache::new(capacity);
+            let mut old = reference::RefCache::new(capacity);
+            for op in ops {
+                match op {
+                    Op::Insert { addr, byte, dirty } => {
+                        let data = line_of(byte);
+                        let a = new.insert(addr, data, dirty, SimTime::ZERO);
+                        let b = old.insert(addr, data, dirty, SimTime::ZERO);
+                        match (a, b) {
+                            (None, None) => {}
+                            (Some(x), Some(y)) => {
+                                prop_assert_eq!(x.addr, y.addr, "victim addr diverged");
+                                prop_assert_eq!(x.line.data, y.line.data);
+                                prop_assert_eq!(x.line.dirty, y.line.dirty);
+                            }
+                            (a, b) => prop_assert!(
+                                false,
+                                "eviction mismatch: new={:?} old={:?}",
+                                a.map(|e| e.addr), b.map(|e| e.addr)
+                            ),
+                        }
+                    }
+                    Op::Touch { addr } => {
+                        let a = new.touch(addr).map(|l| (l.data, l.dirty));
+                        let b = old.touch(addr).map(|l| (l.data, l.dirty));
+                        prop_assert_eq!(a, b, "touch diverged at {}", addr);
+                    }
+                    Op::Remove { addr } => {
+                        let a = new.remove(addr).map(|l| (l.data, l.dirty));
+                        let b = old.remove(addr).map(|l| (l.data, l.dirty));
+                        prop_assert_eq!(a, b, "remove diverged at {}", addr);
+                    }
+                    Op::Drain => {
+                        let a: Vec<(u64, [u8; 64], bool)> = new
+                            .drain()
+                            .into_iter()
+                            .map(|(addr, l)| (addr, l.data, l.dirty))
+                            .collect();
+                        let b: Vec<(u64, [u8; 64], bool)> = old
+                            .drain()
+                            .into_iter()
+                            .map(|(addr, l)| (addr, l.data, l.dirty))
+                            .collect();
+                        prop_assert_eq!(a, b, "drain order diverged");
+                    }
+                }
+                prop_assert_eq!(new.len(), old.len());
+            }
+        }
     }
 }

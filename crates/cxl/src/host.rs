@@ -66,6 +66,9 @@ pub struct HostCtx {
     /// Latest visibility time of a write-back this host has posted;
     /// `mfence` stalls until it (SFENCE-after-CLWB completion semantics).
     pending_visible: SimTime,
+    /// Scratch buffer for bulk streaming fetches (reused across calls so
+    /// the hot path never allocates).
+    stream_buf: Vec<u8>,
     /// Hardware next-line prefetcher depth (0 = disabled, the default).
     /// When two consecutive lines miss in ascending order, the next
     /// `hw_prefetch_depth` lines are prefetched — and, like all prefetches,
@@ -92,6 +95,7 @@ impl HostCtx {
             costs,
             stats: MemStats::default(),
             local: vec![0; local_mem as usize],
+            stream_buf: Vec::new(),
             pending_visible: SimTime::ZERO,
             hw_prefetch_depth: 0,
             last_miss_line: u64::MAX,
@@ -125,7 +129,13 @@ impl HostCtx {
     pub fn read(&mut self, pool: &mut CxlPool, addr: u64, out: &mut [u8]) {
         let mut off = 0usize;
         for la in lines_covering(addr, out.len() as u64) {
-            // Stall or fetch this line.
+            // Overlap of this line with the request.
+            let lo = addr.max(la);
+            let hi = (addr + out.len() as u64).min(la + LINE);
+            let n = (hi - lo) as usize;
+            let s = (lo - la) as usize;
+            // Stall or fetch this line; copy in-branch so the hit path
+            // costs a single cache-index lookup.
             if let Some(line) = self.cache.touch(la) {
                 let ready = line.ready_at;
                 if ready > self.clock {
@@ -135,22 +145,17 @@ impl HostCtx {
                     self.stats.hits += 1;
                     self.clock += SimDuration::from_nanos(self.costs.cache_hit_ns);
                 }
+                out[off..off + n].copy_from_slice(&line.data[s..s + n]);
             } else {
                 self.stats.misses += 1;
                 self.clock += SimDuration::from_nanos(self.costs.cxl_load_ns);
                 let data = pool.fetch_line(self.clock, self.port, la);
+                out[off..off + n].copy_from_slice(&data[s..s + n]);
                 if let Some(v) = self.cache.insert(la, data, false, self.clock) {
                     self.evict(pool, v);
                 }
                 self.hw_prefetch(pool, la);
             }
-            // Copy the overlap of this line with the request.
-            let line = self.cache.get(la).expect("line just ensured");
-            let lo = addr.max(la);
-            let hi = (addr + out.len() as u64).min(la + LINE);
-            let n = (hi - lo) as usize;
-            out[off..off + n]
-                .copy_from_slice(&line.data[(lo - la) as usize..(lo - la) as usize + n]);
             off += n;
         }
     }
@@ -162,16 +167,24 @@ impl HostCtx {
         u64::from_le_bytes(b)
     }
 
-    /// Bulk *streaming* load from pool memory (memcpy-style). Sequential
-    /// misses pipeline across the CXL link, so the cost is one load-to-use
-    /// latency plus a per-line streaming cost at link bandwidth — not a
-    /// full miss per line. Lines are left cached (the caller invalidates
-    /// them per the datapath's discipline). Cached lines are served from
-    /// their (possibly stale) snapshots, exactly like `read`.
+    /// Bulk streaming load from pool memory (memcpy-style). Sequential
+    /// misses pipeline across the CXL link: the first missing line of the
+    /// call costs a full load-to-use latency, every further missing line a
+    /// per-line streaming cost at link bandwidth. Lines are left cached.
+    ///
+    /// Consecutive missing lines are fetched as one [`CxlPool::fetch_lines`]
+    /// run — one metering charge and one bulk copy instead of a per-line
+    /// walk — with identical clocks, stats, eviction times, and meter
+    /// attribution. Runs are re-derived at every cached-line boundary
+    /// (an eviction inside a run can remove a line that looked cached when
+    /// the call started) and clamped at traffic-class span edges so per-run
+    /// metering charges the class a per-line walk would have.
     pub fn read_stream(&mut self, pool: &mut CxlPool, addr: u64, out: &mut [u8]) {
         let mut first_miss = true;
         let mut off = 0usize;
-        for la in lines_covering(addr, out.len() as u64) {
+        let end = addr + out.len() as u64;
+        let mut la = line_base(addr);
+        while la < end {
             if let Some(line) = self.cache.touch(la) {
                 let ready = line.ready_at;
                 if ready > self.clock {
@@ -181,27 +194,55 @@ impl HostCtx {
                     self.stats.hits += 1;
                     self.clock += SimDuration::from_nanos(self.costs.cache_hit_ns);
                 }
+                let lo = addr.max(la);
+                let hi = end.min(la + LINE);
+                let n = (hi - lo) as usize;
+                let s = (lo - la) as usize;
+                out[off..off + n].copy_from_slice(&line.data[s..s + n]);
+                off += n;
+                la += LINE;
+                continue;
+            }
+
+            // Maximal run of consecutive missing lines, clamped to the
+            // request and to the class span containing `la`.
+            let span_end = pool.class_span_end(la);
+            let mut run_end = la + LINE;
+            while run_end < end && run_end < span_end && !self.cache.contains(run_end) {
+                run_end += LINE;
+            }
+            let n_lines = (run_end - la) / LINE;
+            self.stats.misses += n_lines;
+            let first_cost = if first_miss {
+                self.costs.cxl_load_ns
             } else {
-                self.stats.misses += 1;
-                let cost = if first_miss {
-                    self.costs.cxl_load_ns
-                } else {
-                    self.costs.cxl_stream_line_ns
-                };
-                first_miss = false;
-                self.clock += SimDuration::from_nanos(cost);
-                let data = pool.fetch_line(self.clock, self.port, la);
-                if let Some(v) = self.cache.insert(la, data, false, self.clock) {
+                self.costs.cxl_stream_line_ns
+            };
+            first_miss = false;
+            let step = self.costs.cxl_stream_line_ns;
+            let t0 = self.clock + SimDuration::from_nanos(first_cost);
+
+            let mut buf = std::mem::take(&mut self.stream_buf);
+            buf.resize((n_lines * LINE) as usize, 0);
+            pool.fetch_lines(t0, step, self.port, la, &mut buf);
+            // Install each line at its exact fetch time so eviction
+            // write-backs post at the instants the per-line walk would use.
+            for i in 0..n_lines {
+                let t_i = t0 + SimDuration::from_nanos(i * step);
+                self.clock = t_i;
+                let mut data = [0u8; LINE as usize];
+                data.copy_from_slice(&buf[(i * LINE) as usize..((i + 1) * LINE) as usize]);
+                if let Some(v) = self.cache.insert(la + i * LINE, data, false, t_i) {
                     self.evict(pool, v);
                 }
             }
-            let line = self.cache.get(la).expect("line just ensured");
             let lo = addr.max(la);
-            let hi = (addr + out.len() as u64).min(la + LINE);
+            let hi = end.min(run_end);
             let n = (hi - lo) as usize;
-            out[off..off + n]
-                .copy_from_slice(&line.data[(lo - la) as usize..(lo - la) as usize + n]);
+            out[off..off + n].copy_from_slice(&buf[(lo - la) as usize..(lo - la) as usize + n]);
             off += n;
+            self.stream_buf = buf;
+            la = run_end;
         }
     }
 

@@ -13,6 +13,7 @@
 //! Every transfer is metered per host port and per [`TrafficClass`], so
 //! experiments can reproduce Table 3's payload/message bandwidth split.
 
+use oasis_sim::addrmap::AddrMap;
 use oasis_sim::time::SimTime;
 
 use crate::LINE;
@@ -92,10 +93,17 @@ impl LinkMeter {
     }
 }
 
-/// A write-back posted by a CPU cache, visible in pool memory at `visible_at`.
-struct PendingWrite {
+/// Queue entry for a posted write-back: ordering metadata only. The data
+/// itself lives in the per-line index (`pending_by_line`), whose per-line
+/// order mirrors the queue order restricted to that line.
+struct QueuedWrite {
     visible_at: SimTime,
     addr: u64,
+}
+
+/// A write-back posted by a CPU cache, indexed by line.
+struct LineWrite {
+    visible_at: SimTime,
     /// Port that posted it: the memory device serializes same-source,
     /// same-address streams, so a *fetch* from this port observes it even
     /// before global visibility.
@@ -107,10 +115,21 @@ struct PendingWrite {
 pub struct CxlPool {
     mem: Vec<u8>,
     meters: Vec<LinkMeter>,
-    /// `(start, end, class)` ranges registered by the region allocator.
+    /// `(start, end, class)` ranges registered by the region allocator,
+    /// kept sorted by `start` and pairwise disjoint so classification is a
+    /// binary search.
     class_ranges: Vec<(u64, u64, TrafficClass)>,
-    /// Posted write-backs not yet visible, kept sorted by `visible_at`.
-    pending: Vec<PendingWrite>,
+    /// Posted write-backs not yet visible, kept sorted by `visible_at`
+    /// (ties in posting order). Holds ordering only; see `pending_by_line`.
+    pending: Vec<QueuedWrite>,
+    /// Line address → this line's still-pending writes, in queue order.
+    /// Lets `fetch_line`'s own-port overlay look at one short vector
+    /// instead of scanning the whole queue.
+    pending_by_line: AddrMap<Vec<LineWrite>>,
+    /// Memo of the last classified range (start, end, class): datapath
+    /// traffic hammers one region at a time, so most lookups hit here and
+    /// skip the binary search. `(0, 0, _)` never matches.
+    last_class: std::cell::Cell<(u64, u64, TrafficClass)>,
 }
 
 impl CxlPool {
@@ -121,6 +140,8 @@ impl CxlPool {
             meters: vec![LinkMeter::default(); ports],
             class_ranges: Vec::new(),
             pending: Vec::new(),
+            pending_by_line: AddrMap::new(),
+            last_class: std::cell::Cell::new((0, 0, TrafficClass::Unclassified)),
         }
     }
 
@@ -147,33 +168,83 @@ impl CxlPool {
     }
 
     /// Register a class for an address range (called by the region
-    /// allocator).
+    /// allocator). Ranges must not overlap previously registered ones; they
+    /// are kept sorted by start address so [`Self::classify`] can binary
+    /// search.
     pub fn register_class(&mut self, start: u64, end: u64, class: TrafficClass) {
         debug_assert!(start <= end && end <= self.size());
-        self.class_ranges.push((start, end, class));
+        let idx = self.class_ranges.partition_point(|&(s, _, _)| s < start);
+        debug_assert!(
+            idx == 0 || self.class_ranges[idx - 1].1 <= start,
+            "class range overlaps its predecessor"
+        );
+        debug_assert!(
+            idx == self.class_ranges.len() || end <= self.class_ranges[idx].0,
+            "class range overlaps its successor"
+        );
+        self.class_ranges.insert(idx, (start, end, class));
+        self.last_class.set((0, 0, TrafficClass::Unclassified));
     }
 
-    /// Classify an address by its registered region.
+    /// Classify an address by its registered region (binary search over the
+    /// sorted, disjoint range set).
     pub fn classify(&self, addr: u64) -> TrafficClass {
-        for &(s, e, c) in &self.class_ranges {
-            if (s..e).contains(&addr) {
-                return c;
+        let (ms, me, mc) = self.last_class.get();
+        if ms <= addr && addr < me {
+            return mc;
+        }
+        let idx = self.class_ranges.partition_point(|&(s, _, _)| s <= addr);
+        match idx.checked_sub(1).map(|i| self.class_ranges[i]) {
+            Some((s, e, c)) if addr < e => {
+                self.last_class.set((s, e, c));
+                c
+            }
+            _ => TrafficClass::Unclassified,
+        }
+    }
+
+    /// End of the contiguous same-class span containing `addr`: the end of
+    /// its registered range, or — for unclassified addresses — the start of
+    /// the next registered range (or pool size). Bulk transfers clamp their
+    /// runs here so per-run metering attributes bytes to exactly the class
+    /// a per-line walk would have.
+    pub(crate) fn class_span_end(&self, addr: u64) -> u64 {
+        let idx = self.class_ranges.partition_point(|&(s, _, _)| s <= addr);
+        if let Some((_, e, _)) = idx.checked_sub(1).map(|i| self.class_ranges[i]) {
+            if addr < e {
+                return e;
             }
         }
-        TrafficClass::Unclassified
+        self.class_ranges
+            .get(idx)
+            .map_or(self.size(), |&(s, _, _)| s)
     }
 
     /// Apply all posted write-backs that have become visible by `now`.
+    ///
+    /// `pending` is sorted by visibility time, so the visible entries are a
+    /// prefix: one `partition_point` + `drain`, with an O(1) early return
+    /// when nothing is due (the common case on hot paths).
     pub fn apply_pending(&mut self, now: SimTime) {
-        let mut i = 0;
-        while i < self.pending.len() {
-            if self.pending[i].visible_at <= now {
-                let w = self.pending.remove(i);
-                let base = w.addr as usize;
-                self.mem[base..base + LINE as usize].copy_from_slice(&w.data);
-            } else {
-                i += 1;
+        match self.pending.first() {
+            Some(w) if w.visible_at <= now => {}
+            _ => return,
+        }
+        let idx = self.pending.partition_point(|w| w.visible_at <= now);
+        for w in self.pending.drain(..idx) {
+            // The queue's global order restricted to one line equals that
+            // line's index order, so this write is its line's front entry.
+            let entries = self
+                .pending_by_line
+                .get_mut(w.addr)
+                .expect("queued write has an index entry");
+            let e = entries.remove(0);
+            debug_assert_eq!(e.visible_at, w.visible_at);
+            if entries.is_empty() {
+                self.pending_by_line.remove(w.addr);
             }
+            let base = w.addr as usize;
+            self.mem[base..base + LINE as usize].copy_from_slice(&e.data);
         }
     }
 
@@ -202,13 +273,75 @@ impl CxlPool {
         let base = line_addr as usize;
         let mut out = [0u8; LINE as usize];
         out.copy_from_slice(&self.mem[base..base + LINE as usize]);
-        // Overlay this port's own pending write-backs, in posting order.
-        for w in &self.pending {
-            if w.addr == line_addr && w.port == port {
-                out.copy_from_slice(&w.data);
+        // Overlay this port's own pending write-backs: the last matching
+        // entry in the line's (queue-ordered) index, if any.
+        if !self.pending_by_line.is_empty() {
+            if let Some(entries) = self.pending_by_line.get(line_addr) {
+                if let Some(w) = entries.iter().rev().find(|w| w.port == port) {
+                    out.copy_from_slice(&w.data);
+                }
             }
         }
         out
+    }
+
+    /// Fetch a run of contiguous lines for a streaming CPU fill: line `i`
+    /// of the run is fetched at `t0 + i * step_ns`, exactly as if
+    /// [`Self::fetch_line`] had been called once per line at those times,
+    /// but with one metering charge and one bulk copy for the whole run.
+    ///
+    /// The caller guarantees the run lies within a single traffic-class
+    /// span (see [`Self::class_span_end`]). `out.len()` must be a whole
+    /// number of lines.
+    pub(crate) fn fetch_lines(
+        &mut self,
+        t0: SimTime,
+        step_ns: u64,
+        port: PortId,
+        line_addr: u64,
+        out: &mut [u8],
+    ) {
+        debug_assert!(out.len().is_multiple_of(LINE as usize));
+        if out.is_empty() {
+            return;
+        }
+        let n_lines = (out.len() as u64) / LINE;
+        // Every line *base* must share `line_addr`'s class (spans need not
+        // be line-aligned, so the last line may extend past the span end —
+        // classification is by base, exactly as in the per-line walk).
+        debug_assert!(line_addr + (n_lines - 1) * LINE < self.class_span_end(line_addr));
+        self.apply_pending(t0);
+        let class = self.classify(line_addr);
+        self.meters[port.0].read_bytes[class.index()] += out.len() as u64;
+        let base = line_addr as usize;
+        out.copy_from_slice(&self.mem[base..base + out.len()]);
+        // Per-line fixups for writes still queued after the t0 apply: a
+        // queued write is observed by line `i`'s fetch if it has become
+        // globally visible by that line's fetch time, or if this port
+        // posted it (same-source serialization). Walking the line's index
+        // in order and keeping the last match reproduces the apply-then-
+        // overlay order of per-line fetches. Skipped entirely when nothing
+        // is queued — the common case.
+        if !self.pending_by_line.is_empty() {
+            for i in 0..n_lines {
+                let la = line_addr + i * LINE;
+                let Some(entries) = self.pending_by_line.get(la) else {
+                    continue;
+                };
+                let t_i = t0 + oasis_sim::time::SimDuration::from_nanos(i * step_ns);
+                let off = (i * LINE) as usize;
+                for w in entries {
+                    if w.visible_at <= t_i || w.port == port {
+                        out[off..off + LINE as usize].copy_from_slice(&w.data);
+                    }
+                }
+            }
+            // Match the queue state a per-line walk would have left: every
+            // write due by the final fetch time has been applied.
+            self.apply_pending(
+                t0 + oasis_sim::time::SimDuration::from_nanos((n_lines - 1) * step_ns),
+            );
+        }
     }
 
     /// Post a line write-back from a CPU cache; visible at `visible_at`.
@@ -227,9 +360,19 @@ impl CxlPool {
         let idx = self.pending.partition_point(|w| w.visible_at <= visible_at);
         self.pending.insert(
             idx,
-            PendingWrite {
+            QueuedWrite {
                 visible_at,
                 addr: line_addr,
+            },
+        );
+        // Mirror into the per-line index at the same relative position so
+        // the line's vector stays in queue order.
+        let entries = self.pending_by_line.get_or_insert_with(line_addr, Vec::new);
+        let line_idx = entries.partition_point(|w| w.visible_at <= visible_at);
+        entries.insert(
+            line_idx,
+            LineWrite {
+                visible_at,
                 port,
                 data,
             },
@@ -372,5 +515,182 @@ mod tests {
         let mut buf = [0u8; 1];
         p.peek(64 + 7, &mut buf);
         assert_eq!(buf[0], 9);
+    }
+}
+
+#[cfg(test)]
+mod pending_props {
+    use super::*;
+    use oasis_sim::time::SimDuration;
+    use proptest::prelude::*;
+
+    /// A posted write as the reference model remembers it: the full history
+    /// in posting order, never drained.
+    #[derive(Clone, Copy, Debug)]
+    struct MWrite {
+        visible_at: SimTime,
+        port: usize,
+        line: u64,
+        byte: u8,
+    }
+
+    /// What a fetch of `line` by `port` at `now` must return, derived from
+    /// the full posting history instead of the pool's queue:
+    ///
+    /// 1. writes with `visible_at <= now` land in memory in visibility
+    ///    order (posting order breaks ties) — so the last such write wins;
+    /// 2. of the writes still in flight, the fetching port observes its
+    ///    *own* (same-source serialization: read-your-own-writes), again
+    ///    the last in that order; every other port's in-flight write stays
+    ///    invisible until its deadline.
+    fn model_fetch(history: &[MWrite], now: SimTime, port: usize, line: u64) -> u8 {
+        let mut to_line: Vec<&MWrite> = history.iter().filter(|w| w.line == line).collect();
+        // Stable sort: ties in visible_at keep posting order.
+        to_line.sort_by_key(|w| w.visible_at);
+        let mut landed = 0u8; // pool memory starts zeroed
+        let mut own_inflight = None;
+        for w in to_line {
+            if w.visible_at <= now {
+                landed = w.byte;
+            } else if w.port == port {
+                own_inflight = Some(w.byte);
+            }
+        }
+        own_inflight.unwrap_or(landed)
+    }
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Post {
+            port: usize,
+            line: u64,
+            byte: u8,
+            delay: u64,
+        },
+        Advance {
+            ns: u64,
+        },
+        Fetch {
+            port: usize,
+            line: u64,
+        },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // 4 lines × 3 ports with short horizons keeps same-line collisions
+        // and visibility ties frequent.
+        prop_oneof![
+            (0usize..3, 0u64..4, any::<u8>(), 0u64..500).prop_map(|(port, line, byte, delay)| {
+                Op::Post {
+                    port,
+                    line,
+                    byte,
+                    delay,
+                }
+            }),
+            (0u64..300).prop_map(|ns| Op::Advance { ns }),
+            (0usize..3, 0u64..4).prop_map(|(port, line)| Op::Fetch { port, line }),
+        ]
+    }
+
+    proptest! {
+        /// Pending-write-back semantics against the reference model: each
+        /// port reads its own posted writes immediately; no port observes
+        /// another port's write before its `visible_at`; once due, writes
+        /// land in visibility order. Also checks that the prefix-drain
+        /// `apply_pending` retires exactly the due writes.
+        #[test]
+        fn pending_writebacks_match_model(
+            ops in proptest::collection::vec(op_strategy(), 1..150),
+        ) {
+            let mut pool = CxlPool::new(4 * LINE, 3);
+            let mut history: Vec<MWrite> = Vec::new();
+            let mut now = SimTime::ZERO;
+            for op in ops {
+                match op {
+                    Op::Post { port, line, byte, delay } => {
+                        let visible_at = now + SimDuration::from_nanos(delay);
+                        pool.post_writeback(
+                            PortId(port),
+                            line * LINE,
+                            [byte; LINE as usize],
+                            visible_at,
+                        );
+                        history.push(MWrite { visible_at, port, line, byte });
+                    }
+                    Op::Advance { ns } => now += SimDuration::from_nanos(ns),
+                    Op::Fetch { port, line } => {
+                        let got = pool.fetch_line(now, PortId(port), line * LINE);
+                        let want = model_fetch(&history, now, port, line);
+                        prop_assert_eq!(
+                            got,
+                            [want; LINE as usize],
+                            "fetch(line {} port {} at {:?}) diverged from model",
+                            line,
+                            port,
+                            now
+                        );
+                        // fetch_line applied everything due by `now`, so the
+                        // queue must hold exactly the not-yet-due writes.
+                        let inflight =
+                            history.iter().filter(|w| w.visible_at > now).count();
+                        prop_assert_eq!(pool.pending_writebacks(), inflight);
+                    }
+                }
+            }
+        }
+
+        /// The bulk streaming fetch is observationally identical to the
+        /// per-line walk it replaces: same bytes, same meter totals, same
+        /// retired-queue state, for any posted-write history and any
+        /// (start, length, step, port, t0).
+        #[test]
+        fn bulk_fetch_matches_per_line_walk(
+            posts in proptest::collection::vec(
+                (0usize..3, 0u64..4, any::<u8>(), 0u64..800),
+                0..24,
+            ),
+            start in 0u64..4,
+            len in 1u64..5,
+            step_ns in 0u64..120,
+            port in 0usize..3,
+            t0_ns in 0u64..900,
+        ) {
+            let n_lines = len.min(4 - start);
+            prop_assume!(n_lines >= 1);
+            let t0 = SimTime::from_nanos(t0_ns);
+            // Two pools fed the identical posting history.
+            let mut bulk = CxlPool::new(4 * LINE, 3);
+            let mut walk = CxlPool::new(4 * LINE, 3);
+            for &(p, line, byte, vis) in &posts {
+                let data = [byte; LINE as usize];
+                let at = SimTime::from_nanos(vis);
+                bulk.post_writeback(PortId(p), line * LINE, data, at);
+                walk.post_writeback(PortId(p), line * LINE, data, at);
+            }
+
+            let mut got = vec![0u8; (n_lines * LINE) as usize];
+            bulk.fetch_lines(t0, step_ns, PortId(port), start * LINE, &mut got);
+
+            let mut want = vec![0u8; (n_lines * LINE) as usize];
+            for i in 0..n_lines {
+                let t_i = t0 + SimDuration::from_nanos(i * step_ns);
+                let line = walk.fetch_line(t_i, PortId(port), (start + i) * LINE);
+                let off = (i * LINE) as usize;
+                want[off..off + LINE as usize].copy_from_slice(&line);
+            }
+
+            prop_assert_eq!(got, want, "bulk bytes diverged from per-line walk");
+            prop_assert_eq!(
+                bulk.meter(PortId(port)).total_bytes(),
+                walk.meter(PortId(port)).total_bytes(),
+                "meter totals diverged"
+            );
+            prop_assert_eq!(
+                bulk.pending_writebacks(),
+                walk.pending_writebacks(),
+                "retired-queue state diverged"
+            );
+        }
     }
 }

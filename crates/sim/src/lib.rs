@@ -21,6 +21,7 @@
 //! Everything is deterministic: given the same seed, every experiment binary
 //! in `oasis-bench` reproduces bit-identical output.
 
+pub mod addrmap;
 pub mod detmap;
 pub mod event;
 pub mod hist;
@@ -30,6 +31,7 @@ pub mod sched;
 pub mod series;
 pub mod time;
 
+pub use addrmap::AddrMap;
 pub use detmap::{DetMap, DetSet};
 pub use event::EventQueue;
 pub use hist::Histogram;

@@ -17,7 +17,7 @@ use oasis_sim::time::SimDuration;
 use crate::alloc_trace::{AllocTrace, ArrivalStream};
 
 /// Stranding at one pod size.
-#[derive(Clone, Copy, Debug, serde::Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct StrandingPoint {
     /// Hosts per pod.
     pub pod_size: usize,

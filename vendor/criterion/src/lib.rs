@@ -1,0 +1,235 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the surface the Oasis bench files use — `criterion_group!`,
+//! `criterion_main!`, benchmark groups with `throughput`/`sample_size`/
+//! `bench_function`/`bench_with_input`/`finish`, `BenchmarkId`, and
+//! `Bencher::iter` — with a simple auto-calibrating wall-clock measurement
+//! and one plain-text result line per benchmark. There is no statistical
+//! analysis, plotting, or baseline comparison; this harness exists so the
+//! benches build and give usable numbers offline.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measured throughput basis for a benchmark (printed as elem/s or B/s).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times a routine: calibrates an iteration count until the measured batch
+/// runs long enough to trust the wall clock, then records the final batch.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+/// Minimum measured batch duration before we accept the sample.
+const MIN_BATCH: Duration = Duration::from_millis(20);
+/// Iteration-count ceiling so pathologically fast routines terminate.
+const MAX_ITERS: u64 = 1 << 24;
+
+impl Bencher {
+    /// Run `routine` repeatedly and record mean wall time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = start.elapsed();
+            if dt >= MIN_BATCH || n >= MAX_ITERS {
+                self.iters = n;
+                self.elapsed = dt;
+                return;
+            }
+            // Grow geometrically, biased by how far short the batch fell.
+            let scale = (MIN_BATCH.as_nanos() / dt.as_nanos().max(1)).clamp(2, 16) as u64;
+            n = (n * scale).min(MAX_ITERS);
+        }
+    }
+}
+
+fn report(full_id: &str, iters: u64, elapsed: Duration, throughput: Option<Throughput>) {
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = throughput.map(|t| {
+        let per_sec = |units: u64| units as f64 * iters as f64 / elapsed.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => format!(" ({:.3} Melem/s)", per_sec(n) / 1e6),
+            Throughput::Bytes(n) => format!(" ({:.3} MiB/s)", per_sec(n) / (1024.0 * 1024.0)),
+        }
+    });
+    println!(
+        "{full_id:<56} {ns_per_iter:>12.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named set of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the throughput basis used for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes batches by time.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.name, id);
+        report(&full, b.iters, b.elapsed, self.throughput);
+    }
+
+    /// Benchmark a routine under this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut f);
+        self
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I, F, In: ?Sized>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &In),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone routine.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        report(id, b.iters, b.elapsed, None);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(1));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran = ran.wrapping_add(1)));
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn benchmark_id_forms() {
+        assert_eq!(BenchmarkId::new("encode", 64).id, "encode/64");
+        assert_eq!(BenchmarkId::from_parameter("oasis").id, "oasis");
+    }
+}

@@ -1,0 +1,100 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Since Rust 1.63 the standard library's [`std::thread::scope`] provides
+//! the structured-concurrency guarantee crossbeam's scoped threads were
+//! built for, so this shim maps the `crossbeam::thread` API directly onto
+//! it. Divergence from the real crate: spawn closures take **no** scope
+//! argument (std style) rather than crossbeam's `|scope| ...`, and `scope`
+//! only returns `Err` if a spawned thread panicked *and* its join handle
+//! was dropped without being joined.
+
+pub mod thread {
+    /// Panic payload from an unjoined, panicked scoped thread.
+    pub type Error = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Result of running a scope to completion.
+    pub type Result<T> = std::result::Result<T, Error>;
+
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Run `f` with a scope in which borrowing, structured threads can be
+    /// spawned; all spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope itself panics (propagating the child's payload)
+        // if a spawned thread panicked without being joined; catch that so
+        // callers get crossbeam's Result-shaped contract.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| std::thread::scope(f)))
+    }
+}
+
+/// `crossbeam::utils` subset: a cache-line-padded wrapper to avoid false
+/// sharing between per-thread slots.
+pub mod utils {
+    /// Pads and aligns its contents to (a common) cache-line size.
+    #[derive(Debug, Default, Clone, Copy)]
+    #[repr(align(64))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        pub const fn new(value: T) -> CachePadded<T> {
+            CachePadded { value }
+        }
+
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| counter.fetch_add(1, Ordering::Relaxed)))
+                .collect();
+            handles.into_iter().filter_map(|h| h.join().ok()).count()
+        })
+        .unwrap();
+        assert_eq!(total, 4);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn unjoined_panic_surfaces_as_err() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn cache_padded_derefs() {
+        let mut p = crate::utils::CachePadded::new(7u64);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(std::mem::align_of_val(&p), 64);
+    }
+}
