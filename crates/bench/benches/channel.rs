@@ -47,7 +47,7 @@ fn bench_transfer(c: &mut Criterion) {
                     while received < N {
                         // Step the earlier side, like the co-sim runner.
                         if tx.clock <= rx.clock {
-                            if !sender.try_send(&mut tx, &mut pool, &msg) {
+                            if !sender.try_send(&mut tx, &mut pool, &msg).unwrap() {
                                 tx.advance(100);
                             }
                         } else if receiver.try_recv(&mut rx, &mut pool, &mut out) {
@@ -75,7 +75,7 @@ fn bench_raw_ops(c: &mut Criterion) {
                 pool.poke(sender.layout().counter_addr, &sender.sent().to_le_bytes());
                 sent = 0;
             }
-            sender.try_send(&mut tx, &mut pool, &msg);
+            sender.try_send(&mut tx, &mut pool, &msg).unwrap();
             sent += 1;
         });
     });

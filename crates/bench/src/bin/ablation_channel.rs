@@ -89,7 +89,10 @@ fn run_pair(depth: u64, publish_batch: u64, offered: f64) -> (f64, u64) {
             }
             let mut msg = [0u8; 16];
             msg[..8].copy_from_slice(&tx.clock.as_nanos().to_le_bytes());
-            if sender.try_send(&mut tx, &mut pool, &msg) {
+            if sender
+                .try_send(&mut tx, &mut pool, &msg)
+                .expect("bench messages are well-formed")
+            {
                 if gap_ns > 100.0 && sender.has_unflushed() {
                     sender.flush(&mut tx, &mut pool);
                 }

@@ -1,0 +1,76 @@
+//! Chaos harness driver: run seeded fault schedules end-to-end and audit
+//! the §5.3 recovery invariants (see [`oasis_bench::chaos`]).
+//!
+//! Usage: `chaos [seed...]` — defaults to the CI smoke matrix. Exits
+//! non-zero if any seed violates an invariant. Prints a per-seed summary
+//! and a JSON blob of detection/recovery latencies for `BENCH_failover.json`.
+
+use oasis_bench::chaos::{run_chaos, ChaosReport};
+
+/// The fixed CI seed matrix; together these plans cover all five fault
+/// classes (asserted by `chaos_ci_seeds_cover_all_fault_classes`).
+pub const CI_SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("seeds are u64"))
+        .collect();
+    let seeds: Vec<u64> = if args.is_empty() {
+        CI_SEEDS.to_vec()
+    } else {
+        args
+    };
+
+    println!("== Chaos harness: seeded fault schedules + recovery audit ==\n");
+    let reports: Vec<ChaosReport> = seeds
+        .iter()
+        .map(|&s| {
+            let r = run_chaos(s);
+            print!("{}", r.render());
+            r
+        })
+        .collect();
+
+    let mut classes: Vec<&str> = reports.iter().flat_map(|r| r.classes.clone()).collect();
+    classes.sort_unstable();
+    classes.dedup();
+    let mut latencies: Vec<u64> = reports
+        .iter()
+        .flat_map(|r| r.detection_latencies_ns())
+        .collect();
+    latencies.sort_unstable();
+    println!("\nfault classes covered: [{}]", classes.join(", "));
+
+    // Machine-readable summary (pasted into BENCH_failover.json).
+    let lat_ms: Vec<String> = latencies
+        .iter()
+        .map(|&ns| format!("{:.2}", ns as f64 / 1e6))
+        .collect();
+    println!("\n{{");
+    println!("  \"seeds\": {seeds:?},");
+    println!("  \"detections\": {},", latencies.len());
+    println!("  \"detection_latency_ms\": [{}],", lat_ms.join(", "));
+    if !latencies.is_empty() {
+        let p = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize] as f64 / 1e6;
+        println!("  \"detection_latency_ms_min\": {:.2},", p(0.0));
+        println!("  \"detection_latency_ms_p50\": {:.2},", p(0.5));
+        println!("  \"detection_latency_ms_max\": {:.2},", p(1.0));
+    }
+    let failed: Vec<u64> = reports
+        .iter()
+        .filter(|r| !r.passed())
+        .map(|r| r.seed)
+        .collect();
+    println!(
+        "  \"violations\": {}",
+        reports.iter().map(|r| r.violations.len()).sum::<usize>()
+    );
+    println!("}}");
+
+    if !failed.is_empty() {
+        eprintln!("\nFAILED seeds: {failed:?}");
+        std::process::exit(1);
+    }
+    println!("\nall {} seeds passed", seeds.len());
+}

@@ -1,97 +1,12 @@
 //! Figure 13: packet losses when a NIC failure triggers Oasis failover.
 //!
-//! A 10-second UDP echo run; at the 5-second mark the serving NIC's switch
-//! port is disabled (the §5.3 injection). Oasis detects carrier loss,
-//! notifies the pod-wide allocator over message channels, and reroutes the
-//! instance to the pod's backup NIC with MAC borrowing.
+//! Thin wrapper over [`oasis_bench::fig13::fig13_failover_report`]; the
+//! scenario lives in the library so the determinism guard test can re-run
+//! it with an empty fault plan and diff the output.
 //!
 //! Paper anchors: a sharp loss spike at the failure; total interruption
 //! ~38 ms.
 
-use oasis_apps::stats::ClientStats;
-use oasis_apps::udp::{EchoServer, Pacing, UdpClient};
-use oasis_core::config::OasisConfig;
-use oasis_core::instance::AppKind;
-use oasis_core::pod::PodBuilder;
-use oasis_sim::report::Table;
-use oasis_sim::time::{SimDuration, SimTime};
-
 fn main() {
-    println!("== Figure 13: UDP packet loss during NIC failover ==\n");
-    let mut b = PodBuilder::new(OasisConfig::default());
-    let host_a = b.add_host(); // instance host
-    let _host_b = b.add_nic_host(); // serving NIC (0)
-    let host_c = b.add_nic_host(); // backup NIC (1)
-    let mut pod = b.backup_nic_on(host_c).build();
-
-    let inst = pod.launch_instance(
-        host_a,
-        AppKind::Udp(Box::new(EchoServer::new(SimDuration::from_micros(1)))),
-        10_000,
-    );
-    let end = SimTime::from_secs(10);
-    let fail_at = SimTime::from_secs(5);
-    let stats = ClientStats::handle();
-    let client = UdpClient::new(
-        1,
-        pod.instance_mac(inst),
-        pod.instance_ip(inst),
-        7,
-        75 - 42,
-        Pacing::FixedGap {
-            gap: SimDuration::from_micros(200), // 5k packets/s
-            count: 49_000,
-        },
-        SimTime::from_millis(1),
-        stats.clone(),
-    );
-    pod.add_endpoint(Box::new(client));
-    pod.schedule_nic_failure(fail_at, 0);
-    pod.run(end);
-
-    let s = stats.borrow();
-    println!(
-        "sent {} received {} lost {}\n",
-        s.sent,
-        s.received,
-        s.lost()
-    );
-
-    // (a) losses over the 10s run, 250ms bins.
-    println!("(a) lost packets over the run (250ms bins):");
-    let series = s.loss_series(SimDuration::from_millis(250), end);
-    let mut t = Table::new(vec!["t (s)", "lost", ""]);
-    for (i, &v) in series.bins().iter().enumerate() {
-        if v > 0.0 || (18..=22).contains(&i) {
-            t.row(vec![
-                format!("{:.2}", i as f64 * 0.25),
-                format!("{v}"),
-                "#".repeat(v as usize / 4),
-            ]);
-        }
-    }
-    println!("{}", t.render());
-
-    // (b) zoom on the failure window.
-    let losses = s.loss_times();
-    if let (Some(first), Some(last)) = (losses.first(), losses.last()) {
-        let duration = *last - *first;
-        println!("(b) failure window:");
-        println!("    first loss at {:.4}s", first.as_secs_f64());
-        println!("    last  loss at {:.4}s", last.as_secs_f64());
-        println!(
-            "    total failure time ~{:.1} ms  (paper: ~38 ms)",
-            duration.as_secs_f64() * 1e3
-        );
-        // Post-recovery cleanliness.
-        let after = losses.iter().filter(|&&t| t > *last).count();
-        assert_eq!(after, 0);
-    } else {
-        println!("no losses observed — failover did not interrupt traffic?");
-    }
-    // Control-plane accounting.
-    println!(
-        "\nallocator: failovers={} reroutes={}; backup NIC now serves the instance",
-        pod.allocator.failovers, pod.allocator.reroutes_sent
-    );
+    print!("{}", oasis_bench::fig13::fig13_failover_report(None));
 }

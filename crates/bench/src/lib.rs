@@ -4,6 +4,8 @@
 //! library holds the pieces they share (pod assembly shortcuts, sweep
 //! helpers, output formatting).
 
+pub mod chaos;
+pub mod fig13;
 pub mod harness;
 pub mod sweep;
 

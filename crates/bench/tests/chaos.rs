@@ -1,0 +1,73 @@
+//! Chaos-harness integration tests: seeded fault schedules must uphold
+//! every recovery invariant, reproduce bit-for-bit from their seed, and
+//! the CI seed matrix must exercise all five fault classes.
+//!
+//! The simulation-running tests are full-scale and therefore
+//! release-gated (the CI chaos-smoke job runs `cargo test --release`);
+//! the plan-level coverage check runs everywhere.
+
+use oasis_bench::chaos::run_chaos;
+use oasis_sim::fault::{FaultMix, FaultPlan};
+use proptest::prelude::*;
+
+/// The same fixed seed matrix the `chaos` binary runs in CI.
+const CI_SEEDS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Eight proptest-drawn seeds, eight distinct fault schedules — all
+    /// five recovery invariants must hold for each.
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "full-scale sims; run with --release")]
+    fn chaos_invariants_hold_for_random_seeds(seed in 0u64..1_000_000) {
+        let report = run_chaos(seed);
+        prop_assert!(
+            report.passed(),
+            "seed {} violated invariants: {:?}",
+            seed,
+            report.violations
+        );
+    }
+}
+
+/// The same seed reproduces the same run, observation for observation.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full-scale sims; run with --release")]
+fn chaos_runs_are_deterministic_per_seed() {
+    let a = run_chaos(42);
+    let b = run_chaos(42);
+    assert_eq!(a, b, "same seed must reproduce the identical report");
+}
+
+/// Plan-level check (no simulation): the fixed CI seed matrix draws
+/// schedules that together cover all five fault classes.
+#[test]
+fn chaos_ci_seeds_cover_all_fault_classes() {
+    let mix = FaultMix {
+        hosts: vec![1],
+        nics: vec![0],
+        ssds: vec![0],
+        events: 6,
+    };
+    let mut covered: Vec<&'static str> = CI_SEEDS
+        .iter()
+        .flat_map(|&s| {
+            FaultPlan::randomized(s, oasis_sim::time::SimDuration::from_secs(2), &mix).classes()
+        })
+        .collect();
+    covered.sort_unstable();
+    covered.dedup();
+    for class in [
+        "cxl-stall",
+        "host-crash",
+        "packet-fault",
+        "port-flap",
+        "ssd-error",
+    ] {
+        assert!(
+            covered.contains(&class),
+            "CI seed matrix never draws the {class} fault class"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Determinism guard: installing an **empty** fault plan must leave the
+//! Figure 13 failover experiment byte-identical to not installing one at
+//! all — the fault-injection substrate is a strict no-op when unused.
+
+use oasis_bench::fig13::fig13_failover_report;
+use oasis_sim::fault::FaultPlan;
+
+/// Full-scale (10 s) simulation — slow in debug, so it runs in release
+/// (`cargo test --release`, the CI chaos-smoke job).
+#[test]
+#[cfg_attr(debug_assertions, ignore = "full-scale sim; run with --release")]
+fn empty_fault_plan_leaves_fig13_byte_identical() {
+    let baseline = fig13_failover_report(None);
+    let with_empty_plan = fig13_failover_report(Some(&FaultPlan::empty()));
+    assert_eq!(
+        baseline, with_empty_plan,
+        "an empty FaultPlan must not perturb the simulation"
+    );
+}

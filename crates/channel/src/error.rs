@@ -1,0 +1,52 @@
+//! Typed channel errors.
+//!
+//! The engine/channel message paths used to `assert!`/`unwrap()` on
+//! malformed input; with fault injection in the picture (ISSUE 2), a
+//! corrupted or replayed message must surface as a *recoverable* error the
+//! driver can count and drop, not a panic that kills the whole pod
+//! simulation.
+
+use std::fmt;
+
+/// An error on the channel message path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The caller handed a message whose length does not match the
+    /// channel's fixed message size.
+    BadMessageSize {
+        /// Offered length.
+        got: usize,
+        /// The channel's message size.
+        expected: usize,
+    },
+    /// The caller's message already has the epoch bit set; that bit is
+    /// owned by the channel and a set bit indicates a corrupted or
+    /// replayed buffer.
+    EpochBitSet,
+    /// The consumed counter read from pool memory ran *backwards* (or past
+    /// the send head) — torn write-back or corruption of the counter line.
+    CounterCorrupt {
+        /// Counter value read from the pool.
+        read: u64,
+        /// Messages actually sent.
+        sent: u64,
+    },
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::BadMessageSize { got, expected } => {
+                write!(f, "message is {got} bytes, channel carries {expected}")
+            }
+            ChannelError::EpochBitSet => {
+                write!(f, "epoch bit is owned by the channel but arrived set")
+            }
+            ChannelError::CounterCorrupt { read, sent } => {
+                write!(f, "consumed counter {read} exceeds sent count {sent}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}

@@ -29,13 +29,17 @@
 //! one-way throughput and latency exactly as the paper's two-socket
 //! microbenchmark does.
 
+pub mod error;
 pub mod layout;
 pub mod receiver;
+pub mod reliable;
 pub mod runner;
 pub mod sender;
 
+pub use error::ChannelError;
 pub use layout::ChannelLayout;
 pub use receiver::{Policy, Receiver};
+pub use reliable::{RetryPolicy, RetryState, SeqWindow};
 pub use runner::{run_offered_load, PairReport};
 pub use sender::Sender;
 

@@ -265,7 +265,7 @@ mod tests {
             if sent < n && th.clock <= rh.clock {
                 let mut msg = [0u8; 16];
                 msg[..8].copy_from_slice(&sent.to_le_bytes());
-                if s.try_send(&mut th, &mut pool, &msg) {
+                if s.try_send(&mut th, &mut pool, &msg).unwrap() {
                     sent += 1;
                     s.flush(&mut th, &mut pool);
                 }
@@ -319,7 +319,7 @@ mod tests {
         for i in 0..6u64 {
             let mut m = [0u8; 16];
             m[0] = i as u8;
-            assert!(s.try_send(&mut th, &mut pool, &m));
+            assert!(s.try_send(&mut th, &mut pool, &m).unwrap());
         }
         s.flush(&mut th, &mut pool);
         rh.advance(10_000);
@@ -341,7 +341,7 @@ mod tests {
     fn explicit_publish_flushes_partial_batch() {
         let (mut pool, mut th, mut rh, mut s, mut r) = setup(8, 16, Policy::BypassCache);
         let m = [0u8; 16];
-        s.try_send(&mut th, &mut pool, &m);
+        s.try_send(&mut th, &mut pool, &m).unwrap();
         s.flush(&mut th, &mut pool);
         rh.advance(10_000);
         let mut out = [0u8; 16];
@@ -358,7 +358,7 @@ mod tests {
         let (mut pool, mut th, mut rh, mut s, mut r) = setup(8, 16, Policy::BypassCache);
         let mut m = [0xAAu8; 16];
         m[15] = 0x7F; // all payload bits set, epoch clear
-        s.try_send(&mut th, &mut pool, &m);
+        s.try_send(&mut th, &mut pool, &m).unwrap();
         s.flush(&mut th, &mut pool);
         rh.advance(10_000);
         let mut out = [0u8; 16];
@@ -374,7 +374,7 @@ mod tests {
         let (mut pool, mut th, mut rh, mut s, mut r) = setup(4, 16, Policy::NaivePrefetch);
         let m = [1u8; 16];
         for _ in 0..4 {
-            s.try_send(&mut th, &mut pool, &m);
+            s.try_send(&mut th, &mut pool, &m).unwrap();
         }
         rh.advance(10_000);
         let mut out = [0u8; 16];
@@ -388,7 +388,7 @@ mod tests {
         // Sender wraps and overwrites slot 0 (lap 1, epoch flips).
         let m2 = [2u8; 16];
         for _ in 0..4 {
-            assert!(s.try_send(&mut th, &mut pool, &m2));
+            assert!(s.try_send(&mut th, &mut pool, &m2).unwrap());
         }
         rh.advance(10_000);
         // First poll: stale cached line (lap-0 epoch) -> empty poll.

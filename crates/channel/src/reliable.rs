@@ -1,0 +1,231 @@
+//! Reliability helpers layered over the raw SPSC rings: retry pacing with
+//! exponential backoff, and sequence-number deduplication.
+//!
+//! The channels themselves never lose messages — pool memory is reliable —
+//! but the *peers* can: a crashed-and-restarted host replays the commands
+//! it had in flight (its intent log survives locally, the acknowledgements
+//! did not), and an SSD in a fault window swallows commands whole. The
+//! storage engine composes these two pieces: the frontend arms a
+//! [`RetryState`] per in-flight command and resubmits on expiry; the
+//! backend keeps a [`SeqWindow`] of recently completed command ids and
+//! answers replays from its completion cache instead of re-executing them
+//! (exactly-once execution, at-least-once delivery).
+
+use oasis_sim::time::{SimDuration, SimTime};
+
+/// Retry pacing policy: a base timeout, an exponential backoff multiplier,
+/// and an attempt cap.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Time to wait for a completion before the first resubmission.
+    pub timeout: SimDuration,
+    /// Each further wait is multiplied by this (≥ 1).
+    pub backoff: u32,
+    /// Total attempts (first try included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (timeout effectively infinite).
+    pub fn off() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_nanos(u64::MAX / 4),
+            backoff: 1,
+            max_attempts: 1,
+        }
+    }
+}
+
+/// Live retry state for one in-flight command.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryState {
+    /// Attempts made so far (1 after the first send).
+    pub attempts: u32,
+    /// When the current attempt expires.
+    pub deadline: SimTime,
+    /// The wait armed for the current attempt.
+    wait: SimDuration,
+}
+
+impl RetryState {
+    /// Arm the first attempt at `now`.
+    pub fn armed(policy: &RetryPolicy, now: SimTime) -> Self {
+        RetryState {
+            attempts: 1,
+            deadline: now + policy.timeout,
+            wait: policy.timeout,
+        }
+    }
+
+    /// Has the current attempt expired?
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.deadline
+    }
+
+    /// Are more attempts allowed?
+    pub fn can_retry(&self, policy: &RetryPolicy) -> bool {
+        self.attempts < policy.max_attempts
+    }
+
+    /// Record a resubmission at `now`: bump the attempt count and arm the
+    /// next (backed-off) deadline.
+    pub fn rearm(&mut self, policy: &RetryPolicy, now: SimTime) {
+        self.attempts += 1;
+        self.wait = SimDuration::from_nanos(
+            self.wait
+                .as_nanos()
+                .saturating_mul(policy.backoff.max(1) as u64),
+        );
+        self.deadline = now + self.wait;
+    }
+}
+
+/// A sliding dedup window over `u16` sequence numbers (NVMe-style command
+/// ids that wrap). Remembers the most recent `capacity` ids seen; `insert`
+/// returns `false` for a duplicate. Eviction is FIFO, so as long as fewer
+/// than `capacity` commands are issued between a command and its replay,
+/// the replay is recognized.
+#[derive(Clone, Debug)]
+pub struct SeqWindow {
+    /// Insertion order, oldest first.
+    order: std::collections::VecDeque<u16>,
+    /// Presence bitmap over the full u16 space (8 KiB — cheap and O(1)).
+    present: Vec<u64>,
+    capacity: usize,
+}
+
+impl SeqWindow {
+    /// Window remembering the last `capacity` sequence numbers.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        SeqWindow {
+            order: std::collections::VecDeque::with_capacity(capacity),
+            present: vec![0u64; 1024],
+            capacity,
+        }
+    }
+
+    #[inline]
+    fn bit(seq: u16) -> (usize, u64) {
+        ((seq >> 6) as usize, 1u64 << (seq & 63))
+    }
+
+    /// Has `seq` been seen within the window?
+    pub fn contains(&self, seq: u16) -> bool {
+        let (w, m) = Self::bit(seq);
+        self.present[w] & m != 0
+    }
+
+    /// Record `seq`. Returns `true` if it is new, `false` for a duplicate.
+    pub fn insert(&mut self, seq: u16) -> bool {
+        self.insert_evicting(seq).0
+    }
+
+    /// Record `seq`, also reporting the id the full window pushed out (if
+    /// any) so callers can keep a side table in lockstep with the window.
+    pub fn insert_evicting(&mut self, seq: u16) -> (bool, Option<u16>) {
+        if self.contains(seq) {
+            return (false, None);
+        }
+        let mut evicted = None;
+        if self.order.len() == self.capacity {
+            let old = self.order.pop_front().unwrap();
+            let (w, m) = Self::bit(old);
+            self.present[w] &= !m;
+            evicted = Some(old);
+        }
+        let (w, m) = Self::bit(seq);
+        self.present[w] |= m;
+        self.order.push_back(seq);
+        (true, evicted)
+    }
+
+    /// Sequence numbers currently remembered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_backoff_doubles_waits() {
+        let policy = RetryPolicy {
+            timeout: SimDuration::from_micros(100),
+            backoff: 2,
+            max_attempts: 4,
+        };
+        let t0 = SimTime::from_millis(1);
+        let mut st = RetryState::armed(&policy, t0);
+        assert!(!st.expired(t0));
+        assert!(st.expired(t0 + SimDuration::from_micros(100)));
+        let t1 = st.deadline;
+        st.rearm(&policy, t1);
+        assert_eq!(st.attempts, 2);
+        assert_eq!(st.deadline, t1 + SimDuration::from_micros(200));
+        let t2 = st.deadline;
+        st.rearm(&policy, t2);
+        assert_eq!(st.deadline, t2 + SimDuration::from_micros(400));
+        assert!(st.can_retry(&policy));
+        st.rearm(&policy, st.deadline);
+        assert!(!st.can_retry(&policy), "attempt cap reached");
+    }
+
+    #[test]
+    fn retry_off_never_expires_in_practice() {
+        let policy = RetryPolicy::off();
+        let st = RetryState::armed(&policy, SimTime::ZERO);
+        assert!(!st.expired(SimTime::from_secs(1_000_000)));
+        assert!(!st.can_retry(&policy));
+    }
+
+    #[test]
+    fn seq_window_detects_duplicates() {
+        let mut w = SeqWindow::new(4);
+        assert!(w.insert(10));
+        assert!(w.insert(11));
+        assert!(!w.insert(10), "duplicate detected");
+        assert!(w.contains(11));
+        assert!(!w.contains(12));
+    }
+
+    #[test]
+    fn seq_window_evicts_fifo() {
+        let mut w = SeqWindow::new(2);
+        assert!(w.insert(1));
+        assert!(w.insert(2));
+        assert!(w.insert(3)); // evicts 1
+        assert_eq!(w.len(), 2);
+        assert!(!w.contains(1), "oldest evicted");
+        assert!(w.insert(1), "forgotten ids count as new again");
+        assert!(!w.contains(2), "2 evicted in turn");
+    }
+
+    #[test]
+    fn seq_window_reports_evictions() {
+        let mut w = SeqWindow::new(2);
+        assert_eq!(w.insert_evicting(5), (true, None));
+        assert_eq!(w.insert_evicting(5), (false, None));
+        assert_eq!(w.insert_evicting(6), (true, None));
+        assert_eq!(w.insert_evicting(7), (true, Some(5)));
+        assert_eq!(w.insert_evicting(8), (true, Some(6)));
+    }
+
+    #[test]
+    fn seq_window_handles_wraparound_ids() {
+        let mut w = SeqWindow::new(8);
+        for seq in [65_533u16, 65_534, 65_535, 0, 1, 2] {
+            assert!(w.insert(seq));
+        }
+        for seq in [65_533u16, 65_535, 0, 2] {
+            assert!(!w.insert(seq));
+        }
+    }
+}

@@ -120,7 +120,10 @@ pub fn run_offered_load_sized(
                 continue;
             }
             msg_buf[..8].copy_from_slice(&tx_host.clock.as_nanos().to_le_bytes());
-            if sender.try_send(&mut tx_host, &mut pool, &msg_buf) {
+            if sender
+                .try_send(&mut tx_host, &mut pool, &msg_buf)
+                .expect("bench messages are well-formed")
+            {
                 if tx_host.clock >= warmup {
                     sent_measured += 1;
                 }

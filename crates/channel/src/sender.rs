@@ -11,6 +11,7 @@
 
 use oasis_cxl::{line_base, CxlPool, HostCtx};
 
+use crate::error::ChannelError;
 use crate::layout::ChannelLayout;
 use crate::{epoch_bit, EPOCH_MASK};
 
@@ -59,35 +60,55 @@ impl Sender {
         self.layout.slots - (self.head - self.cached_consumed)
     }
 
-    fn refresh_consumed(&mut self, host: &mut HostCtx, pool: &mut CxlPool) {
+    fn refresh_consumed(
+        &mut self,
+        host: &mut HostCtx,
+        pool: &mut CxlPool,
+    ) -> Result<(), ChannelError> {
         // The receiver updates this counter through its own cache; we must
         // invalidate our copy and fence before re-reading (§4).
         host.clflushopt(pool, self.layout.counter_addr);
         host.mfence();
-        self.cached_consumed = host.read_u64(pool, self.layout.counter_addr);
+        let read = host.read_u64(pool, self.layout.counter_addr);
         self.counter_refreshes += 1;
-        debug_assert!(
-            self.cached_consumed <= self.head,
-            "receiver consumed past what was sent"
-        );
+        if read > self.head {
+            // Torn write-back or corruption: a receiver cannot have
+            // consumed messages that were never sent. Keep the old cached
+            // value (conservative — at worst the ring looks full).
+            return Err(ChannelError::CounterCorrupt {
+                read,
+                sent: self.head,
+            });
+        }
+        self.cached_consumed = read;
+        Ok(())
     }
 
     /// Try to enqueue one message. `msg` must be exactly `msg_size` bytes
     /// with the epoch bit (MSB of the last byte) clear; the sender owns that
-    /// bit. Returns `false` if the ring is full even after refreshing the
-    /// consumed counter.
-    pub fn try_send(&mut self, host: &mut HostCtx, pool: &mut CxlPool, msg: &[u8]) -> bool {
-        assert_eq!(msg.len() as u64, self.layout.msg_size, "message size");
-        assert_eq!(
-            msg[msg.len() - 1] & EPOCH_MASK,
-            0,
-            "epoch bit is owned by the channel"
-        );
+    /// bit. Returns `Ok(false)` if the ring is full even after refreshing
+    /// the consumed counter, and `Err` for malformed messages or a
+    /// corrupted consumed counter (both recoverable: nothing was enqueued).
+    pub fn try_send(
+        &mut self,
+        host: &mut HostCtx,
+        pool: &mut CxlPool,
+        msg: &[u8],
+    ) -> Result<bool, ChannelError> {
+        if msg.len() as u64 != self.layout.msg_size {
+            return Err(ChannelError::BadMessageSize {
+                got: msg.len(),
+                expected: self.layout.msg_size as usize,
+            });
+        }
+        if msg[msg.len() - 1] & EPOCH_MASK != 0 {
+            return Err(ChannelError::EpochBitSet);
+        }
         host.advance(host.costs.send_overhead_ns);
         if self.head - self.cached_consumed >= self.layout.slots {
-            self.refresh_consumed(host, pool);
+            self.refresh_consumed(host, pool)?;
             if self.head - self.cached_consumed >= self.layout.slots {
-                return false;
+                return Ok(false);
             }
         }
         let addr = self.layout.slot_addr(self.head);
@@ -117,7 +138,7 @@ impl Sender {
         } else {
             self.dirty_line = Some(line);
         }
-        true
+        Ok(true)
     }
 
     /// Write back a partially filled line (called when the sending rate is
@@ -159,7 +180,7 @@ mod tests {
         let (mut pool, mut host, mut s) = setup(8, 16);
         let msg = [7u8; 16];
         for _ in 0..4 {
-            assert!(s.try_send(&mut host, &mut pool, &msg));
+            assert!(s.try_send(&mut host, &mut pool, &msg).unwrap());
         }
         assert!(!s.has_unflushed(), "full line must be written back");
         pool.flush_pending();
@@ -172,7 +193,7 @@ mod tests {
     #[test]
     fn partial_line_needs_explicit_flush() {
         let (mut pool, mut host, mut s) = setup(8, 16);
-        s.try_send(&mut host, &mut pool, &[1u8; 16]);
+        s.try_send(&mut host, &mut pool, &[1u8; 16]).unwrap();
         assert!(s.has_unflushed());
         pool.flush_pending();
         let mut slot = [0u8; 16];
@@ -188,13 +209,13 @@ mod tests {
     fn ring_full_blocks_until_consumed_counter_moves() {
         let (mut pool, mut host, mut s) = setup(4, 16);
         for _ in 0..4 {
-            assert!(s.try_send(&mut host, &mut pool, &[2u8; 16]));
+            assert!(s.try_send(&mut host, &mut pool, &[2u8; 16]).unwrap());
         }
-        assert!(!s.try_send(&mut host, &mut pool, &[2u8; 16]));
+        assert!(!s.try_send(&mut host, &mut pool, &[2u8; 16]).unwrap());
         assert_eq!(s.counter_refreshes, 1);
         // Simulate the receiver consuming 2 messages.
         pool.poke(s.layout().counter_addr, &2u64.to_le_bytes());
-        assert!(s.try_send(&mut host, &mut pool, &[3u8; 16]));
+        assert!(s.try_send(&mut host, &mut pool, &[3u8; 16]).unwrap());
         assert_eq!(s.counter_refreshes, 2);
         assert_eq!(s.sent(), 5);
     }
@@ -203,11 +224,11 @@ mod tests {
     fn epoch_toggles_on_wrap() {
         let (mut pool, mut host, mut s) = setup(4, 16);
         for _ in 0..4 {
-            s.try_send(&mut host, &mut pool, &[0u8; 16]);
+            s.try_send(&mut host, &mut pool, &[0u8; 16]).unwrap();
         }
         pool.poke(s.layout().counter_addr, &4u64.to_le_bytes());
         for _ in 0..4 {
-            assert!(s.try_send(&mut host, &mut pool, &[0u8; 16]));
+            assert!(s.try_send(&mut host, &mut pool, &[0u8; 16]).unwrap());
         }
         pool.flush_pending();
         let mut slot = [0u8; 16];
@@ -216,12 +237,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "epoch bit is owned")]
     fn rejects_messages_with_epoch_bit_set() {
         let (mut pool, mut host, mut s) = setup(4, 16);
         let mut msg = [0u8; 16];
         msg[15] = 0x80;
-        s.try_send(&mut host, &mut pool, &msg);
+        assert_eq!(
+            s.try_send(&mut host, &mut pool, &msg),
+            Err(ChannelError::EpochBitSet)
+        );
+        assert_eq!(s.sent(), 0, "nothing was enqueued");
+    }
+
+    #[test]
+    fn rejects_wrong_message_size() {
+        let (mut pool, mut host, mut s) = setup(4, 16);
+        assert_eq!(
+            s.try_send(&mut host, &mut pool, &[0u8; 8]),
+            Err(ChannelError::BadMessageSize {
+                got: 8,
+                expected: 16
+            })
+        );
+    }
+
+    #[test]
+    fn corrupted_counter_surfaces_as_error() {
+        let (mut pool, mut host, mut s) = setup(4, 16);
+        for _ in 0..4 {
+            s.try_send(&mut host, &mut pool, &[1u8; 16]).unwrap();
+        }
+        // Corrupt the consumed counter beyond the send head (a torn
+        // write-back would look like this).
+        pool.poke(s.layout().counter_addr, &999u64.to_le_bytes());
+        assert_eq!(
+            s.try_send(&mut host, &mut pool, &[1u8; 16]),
+            Err(ChannelError::CounterCorrupt { read: 999, sent: 4 })
+        );
+        // The cached value was not poisoned: repairing the counter heals
+        // the channel.
+        pool.poke(s.layout().counter_addr, &2u64.to_le_bytes());
+        assert!(s.try_send(&mut host, &mut pool, &[1u8; 16]).unwrap());
     }
 
     #[test]
@@ -232,12 +287,12 @@ mod tests {
         // deadlocking the receiver.
         let (mut pool, mut host, mut s) = setup(16, 16);
         // Two messages, flush mid-line.
-        s.try_send(&mut host, &mut pool, &[1u8; 16]);
-        s.try_send(&mut host, &mut pool, &[2u8; 16]);
+        s.try_send(&mut host, &mut pool, &[1u8; 16]).unwrap();
+        s.try_send(&mut host, &mut pool, &[2u8; 16]).unwrap();
         s.flush(&mut host, &mut pool);
         // Burst of four crossing into line 1 (slots 2,3,4,5).
         for v in 3u8..7 {
-            s.try_send(&mut host, &mut pool, &[v; 16]);
+            s.try_send(&mut host, &mut pool, &[v; 16]).unwrap();
         }
         s.flush(&mut host, &mut pool);
         pool.flush_pending();
@@ -257,7 +312,7 @@ mod tests {
     #[test]
     fn msg64_flushes_every_message() {
         let (mut pool, mut host, mut s) = setup(8, 64);
-        s.try_send(&mut host, &mut pool, &[9u8; 64]);
+        s.try_send(&mut host, &mut pool, &[9u8; 64]).unwrap();
         assert!(!s.has_unflushed());
     }
 }

@@ -69,6 +69,18 @@ pub enum AllocCommand {
         /// Owning instance IP.
         ip: Ipv4Addr,
     },
+    /// Declare a frontend host dead (ISSUE 2 heartbeat detection). The
+    /// state machine revokes every lease and volume owned by instances on
+    /// that host so nothing leaks while it is down.
+    MarkHostFailed {
+        /// Host id.
+        host: u32,
+    },
+    /// A failed host heartbeated again after restarting.
+    MarkHostRestarted {
+        /// Host id.
+        host: u32,
+    },
 }
 
 impl AllocCommand {
@@ -138,6 +150,14 @@ impl AllocCommand {
                 b.push(8);
                 b.extend_from_slice(&ip.0);
             }
+            AllocCommand::MarkHostFailed { host } => {
+                b.push(9);
+                b.extend_from_slice(&host.to_le_bytes());
+            }
+            AllocCommand::MarkHostRestarted { host } => {
+                b.push(10);
+                b.extend_from_slice(&host.to_le_bytes());
+            }
         }
         b
     }
@@ -179,6 +199,8 @@ impl AllocCommand {
             8 => Some(AllocCommand::ReleaseVolumes {
                 ip: Ipv4Addr(b.get(1..5)?.try_into().ok()?),
             }),
+            9 => Some(AllocCommand::MarkHostFailed { host: u32_at(1)? }),
+            10 => Some(AllocCommand::MarkHostRestarted { host: u32_at(1)? }),
             _ => None,
         }
     }
@@ -222,6 +244,8 @@ mod tests {
             AllocCommand::ReleaseVolumes {
                 ip: Ipv4Addr::instance(9),
             },
+            AllocCommand::MarkHostFailed { host: 4 },
+            AllocCommand::MarkHostRestarted { host: 4 },
         ];
         for c in cmds {
             assert_eq!(AllocCommand::decode(&c.encode()), Some(c));

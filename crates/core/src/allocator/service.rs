@@ -84,6 +84,8 @@ pub struct AllocState {
     pub ssds: Vec<Option<SsdInfo>>,
     /// Volumes.
     pub volumes: Vec<VolumeInfo>,
+    /// Hosts currently declared dead (ISSUE 2), sorted ascending.
+    pub failed_hosts: Vec<u32>,
 }
 
 impl AllocState {
@@ -176,22 +178,49 @@ impl AllocState {
                 });
             }
             AllocCommand::ReleaseVolumes { ip } => {
-                let mut freed: Vec<(u32, u32)> = Vec::new();
-                self.volumes.retain(|v| {
-                    if v.ip == ip {
-                        freed.push((v.ssd, v.blocks));
-                        false
-                    } else {
-                        true
-                    }
-                });
-                for (ssd, blocks) in freed {
-                    if let Some(Some(s)) = self.ssds.get_mut(ssd as usize) {
-                        s.allocated_blocks = s.allocated_blocks.saturating_sub(blocks);
-                        if s.allocated_blocks == 0 {
-                            s.next_block = 0;
-                        }
-                    }
+                self.release_volumes(ip);
+            }
+            AllocCommand::MarkHostFailed { host } => {
+                if let Err(at) = self.failed_hosts.binary_search(&host) {
+                    self.failed_hosts.insert(at, host);
+                }
+                // Everything the dead host's instances held goes back to
+                // the pool of allocatable resources: NIC leases and
+                // volumes. Nothing may leak while the host is down.
+                let dead: Vec<Ipv4Addr> = self
+                    .instances
+                    .iter()
+                    .filter(|i| i.host == host)
+                    .map(|i| i.ip)
+                    .collect();
+                for ip in dead {
+                    self.release(ip);
+                    self.release_volumes(ip);
+                }
+            }
+            AllocCommand::MarkHostRestarted { host } => {
+                if let Ok(at) = self.failed_hosts.binary_search(&host) {
+                    self.failed_hosts.remove(at);
+                }
+            }
+        }
+    }
+
+    fn release_volumes(&mut self, ip: Ipv4Addr) {
+        let mut freed: Vec<(u32, u32)> = Vec::new();
+        self.volumes.retain(|v| {
+            if v.ip == ip {
+                freed.push((v.ssd, v.blocks));
+                false
+            } else {
+                true
+            }
+        });
+        for (ssd, blocks) in freed {
+            if let Some(Some(s)) = self.ssds.get_mut(ssd as usize) {
+                s.allocated_blocks = s.allocated_blocks.saturating_sub(blocks);
+                if s.allocated_blocks == 0 {
+                    s.next_block = 0;
                 }
             }
         }
@@ -312,6 +341,18 @@ pub struct PodAllocator {
     rebalance: Option<RebalancePolicy>,
     /// Graceful migrations initiated by the rebalancer (stat).
     pub rebalance_migrations: u64,
+    /// Last heartbeat receipt per frontend host, tracked lazily: a host
+    /// enters the table on its first heartbeat, so deployments that never
+    /// send heartbeats are never subject to detection.
+    last_heartbeat: Vec<(u32, SimTime)>,
+    /// Hosts declared failed since the embedding last asked
+    /// ([`PodAllocator::take_failed_hosts`]).
+    newly_failed_hosts: Vec<u32>,
+    /// Hosts that heartbeated again after a failure, since last asked.
+    newly_restarted_hosts: Vec<u32>,
+    /// `(host, silent_since, detected_at)` per host-failure declaration
+    /// (detection-latency distribution for the chaos report).
+    pub host_failure_detections: Vec<(u32, SimTime, SimTime)>,
 }
 
 /// The §6 load-balancing policy: when one NIC's telemetry load exceeds the
@@ -363,6 +404,10 @@ impl PodAllocator {
             failovers: 0,
             rebalance: None,
             rebalance_migrations: 0,
+            last_heartbeat: Vec::new(),
+            newly_failed_hosts: Vec::new(),
+            newly_restarted_hosts: Vec::new(),
+            host_failure_detections: Vec::new(),
         }
     }
 
@@ -465,12 +510,131 @@ impl PodAllocator {
                 .iter_mut()
                 .find(|(h, _)| *h == inst.host as usize)
             {
-                if tx.try_send(&mut self.core, pool, &msg.encode()) {
+                if tx
+                    .try_send(&mut self.core, pool, &msg.encode())
+                    .unwrap_or(false)
+                {
                     tx.flush(&mut self.core, pool);
                     self.reroutes_sent += 1;
                 }
             }
         }
+    }
+
+    /// Record a heartbeat from `host`. A heartbeat from a host previously
+    /// declared failed means it restarted: the declaration is reverted
+    /// through the log and the embedding is told so it can re-admit the
+    /// host's engines.
+    fn note_heartbeat(&mut self, host: u32) {
+        let now = self.core.clock;
+        match self.last_heartbeat.iter_mut().find(|(h, _)| *h == host) {
+            Some(entry) => entry.1 = now,
+            None => self.last_heartbeat.push((host, now)),
+        }
+        if self.state.failed_hosts.contains(&host) {
+            self.propose(AllocCommand::MarkHostRestarted { host });
+            self.newly_restarted_hosts.push(host);
+        }
+    }
+
+    /// Declare hosts dead after three silent heartbeat periods (plus a
+    /// polling-slack margin). Reclaim goes through the Raft log so every
+    /// replica agrees on what was released.
+    fn detect_dead_hosts(&mut self) {
+        let deadline = self.cfg.heartbeat_period * 3 + self.cfg.allocator_poll * 2;
+        let now = self.core.clock;
+        let dead: Vec<(u32, SimTime)> = self
+            .last_heartbeat
+            .iter()
+            .filter(|&&(h, last)| now > last + deadline && !self.state.failed_hosts.contains(&h))
+            .map(|&(h, last)| (h, last))
+            .collect();
+        for (host, last) in dead {
+            self.propose(AllocCommand::MarkHostFailed { host });
+            self.host_failure_detections.push((host, last, now));
+            self.newly_failed_hosts.push(host);
+        }
+    }
+
+    /// Are there failure declarations the embedding has not taken yet?
+    pub fn has_newly_failed_hosts(&self) -> bool {
+        !self.newly_failed_hosts.is_empty()
+    }
+
+    /// Hosts declared failed since the last call (for the embedding to
+    /// reclaim pool regions and stop the dead host's engines).
+    pub fn take_failed_hosts(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.newly_failed_hosts)
+    }
+
+    /// Hosts that heartbeated again after a failure, since the last call.
+    pub fn take_restarted_hosts(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.newly_restarted_hosts)
+    }
+
+    /// Replay the committed prefix of the Raft log through a fresh state
+    /// machine and compare with the live state on every log-derived field
+    /// (times like lease expiries are volatile and excluded). This is the
+    /// chaos harness's "allocator state is consistent with the log"
+    /// invariant.
+    pub fn consistent_with_log(&self) -> bool {
+        let mut replayed = AllocState::default();
+        let commit = self.raft.commit_index();
+        for entry in self.raft.log_entries().iter().take(commit as usize) {
+            if entry.command.is_empty() {
+                continue; // election no-op barrier
+            }
+            if let Some(cmd) = AllocCommand::decode(&entry.command) {
+                replayed.apply(SimTime::ZERO, SimDuration::ZERO, &cmd);
+            }
+        }
+        Self::log_view(&replayed) == Self::log_view(&self.state)
+    }
+
+    /// The log-derived projection of an [`AllocState`] (excludes telemetry
+    /// timestamps and lease expiries, which are allocator-local).
+    #[allow(clippy::type_complexity)]
+    fn log_view(
+        s: &AllocState,
+    ) -> (
+        Vec<Option<(u32, u32, u32, bool, bool)>>,
+        Vec<(Ipv4Addr, u32, u32, u32)>,
+        Vec<Option<(u32, u32, u32, u32)>>,
+        Vec<(Ipv4Addr, u32, u32, u32)>,
+        Vec<u32>,
+    ) {
+        (
+            s.nics
+                .iter()
+                .map(|n| {
+                    n.as_ref().map(|n| {
+                        (
+                            n.host,
+                            n.capacity_mbps,
+                            n.allocated_mbps,
+                            n.backup,
+                            n.failed,
+                        )
+                    })
+                })
+                .collect(),
+            s.instances
+                .iter()
+                .map(|i| (i.ip, i.host, i.nic, i.lease_mbps))
+                .collect(),
+            s.ssds
+                .iter()
+                .map(|s| {
+                    s.as_ref()
+                        .map(|s| (s.host, s.capacity_blocks, s.next_block, s.allocated_blocks))
+                })
+                .collect(),
+            s.volumes
+                .iter()
+                .map(|v| (v.ip, v.ssd, v.base_block, v.blocks))
+                .collect(),
+            s.failed_hosts.clone(),
+        )
     }
 
     /// Command a graceful migration of `ip` to `nic` (§3.3.4), e.g. for
@@ -496,7 +660,10 @@ impl PodAllocator {
             .iter_mut()
             .find(|(h, _)| *h == inst.host as usize)
         {
-            if tx.try_send(&mut self.core, pool, &msg.encode()) {
+            if tx
+                .try_send(&mut self.core, pool, &msg.encode())
+                .unwrap_or(false)
+            {
                 tx.flush(&mut self.core, pool);
             }
         }
@@ -618,11 +785,14 @@ impl PodAllocator {
                 let Some(msg) = NetMsg::decode(&buf) else {
                     continue;
                 };
-                if msg.op == NetOp::AllocRequest {
-                    responses.push((host, msg.ip, msg.size as u32));
+                match msg.op {
+                    NetOp::AllocRequest => responses.push((host, msg.ip, msg.size as u32)),
+                    NetOp::Heartbeat => self.note_heartbeat(msg.ptr as u32),
+                    _ => {}
                 }
             }
         }
+        self.detect_dead_hosts();
         for (host, ip, lease) in responses {
             let nic = self.place_instance(host, ip, lease.max(1));
             let msg = NetMsg {

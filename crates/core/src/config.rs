@@ -90,6 +90,18 @@ pub struct OasisConfig {
     pub storage_buf_size: u64,
     /// Per-host storage data buffer area in pool memory (bytes).
     pub storage_area_per_host: u64,
+    /// Frontend → allocator liveness heartbeat period (ISSUE 2). The
+    /// allocator declares a host failed after three silent periods.
+    pub heartbeat_period: SimDuration,
+    /// Storage-engine command retry timeout: how long the frontend waits
+    /// for a completion before resubmitting (covers the ~100 µs device
+    /// latency with wide margin).
+    pub storage_retry_timeout: SimDuration,
+    /// Exponential backoff multiplier between storage retries.
+    pub storage_retry_backoff: u32,
+    /// Total storage submission attempts before the I/O is failed to the
+    /// guest with a device error.
+    pub storage_retry_max_attempts: u32,
 }
 
 impl Default for OasisConfig {
@@ -109,6 +121,10 @@ impl Default for OasisConfig {
             migration_grace: SimDuration::from_secs(5),
             storage_buf_size: 32 * 4096,
             storage_area_per_host: 64 * 32 * 4096,
+            heartbeat_period: SimDuration::from_millis(100),
+            storage_retry_timeout: SimDuration::from_millis(2),
+            storage_retry_backoff: 2,
+            storage_retry_max_attempts: 6,
         }
     }
 }

@@ -185,7 +185,10 @@ mod tests {
             op: crate::msg::NetOp::Tx,
             ip: oasis_net::addr::Ipv4Addr::instance(1),
         };
-        assert!(pair.sender.try_send(&mut tx, &mut pool, &msg.encode()));
+        assert!(pair
+            .sender
+            .try_send(&mut tx, &mut pool, &msg.encode())
+            .unwrap());
         pair.sender.flush(&mut tx, &mut pool);
         rx.advance(10_000);
         let mut out = [0u8; 16];

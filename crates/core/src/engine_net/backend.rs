@@ -277,9 +277,9 @@ impl BackendDriver {
                     }
                     let ethertype = u16::from_be_bytes([hdr[12], hdr[13]]);
                     let dst = if ethertype == oasis_net::packet::ETHERTYPE_ARP && n >= 42 {
-                        Ipv4Addr(hdr[38..42].try_into().unwrap())
+                        Ipv4Addr([hdr[38], hdr[39], hdr[40], hdr[41]])
                     } else {
-                        Ipv4Addr(hdr[30..34].try_into().unwrap())
+                        Ipv4Addr([hdr[30], hdr[31], hdr[32], hdr[33]])
                     };
                     self.find_by_ip(dst)
                 }
@@ -298,7 +298,11 @@ impl BackendDriver {
                         continue;
                     };
                     let link = &mut self.links[li];
-                    if link.to.try_send(&mut self.core, pool, &msg.encode()) {
+                    if link
+                        .to
+                        .try_send(&mut self.core, pool, &msg.encode())
+                        .unwrap_or(false)
+                    {
                         self.stats.rx_forwarded += 1;
                     } else {
                         self.stats.rx_drop_channel += 1;

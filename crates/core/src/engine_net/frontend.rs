@@ -99,6 +99,8 @@ pub struct FrontendDriver {
     to_alloc: Sender,
     from_alloc: Receiver,
     insts: Vec<FeInstance>,
+    /// Next liveness heartbeat to the allocator (ISSUE 2 detection).
+    next_heartbeat: SimTime,
 }
 
 impl FrontendDriver {
@@ -119,6 +121,7 @@ impl FrontendDriver {
             to_alloc,
             from_alloc,
             insts: Vec::new(),
+            next_heartbeat: SimTime::ZERO,
         }
     }
 
@@ -155,6 +158,13 @@ impl FrontendDriver {
         if let Some(inst) = self.insts.iter_mut().find(|i| i.ip == ip) {
             inst.policer = Some(TokenBucket::new(lease_mbps, burst_bytes as f64));
         }
+    }
+
+    /// Drop every attached instance. Used by host-failure reclaim: the pod
+    /// frees the instances' buffer areas, and a restarted host boots with
+    /// no instances (a real cloud re-places them elsewhere).
+    pub fn detach_all_instances(&mut self) {
+        self.insts.clear();
     }
 
     /// The NIC currently serving an instance (tests and the allocator's
@@ -233,7 +243,11 @@ impl FrontendDriver {
             return;
         };
         let link = &mut self.links[li];
-        if link.to.try_send(&mut self.core, pool, &msg.encode()) {
+        if link
+            .to
+            .try_send(&mut self.core, pool, &msg.encode())
+            .unwrap_or(false)
+        {
             self.stats.tx_packets += 1;
         } else {
             self.insts[slot].tx_area.free(buf);
@@ -313,6 +327,19 @@ impl FrontendDriver {
     ) -> bool {
         let mut worked = false;
         self.core.advance(self.cfg.driver_loop_ns);
+
+        // 0. Liveness heartbeat to the allocator (§3.5 telemetry path).
+        // Missing three consecutive heartbeats marks this host failed.
+        if self.core.clock >= self.next_heartbeat {
+            let hb = NetMsg {
+                ptr: self.host as u64,
+                size: 0,
+                op: NetOp::Heartbeat,
+                ip: Ipv4Addr([0, 0, 0, 0]),
+            };
+            let _ = self.to_alloc.try_send(&mut self.core, pool, &hb.encode());
+            self.next_heartbeat = self.core.clock + self.cfg.heartbeat_period;
+        }
 
         // 1. Allocator control messages.
         let mut buf16 = [0u8; 16];

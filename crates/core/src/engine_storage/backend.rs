@@ -1,8 +1,9 @@
 //! Storage-engine backend driver: operates the SSD's queues (§3.4).
 
-use oasis_channel::{Receiver, Sender};
+use oasis_channel::{Receiver, Sender, SeqWindow};
 use oasis_cxl::dma::{DmaMemory, MemRef};
 use oasis_cxl::{CxlPool, HostCtx};
+use oasis_sim::detmap::DetMap;
 use oasis_storage::command::{NvmeCommand, NvmeCompletion, NvmeStatus};
 use oasis_storage::ssd::Ssd;
 
@@ -32,11 +33,22 @@ impl DmaMemory for PoolDma<'_> {
     }
 }
 
+/// How many completed command ids each frontend link remembers for replay
+/// deduplication. Far larger than the in-flight window a frontend can
+/// have, so a replayed id is always still remembered.
+const DEDUP_WINDOW: usize = 1024;
+
 /// One channel link to a frontend driver.
 struct FeLink {
     fe_host: usize,
     to: Sender,
     from: Receiver,
+    /// Recently completed command ids (exactly-once execution: replays of
+    /// these are answered from `done`, not re-executed).
+    seen: SeqWindow,
+    /// Completion status per remembered id, evicted in lockstep with
+    /// `seen`.
+    done: DetMap<u16, NvmeStatus>,
 }
 
 /// Backend counters.
@@ -49,6 +61,9 @@ pub struct StorageBeStats {
     pub sq_full: u64,
     /// Completions returned to frontends.
     pub completions: u64,
+    /// Replayed commands answered from the completion cache instead of
+    /// being re-executed.
+    pub replays_answered: u64,
 }
 
 /// The storage backend driver: runs only on hosts with local SSDs (§3.4),
@@ -81,7 +96,13 @@ impl StorageBackend {
 
     /// Wire a channel pair to a frontend on `fe_host`.
     pub fn add_frontend_link(&mut self, fe_host: usize, to: Sender, from: Receiver) {
-        self.links.push(FeLink { fe_host, to, from });
+        self.links.push(FeLink {
+            fe_host,
+            to,
+            from,
+            seen: SeqWindow::new(DEDUP_WINDOW),
+            done: DetMap::default(),
+        });
     }
 
     fn send_completion(&mut self, pool: &mut CxlPool, comp: NvmeCompletion) {
@@ -91,7 +112,11 @@ impl StorageBackend {
             .position(|l| l.fe_host == comp.frontend as usize)
         {
             let link = &mut self.links[li];
-            if link.to.try_send(&mut self.core, pool, &comp.encode()) {
+            if link
+                .to
+                .try_send(&mut self.core, pool, &comp.encode())
+                .unwrap_or(false)
+            {
                 link.to.flush(&mut self.core, pool);
                 self.stats.completions += 1;
             }
@@ -114,6 +139,21 @@ impl StorageBackend {
                 let Some(cmd) = NvmeCommand::decode(&buf) else {
                     continue;
                 };
+                if let Some(&status) = self.links[li].done.get(&cmd.cid) {
+                    // Replay of a command that already executed (the
+                    // frontend timed out or restarted before seeing the
+                    // completion): answer from the cache, never re-execute.
+                    self.stats.replays_answered += 1;
+                    self.send_completion(
+                        pool,
+                        NvmeCompletion {
+                            cid: cmd.cid,
+                            status,
+                            frontend: cmd.frontend,
+                        },
+                    );
+                    continue;
+                }
                 if ssd.submit(cmd) {
                     self.stats.forwarded += 1;
                 } else {
@@ -144,7 +184,23 @@ impl StorageBackend {
 
         // SSD completions → frontends (including error statuses from a
         // failed drive, which the engine simply propagates, §3.4).
+        // Terminal statuses enter the dedup cache; transient media errors
+        // do not, so a retry of the same cid really re-reads the device.
         for comp in ssd.poll_completions(self.core.clock) {
+            if comp.status != NvmeStatus::MediaError {
+                if let Some(li) = self
+                    .links
+                    .iter()
+                    .position(|l| l.fe_host == comp.frontend as usize)
+                {
+                    let link = &mut self.links[li];
+                    let (_, evicted) = link.seen.insert_evicting(comp.cid);
+                    if let Some(old) = evicted {
+                        link.done.remove(&old);
+                    }
+                    link.done.insert(comp.cid, comp.status);
+                }
+            }
             self.send_completion(pool, comp);
         }
 

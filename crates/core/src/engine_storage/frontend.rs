@@ -1,7 +1,7 @@
 //! Storage-engine frontend driver: the block-device interface instances
 //! see.
 
-use oasis_channel::{Receiver, Sender};
+use oasis_channel::{Receiver, RetryPolicy, RetryState, Sender};
 use oasis_cxl::{lines_covering, CxlPool, HostCtx};
 use oasis_sim::detmap::DetMap;
 use oasis_storage::command::{NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus};
@@ -25,6 +25,12 @@ struct PendingIo {
     op: NvmeOpcode,
     buf: u64,
     bytes: u64,
+    /// Target SSD (for resubmission routing).
+    ssd: usize,
+    /// The full command, kept for retransmission.
+    cmd: NvmeCommand,
+    /// Retry pacing for this command.
+    retry: RetryState,
 }
 
 /// One channel link to a storage backend.
@@ -45,6 +51,11 @@ pub struct StorageFeStats {
     pub errors: u64,
     /// Submissions refused (no buffer / channel full).
     pub refused: u64,
+    /// Commands resubmitted after a completion timeout or transient media
+    /// error (§3.4 recovery).
+    pub retries: u64,
+    /// Commands failed to the caller after exhausting the retry budget.
+    pub retry_exhausted: u64,
 }
 
 /// The storage frontend driver (one busy-polling core per host, §3.4).
@@ -55,7 +66,6 @@ pub struct StorageFrontend {
     pub core: HostCtx,
     /// Counters.
     pub stats: StorageFeStats,
-    #[allow(dead_code)]
     cfg: OasisConfig,
     links: Vec<SsdLink>,
     data_area: BufferArea,
@@ -87,6 +97,44 @@ impl StorageFrontend {
 
     fn link_idx(&self, ssd: usize) -> Option<usize> {
         self.links.iter().position(|l| l.ssd == ssd)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            timeout: self.cfg.storage_retry_timeout,
+            backoff: self.cfg.storage_retry_backoff,
+            max_attempts: self.cfg.storage_retry_max_attempts,
+        }
+    }
+
+    /// Invalidate a finished command's buffer lines and return the buffer
+    /// for reuse. The next user's data arrives by device DMA straight into
+    /// pool memory, so any line left cached here — in particular the clean
+    /// copies `clwb` keeps after staging a write — would read back stale
+    /// (§3.2.1 software coherence).
+    fn release_buf(&mut self, pool: &mut CxlPool, p: &PendingIo) {
+        if p.op == NvmeOpcode::Flush {
+            return;
+        }
+        for la in lines_covering(p.buf, p.bytes) {
+            self.core.clflushopt(pool, la);
+        }
+        self.data_area.free(p.buf);
+    }
+
+    /// Put `cmd` back on the wire to `ssd`. A full channel is fine: the
+    /// armed deadline fires again later.
+    fn resend(&mut self, pool: &mut CxlPool, ssd: usize, cmd: &NvmeCommand) {
+        if let Some(li) = self.link_idx(ssd) {
+            let link = &mut self.links[li];
+            if link
+                .to
+                .try_send(&mut self.core, pool, &cmd.encode())
+                .unwrap_or(false)
+            {
+                link.to.flush(&mut self.core, pool);
+            }
+        }
     }
 
     fn submit(
@@ -136,7 +184,11 @@ impl StorageFrontend {
             frontend: self.host as u32,
         };
         let link = &mut self.links[li];
-        if !link.to.try_send(&mut self.core, pool, &cmd.encode()) {
+        if !link
+            .to
+            .try_send(&mut self.core, pool, &cmd.encode())
+            .unwrap_or(false)
+        {
             if op != NvmeOpcode::Flush {
                 self.data_area.free(buf);
             }
@@ -145,7 +197,18 @@ impl StorageFrontend {
         }
         link.to.flush(&mut self.core, pool);
         self.stats.submitted += 1;
-        self.pending.insert(cid, PendingIo { op, buf, bytes });
+        let retry = RetryState::armed(&self.retry_policy(), self.core.clock);
+        self.pending.insert(
+            cid,
+            PendingIo {
+                op,
+                buf,
+                bytes,
+                ssd,
+                cmd,
+                retry,
+            },
+        );
         Some(cid)
     }
 
@@ -178,9 +241,13 @@ impl StorageFrontend {
         self.submit(pool, ssd, NvmeOpcode::Flush, 0, 0, None)
     }
 
-    /// One polling round: drain completion channels.
+    /// One polling round: drain completion channels, then resubmit any
+    /// command whose completion deadline has passed (an SSD in a fault
+    /// window swallows commands whole; the backend deduplicates replays,
+    /// so resubmission is safe even when the original is merely slow).
     pub fn step(&mut self, pool: &mut CxlPool) {
         self.core.advance(self.cfg.driver_loop_ns);
+        let policy = self.retry_policy();
         let mut buf = [0u8; 64];
         for li in 0..self.links.len() {
             loop {
@@ -191,24 +258,28 @@ impl StorageFrontend {
                 let Some(comp) = NvmeCompletion::decode(&buf) else {
                     continue;
                 };
-                let Some(p) = self.pending.remove(&comp.cid) else {
+                let Some(mut p) = self.pending.remove(&comp.cid) else {
                     continue;
                 };
+                if comp.status == NvmeStatus::MediaError && p.retry.can_retry(&policy) {
+                    // Transient read error (injected fault window): burn an
+                    // attempt and resubmit instead of surfacing it.
+                    p.retry.rearm(&policy, self.core.clock);
+                    self.stats.retries += 1;
+                    let (ssd, cmd) = (p.ssd, p.cmd);
+                    self.pending.insert(comp.cid, p);
+                    self.resend(pool, ssd, &cmd);
+                    continue;
+                }
                 let data = if p.op == NvmeOpcode::Read && comp.status.is_ok() {
-                    // Copy the data out of shared memory and invalidate the
-                    // buffer lines before reuse.
+                    // Copy the data out of shared memory.
                     let mut out = vec![0u8; p.bytes as usize];
                     self.core.read_stream(pool, p.buf, &mut out);
-                    for la in lines_covering(p.buf, p.bytes) {
-                        self.core.clflushopt(pool, la);
-                    }
                     Some(out)
                 } else {
                     None
                 };
-                if p.op != NvmeOpcode::Flush {
-                    self.data_area.free(p.buf);
-                }
+                self.release_buf(pool, &p);
                 self.stats.completed += 1;
                 if !comp.status.is_ok() {
                     self.stats.errors += 1;
@@ -220,6 +291,59 @@ impl StorageFrontend {
                 });
             }
             self.links[li].from.publish_consumed(&mut self.core, pool);
+        }
+
+        // Retry timers: resubmit expired commands, fail exhausted ones.
+        let now = self.core.clock;
+        let mut expired: Vec<u16> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.retry.expired(now))
+            .map(|(cid, _)| *cid)
+            .collect();
+        expired.sort_unstable();
+        for cid in expired {
+            let can = self
+                .pending
+                .get(&cid)
+                .is_some_and(|p| p.retry.can_retry(&policy));
+            if can {
+                let p = self.pending.get_mut(&cid).expect("expired cid is pending");
+                p.retry.rearm(&policy, now);
+                let (ssd, cmd) = (p.ssd, p.cmd);
+                self.stats.retries += 1;
+                self.resend(pool, ssd, &cmd);
+            } else {
+                let p = self.pending.remove(&cid).expect("expired cid is pending");
+                self.release_buf(pool, &p);
+                self.stats.completed += 1;
+                self.stats.errors += 1;
+                self.stats.retry_exhausted += 1;
+                self.done.push(IoResult {
+                    cid,
+                    status: NvmeStatus::DeviceFailure,
+                    data: None,
+                });
+            }
+        }
+    }
+
+    /// After a host restart, rearm and resubmit every in-flight command:
+    /// the submission intent survives the crash (it lives in this driver's
+    /// state), but completions delivered into the lost cache did not. The
+    /// backend's dedup window answers already-executed replays from its
+    /// completion cache, so none of them runs twice.
+    pub fn replay_pending(&mut self, pool: &mut CxlPool) {
+        let policy = self.retry_policy();
+        let now = self.core.clock;
+        let mut cids: Vec<u16> = self.pending.keys().copied().collect();
+        cids.sort_unstable();
+        for cid in cids {
+            let p = self.pending.get_mut(&cid).expect("cid is pending");
+            p.retry = RetryState::armed(&policy, now);
+            let (ssd, cmd) = (p.ssd, p.cmd);
+            self.stats.retries += 1;
+            self.resend(pool, ssd, &cmd);
         }
     }
 

@@ -42,6 +42,9 @@ pub enum NetOp {
     /// Allocator → frontend: begin graceful migration of `ip` to NIC
     /// `ptr` (§3.3.4 load balancing).
     Migrate,
+    /// Frontend → allocator: liveness heartbeat from host `ptr` (ISSUE 2
+    /// failure detection; missing heartbeats mark the host failed).
+    Heartbeat,
 }
 
 impl NetOp {
@@ -59,6 +62,7 @@ impl NetOp {
             NetOp::AllocRequest => 10,
             NetOp::AllocResponse => 11,
             NetOp::Migrate => 12,
+            NetOp::Heartbeat => 13,
         }
     }
 
@@ -76,6 +80,7 @@ impl NetOp {
             10 => NetOp::AllocRequest,
             11 => NetOp::AllocResponse,
             12 => NetOp::Migrate,
+            13 => NetOp::Heartbeat,
             _ => return None,
         })
     }
@@ -135,6 +140,7 @@ mod tests {
             NetOp::AllocRequest,
             NetOp::AllocResponse,
             NetOp::Migrate,
+            NetOp::Heartbeat,
         ] {
             let m = NetMsg {
                 ptr: 0x0102_0304_0506_0708,

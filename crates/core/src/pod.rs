@@ -15,13 +15,15 @@
 //! through message channels with simulated timing.
 
 use oasis_cxl::pool::{PortId, TrafficClass};
+use oasis_cxl::region::Region;
 use oasis_cxl::{CxlPool, HostCtx, RegionAllocator};
 use oasis_net::addr::{Ipv4Addr, MacAddr};
 use oasis_net::nic::{Nic, NicConfig};
 use oasis_net::packet::Frame;
 use oasis_net::switch::Switch;
 use oasis_sim::event::EventQueue;
-use oasis_sim::time::SimTime;
+use oasis_sim::fault::{FaultInjector, FaultKind, FaultPlan, PacketFaultState, SsdFaultMode};
+use oasis_sim::time::{SimDuration, SimTime};
 
 use oasis_storage::ssd::{Ssd, SsdConfig};
 
@@ -74,6 +76,22 @@ enum PodEvent {
     /// silent. The allocator infers the failure from missing telemetry
     /// (§3.5).
     FailHost(usize),
+    /// A crashed host boots again: cores resume (cold caches) from the
+    /// restart time and the storage frontend replays in-flight commands.
+    RestartHost(usize),
+    /// Install probabilistic drop/corrupt/duplicate on a NIC's switch port
+    /// (the state self-expires).
+    SetPacketFault(usize, PacketFaultState),
+    /// Add extra CXL load-to-use latency on every core of a host.
+    CxlSlowStart(usize, u64),
+    /// Remove the extra latency again.
+    CxlSlowEnd(usize, u64),
+    /// Freeze every core of a host for the duration (link retraining).
+    CxlStall(usize, SimDuration),
+    /// Open an SSD command-swallowing window closing at the given time.
+    SsdTimeoutUntil(usize, SimTime),
+    /// Open an SSD read-media-error window closing at the given time.
+    SsdReadErrorsUntil(usize, SimTime),
 }
 
 /// A block volume carved for an instance by the pod-wide allocator.
@@ -123,6 +141,9 @@ pub struct Pod {
     port_owner: Vec<PortOwner>,
     pending: EventQueue<PodEvent>,
     ra: RegionAllocator,
+    /// Per-instance TX-area region, kept so a host-failure reclaim can
+    /// return it to the allocator (`None` for baseline instances).
+    inst_region: Vec<Option<Region>>,
     /// Hosts that have crashed (their cores are no longer stepped).
     dead_host: Vec<bool>,
     now: SimTime,
@@ -403,6 +424,7 @@ impl PodBuilder {
             port_owner,
             pending: EventQueue::new(),
             ra,
+            inst_region: Vec::new(),
             dead_host: vec![false; n_hosts],
             now: SimTime::ZERO,
         }
@@ -463,6 +485,7 @@ impl Pod {
                     self.cfg.tx_area_per_instance,
                     TrafficClass::Payload,
                 );
+                self.inst_region.push(Some(tx_region.clone()));
                 let area = BufferArea::new(tx_region, self.cfg.buf_size);
                 let HostDriver::Oasis(fe) = &mut self.drivers[host] else {
                     unreachable!()
@@ -484,6 +507,7 @@ impl Pod {
                 let nic = ld.nic_id;
                 ld.attach_instance(&mut self.nics[nic], idx, ip, id);
                 inst.set_mac(self.now, self.nic_macs[nic], false);
+                self.inst_region.push(None);
             }
         }
         self.instances.push(inst);
@@ -518,10 +542,89 @@ impl Pod {
     }
 
     /// Schedule a host crash at `at`: its frontend/backend cores stop
-    /// polling and its devices go silent. The allocator detects this from
-    /// missing telemetry within 3 telemetry periods (§3.5).
+    /// polling, its private CPU caches are discarded (dirty lines and all —
+    /// torn write-backs are real), and its devices go silent. The allocator
+    /// detects this from missing heartbeats/telemetry (§3.5).
     pub fn schedule_host_failure(&mut self, at: SimTime, host: usize) {
         self.pending.push(at, PodEvent::FailHost(host));
+    }
+
+    /// Schedule a crashed host's restart at `at`: its cores resume from the
+    /// restart time with cold caches, and its storage frontend resubmits
+    /// every in-flight command (the backend deduplicates replays).
+    pub fn schedule_host_restart(&mut self, at: SimTime, host: usize) {
+        self.pending.push(at, PodEvent::RestartHost(host));
+    }
+
+    /// Install a [`FaultPlan`]: translate every scheduled fault into pod
+    /// events. An empty plan is a strict no-op — nothing is scheduled, no
+    /// RNG is forked, and the simulation is byte-identical to not calling
+    /// this at all (the bench determinism guard asserts it).
+    pub fn install_fault_plan(&mut self, plan: &FaultPlan) {
+        if plan.is_empty() {
+            return;
+        }
+        let mut inj = FaultInjector::new(plan);
+        let mut tag = 0u64;
+        while let Some(ev) = inj.pop_due(SimTime::MAX) {
+            let at = ev.at;
+            match ev.kind {
+                FaultKind::HostCrash {
+                    host,
+                    restart_after,
+                } => {
+                    self.schedule_host_failure(at, host);
+                    if let Some(d) = restart_after {
+                        self.schedule_host_restart(at + d, host);
+                    }
+                }
+                FaultKind::PortFlap { nic, down_for } => {
+                    self.schedule_nic_failure(at, nic);
+                    self.schedule_nic_repair(at + down_for, nic);
+                }
+                FaultKind::PacketFault {
+                    nic,
+                    drop_ppm,
+                    corrupt_ppm,
+                    duplicate_ppm,
+                    duration,
+                } => {
+                    let state = PacketFaultState::new(
+                        drop_ppm,
+                        corrupt_ppm,
+                        duplicate_ppm,
+                        at + duration,
+                        inj.fork_rng(tag),
+                    );
+                    self.pending.push(at, PodEvent::SetPacketFault(nic, state));
+                }
+                FaultKind::CxlSlow {
+                    host,
+                    extra_ns,
+                    duration,
+                } => {
+                    self.pending
+                        .push(at, PodEvent::CxlSlowStart(host, extra_ns));
+                    self.pending
+                        .push(at + duration, PodEvent::CxlSlowEnd(host, extra_ns));
+                }
+                FaultKind::CxlStall { host, stall } => {
+                    self.pending.push(at, PodEvent::CxlStall(host, stall));
+                }
+                FaultKind::SsdFault {
+                    ssd,
+                    mode,
+                    duration,
+                } => {
+                    let ev = match mode {
+                        SsdFaultMode::Timeout => PodEvent::SsdTimeoutUntil(ssd, at + duration),
+                        SsdFaultMode::ReadError => PodEvent::SsdReadErrorsUntil(ssd, at + duration),
+                    };
+                    self.pending.push(at, ev);
+                }
+            }
+            tag += 1;
+        }
     }
 
     /// Carve a block volume for an instance out of the pod's pooled SSD
@@ -598,6 +701,65 @@ impl Pod {
         self.ssds[ssd].set_failed(failed);
     }
 
+    /// Apply `f` to every polling core that lives on `host`. The allocator
+    /// service core is the control plane's own machine and is never
+    /// fault-targeted (chaos mixes exclude it).
+    fn for_each_host_core(&mut self, host: usize, mut f: impl FnMut(&mut HostCtx)) {
+        match &mut self.drivers[host] {
+            HostDriver::Oasis(fe) => f(&mut fe.core),
+            HostDriver::Local(ld) => f(&mut ld.core),
+        }
+        for be in &mut self.backends {
+            if be.host == host {
+                f(&mut be.core);
+            }
+        }
+        if let Some(fe) = self.storage_frontends[host].as_mut() {
+            f(&mut fe.core);
+        }
+        for be in &mut self.storage_backends {
+            if be.host == host {
+                f(&mut be.core);
+            }
+        }
+    }
+
+    /// Reclaim everything owned by hosts the allocator just declared
+    /// failed: unregister their instances from every backend (flow rules
+    /// gone), detach them from the dead frontend, and return their pool
+    /// regions to the region allocator. The replicated state machine has
+    /// already revoked the leases and volumes, so nothing is proposed here.
+    fn reclaim_failed_hosts(&mut self) {
+        let failed = self.allocator.take_failed_hosts();
+        for &host in &failed {
+            let host = host as usize;
+            for inst in 0..self.instances.len() {
+                if self.instances[inst].host != host {
+                    continue;
+                }
+                let ip = self.instances[inst].ip;
+                for nic in 0..self.nics.len() {
+                    if let Some(b) = self.backend_of_nic[nic] {
+                        self.backends[b].unregister_instance(&mut self.nics[nic], ip);
+                    }
+                }
+                self.instances[inst].set_mac(self.now, MacAddr::ZERO, false);
+                if let Some(region) = self.inst_region[inst].take() {
+                    self.ra.free(&region);
+                }
+            }
+            if let HostDriver::Oasis(fe) = &mut self.drivers[host] {
+                fe.detach_all_instances();
+            }
+        }
+    }
+
+    /// Bytes of pool memory currently handed out by the region allocator
+    /// (the chaos harness asserts failures do not leak regions).
+    pub fn pool_outstanding(&self) -> u64 {
+        self.ra.outstanding()
+    }
+
     fn forward(&mut self, now: SimTime, in_port: usize, frame: Frame) {
         for (port, at, f) in self.switch.forward(now, in_port, frame) {
             match self.port_owner[port] {
@@ -628,6 +790,45 @@ impl Pod {
             }
             PodEvent::FailHost(host) => {
                 self.dead_host[host] = true;
+                // The crash discards every private CPU cache on the host,
+                // dirty lines included: anything not yet written back to
+                // the pool is lost (torn write-backs).
+                self.for_each_host_core(host, |c| {
+                    c.cache.drain();
+                });
+            }
+            PodEvent::RestartHost(host) => {
+                if !self.dead_host[host] {
+                    return;
+                }
+                self.dead_host[host] = false;
+                self.for_each_host_core(host, |c| {
+                    c.cache.drain();
+                    c.clock = c.clock.max(at);
+                });
+                if let Some(fe) = self.storage_frontends[host].as_mut() {
+                    fe.replay_pending(&mut self.pool);
+                }
+            }
+            PodEvent::SetPacketFault(nic, state) => {
+                self.switch.set_packet_fault(self.nic_port[nic], state);
+            }
+            PodEvent::CxlSlowStart(host, extra_ns) => {
+                self.for_each_host_core(host, |c| c.costs.cxl_load_ns += extra_ns);
+            }
+            PodEvent::CxlSlowEnd(host, extra_ns) => {
+                self.for_each_host_core(host, |c| {
+                    c.costs.cxl_load_ns = c.costs.cxl_load_ns.saturating_sub(extra_ns);
+                });
+            }
+            PodEvent::CxlStall(host, stall) => {
+                self.for_each_host_core(host, |c| c.clock += stall);
+            }
+            PodEvent::SsdTimeoutUntil(ssd, until) => {
+                self.ssds[ssd].inject_timeout_until(until);
+            }
+            PodEvent::SsdReadErrorsUntil(ssd, until) => {
+                self.ssds[ssd].inject_read_errors_until(until);
             }
             PodEvent::Migrate(ip, nic) => {
                 // The frontend registers with the new NIC's backend over
@@ -761,6 +962,9 @@ impl Pod {
                 }
             } else if who == d + b {
                 self.allocator.step(&mut self.pool);
+                if self.allocator.has_newly_failed_hosts() {
+                    self.reclaim_failed_hosts();
+                }
             } else if who < d + b + 1 + self.endpoints.len() {
                 let ei = who - d - b - 1;
                 let frames = self.endpoints[ei].poll(t);

@@ -14,6 +14,7 @@
 //!   rate.
 
 use oasis_sim::detmap::DetMap;
+use oasis_sim::fault::{PacketAction, PacketFaultState};
 use oasis_sim::time::{SimDuration, SimTime};
 
 use crate::addr::MacAddr;
@@ -34,6 +35,12 @@ pub struct SwitchStats {
     pub dropped_ingress_disabled: u64,
     /// Frame copies dropped at a disabled egress port.
     pub dropped_egress_disabled: u64,
+    /// Frames dropped by an injected packet fault.
+    pub dropped_fault: u64,
+    /// Frames corrupted by an injected packet fault.
+    pub corrupted_fault: u64,
+    /// Frames duplicated by an injected packet fault.
+    pub duplicated_fault: u64,
 }
 
 /// The switch.
@@ -48,6 +55,8 @@ pub struct Switch {
     port_gbps: f64,
     /// When each egress port's serializer frees up.
     egress_free: Vec<SimTime>,
+    /// Injected per-port packet fault (drop/corrupt/duplicate), if any.
+    port_faults: Vec<Option<PacketFaultState>>,
     /// Forwarding counters.
     pub stats: SwitchStats,
 }
@@ -63,6 +72,7 @@ impl Switch {
             latency: SimDuration::from_nanos(600),
             port_gbps: 100.0,
             egress_free: vec![SimTime::ZERO; ports],
+            port_faults: std::iter::repeat_with(|| None).take(ports).collect(),
             stats: SwitchStats::default(),
         }
     }
@@ -76,6 +86,7 @@ impl Switch {
     pub fn add_port(&mut self) -> SwitchPort {
         self.enabled.push(true);
         self.egress_free.push(SimTime::ZERO);
+        self.port_faults.push(None);
         self.enabled.len() - 1
     }
 
@@ -85,8 +96,29 @@ impl Switch {
     }
 
     /// Enable or disable a port (§5.3 failure injection).
+    ///
+    /// Re-enabling a previously disabled port invalidates every MAC entry
+    /// learned on it: whatever was behind the port may have changed while
+    /// the link was down (a real switch restarts learning on link-up), so
+    /// traffic to those MACs floods until the station speaks again and is
+    /// relearned.
     pub fn set_port_enabled(&mut self, port: SwitchPort, enabled: bool) {
+        let relearn = enabled && !self.enabled[port];
         self.enabled[port] = enabled;
+        if relearn {
+            self.mac_table.retain(|_, &mut (p, _)| p != port);
+        }
+    }
+
+    /// Install an injected packet-fault profile on a port's ingress. The
+    /// state expires on its own; `clear_packet_fault` removes it early.
+    pub fn set_packet_fault(&mut self, port: SwitchPort, state: PacketFaultState) {
+        self.port_faults[port] = Some(state);
+    }
+
+    /// Remove any injected packet fault from a port.
+    pub fn clear_packet_fault(&mut self, port: SwitchPort) {
+        self.port_faults[port] = None;
     }
 
     /// Override the MAC-table aging time (datacenter default: 300 s).
@@ -146,6 +178,51 @@ impl Switch {
             self.stats.dropped_ingress_disabled += 1;
             return out;
         }
+        // Injected link faults act at ingress, before learning: a dropped
+        // frame never reached the switch fabric at all.
+        let mut frame = frame;
+        let mut duplicate = false;
+        if let Some(state) = self.port_faults[in_port].as_mut() {
+            if state.expired(now) {
+                self.port_faults[in_port] = None;
+            } else {
+                match state.decide(now) {
+                    PacketAction::Deliver => {}
+                    PacketAction::Drop => {
+                        self.stats.dropped_fault += 1;
+                        return out;
+                    }
+                    PacketAction::Corrupt => {
+                        let (at, mask) = state.corrupt_at(frame.len());
+                        let mut bytes = frame.bytes().to_vec();
+                        bytes[at] ^= mask;
+                        frame = Frame(bytes.into());
+                        self.stats.corrupted_fault += 1;
+                    }
+                    PacketAction::Duplicate => {
+                        self.stats.duplicated_fault += 1;
+                        duplicate = true;
+                    }
+                }
+            }
+        }
+        if duplicate {
+            // The wire delivered the same frame twice; each copy takes the
+            // full forwarding path (learning twice is idempotent).
+            self.forward_one(now, in_port, frame.clone(), &mut out);
+        }
+        self.forward_one(now, in_port, frame, &mut out);
+        out
+    }
+
+    /// The fault-free forwarding path (learn + unicast/flood).
+    fn forward_one(
+        &mut self,
+        now: SimTime,
+        in_port: SwitchPort,
+        frame: Frame,
+        out: &mut Vec<(SwitchPort, SimTime, Frame)>,
+    ) {
         // Learn the source MAC. This is the hook MAC borrowing relies on:
         // any frame sourced with a MAC re-points it here, immediately.
         let src = frame.src_mac();
@@ -156,7 +233,7 @@ impl Switch {
         match (dst.is_broadcast(), self.lookup_at(dst, now)) {
             (false, Some(port)) if port != in_port => {
                 self.stats.forwarded += 1;
-                self.egress_one(now, port, &frame, &mut out);
+                self.egress_one(now, port, &frame, out);
             }
             (false, Some(_)) => {
                 // Destination learned on the ingress port: hairpin drop.
@@ -166,12 +243,11 @@ impl Switch {
                 self.stats.flooded += 1;
                 for port in 0..self.enabled.len() {
                     if port != in_port && self.enabled[port] {
-                        self.egress_one(now, port, &frame, &mut out);
+                        self.egress_one(now, port, &frame, out);
                     }
                 }
             }
         }
-        out
     }
 }
 
@@ -306,6 +382,92 @@ mod tests {
         // Relearning refreshes the entry.
         sw.forward(SimTime::from_secs(2), 1, frame(b, a));
         assert_eq!(sw.lookup_at(b, SimTime::from_secs(2)), Some(1));
+    }
+
+    #[test]
+    fn reenabled_port_relearns_macs() {
+        // Satellite regression (ISSUE 2): a flapped port must not serve
+        // stale MAC entries after it comes back — whatever sat behind it may
+        // have moved while the link was down.
+        let mut sw = Switch::new(3);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        sw.forward(t(0), 1, frame(b, a)); // learn b at port 1
+        assert_eq!(sw.lookup(b), Some(1));
+        sw.set_port_enabled(1, false);
+        sw.set_port_enabled(1, true);
+        assert_eq!(sw.lookup(b), None, "flap invalidated the entry");
+        // Traffic to b floods until b speaks again.
+        let out = sw.forward(t(10), 0, frame(a, b));
+        assert_eq!(out.len(), 2, "unknown unicast floods post-flap");
+        sw.forward(t(20), 1, frame(b, a));
+        assert_eq!(sw.lookup(b), Some(1), "relearned after the station spoke");
+        let out = sw.forward(t(30), 0, frame(a, b));
+        assert_eq!(out.len(), 1, "unicast restored");
+        // Disabling (without re-enabling) keeps entries: the down window in
+        // fig 13 relies on frames being dropped, not forgotten.
+        sw.set_port_enabled(1, false);
+        assert_eq!(sw.lookup(b), Some(1));
+        // Enabling an already enabled port is a no-op for the table.
+        sw.set_port_enabled(0, true);
+        assert_eq!(sw.lookup(a), Some(0));
+    }
+
+    fn full_rate_fault(drop: u32, corrupt: u32, dup: u32) -> PacketFaultState {
+        PacketFaultState::new(
+            drop,
+            corrupt,
+            dup,
+            SimTime::from_secs(1),
+            oasis_sim::SimRng::new(3),
+        )
+    }
+
+    #[test]
+    fn packet_fault_drops_until_expiry() {
+        let mut sw = Switch::new(2);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        sw.forward(t(0), 1, frame(b, a));
+        sw.set_packet_fault(0, full_rate_fault(1_000_000, 0, 0));
+        let out = sw.forward(t(100), 0, frame(a, b));
+        assert!(out.is_empty());
+        assert_eq!(sw.stats.dropped_fault, 1);
+        // Past the window the state self-clears and frames flow again.
+        let out = sw.forward(SimTime::from_secs(2), 0, frame(a, b));
+        assert_eq!(out.len(), 1);
+        assert_eq!(sw.stats.dropped_fault, 1);
+    }
+
+    #[test]
+    fn packet_fault_corrupts_frame_in_flight() {
+        let mut sw = Switch::new(2);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        sw.forward(t(0), 1, frame(b, a));
+        sw.set_packet_fault(0, full_rate_fault(0, 1_000_000, 0));
+        let sent = frame(a, b);
+        let out = sw.forward(t(100), 0, sent.clone());
+        assert_eq!(out.len(), 1);
+        assert_ne!(out[0].2, sent, "one byte flipped");
+        assert_eq!(sw.stats.corrupted_fault, 1);
+    }
+
+    #[test]
+    fn packet_fault_duplicates_frame() {
+        let mut sw = Switch::new(2);
+        let a = MacAddr::nic(1);
+        let b = MacAddr::nic(2);
+        sw.forward(t(0), 1, frame(b, a));
+        sw.set_packet_fault(0, full_rate_fault(0, 0, 1_000_000));
+        let out = sw.forward(t(100), 0, frame(a, b));
+        assert_eq!(out.len(), 2, "both copies egress");
+        assert_eq!(out[0].2, out[1].2);
+        assert!(out[1].1 > out[0].1, "second copy serializes behind first");
+        assert_eq!(sw.stats.duplicated_fault, 1);
+        sw.clear_packet_fault(0);
+        let out = sw.forward(t(200), 0, frame(a, b));
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

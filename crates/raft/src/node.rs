@@ -192,6 +192,13 @@ impl RaftNode {
         self.log.len() as u64
     }
 
+    /// The whole log, 1-based index `i` at slot `i - 1`. Read-only: the
+    /// embedding uses it to audit its state machine against the committed
+    /// prefix (chaos-harness invariant).
+    pub fn log_entries(&self) -> &[LogEntry] {
+        &self.log
+    }
+
     fn last_log_term(&self) -> Term {
         self.log.last().map_or(0, |e| e.term)
     }

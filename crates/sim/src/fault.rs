@@ -1,0 +1,544 @@
+//! Deterministic fault injection for the co-simulated pod.
+//!
+//! A [`FaultPlan`] is a declarative schedule of faults: each entry names a
+//! simulated time and a [`FaultKind`] targeting a component by index (the
+//! embedding — `oasis-core`'s pod runtime — maps indices onto its hosts,
+//! NICs, and SSDs). Plans are either written out explicitly ([`FaultPlan::at`])
+//! or generated from a seed ([`FaultPlan::randomized`]), so chaos runs are
+//! exactly reproducible: the same seed always yields the same schedule.
+//!
+//! Determinism contract: an **empty plan is a strict no-op**. No RNG is
+//! drawn, no clock is charged, and no hook changes behaviour unless a fault
+//! is actually installed — the repo's figure binaries must stay
+//! byte-identical under `FaultPlan::empty()`, which the bench determinism
+//! guard asserts.
+//!
+//! The five injectable fault classes (ISSUE 2):
+//!
+//! * **Host crash/restart** — the host's polling cores stop and its private
+//!   CPU cache is discarded, *including dirty-but-unflushed lines*, so torn
+//!   write-backs really happen in the pool.
+//! * **Switch-port flap** — a NIC's switch port goes down and comes back.
+//! * **Per-link packet faults** — probabilistic drop / corrupt / duplicate
+//!   on one switch port, driven by a forked [`SimRng`] stream
+//!   ([`PacketFaultState`]).
+//! * **CXL link degradation** — extra load-to-use latency for a while
+//!   (`CxlSlow`) or a hard stall that freezes the host's cores (`CxlStall`).
+//! * **SSD misbehaviour** — commands silently swallowed (`Timeout`, forcing
+//!   the storage engine's resubmission path) or reads completed with a
+//!   media error (`ReadError`).
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// How an injected SSD fault manifests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SsdFaultMode {
+    /// Commands are accepted but never complete (the frontend's retry
+    /// timeout must fire).
+    Timeout,
+    /// Read commands complete with a media error status.
+    ReadError,
+}
+
+/// One injectable fault. Component ids are plan-level indices; the
+/// embedding maps them onto its own hosts/NICs/SSDs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Crash host `host`; if `restart_after` is set the host comes back
+    /// that much later with a cold cache and live cores.
+    HostCrash {
+        /// Host index.
+        host: usize,
+        /// Delay until restart; `None` means the host stays dead.
+        restart_after: Option<SimDuration>,
+    },
+    /// Disable NIC `nic`'s switch port, re-enabling it `down_for` later.
+    PortFlap {
+        /// NIC index.
+        nic: usize,
+        /// How long the port stays disabled.
+        down_for: SimDuration,
+    },
+    /// Probabilistic packet faults on NIC `nic`'s switch port for
+    /// `duration`. Rates are parts-per-million per ingress frame.
+    PacketFault {
+        /// NIC index (the faulty link).
+        nic: usize,
+        /// Drop rate, ppm.
+        drop_ppm: u32,
+        /// Corruption rate, ppm.
+        corrupt_ppm: u32,
+        /// Duplication rate, ppm.
+        duplicate_ppm: u32,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// Add `extra_ns` to host `host`'s CXL load-to-use latency for
+    /// `duration` (congested or degraded link).
+    CxlSlow {
+        /// Host index.
+        host: usize,
+        /// Extra nanoseconds per pool miss.
+        extra_ns: u64,
+        /// Window length.
+        duration: SimDuration,
+    },
+    /// Freeze host `host`'s cores for `stall` (link retraining — no memory
+    /// operation completes until it ends).
+    CxlStall {
+        /// Host index.
+        host: usize,
+        /// Stall length.
+        stall: SimDuration,
+    },
+    /// SSD `ssd` misbehaves per `mode` for `duration`.
+    SsdFault {
+        /// SSD index.
+        ssd: usize,
+        /// Timeout or read-error behaviour.
+        mode: SsdFaultMode,
+        /// Window length.
+        duration: SimDuration,
+    },
+}
+
+/// A fault scheduled at a simulated time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Which components a randomized plan may target, and how many events to
+/// draw.
+#[derive(Clone, Debug)]
+pub struct FaultMix {
+    /// Crashable host indices (the embedding usually excludes the host
+    /// running the allocator).
+    pub hosts: Vec<usize>,
+    /// NIC indices eligible for flaps and packet faults.
+    pub nics: Vec<usize>,
+    /// SSD indices eligible for timeouts/read errors.
+    pub ssds: Vec<usize>,
+    /// Number of fault events to draw.
+    pub events: usize,
+}
+
+/// A deterministic, declarative schedule of faults.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The scheduled faults (not necessarily sorted).
+    pub events: Vec<FaultEvent>,
+    /// Seed for per-fault randomness (packet-fault coin flips); forked per
+    /// fault so adding one fault does not perturb another's stream.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// The no-op plan. Installing it changes nothing, byte-for-byte.
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plan with a seed for packet-fault randomness but no events yet.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            seed,
+        }
+    }
+
+    /// True if installing this plan is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Append a fault at `at` (builder-style).
+    pub fn at(mut self, at: SimTime, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self
+    }
+
+    /// Draw a randomized schedule: `mix.events` faults at times uniform in
+    /// `[horizon/10, horizon)`, with kinds drawn from the classes `mix`
+    /// enables. Identical `(seed, horizon, mix)` always produces the
+    /// identical plan.
+    pub fn randomized(seed: u64, horizon: SimDuration, mix: &FaultMix) -> Self {
+        let mut rng = SimRng::new(seed ^ 0xFA_17_FA_17_FA_17);
+        let mut plan = FaultPlan::seeded(seed);
+        // Class table: only classes with an eligible target participate.
+        let mut classes: Vec<u8> = Vec::new();
+        if !mix.hosts.is_empty() {
+            classes.push(0); // crash+restart
+            classes.push(3); // cxl slow
+            classes.push(4); // cxl stall
+        }
+        if !mix.nics.is_empty() {
+            classes.push(1); // port flap
+            classes.push(2); // packet faults
+        }
+        if !mix.ssds.is_empty() {
+            classes.push(5); // ssd fault
+        }
+        if classes.is_empty() {
+            return plan;
+        }
+        let h = horizon.as_nanos();
+        for _ in 0..mix.events {
+            let at = SimTime::from_nanos(rng.range_u64(h / 10, h));
+            let kind = match *rng.choose(&classes) {
+                0 => FaultKind::HostCrash {
+                    host: *rng.choose(&mix.hosts),
+                    restart_after: Some(SimDuration::from_nanos(rng.range_u64(h / 20, h / 5))),
+                },
+                1 => FaultKind::PortFlap {
+                    nic: *rng.choose(&mix.nics),
+                    down_for: SimDuration::from_nanos(rng.range_u64(h / 50, h / 10)),
+                },
+                2 => FaultKind::PacketFault {
+                    nic: *rng.choose(&mix.nics),
+                    drop_ppm: rng.range_u64(10_000, 200_000) as u32,
+                    corrupt_ppm: rng.range_u64(10_000, 100_000) as u32,
+                    duplicate_ppm: rng.range_u64(10_000, 100_000) as u32,
+                    duration: SimDuration::from_nanos(rng.range_u64(h / 20, h / 5)),
+                },
+                3 => FaultKind::CxlSlow {
+                    host: *rng.choose(&mix.hosts),
+                    extra_ns: rng.range_u64(100, 2_000),
+                    duration: SimDuration::from_nanos(rng.range_u64(h / 20, h / 5)),
+                },
+                4 => FaultKind::CxlStall {
+                    host: *rng.choose(&mix.hosts),
+                    stall: SimDuration::from_nanos(rng.range_u64(100_000, 5_000_000)),
+                },
+                _ => FaultKind::SsdFault {
+                    ssd: *rng.choose(&mix.ssds),
+                    mode: if rng.chance(0.5) {
+                        SsdFaultMode::Timeout
+                    } else {
+                        SsdFaultMode::ReadError
+                    },
+                    duration: SimDuration::from_nanos(rng.range_u64(h / 20, h / 5)),
+                },
+            };
+            plan.events.push(FaultEvent { at, kind });
+        }
+        plan
+    }
+
+    /// The fault classes this plan covers, as stable labels (for harness
+    /// coverage accounting).
+    pub fn classes(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        let mut add = |s: &'static str| {
+            if !out.contains(&s) {
+                out.push(s);
+            }
+        };
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::HostCrash { .. } => add("host-crash"),
+                FaultKind::PortFlap { .. } => add("port-flap"),
+                FaultKind::PacketFault { .. } => add("packet-fault"),
+                FaultKind::CxlSlow { .. } | FaultKind::CxlStall { .. } => add("cxl-stall"),
+                FaultKind::SsdFault { .. } => add("ssd-error"),
+            }
+        }
+        out
+    }
+}
+
+/// Iterates a [`FaultPlan`] in time order (stable on ties: plan order).
+pub struct FaultInjector {
+    /// Events sorted by time (stable), consumed front-to-back.
+    events: Vec<FaultEvent>,
+    next: usize,
+    /// Fork source for per-fault RNG streams.
+    rng: SimRng,
+}
+
+impl FaultInjector {
+    /// Build an injector from a plan.
+    pub fn new(plan: &FaultPlan) -> Self {
+        let mut events = plan.events.clone();
+        // Stable sort: same-time faults keep their plan order.
+        events.sort_by_key(|e| e.at);
+        FaultInjector {
+            events,
+            next: 0,
+            rng: SimRng::new(plan.seed ^ 0x0A51_50F1),
+        }
+    }
+
+    /// When the next fault fires, if any.
+    pub fn next_at(&self) -> Option<SimTime> {
+        self.events.get(self.next).map(|e| e.at)
+    }
+
+    /// Pop the next fault due at or before `now`.
+    pub fn pop_due(&mut self, now: SimTime) -> Option<FaultEvent> {
+        let ev = self.events.get(self.next)?;
+        if ev.at > now {
+            return None;
+        }
+        self.next += 1;
+        Some(ev.clone())
+    }
+
+    /// Remaining (not yet popped) faults.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.next
+    }
+
+    /// Fork an independent RNG stream for one fault's coin flips (packet
+    /// faults). Call order is deterministic because faults are installed
+    /// in time order.
+    pub fn fork_rng(&mut self, tag: u64) -> SimRng {
+        self.rng.fork(tag)
+    }
+}
+
+/// What to do with one frame crossing a faulty link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PacketAction {
+    /// Forward unchanged.
+    Deliver,
+    /// Silently drop.
+    Drop,
+    /// Flip a byte, then forward.
+    Corrupt,
+    /// Forward twice.
+    Duplicate,
+}
+
+/// Live per-port packet-fault state: rates, expiry, and a private RNG
+/// stream so installing a fault on one port never perturbs another.
+#[derive(Clone, Debug)]
+pub struct PacketFaultState {
+    /// Drop rate, ppm per frame.
+    pub drop_ppm: u32,
+    /// Corruption rate, ppm per frame.
+    pub corrupt_ppm: u32,
+    /// Duplication rate, ppm per frame.
+    pub duplicate_ppm: u32,
+    /// Faults stop applying at this time.
+    pub until: SimTime,
+    rng: SimRng,
+}
+
+impl PacketFaultState {
+    /// New state with the given rates, expiry, and RNG stream.
+    pub fn new(
+        drop_ppm: u32,
+        corrupt_ppm: u32,
+        duplicate_ppm: u32,
+        until: SimTime,
+        rng: SimRng,
+    ) -> Self {
+        PacketFaultState {
+            drop_ppm,
+            corrupt_ppm,
+            duplicate_ppm,
+            until,
+            rng,
+        }
+    }
+
+    /// Has the fault window closed?
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.until
+    }
+
+    /// Decide the fate of one frame at `now`. One RNG draw per frame while
+    /// active; zero draws after expiry.
+    pub fn decide(&mut self, now: SimTime) -> PacketAction {
+        if self.expired(now) {
+            return PacketAction::Deliver;
+        }
+        let r = self.rng.range_u64(0, 1_000_000) as u32;
+        if r < self.drop_ppm {
+            PacketAction::Drop
+        } else if r < self.drop_ppm + self.corrupt_ppm {
+            PacketAction::Corrupt
+        } else if r < self.drop_ppm + self.corrupt_ppm + self.duplicate_ppm {
+            PacketAction::Duplicate
+        } else {
+            PacketAction::Deliver
+        }
+    }
+
+    /// Pick `(byte index, xor mask)` for a corruption of a `len`-byte
+    /// frame. The mask is never zero.
+    pub fn corrupt_at(&mut self, len: usize) -> (usize, u8) {
+        let idx = self.rng.range_usize(0, len.max(1));
+        let mask = (self.rng.range_u64(1, 256)) as u8;
+        (idx, mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_empty() {
+        let plan = FaultPlan::empty();
+        assert!(plan.is_empty());
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.next_at(), None);
+        assert_eq!(inj.pop_due(SimTime::MAX), None);
+    }
+
+    #[test]
+    fn builder_preserves_events_and_injector_sorts() {
+        let plan = FaultPlan::seeded(7)
+            .at(
+                SimTime::from_millis(20),
+                FaultKind::PortFlap {
+                    nic: 0,
+                    down_for: SimDuration::from_millis(5),
+                },
+            )
+            .at(
+                SimTime::from_millis(10),
+                FaultKind::HostCrash {
+                    host: 1,
+                    restart_after: None,
+                },
+            );
+        let mut inj = FaultInjector::new(&plan);
+        assert_eq!(inj.next_at(), Some(SimTime::from_millis(10)));
+        let first = inj.pop_due(SimTime::from_millis(100)).unwrap();
+        assert!(matches!(first.kind, FaultKind::HostCrash { host: 1, .. }));
+        assert_eq!(inj.remaining(), 1);
+    }
+
+    #[test]
+    fn pop_due_respects_now() {
+        let plan = FaultPlan::seeded(1).at(
+            SimTime::from_millis(50),
+            FaultKind::CxlStall {
+                host: 0,
+                stall: SimDuration::from_micros(100),
+            },
+        );
+        let mut inj = FaultInjector::new(&plan);
+        assert!(inj.pop_due(SimTime::from_millis(49)).is_none());
+        assert!(inj.pop_due(SimTime::from_millis(50)).is_some());
+    }
+
+    #[test]
+    fn randomized_is_deterministic() {
+        let mix = FaultMix {
+            hosts: vec![0, 1],
+            nics: vec![0],
+            ssds: vec![0],
+            events: 8,
+        };
+        let a = FaultPlan::randomized(42, SimDuration::from_secs(1), &mix);
+        let b = FaultPlan::randomized(42, SimDuration::from_secs(1), &mix);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.events.len(), 8);
+        let c = FaultPlan::randomized(43, SimDuration::from_secs(1), &mix);
+        assert_ne!(a.events, c.events, "different seeds differ");
+    }
+
+    #[test]
+    fn randomized_respects_mix() {
+        let mix = FaultMix {
+            hosts: vec![],
+            nics: vec![2],
+            ssds: vec![],
+            events: 16,
+        };
+        let plan = FaultPlan::randomized(9, SimDuration::from_secs(1), &mix);
+        for ev in &plan.events {
+            match &ev.kind {
+                FaultKind::PortFlap { nic, .. } => assert_eq!(*nic, 2),
+                FaultKind::PacketFault { nic, .. } => assert_eq!(*nic, 2),
+                other => panic!("disabled class drawn: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn packet_fault_rates_roughly_hold() {
+        let mut st = PacketFaultState::new(250_000, 0, 0, SimTime::from_secs(1), SimRng::new(5));
+        let now = SimTime::from_millis(1);
+        let drops = (0..10_000)
+            .filter(|_| st.decide(now) == PacketAction::Drop)
+            .count();
+        assert!((2_000..3_000).contains(&drops), "drops {drops}");
+        // After expiry: always deliver, no RNG draws.
+        let mut st2 = st.clone();
+        assert_eq!(st.decide(SimTime::from_secs(2)), PacketAction::Deliver);
+        assert_eq!(st2.decide(SimTime::from_secs(2)), PacketAction::Deliver);
+    }
+
+    #[test]
+    fn corruption_mask_nonzero() {
+        let mut st = PacketFaultState::new(0, 1_000_000, 0, SimTime::from_secs(1), SimRng::new(11));
+        for _ in 0..100 {
+            let (idx, mask) = st.corrupt_at(64);
+            assert!(idx < 64);
+            assert_ne!(mask, 0);
+        }
+    }
+
+    #[test]
+    fn classes_cover_all_five() {
+        let plan = FaultPlan::seeded(0)
+            .at(
+                SimTime::from_millis(1),
+                FaultKind::HostCrash {
+                    host: 0,
+                    restart_after: None,
+                },
+            )
+            .at(
+                SimTime::from_millis(2),
+                FaultKind::PortFlap {
+                    nic: 0,
+                    down_for: SimDuration::from_millis(1),
+                },
+            )
+            .at(
+                SimTime::from_millis(3),
+                FaultKind::PacketFault {
+                    nic: 0,
+                    drop_ppm: 1,
+                    corrupt_ppm: 1,
+                    duplicate_ppm: 1,
+                    duration: SimDuration::from_millis(1),
+                },
+            )
+            .at(
+                SimTime::from_millis(4),
+                FaultKind::CxlStall {
+                    host: 0,
+                    stall: SimDuration::from_micros(1),
+                },
+            )
+            .at(
+                SimTime::from_millis(5),
+                FaultKind::SsdFault {
+                    ssd: 0,
+                    mode: SsdFaultMode::Timeout,
+                    duration: SimDuration::from_millis(1),
+                },
+            );
+        assert_eq!(
+            plan.classes(),
+            vec![
+                "host-crash",
+                "port-flap",
+                "packet-fault",
+                "cxl-stall",
+                "ssd-error"
+            ]
+        );
+    }
+}

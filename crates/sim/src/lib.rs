@@ -24,6 +24,7 @@
 pub mod addrmap;
 pub mod detmap;
 pub mod event;
+pub mod fault;
 pub mod hist;
 pub mod report;
 pub mod rng;
@@ -34,6 +35,7 @@ pub mod time;
 pub use addrmap::AddrMap;
 pub use detmap::{DetMap, DetSet};
 pub use event::EventQueue;
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultMix, FaultPlan, PacketFaultState};
 pub use hist::Histogram;
 pub use rng::SimRng;
 pub use sched::{Scheduler, StepOutcome};

@@ -55,6 +55,9 @@ pub enum NvmeStatus {
     LbaOutOfRange,
     /// Invalid field (bad opcode / nsid).
     InvalidField,
+    /// Unrecovered media error on a read (transient in an injected fault
+    /// window; the frontend retries).
+    MediaError,
     /// The device has failed (Oasis propagates this to the guest, §3.4).
     DeviceFailure,
 }
@@ -65,6 +68,7 @@ impl NvmeStatus {
             NvmeStatus::Success => 0x00,
             NvmeStatus::LbaOutOfRange => 0x80,
             NvmeStatus::InvalidField => 0x02,
+            NvmeStatus::MediaError => 0x81,
             NvmeStatus::DeviceFailure => 0x06,
         }
     }
@@ -74,6 +78,7 @@ impl NvmeStatus {
             0x00 => NvmeStatus::Success,
             0x80 => NvmeStatus::LbaOutOfRange,
             0x02 => NvmeStatus::InvalidField,
+            0x81 => NvmeStatus::MediaError,
             _ => NvmeStatus::DeviceFailure,
         }
     }
@@ -248,6 +253,7 @@ mod tests {
             NvmeStatus::Success,
             NvmeStatus::LbaOutOfRange,
             NvmeStatus::InvalidField,
+            NvmeStatus::MediaError,
             NvmeStatus::DeviceFailure,
         ] {
             assert_eq!(NvmeStatus::from_byte(s.to_byte()), s);

@@ -66,6 +66,10 @@ pub struct SsdStats {
     pub errors: u64,
     /// Commands rejected because the submission queue was full.
     pub sq_rejected: u64,
+    /// Commands silently swallowed by an injected timeout window.
+    pub swallowed: u64,
+    /// Reads completed with an injected media error.
+    pub media_errors: u64,
 }
 
 struct InFlight {
@@ -84,6 +88,13 @@ pub struct Ssd {
     cq: VecDeque<InFlight>,
     channel_free: Vec<SimTime>,
     failed: bool,
+    /// Injected fault window: commands started before this time are
+    /// silently swallowed (never complete), exercising the frontend's
+    /// retry/timeout path.
+    fault_timeout_until: SimTime,
+    /// Injected fault window: reads started before this time complete with
+    /// [`NvmeStatus::MediaError`].
+    fault_read_error_until: SimTime,
     /// Device counters.
     pub stats: SsdStats,
 }
@@ -101,6 +112,8 @@ impl Ssd {
             cq: VecDeque::new(),
             channel_free: vec![SimTime::ZERO; channels],
             failed: false,
+            fault_timeout_until: SimTime::ZERO,
+            fault_read_error_until: SimTime::ZERO,
             stats: SsdStats::default(),
         }
     }
@@ -120,6 +133,26 @@ impl Ssd {
     /// Has the drive been failed?
     pub fn is_failed(&self) -> bool {
         self.failed
+    }
+
+    /// Open an injected timeout window until `until`: commands *started*
+    /// while it is open are accepted and then silently swallowed — no
+    /// completion is ever posted, so the submitter's retry timeout must
+    /// fire. Mirrors a firmware hiccup rather than a dead drive.
+    pub fn inject_timeout_until(&mut self, until: SimTime) {
+        self.fault_timeout_until = until;
+    }
+
+    /// Open an injected media-error window until `until`: reads started
+    /// while it is open complete with [`NvmeStatus::MediaError`] (writes
+    /// and flushes are unaffected).
+    pub fn inject_read_errors_until(&mut self, until: SimTime) {
+        self.fault_read_error_until = until;
+    }
+
+    /// Is an injected fault window currently open at `now`?
+    pub fn fault_window_open(&self, now: SimTime) -> bool {
+        now < self.fault_timeout_until || now < self.fault_read_error_until
     }
 
     /// Submit a command. Returns `false` if the submission queue is full.
@@ -165,7 +198,18 @@ impl Ssd {
                 break;
             };
             let cmd = self.sq.pop_front().unwrap();
-            let status = self.validate(&cmd);
+            if now < self.fault_timeout_until {
+                // Injected timeout: the command vanishes inside the device.
+                // No completion will ever be posted for this cid.
+                self.stats.swallowed += 1;
+                continue;
+            }
+            let mut status = self.validate(&cmd);
+            if status.is_ok() && cmd.opcode == NvmeOpcode::Read && now < self.fault_read_error_until
+            {
+                status = NvmeStatus::MediaError;
+                self.stats.media_errors += 1;
+            }
             let bytes = cmd.transfer_bytes();
             let service = if status.is_ok() {
                 let base = match cmd.opcode {
@@ -399,6 +443,51 @@ mod tests {
         assert!(ssd.submit(read_cmd(1, 0, 1, 0)));
         assert!(!ssd.submit(read_cmd(2, 0, 1, 0)));
         assert_eq!(ssd.stats.sq_rejected, 1);
+    }
+
+    #[test]
+    fn timeout_window_swallows_commands() {
+        let mut ssd = Ssd::new(SsdConfig::default());
+        let mut mem = FlatMem { mem: vec![0; 8192] };
+        ssd.inject_timeout_until(t(1_000_000));
+        assert!(ssd.fault_window_open(t(0)));
+        ssd.submit(read_cmd(1, 0, 1, 0));
+        ssd.process(t(0), &mut mem);
+        assert_eq!(ssd.in_flight(), 0, "swallowed, never started");
+        ssd.process(t(10_000_000), &mut mem);
+        assert!(ssd.poll_completions(t(10_000_000)).is_empty());
+        assert_eq!(ssd.stats.swallowed, 1);
+        // Past the window (a resubmission) the command completes normally.
+        assert!(!ssd.fault_window_open(t(2_000_000)));
+        ssd.submit(read_cmd(1, 0, 1, 0));
+        ssd.process(t(2_000_000), &mut mem);
+        ssd.process(t(3_000_000), &mut mem);
+        let comps = ssd.poll_completions(t(3_000_000));
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].status.is_ok());
+    }
+
+    #[test]
+    fn read_error_window_fails_reads_only() {
+        let mut ssd = Ssd::new(SsdConfig::default());
+        let mut mem = FlatMem { mem: vec![0; 8192] };
+        ssd.inject_read_errors_until(t(1_000_000));
+        ssd.submit(read_cmd(1, 0, 1, 0));
+        ssd.submit(write_cmd(2, 0, 1, 4096));
+        ssd.process(t(0), &mut mem);
+        ssd.process(t(10_000_000), &mut mem);
+        let comps = ssd.poll_completions(t(10_000_000));
+        assert_eq!(comps.len(), 2);
+        let read = comps.iter().find(|c| c.cid == 1).unwrap();
+        let write = comps.iter().find(|c| c.cid == 2).unwrap();
+        assert_eq!(read.status, NvmeStatus::MediaError);
+        assert!(write.status.is_ok(), "writes unaffected");
+        assert_eq!(ssd.stats.media_errors, 1);
+        // Retry after the window succeeds.
+        ssd.submit(read_cmd(3, 0, 1, 0));
+        ssd.process(t(10_000_000), &mut mem);
+        ssd.process(t(20_000_000), &mut mem);
+        assert!(ssd.poll_completions(t(20_000_000))[0].status.is_ok());
     }
 
     #[test]

@@ -135,7 +135,7 @@ proptest! {
                 for _ in 0..batch {
                     let mut msg = [0u8; 16];
                     msg[..8].copy_from_slice(&next_val.to_le_bytes());
-                    if sender.try_send(&mut tx, &mut pool, &msg) {
+                    if sender.try_send(&mut tx, &mut pool, &msg).unwrap() {
                         next_val += 1;
                     }
                 }
