@@ -209,6 +209,7 @@ pub fn run_chaos(seed: u64) -> ChaosReport {
         hosts: vec![h1],
         nics: vec![0],
         ssds: vec![0],
+        accels: vec![],
         events: 6,
     };
     let plan = FaultPlan::randomized(seed, horizon, &mix);

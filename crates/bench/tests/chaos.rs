@@ -48,6 +48,7 @@ fn chaos_ci_seeds_cover_all_fault_classes() {
         hosts: vec![1],
         nics: vec![0],
         ssds: vec![0],
+        accels: vec![],
         events: 6,
     };
     let mut covered: Vec<&'static str> = CI_SEEDS

@@ -81,6 +81,13 @@ pub enum AllocCommand {
         /// Host id.
         host: u32,
     },
+    /// Register a compute-offload accelerator attached to `host`.
+    RegisterAccel {
+        /// Accelerator id.
+        accel: u32,
+        /// Host the accelerator is attached to.
+        host: u32,
+    },
 }
 
 impl AllocCommand {
@@ -158,6 +165,11 @@ impl AllocCommand {
                 b.push(10);
                 b.extend_from_slice(&host.to_le_bytes());
             }
+            AllocCommand::RegisterAccel { accel, host } => {
+                b.push(11);
+                b.extend_from_slice(&accel.to_le_bytes());
+                b.extend_from_slice(&host.to_le_bytes());
+            }
         }
         b
     }
@@ -201,6 +213,10 @@ impl AllocCommand {
             }),
             9 => Some(AllocCommand::MarkHostFailed { host: u32_at(1)? }),
             10 => Some(AllocCommand::MarkHostRestarted { host: u32_at(1)? }),
+            11 => Some(AllocCommand::RegisterAccel {
+                accel: u32_at(1)?,
+                host: u32_at(5)?,
+            }),
             _ => None,
         }
     }
@@ -246,6 +262,7 @@ mod tests {
             },
             AllocCommand::MarkHostFailed { host: 4 },
             AllocCommand::MarkHostRestarted { host: 4 },
+            AllocCommand::RegisterAccel { accel: 1, host: 3 },
         ];
         for c in cmds {
             assert_eq!(AllocCommand::decode(&c.encode()), Some(c));

@@ -60,6 +60,13 @@ pub struct SsdInfo {
     pub allocated_blocks: u32,
 }
 
+/// A compute-offload accelerator known to the allocator.
+#[derive(Clone, Debug)]
+pub struct AccelInfo {
+    /// Host the accelerator is attached to.
+    pub host: u32,
+}
+
 /// A block volume carved for an instance (§3.4: local NVMe is ephemeral).
 #[derive(Clone, Debug)]
 pub struct VolumeInfo {
@@ -82,6 +89,8 @@ pub struct AllocState {
     pub instances: Vec<InstanceInfo>,
     /// SSDs by id.
     pub ssds: Vec<Option<SsdInfo>>,
+    /// Accelerators by id.
+    pub accels: Vec<Option<AccelInfo>>,
     /// Volumes.
     pub volumes: Vec<VolumeInfo>,
     /// Hosts currently declared dead (ISSUE 2), sorted ascending.
@@ -203,6 +212,13 @@ impl AllocState {
                     self.failed_hosts.remove(at);
                 }
             }
+            AllocCommand::RegisterAccel { accel, host } => {
+                let idx = accel as usize;
+                if self.accels.len() <= idx {
+                    self.accels.resize_with(idx + 1, || None);
+                }
+                self.accels[idx] = Some(AccelInfo { host });
+            }
         }
     }
 
@@ -297,6 +313,26 @@ impl AllocState {
             .filter(|(_, s)| fits(s))
             .max_by_key(|(_, s)| s.capacity_blocks - s.next_block)
             .map(|(i, _)| i as u32)
+    }
+
+    /// Pick an accelerator for a host's jobs: local-first, then the
+    /// lowest-numbered remote device (§3.5's local-first policy applied to
+    /// the compute dimension; pooling makes remote accelerators usable at
+    /// all).
+    pub fn pick_accel(&self, host: u32) -> Option<u32> {
+        if let Some((id, _)) = self
+            .accels
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|a| (i, a)))
+            .find(|(_, a)| a.host == host)
+        {
+            return Some(id as u32);
+        }
+        self.accels
+            .iter()
+            .position(|a| a.is_some())
+            .map(|i| i as u32)
     }
 
     /// Volumes owned by an instance.
@@ -600,6 +636,7 @@ impl PodAllocator {
         Vec<Option<(u32, u32, u32, bool, bool)>>,
         Vec<(Ipv4Addr, u32, u32, u32)>,
         Vec<Option<(u32, u32, u32, u32)>>,
+        Vec<Option<u32>>,
         Vec<(Ipv4Addr, u32, u32, u32)>,
         Vec<u32>,
     ) {
@@ -628,6 +665,10 @@ impl PodAllocator {
                     s.as_ref()
                         .map(|s| (s.host, s.capacity_blocks, s.next_block, s.allocated_blocks))
                 })
+                .collect(),
+            s.accels
+                .iter()
+                .map(|a| a.as_ref().map(|a| a.host))
                 .collect(),
             s.volumes
                 .iter()

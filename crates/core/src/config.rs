@@ -102,6 +102,19 @@ pub struct OasisConfig {
     /// Total storage submission attempts before the I/O is failed to the
     /// guest with a device error.
     pub storage_retry_max_attempts: u32,
+    /// Largest single accelerator job the engine stages (bytes).
+    pub accel_buf_size: u64,
+    /// Per-host accelerator job buffer area in pool memory (bytes).
+    pub accel_area_per_host: u64,
+    /// Accel-engine job retry timeout: how long the frontend waits for a
+    /// completion before resubmitting (covers setup + DMA latency with
+    /// wide margin).
+    pub accel_retry_timeout: SimDuration,
+    /// Exponential backoff multiplier between accel retries.
+    pub accel_retry_backoff: u32,
+    /// Total accel submission attempts before the job is failed to the
+    /// guest with a device error.
+    pub accel_retry_max_attempts: u32,
 }
 
 impl Default for OasisConfig {
@@ -125,6 +138,11 @@ impl Default for OasisConfig {
             storage_retry_timeout: SimDuration::from_millis(2),
             storage_retry_backoff: 2,
             storage_retry_max_attempts: 6,
+            accel_buf_size: 64 * 1024,
+            accel_area_per_host: 32 * 64 * 1024,
+            accel_retry_timeout: SimDuration::from_millis(1),
+            accel_retry_backoff: 2,
+            accel_retry_max_attempts: 6,
         }
     }
 }

@@ -81,25 +81,51 @@ pub struct ChannelPair {
     pub receiver: Receiver,
 }
 
-/// Allocate one direction of a driver↔driver link: a 16 B message channel
-/// using the shipping receiver policy (④ invalidate-prefetched).
+/// Allocate one direction of an engine link: a message channel with
+/// `msg_bytes`-sized slots in pool memory, using the shipping receiver
+/// policy (④ invalidate-prefetched). This is the single place channel
+/// layout math lives — every engine's channels (16 B net descriptors, 64 B
+/// NVMe/accel descriptors) are carved here.
+pub fn alloc_msg_channel(
+    pool: &mut CxlPool,
+    ra: &mut RegionAllocator,
+    name: &str,
+    slots: u64,
+    msg_bytes: u64,
+) -> ChannelPair {
+    let region = ra.alloc(
+        pool,
+        name,
+        ChannelLayout::bytes_needed(slots, msg_bytes),
+        TrafficClass::Message,
+    );
+    let layout = ChannelLayout::in_region(&region, slots, msg_bytes);
+    ChannelPair {
+        sender: Sender::new(layout.clone()),
+        receiver: Receiver::new(layout, Policy::InvalidatePrefetched),
+    }
+}
+
+/// Allocate one direction of a typed descriptor channel: slot size comes
+/// from the descriptor type's wire size, so frontends and backends agree on
+/// the layout by construction.
+pub fn alloc_descriptor_channel<D: crate::engine::WireDescriptor>(
+    pool: &mut CxlPool,
+    ra: &mut RegionAllocator,
+    name: &str,
+    slots: u64,
+) -> ChannelPair {
+    alloc_msg_channel(pool, ra, name, slots, D::WIRE_SIZE as u64)
+}
+
+/// Allocate one direction of a driver↔driver link: a 16 B message channel.
 pub fn alloc_net_channel(
     pool: &mut CxlPool,
     ra: &mut RegionAllocator,
     name: &str,
     slots: u64,
 ) -> ChannelPair {
-    let region = ra.alloc(
-        pool,
-        name,
-        ChannelLayout::bytes_needed(slots, MSG16 as u64),
-        TrafficClass::Message,
-    );
-    let layout = ChannelLayout::in_region(&region, slots, MSG16 as u64);
-    ChannelPair {
-        sender: Sender::new(layout.clone()),
-        receiver: Receiver::new(layout, Policy::InvalidatePrefetched),
-    }
+    alloc_msg_channel(pool, ra, name, slots, MSG16 as u64)
 }
 
 /// Allocate a default-sized channel.

@@ -1,0 +1,385 @@
+//! The generic device-engine abstraction.
+//!
+//! §3.1's central claim is that pooling any PCIe device class decomposes
+//! into the same three pieces: a **frontend** driver per consuming host, a
+//! **backend** driver per device-attached host, and typed fixed-size
+//! descriptors flowing between them over Oasis message channels. This
+//! module captures that contract in traits so the pod runtime can step
+//! every engine — network, storage, accelerator, and the Junction baseline
+//! — through one uniform actor interface instead of per-engine special
+//! cases.
+//!
+//! * [`WireDescriptor`] — a fixed-size command/completion codec whose wire
+//!   size sizes the channel slots (16 B net descriptors, 64 B NVMe-style
+//!   and accel descriptors).
+//! * [`DeviceEngine`] — a polling core with a local clock: the scheduler
+//!   asks [`DeviceEngine::next_time`], dispatches [`DeviceEngine::poll`],
+//!   and routes host-level faults through [`DeviceEngine::on_fault`].
+//! * [`EngineFrontend`] / [`EngineBackend`] — marker subtraits binding an
+//!   engine's command/completion descriptor types, documenting which side
+//!   of the channel a driver lives on.
+//!
+//! [`EngineWorld`] is the slice of pod state an engine may touch during a
+//! poll: the pool, the instances, and the device tables. Everything else
+//! (switch, endpoints, allocator) is reached only through frames and
+//! channel messages, which is what keeps the engines composable.
+
+use oasis_cxl::{CxlPool, HostCtx};
+use oasis_net::addr::MacAddr;
+use oasis_net::nic::Nic;
+use oasis_net::packet::Frame;
+use oasis_sim::time::SimTime;
+
+use oasis_accel::AccelDevice;
+use oasis_storage::ssd::Ssd;
+
+use crate::baseline::LocalDriver;
+use crate::engine_net::{BackendDriver, FrontendDriver};
+use crate::engine_storage::{StorageBackend, StorageFrontend};
+use crate::instance::Instance;
+
+/// A fixed-size descriptor that travels through an Oasis message channel.
+///
+/// The wire size doubles as the channel slot size (see
+/// [`crate::datapath::alloc_descriptor_channel`]), so a frontend/backend
+/// pair agrees on the layout by construction. Encodings must leave the
+/// final byte's MSB clear — the channel uses it as the epoch bit.
+pub trait WireDescriptor: Sized {
+    /// Encoded size in bytes; equals the channel slot size.
+    const WIRE_SIZE: usize;
+    /// Encode into `buf` (exactly `WIRE_SIZE` bytes).
+    fn encode_into(&self, buf: &mut [u8]);
+    /// Decode from `buf`; `None` when the bytes are not this descriptor.
+    fn decode_from(buf: &[u8]) -> Option<Self>;
+}
+
+impl WireDescriptor for crate::msg::NetMsg {
+    const WIRE_SIZE: usize = oasis_channel::MSG16;
+    fn encode_into(&self, buf: &mut [u8]) {
+        buf[..16].copy_from_slice(&self.encode());
+    }
+    fn decode_from(buf: &[u8]) -> Option<Self> {
+        Self::decode(buf[..16].try_into().ok()?)
+    }
+}
+
+impl WireDescriptor for oasis_storage::command::NvmeCommand {
+    const WIRE_SIZE: usize = oasis_channel::MSG64;
+    fn encode_into(&self, buf: &mut [u8]) {
+        buf[..64].copy_from_slice(&self.encode());
+    }
+    fn decode_from(buf: &[u8]) -> Option<Self> {
+        Self::decode(buf[..64].try_into().ok()?)
+    }
+}
+
+impl WireDescriptor for oasis_storage::command::NvmeCompletion {
+    const WIRE_SIZE: usize = oasis_channel::MSG64;
+    fn encode_into(&self, buf: &mut [u8]) {
+        buf[..64].copy_from_slice(&self.encode());
+    }
+    fn decode_from(buf: &[u8]) -> Option<Self> {
+        Self::decode(buf[..64].try_into().ok()?)
+    }
+}
+
+impl WireDescriptor for oasis_accel::AccelCommand {
+    const WIRE_SIZE: usize = oasis_channel::MSG64;
+    fn encode_into(&self, buf: &mut [u8]) {
+        buf[..64].copy_from_slice(&self.encode());
+    }
+    fn decode_from(buf: &[u8]) -> Option<Self> {
+        Self::decode(buf[..64].try_into().ok()?)
+    }
+}
+
+impl WireDescriptor for oasis_accel::AccelCompletion {
+    const WIRE_SIZE: usize = oasis_channel::MSG64;
+    fn encode_into(&self, buf: &mut [u8]) {
+        buf[..64].copy_from_slice(&self.encode());
+    }
+    fn decode_from(buf: &[u8]) -> Option<Self> {
+        Self::decode(buf[..64].try_into().ok()?)
+    }
+}
+
+/// A host-level fault delivered to every engine core on the affected host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineFault {
+    /// The host crashed: the engine's core stops polling (the pod marks the
+    /// host dead and parks the actor; caches are dropped).
+    HostCrash,
+    /// The host booted again: cold caches, clock bumped to the restart
+    /// time; engines with in-flight state replay it.
+    HostRestart,
+}
+
+/// The slice of pod state an engine may touch while polling.
+pub struct EngineWorld<'a> {
+    /// The shared CXL memory pool.
+    pub pool: &'a mut CxlPool,
+    /// All instances in the pod (frontends deliver into / drain from
+    /// instances on their own host).
+    pub instances: &'a mut Vec<Instance>,
+    /// MAC address of each NIC (frontends stamp outbound frames).
+    pub nic_macs: &'a [MacAddr],
+    /// The pod's NICs (net backends drive `nics[self.nic_id]`).
+    pub nics: &'a mut [Nic],
+    /// The pod's SSDs (storage backends drive `ssds[self.ssd_id]`).
+    pub ssds: &'a mut [Ssd],
+    /// The pod's accelerators (accel backends drive `accels[self.dev_id]`).
+    pub accels: &'a mut [AccelDevice],
+}
+
+/// A polling engine core the pod runtime schedules as one actor.
+///
+/// The contract with the scheduler:
+///
+/// * [`next_time`](Self::next_time) is monotone — polling never rewinds the
+///   core's clock, though faults may jump it forward.
+/// * [`poll`](Self::poll) runs one driver loop iteration at the core's
+///   clock and returns any frames to inject into the switch (tagged with
+///   their egress times); non-NIC engines return none.
+/// * [`on_fault`](Self::on_fault) is invoked *after* the pod has dropped
+///   the core's cache and bumped its clock, so recovery work (e.g. command
+///   replay) executes at the post-fault clock.
+pub trait DeviceEngine {
+    /// The host this core polls on.
+    fn host(&self) -> usize;
+    /// The polling core's memory context.
+    fn core(&self) -> &HostCtx;
+    /// Mutable access to the polling core's memory context.
+    fn core_mut(&mut self) -> &mut HostCtx;
+
+    /// When this engine next wants to run (its local clock).
+    fn next_time(&self) -> SimTime {
+        self.core().clock
+    }
+
+    /// The NIC whose port carries this engine's emitted frames, if any.
+    fn egress_nic(&self) -> Option<usize> {
+        None
+    }
+
+    /// Run one driver-loop iteration; returns frames for the switch.
+    fn poll(&mut self, world: &mut EngineWorld) -> Vec<(SimTime, Frame)>;
+
+    /// A host-level fault reached this engine's host.
+    fn on_fault(&mut self, _fault: EngineFault, _pool: &mut CxlPool) {}
+
+    /// Fast-forward through provable idleness: if the engine can show no
+    /// useful work exists strictly before `limit`, it may advance its clock
+    /// in driver-loop quanta and return `true`. Engines that always do
+    /// per-iteration bookkeeping return `false` and poll normally.
+    fn try_idle_skip(&mut self, _nics: &[Nic], _instances: &[Instance], _limit: SimTime) -> bool {
+        false
+    }
+}
+
+/// A frontend driver: the per-consuming-host half of an engine. Encodes
+/// `Command` descriptors toward the backend and decodes `Completion`s.
+pub trait EngineFrontend: DeviceEngine {
+    /// Descriptor sent frontend → backend.
+    type Command: WireDescriptor;
+    /// Descriptor sent backend → frontend.
+    type Completion: WireDescriptor;
+    /// Engine name (diagnostics, channel naming).
+    const ENGINE: &'static str;
+}
+
+/// A backend driver: the per-device-host half of an engine. Decodes
+/// `Command` descriptors and answers with `Completion`s.
+pub trait EngineBackend: DeviceEngine {
+    /// Descriptor sent frontend → backend.
+    type Command: WireDescriptor;
+    /// Descriptor sent backend → frontend.
+    type Completion: WireDescriptor;
+    /// Engine name (diagnostics, channel naming).
+    const ENGINE: &'static str;
+    /// Index of the device this backend drives, in its device table.
+    fn device(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// Network engine (§3.3)
+// ---------------------------------------------------------------------------
+
+impl DeviceEngine for FrontendDriver {
+    fn host(&self) -> usize {
+        self.host
+    }
+    fn core(&self) -> &HostCtx {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut HostCtx {
+        &mut self.core
+    }
+    fn poll(&mut self, world: &mut EngineWorld) -> Vec<(SimTime, Frame)> {
+        self.step(world.pool, world.instances, world.nic_macs);
+        Vec::new()
+    }
+}
+
+impl EngineFrontend for FrontendDriver {
+    type Command = crate::msg::NetMsg;
+    type Completion = crate::msg::NetMsg;
+    const ENGINE: &'static str = "net";
+}
+
+impl DeviceEngine for BackendDriver {
+    fn host(&self) -> usize {
+        self.host
+    }
+    fn core(&self) -> &HostCtx {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut HostCtx {
+        &mut self.core
+    }
+    fn egress_nic(&self) -> Option<usize> {
+        Some(self.nic_id)
+    }
+    fn poll(&mut self, world: &mut EngineWorld) -> Vec<(SimTime, Frame)> {
+        self.step(world.pool, &mut world.nics[self.nic_id])
+    }
+}
+
+impl EngineBackend for BackendDriver {
+    type Command = crate::msg::NetMsg;
+    type Completion = crate::msg::NetMsg;
+    const ENGINE: &'static str = "net";
+    fn device(&self) -> usize {
+        self.nic_id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Junction-style baseline (one combined driver, local NIC)
+// ---------------------------------------------------------------------------
+
+impl DeviceEngine for LocalDriver {
+    fn host(&self) -> usize {
+        self.host
+    }
+    fn core(&self) -> &HostCtx {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut HostCtx {
+        &mut self.core
+    }
+    fn egress_nic(&self) -> Option<usize> {
+        Some(self.nic_id)
+    }
+    fn poll(&mut self, world: &mut EngineWorld) -> Vec<(SimTime, Frame)> {
+        self.step(world.pool, &mut world.nics[self.nic_id], world.instances)
+    }
+    fn try_idle_skip(&mut self, nics: &[Nic], instances: &[Instance], limit: SimTime) -> bool {
+        let quanta = self.idle_quanta(&nics[self.nic_id], instances, limit);
+        if quanta > 0 {
+            self.skip_idle(quanta);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Storage engine (§3.4)
+// ---------------------------------------------------------------------------
+
+impl DeviceEngine for StorageFrontend {
+    fn host(&self) -> usize {
+        self.host
+    }
+    fn core(&self) -> &HostCtx {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut HostCtx {
+        &mut self.core
+    }
+    fn poll(&mut self, world: &mut EngineWorld) -> Vec<(SimTime, Frame)> {
+        self.step(world.pool);
+        Vec::new()
+    }
+    fn on_fault(&mut self, fault: EngineFault, pool: &mut CxlPool) {
+        // §3.4: after a host restart, commands that were in flight when the
+        // host crashed are replayed; the backend's dedup window answers
+        // duplicates it already executed.
+        if fault == EngineFault::HostRestart {
+            self.replay_pending(pool);
+        }
+    }
+}
+
+impl EngineFrontend for StorageFrontend {
+    type Command = oasis_storage::command::NvmeCommand;
+    type Completion = oasis_storage::command::NvmeCompletion;
+    const ENGINE: &'static str = "storage";
+}
+
+impl DeviceEngine for StorageBackend {
+    fn host(&self) -> usize {
+        self.host
+    }
+    fn core(&self) -> &HostCtx {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut HostCtx {
+        &mut self.core
+    }
+    fn poll(&mut self, world: &mut EngineWorld) -> Vec<(SimTime, Frame)> {
+        self.step(world.pool, &mut world.ssds[self.ssd_id]);
+        Vec::new()
+    }
+}
+
+impl EngineBackend for StorageBackend {
+    type Command = oasis_storage::command::NvmeCommand;
+    type Completion = oasis_storage::command::NvmeCompletion;
+    const ENGINE: &'static str = "storage";
+    fn device(&self) -> usize {
+        self.ssd_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_match_channel_slots() {
+        assert_eq!(<crate::msg::NetMsg as WireDescriptor>::WIRE_SIZE, 16);
+        assert_eq!(
+            <oasis_storage::command::NvmeCommand as WireDescriptor>::WIRE_SIZE,
+            64
+        );
+        assert_eq!(<oasis_accel::AccelCommand as WireDescriptor>::WIRE_SIZE, 64);
+    }
+
+    #[test]
+    fn trait_codec_roundtrips() {
+        let cmd = oasis_accel::AccelCommand {
+            op: oasis_accel::AccelOp::Checksum,
+            cid: 12,
+            arg: 0,
+            input_ptr: 4096,
+            output_ptr: 8192,
+            input_len: 64,
+            frontend: 1,
+        };
+        let mut buf = [0u8; 64];
+        cmd.encode_into(&mut buf);
+        assert_eq!(oasis_accel::AccelCommand::decode_from(&buf), Some(cmd));
+        // A completion does not decode as a command.
+        let comp = oasis_accel::AccelCompletion {
+            cid: 12,
+            status: oasis_accel::AccelStatus::Success,
+            result: 7,
+            frontend: 1,
+        };
+        comp.encode_into(&mut buf);
+        assert_eq!(oasis_accel::AccelCommand::decode_from(&buf), None);
+        assert_eq!(oasis_accel::AccelCompletion::decode_from(&buf), Some(comp));
+    }
+}

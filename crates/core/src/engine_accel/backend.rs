@@ -1,0 +1,238 @@
+//! Accel-engine backend driver: operates the accelerator's queues.
+
+use oasis_accel::{AccelCommand, AccelCompletion, AccelDevice, AccelStatus};
+use oasis_channel::{Receiver, Sender, SeqWindow};
+use oasis_cxl::dma::{DmaMemory, MemRef};
+use oasis_cxl::{CxlPool, HostCtx};
+use oasis_sim::detmap::DetMap;
+
+use crate::config::OasisConfig;
+use crate::engine::{DeviceEngine, EngineBackend, EngineWorld};
+
+struct PoolDma<'a> {
+    pool: &'a mut CxlPool,
+    port: oasis_cxl::pool::PortId,
+    dma_cxl_ns: u64,
+}
+
+impl DmaMemory for PoolDma<'_> {
+    fn dma_read(&mut self, now: oasis_sim::time::SimTime, mem: MemRef, out: &mut [u8]) {
+        match mem {
+            MemRef::Pool(a) => self.pool.dma_read(now, self.port, a, out),
+            MemRef::HostLocal(_) => unreachable!("accel buffers live in the pool"),
+        }
+    }
+    fn dma_write(&mut self, now: oasis_sim::time::SimTime, mem: MemRef, data: &[u8]) {
+        match mem {
+            MemRef::Pool(a) => self.pool.dma_write(now, self.port, a, data),
+            MemRef::HostLocal(_) => unreachable!("accel buffers live in the pool"),
+        }
+    }
+    fn dma_latency_ns(&self, _mem: MemRef) -> u64 {
+        self.dma_cxl_ns
+    }
+}
+
+/// How many completed command ids each frontend link remembers for replay
+/// deduplication (same sizing argument as the storage engine: far larger
+/// than any frontend's in-flight window).
+const DEDUP_WINDOW: usize = 1024;
+
+/// One channel link to a frontend driver.
+struct FeLink {
+    fe_host: usize,
+    to: Sender,
+    from: Receiver,
+    /// Recently completed command ids (exactly-once execution: replays of
+    /// these are answered from `done`, not re-executed).
+    seen: SeqWindow,
+    /// Completion per remembered id, evicted in lockstep with `seen`.
+    done: DetMap<u16, (AccelStatus, u64)>,
+}
+
+/// Backend counters.
+#[derive(Clone, Debug, Default)]
+pub struct AccelBeStats {
+    /// Jobs forwarded to the device.
+    pub forwarded: u64,
+    /// Jobs refused by a full submission queue and bounced with an error.
+    pub sq_full: u64,
+    /// Completions returned to frontends.
+    pub completions: u64,
+    /// Replayed jobs answered from the completion cache instead of being
+    /// re-executed.
+    pub replays_answered: u64,
+}
+
+/// The accel backend driver: runs only on hosts with local accelerators,
+/// one dedicated polling core.
+pub struct AccelBackend {
+    /// The accelerator this backend drives.
+    pub dev_id: usize,
+    /// The host the accelerator is attached to.
+    pub host: usize,
+    /// The polling core.
+    pub core: HostCtx,
+    /// Counters.
+    pub stats: AccelBeStats,
+    cfg: OasisConfig,
+    links: Vec<FeLink>,
+}
+
+impl AccelBackend {
+    /// Create a backend for `dev_id` on `host`.
+    pub fn new(dev_id: usize, host: usize, core: HostCtx, cfg: OasisConfig) -> Self {
+        AccelBackend {
+            dev_id,
+            host,
+            core,
+            stats: AccelBeStats::default(),
+            cfg,
+            links: Vec::new(),
+        }
+    }
+
+    /// Wire a channel pair to a frontend on `fe_host`.
+    pub fn add_frontend_link(&mut self, fe_host: usize, to: Sender, from: Receiver) {
+        self.links.push(FeLink {
+            fe_host,
+            to,
+            from,
+            seen: SeqWindow::new(DEDUP_WINDOW),
+            done: DetMap::default(),
+        });
+    }
+
+    fn send_completion(&mut self, pool: &mut CxlPool, comp: AccelCompletion) {
+        if let Some(li) = self
+            .links
+            .iter()
+            .position(|l| l.fe_host == comp.frontend as usize)
+        {
+            let link = &mut self.links[li];
+            if link
+                .to
+                .try_send(&mut self.core, pool, &comp.encode())
+                .unwrap_or(false)
+            {
+                link.to.flush(&mut self.core, pool);
+                self.stats.completions += 1;
+            }
+        }
+    }
+
+    /// One polling round: jobs in, completions out. The backend never
+    /// touches job data — the accelerator DMAs it directly (§3.2.1).
+    pub fn step(&mut self, pool: &mut CxlPool, dev: &mut AccelDevice) {
+        self.core.advance(self.cfg.driver_loop_ns);
+        let mut buf = [0u8; 64];
+
+        // Frontend jobs → device submission queue.
+        for li in 0..self.links.len() {
+            loop {
+                let got = self.links[li].from.try_recv(&mut self.core, pool, &mut buf);
+                if !got {
+                    break;
+                }
+                let Some(cmd) = AccelCommand::decode(&buf) else {
+                    continue;
+                };
+                if let Some(&(status, result)) = self.links[li].done.get(&cmd.cid) {
+                    // Replay of a job that already executed: answer from
+                    // the cache, never re-execute.
+                    self.stats.replays_answered += 1;
+                    self.send_completion(
+                        pool,
+                        AccelCompletion {
+                            cid: cmd.cid,
+                            status,
+                            result,
+                            frontend: cmd.frontend,
+                        },
+                    );
+                    continue;
+                }
+                if dev.submit(cmd) {
+                    self.stats.forwarded += 1;
+                } else {
+                    // Bounce with an error so the frontend can retry.
+                    self.stats.sq_full += 1;
+                    self.send_completion(
+                        pool,
+                        AccelCompletion {
+                            cid: cmd.cid,
+                            status: AccelStatus::DeviceFailure,
+                            result: 0,
+                            frontend: cmd.frontend,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Drive the device.
+        let clock = self.core.clock;
+        {
+            let mut dma = PoolDma {
+                pool,
+                port: self.core.port,
+                dma_cxl_ns: self.core.costs.dma_cxl_ns,
+            };
+            dev.process(clock, &mut dma);
+        }
+
+        // Device completions → frontends. Terminal statuses enter the dedup
+        // cache; transient compute errors do not, so a retry of the same
+        // cid really re-executes the job.
+        for comp in dev.poll_completions(self.core.clock) {
+            if comp.status != AccelStatus::ComputeError {
+                if let Some(li) = self
+                    .links
+                    .iter()
+                    .position(|l| l.fe_host == comp.frontend as usize)
+                {
+                    let link = &mut self.links[li];
+                    let (_, evicted) = link.seen.insert_evicting(comp.cid);
+                    if let Some(old) = evicted {
+                        link.done.remove(&old);
+                    }
+                    link.done.insert(comp.cid, (comp.status, comp.result));
+                }
+            }
+            self.send_completion(pool, comp);
+        }
+
+        for link in &mut self.links {
+            link.from.publish_consumed(&mut self.core, pool);
+        }
+    }
+}
+
+impl DeviceEngine for AccelBackend {
+    fn host(&self) -> usize {
+        self.host
+    }
+    fn core(&self) -> &HostCtx {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut HostCtx {
+        &mut self.core
+    }
+    fn poll(
+        &mut self,
+        world: &mut EngineWorld,
+    ) -> Vec<(oasis_sim::time::SimTime, oasis_net::packet::Frame)> {
+        let dev_id = self.dev_id;
+        self.step(world.pool, &mut world.accels[dev_id]);
+        Vec::new()
+    }
+}
+
+impl EngineBackend for AccelBackend {
+    type Command = AccelCommand;
+    type Completion = AccelCompletion;
+    const ENGINE: &'static str = "accel";
+    fn device(&self) -> usize {
+        self.dev_id
+    }
+}

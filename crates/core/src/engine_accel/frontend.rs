@@ -1,0 +1,369 @@
+//! Accel-engine frontend driver: the job-submission interface instances
+//! see.
+
+use oasis_accel::{AccelCommand, AccelCompletion, AccelOp, AccelStatus};
+use oasis_channel::{Receiver, RetryPolicy, RetryState, Sender};
+use oasis_cxl::{lines_covering, CxlPool, HostCtx};
+use oasis_sim::detmap::DetMap;
+
+use crate::config::OasisConfig;
+use crate::datapath::BufferArea;
+use crate::engine::{DeviceEngine, EngineFault, EngineFrontend, EngineWorld};
+
+/// A completed offload job returned to the caller.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// The command id returned at submit time.
+    pub cid: u16,
+    /// Completion status (device failures surface here, §3.4).
+    pub status: AccelStatus,
+    /// The operation result echoed by the device (checksum digest).
+    pub result: u64,
+    /// The output bytes, copied out of shared CXL memory.
+    pub output: Option<Vec<u8>>,
+}
+
+struct PendingJob {
+    /// Input buffer (freed on completion).
+    in_buf: u64,
+    /// Output buffer (read back and freed on completion).
+    out_buf: u64,
+    /// Bytes the device writes to the output buffer.
+    out_bytes: u64,
+    /// Target accelerator (for resubmission routing).
+    dev: usize,
+    /// The full command, kept for retransmission.
+    cmd: AccelCommand,
+    /// Retry pacing for this job.
+    retry: RetryState,
+}
+
+/// One channel link to an accel backend.
+struct DevLink {
+    dev: usize,
+    to: Sender,
+    from: Receiver,
+}
+
+/// Frontend counters.
+#[derive(Clone, Debug, Default)]
+pub struct AccelFeStats {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Completions delivered.
+    pub completed: u64,
+    /// Completions with error status.
+    pub errors: u64,
+    /// Submissions refused (no buffer / channel full).
+    pub refused: u64,
+    /// Jobs resubmitted after a completion timeout or transient compute
+    /// error.
+    pub retries: u64,
+    /// Jobs failed to the caller after exhausting the retry budget.
+    pub retry_exhausted: u64,
+}
+
+/// The accel frontend driver (one busy-polling core per host).
+pub struct AccelFrontend {
+    /// Host this frontend runs on.
+    pub host: usize,
+    /// The polling core.
+    pub core: HostCtx,
+    /// Counters.
+    pub stats: AccelFeStats,
+    cfg: OasisConfig,
+    links: Vec<DevLink>,
+    data_area: BufferArea,
+    pending: DetMap<u16, PendingJob>,
+    done: Vec<JobResult>,
+    next_cid: u16,
+}
+
+impl AccelFrontend {
+    /// Create a frontend with its job buffer area in pool memory.
+    pub fn new(host: usize, core: HostCtx, cfg: OasisConfig, data_area: BufferArea) -> Self {
+        AccelFrontend {
+            host,
+            core,
+            stats: AccelFeStats::default(),
+            cfg,
+            links: Vec::new(),
+            data_area,
+            pending: DetMap::default(),
+            done: Vec::new(),
+            next_cid: 0,
+        }
+    }
+
+    /// Wire a channel pair to an accelerator's backend.
+    pub fn add_accel_link(&mut self, dev: usize, to: Sender, from: Receiver) {
+        self.links.push(DevLink { dev, to, from });
+    }
+
+    fn link_idx(&self, dev: usize) -> Option<usize> {
+        self.links.iter().position(|l| l.dev == dev)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            timeout: self.cfg.accel_retry_timeout,
+            backoff: self.cfg.accel_retry_backoff,
+            max_attempts: self.cfg.accel_retry_max_attempts,
+        }
+    }
+
+    /// Invalidate a finished job's buffer lines and return both buffers for
+    /// reuse (same §3.2.1 software-coherence discipline as storage: the
+    /// next occupant's data arrives by device DMA, so stale cached lines
+    /// must go).
+    fn release_bufs(&mut self, pool: &mut CxlPool, p: &PendingJob) {
+        for la in lines_covering(p.in_buf, p.cmd.input_len as u64) {
+            self.core.clflushopt(pool, la);
+        }
+        self.data_area.free(p.in_buf);
+        for la in lines_covering(p.out_buf, p.out_bytes) {
+            self.core.clflushopt(pool, la);
+        }
+        self.data_area.free(p.out_buf);
+    }
+
+    /// Put `cmd` back on the wire to `dev`. A full channel is fine: the
+    /// armed deadline fires again later.
+    fn resend(&mut self, pool: &mut CxlPool, dev: usize, cmd: &AccelCommand) {
+        if let Some(li) = self.link_idx(dev) {
+            let link = &mut self.links[li];
+            if link
+                .to
+                .try_send(&mut self.core, pool, &cmd.encode())
+                .unwrap_or(false)
+            {
+                link.to.flush(&mut self.core, pool);
+            }
+        }
+    }
+
+    /// Bytes the device writes for `op` over an `input_len`-byte input.
+    fn output_bytes(op: AccelOp, input_len: u32) -> u64 {
+        match op {
+            AccelOp::Checksum => 8,
+            AccelOp::Scale => input_len as u64,
+        }
+    }
+
+    /// Submit an offload job. Returns the command id, or `None` when
+    /// backpressured (no buffers / channel full) — the caller retries on a
+    /// later tick.
+    pub fn submit_job(
+        &mut self,
+        pool: &mut CxlPool,
+        dev: usize,
+        op: AccelOp,
+        arg: u32,
+        input: &[u8],
+    ) -> Option<u16> {
+        let li = self.link_idx(dev)?;
+        let bytes = input.len() as u64;
+        if bytes == 0 || bytes > self.data_area.buf_size() {
+            self.stats.refused += 1;
+            return None;
+        }
+        let Some(in_buf) = self.data_area.alloc() else {
+            self.stats.refused += 1;
+            return None;
+        };
+        let Some(out_buf) = self.data_area.alloc() else {
+            self.data_area.free(in_buf);
+            self.stats.refused += 1;
+            return None;
+        };
+        // Stage the input in shared CXL memory and write it back so the
+        // device's DMA sees it (§3.2.1).
+        self.core.write(pool, in_buf, input);
+        for la in lines_covering(in_buf, bytes) {
+            self.core.clwb(pool, la);
+        }
+        let cid = self.next_cid;
+        self.next_cid = self.next_cid.wrapping_add(1);
+        let cmd = AccelCommand {
+            op,
+            cid,
+            arg,
+            input_ptr: in_buf,
+            output_ptr: out_buf,
+            input_len: input.len() as u32,
+            frontend: self.host as u32,
+        };
+        let link = &mut self.links[li];
+        if !link
+            .to
+            .try_send(&mut self.core, pool, &cmd.encode())
+            .unwrap_or(false)
+        {
+            self.data_area.free(out_buf);
+            self.data_area.free(in_buf);
+            self.stats.refused += 1;
+            return None;
+        }
+        link.to.flush(&mut self.core, pool);
+        self.stats.submitted += 1;
+        let retry = RetryState::armed(&self.retry_policy(), self.core.clock);
+        self.pending.insert(
+            cid,
+            PendingJob {
+                in_buf,
+                out_buf,
+                out_bytes: Self::output_bytes(op, cmd.input_len),
+                dev,
+                cmd,
+                retry,
+            },
+        );
+        Some(cid)
+    }
+
+    /// One polling round: drain completion channels, then resubmit any job
+    /// whose completion deadline has passed (a device in a fault window
+    /// swallows jobs whole; the backend deduplicates replays, so
+    /// resubmission is safe even when the original is merely slow).
+    pub fn step(&mut self, pool: &mut CxlPool) {
+        self.core.advance(self.cfg.driver_loop_ns);
+        let policy = self.retry_policy();
+        let mut buf = [0u8; 64];
+        for li in 0..self.links.len() {
+            loop {
+                let got = self.links[li].from.try_recv(&mut self.core, pool, &mut buf);
+                if !got {
+                    break;
+                }
+                let Some(comp) = AccelCompletion::decode(&buf) else {
+                    continue;
+                };
+                let Some(p) = self.pending.remove(&comp.cid) else {
+                    continue;
+                };
+                if comp.status == AccelStatus::ComputeError && p.retry.can_retry(&policy) {
+                    // Transient compute fault (injected fault window): drop
+                    // the errored completion and let the armed retry
+                    // deadline resubmit with backoff. Resending immediately
+                    // would hammer the device — errors complete in ~1 µs,
+                    // so the whole budget burns inside the fault window.
+                    self.pending.insert(comp.cid, p);
+                    continue;
+                }
+                let output = if comp.status.is_ok() {
+                    // Copy the result out of shared memory.
+                    let mut out = vec![0u8; p.out_bytes as usize];
+                    self.core.read_stream(pool, p.out_buf, &mut out);
+                    Some(out)
+                } else {
+                    None
+                };
+                self.release_bufs(pool, &p);
+                self.stats.completed += 1;
+                if !comp.status.is_ok() {
+                    self.stats.errors += 1;
+                }
+                self.done.push(JobResult {
+                    cid: comp.cid,
+                    status: comp.status,
+                    result: comp.result,
+                    output,
+                });
+            }
+            self.links[li].from.publish_consumed(&mut self.core, pool);
+        }
+
+        // Retry timers: resubmit expired jobs, fail exhausted ones.
+        let now = self.core.clock;
+        let mut expired: Vec<u16> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.retry.expired(now))
+            .map(|(cid, _)| *cid)
+            .collect();
+        expired.sort_unstable();
+        for cid in expired {
+            let can = self
+                .pending
+                .get(&cid)
+                .is_some_and(|p| p.retry.can_retry(&policy));
+            if can {
+                let p = self.pending.get_mut(&cid).expect("expired cid is pending");
+                p.retry.rearm(&policy, now);
+                let (dev, cmd) = (p.dev, p.cmd);
+                self.stats.retries += 1;
+                self.resend(pool, dev, &cmd);
+            } else {
+                let p = self.pending.remove(&cid).expect("expired cid is pending");
+                self.release_bufs(pool, &p);
+                self.stats.completed += 1;
+                self.stats.errors += 1;
+                self.stats.retry_exhausted += 1;
+                self.done.push(JobResult {
+                    cid,
+                    status: AccelStatus::DeviceFailure,
+                    result: 0,
+                    output: None,
+                });
+            }
+        }
+    }
+
+    /// After a host restart, rearm and resubmit every in-flight job — same
+    /// recovery protocol as the storage engine: the submission intent
+    /// survives in driver state, lost completions are replayed, and the
+    /// backend's dedup window keeps execution exactly-once.
+    pub fn replay_pending(&mut self, pool: &mut CxlPool) {
+        let policy = self.retry_policy();
+        let now = self.core.clock;
+        let mut cids: Vec<u16> = self.pending.keys().copied().collect();
+        cids.sort_unstable();
+        for cid in cids {
+            let p = self.pending.get_mut(&cid).expect("cid is pending");
+            p.retry = RetryState::armed(&policy, now);
+            let (dev, cmd) = (p.dev, p.cmd);
+            self.stats.retries += 1;
+            self.resend(pool, dev, &cmd);
+        }
+    }
+
+    /// Take completed jobs.
+    pub fn take_completions(&mut self) -> Vec<JobResult> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// Jobs still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl DeviceEngine for AccelFrontend {
+    fn host(&self) -> usize {
+        self.host
+    }
+    fn core(&self) -> &HostCtx {
+        &self.core
+    }
+    fn core_mut(&mut self) -> &mut HostCtx {
+        &mut self.core
+    }
+    fn poll(
+        &mut self,
+        world: &mut EngineWorld,
+    ) -> Vec<(oasis_sim::time::SimTime, oasis_net::packet::Frame)> {
+        self.step(world.pool);
+        Vec::new()
+    }
+    fn on_fault(&mut self, fault: EngineFault, pool: &mut CxlPool) {
+        if fault == EngineFault::HostRestart {
+            self.replay_pending(pool);
+        }
+    }
+}
+
+impl EngineFrontend for AccelFrontend {
+    type Command = AccelCommand;
+    type Completion = AccelCompletion;
+    const ENGINE: &'static str = "accel";
+}

@@ -1,0 +1,38 @@
+//! The Oasis compute-offload engine.
+//!
+//! The third engine, built to prove the [`crate::engine`] abstraction
+//! generalizes: a frontend driver per host gives local instances a
+//! job-submission interface to pooled accelerators; a backend driver runs
+//! only on hosts with local accelerators and operates their queues through
+//! the native driver. Frontend and backend exchange **64 B job
+//! descriptors** over Oasis channels; job inputs and outputs live in I/O
+//! buffers in shared CXL memory that the device DMAs directly (the backend
+//! never inspects them, §3.2.1).
+//!
+//! Failure semantics mirror the storage engine (§3.4): swallowed jobs are
+//! retried after a timeout, transient compute errors burn a retry attempt,
+//! the backend deduplicates replays through a completion cache so no job
+//! executes twice, and a dead device propagates an error to the guest —
+//! no transparent failover for stateful devices.
+
+pub mod backend;
+pub mod frontend;
+
+pub use backend::AccelBackend;
+pub use frontend::{AccelFrontend, JobResult};
+
+use oasis_accel::AccelCommand;
+use oasis_cxl::{CxlPool, RegionAllocator};
+
+use crate::datapath::{alloc_descriptor_channel, ChannelPair};
+
+/// Allocate one direction of an accel driver link: a 64 B descriptor
+/// channel sized by the command's wire size.
+pub fn alloc_accel_channel(
+    pool: &mut CxlPool,
+    ra: &mut RegionAllocator,
+    name: &str,
+    slots: u64,
+) -> ChannelPair {
+    alloc_descriptor_channel::<AccelCommand>(pool, ra, name, slots)
+}

@@ -24,28 +24,19 @@ pub use backend::StorageBackend;
 pub use frontend::{IoResult, StorageFrontend};
 pub use harness::StoragePod;
 
-use oasis_channel::{ChannelLayout, Policy, Receiver, Sender, MSG64};
-use oasis_cxl::pool::TrafficClass;
+use oasis_channel::MSG64;
 use oasis_cxl::{CxlPool, RegionAllocator};
 
-use crate::datapath::ChannelPair;
+use crate::datapath::{alloc_msg_channel, ChannelPair};
 
 /// Allocate one direction of a storage driver link: a 64 B message channel.
+/// Thin wrapper over the generic allocator in `datapath` — the layout math
+/// lives there.
 pub fn alloc_storage_channel(
     pool: &mut CxlPool,
     ra: &mut RegionAllocator,
     name: &str,
     slots: u64,
 ) -> ChannelPair {
-    let region = ra.alloc(
-        pool,
-        name,
-        ChannelLayout::bytes_needed(slots, MSG64 as u64),
-        TrafficClass::Message,
-    );
-    let layout = ChannelLayout::in_region(&region, slots, MSG64 as u64);
-    ChannelPair {
-        sender: Sender::new(layout.clone()),
-        receiver: Receiver::new(layout, Policy::InvalidatePrefetched),
-    }
+    alloc_msg_channel(pool, ra, name, slots, MSG64 as u64)
 }

@@ -1,0 +1,82 @@
+//! Typed errors for pod control-plane operations.
+//!
+//! Runtime paths in the pod previously panicked (`unwrap`/`expect`) on
+//! conditions a caller can actually hit — a full pod, an unknown host, a
+//! missing device. Those now surface as [`PodError`] so experiment
+//! harnesses can handle placement failure the way a cloud control plane
+//! would: by reporting it, not by aborting the simulation.
+
+use oasis_channel::ChannelError;
+
+/// Why a pod control-plane operation could not complete.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PodError {
+    /// No NIC in the pod has spare capacity for another instance.
+    NoNicCapacity,
+    /// The named host does not exist in this pod.
+    NoSuchHost(usize),
+    /// The named host exists but is not running the engine the operation
+    /// needs (e.g. an accel job on a host with no accel frontend).
+    EngineMissing {
+        /// Host that was addressed.
+        host: usize,
+        /// Engine that is absent ("net", "storage", "accel").
+        engine: &'static str,
+    },
+    /// The named device index does not exist.
+    NoSuchDevice {
+        /// Device class ("nic", "ssd", "accel").
+        class: &'static str,
+        /// Index that was addressed.
+        index: usize,
+    },
+    /// A message-channel operation failed (corrupted descriptor, bad
+    /// size).
+    Channel(ChannelError),
+}
+
+impl From<ChannelError> for PodError {
+    fn from(e: ChannelError) -> Self {
+        PodError::Channel(e)
+    }
+}
+
+impl std::fmt::Display for PodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PodError::NoNicCapacity => write!(f, "no NIC with spare capacity in the pod"),
+            PodError::NoSuchHost(h) => write!(f, "no host {h} in this pod"),
+            PodError::EngineMissing { host, engine } => {
+                write!(f, "host {host} has no {engine} engine")
+            }
+            PodError::NoSuchDevice { class, index } => {
+                write!(f, "no {class} {index} in this pod")
+            }
+            PodError::Channel(e) => write!(f, "channel error: {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for PodError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_panic_message() {
+        // `Pod::launch_instance` panics with this exact text; the typed
+        // error must render identically so the panic wrapper stays
+        // message-compatible.
+        assert_eq!(
+            PodError::NoNicCapacity.to_string(),
+            "no NIC with spare capacity in the pod"
+        );
+    }
+
+    #[test]
+    fn channel_errors_convert() {
+        let e: PodError = ChannelError::EpochBitSet.into();
+        assert_eq!(e, PodError::Channel(ChannelError::EpochBitSet));
+    }
+}

@@ -228,7 +228,9 @@ impl Instance {
         let mut keys: Vec<(u32, u16)> = self.tcp_peers.keys().copied().collect();
         keys.sort_unstable();
         for key in keys {
-            let peer = self.tcp_peers.get_mut(&key).unwrap();
+            let Some(peer) = self.tcp_peers.get_mut(&key) else {
+                continue;
+            };
             // Release app responses whose service time elapsed.
             let mut due: Vec<(SimTime, Vec<u8>)> = Vec::new();
             peer.pending.retain(|(at, bytes)| {
@@ -283,7 +285,7 @@ impl Instance {
             .filter(|(_, (at, _))| *at <= now)
             .min_by_key(|(_, (at, _))| *at)
             .map(|(i, _)| i)?;
-        let (_, frame) = self.tx_queue.remove(idx).unwrap();
+        let (_, frame) = self.tx_queue.remove(idx)?;
         self.stats.tx_frames += 1;
         Some(frame)
     }

@@ -19,6 +19,12 @@
 //!   GARP (§3.3.4).
 //! * [`engine_storage`] — the storage engine (§3.4): block I/O forwarded as
 //!   64 B NVMe-mirroring messages; drive failures propagate as I/O errors.
+//! * [`engine_accel`] — the compute-offload engine: DMA job submission to
+//!   pooled accelerators over the same 64 B descriptor discipline, proving
+//!   the [`engine`] abstraction generalizes past NICs and SSDs.
+//! * [`engine`] — the generic device-engine contract all three engines (and
+//!   the baseline) implement; the pod runtime schedules every engine core
+//!   through it as an actor on `oasis_sim::Scheduler`.
 //! * [`allocator`] — the pod-wide allocator (§3.5): leases, 100 ms
 //!   telemetry, local-first placement, failure management; replicable with
 //!   Raft from `oasis-raft`.
@@ -35,8 +41,11 @@ pub mod allocator;
 pub mod baseline;
 pub mod config;
 pub mod datapath;
+pub mod engine;
+pub mod engine_accel;
 pub mod engine_net;
 pub mod engine_storage;
+pub mod error;
 pub mod instance;
 pub mod msg;
 pub mod pod;

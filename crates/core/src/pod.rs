@@ -3,10 +3,15 @@
 //! A [`Pod`] owns the CXL pool, the hosts' polling cores (frontend and
 //! backend drivers, or the Junction baseline driver), the NICs, the ToR
 //! switch, the instances, the pod-wide allocator, and any external client
-//! endpoints. [`Pod::run`] steps whichever component has the earliest local
-//! clock, exactly like the co-simulated microbenchmarks — so cross-host
-//! latencies, failover timelines, and CXL link traffic all emerge from the
-//! same component models the unit tests exercise.
+//! endpoints. [`Pod::run`] registers every component as an actor on an
+//! [`oasis_sim::sched::Scheduler`] and dispatches whichever actor has the
+//! earliest wake time (ties break in registration order), exactly like the
+//! co-simulated microbenchmarks — so cross-host latencies, failover
+//! timelines, and CXL link traffic all emerge from the same component
+//! models the unit tests exercise. Device engines are stepped uniformly
+//! through [`crate::engine::DeviceEngine`]; the runtime has no per-engine
+//! special cases, which is what lets a new device class (see
+//! [`crate::engine_accel`]) plug in without touching the loop.
 //!
 //! Instance launch (placement + registration) is performed synchronously at
 //! build time, as a cloud control plane would before a VM starts; the
@@ -14,6 +19,7 @@
 //! detection, telemetry, failover rerouting, graceful migration — all flow
 //! through message channels with simulated timing.
 
+use oasis_accel::{AccelConfig, AccelDevice, AccelOp};
 use oasis_cxl::pool::{PortId, TrafficClass};
 use oasis_cxl::region::Region;
 use oasis_cxl::{CxlPool, HostCtx, RegionAllocator};
@@ -22,7 +28,10 @@ use oasis_net::nic::{Nic, NicConfig};
 use oasis_net::packet::Frame;
 use oasis_net::switch::Switch;
 use oasis_sim::event::EventQueue;
-use oasis_sim::fault::{FaultInjector, FaultKind, FaultPlan, PacketFaultState, SsdFaultMode};
+use oasis_sim::fault::{
+    AccelFaultMode, FaultInjector, FaultKind, FaultPlan, PacketFaultState, SsdFaultMode,
+};
+use oasis_sim::sched::{Scheduler, StepCtx, StepOutcome};
 use oasis_sim::time::{SimDuration, SimTime};
 
 use oasis_storage::ssd::{Ssd, SsdConfig};
@@ -31,8 +40,11 @@ use crate::allocator::{AllocCommand, PodAllocator};
 use crate::baseline::LocalDriver;
 use crate::config::{BufferPlacement, OasisConfig};
 use crate::datapath::{alloc_net_channel, BufferArea};
+use crate::engine::{DeviceEngine, EngineFault, EngineWorld};
+use crate::engine_accel::{alloc_accel_channel, AccelBackend, AccelFrontend, JobResult};
 use crate::engine_net::{BackendDriver, FrontendDriver};
 use crate::engine_storage::{alloc_storage_channel, StorageBackend, StorageFrontend};
+use crate::error::PodError;
 use crate::instance::{AppKind, Instance};
 
 /// An external client attached directly to a switch port (load generators,
@@ -92,6 +104,90 @@ enum PodEvent {
     SsdTimeoutUntil(usize, SimTime),
     /// Open an SSD read-media-error window closing at the given time.
     SsdReadErrorsUntil(usize, SimTime),
+    /// Open an accelerator job-swallowing window closing at the given time.
+    AccelTimeoutUntil(usize, SimTime),
+    /// Open an accelerator compute-error window closing at the given time.
+    AccelErrorsUntil(usize, SimTime),
+}
+
+/// A handle to one device engine, resolved against the pod's engine tables
+/// at dispatch time (actors cannot hold borrows across dispatches).
+#[derive(Clone, Copy)]
+enum EngineRef {
+    /// Per-host driver (Oasis frontend or Junction baseline).
+    Driver(usize),
+    /// Net backend by index.
+    NetBackend(usize),
+    /// Storage frontend by host.
+    StorageFe(usize),
+    /// Storage backend by index.
+    StorageBe(usize),
+    /// Accel frontend by host.
+    AccelFe(usize),
+    /// Accel backend by index.
+    AccelBe(usize),
+}
+
+/// What a scheduler actor id stands for.
+#[derive(Clone, Copy)]
+enum ActorKind {
+    /// A device-engine polling core, stepped through [`DeviceEngine`].
+    Engine(EngineRef),
+    /// The pod-wide allocator service.
+    Allocator,
+    /// A client endpoint by index.
+    Endpoint(usize),
+    /// The pod's operator/fault event queue.
+    Events,
+}
+
+/// Base offsets of each actor class in the scheduler's id space. Ids are
+/// assigned in registration order, which is also the tie-break order: on
+/// equal wake times the lowest id runs first, reproducing the legacy
+/// earliest-clock scan's first-considered-wins rule.
+struct ActorMap {
+    driver_base: usize,
+    net_backend_base: usize,
+    endpoint_base: usize,
+    storage_fe_base: usize,
+    storage_be_base: usize,
+    accel_fe_base: usize,
+    accel_be_base: usize,
+}
+
+/// Visit every device engine on `host` as `&mut dyn DeviceEngine`, in
+/// actor registration order. A free function over the split engine tables
+/// so callers can destructure [`Pod`] and keep the pool borrowed alongside.
+#[allow(clippy::too_many_arguments)]
+fn each_host_engine(
+    drivers: &mut [HostDriver],
+    backends: &mut [BackendDriver],
+    storage_frontends: &mut [Option<StorageFrontend>],
+    storage_backends: &mut [StorageBackend],
+    accel_frontends: &mut [Option<AccelFrontend>],
+    accel_backends: &mut [AccelBackend],
+    host: usize,
+    mut f: impl FnMut(&mut dyn DeviceEngine),
+) {
+    match &mut drivers[host] {
+        HostDriver::Oasis(fe) => f(fe),
+        HostDriver::Local(ld) => f(ld),
+    }
+    for be in backends.iter_mut().filter(|b| b.host == host) {
+        f(be);
+    }
+    if let Some(fe) = storage_frontends[host].as_mut() {
+        f(fe);
+    }
+    for be in storage_backends.iter_mut().filter(|b| b.host == host) {
+        f(be);
+    }
+    if let Some(fe) = accel_frontends[host].as_mut() {
+        f(fe);
+    }
+    for be in accel_backends.iter_mut().filter(|b| b.host == host) {
+        f(be);
+    }
 }
 
 /// A block volume carved for an instance by the pod-wide allocator.
@@ -133,6 +229,12 @@ pub struct Pod {
     pub storage_frontends: Vec<Option<StorageFrontend>>,
     /// Storage backends, per SSD.
     pub storage_backends: Vec<StorageBackend>,
+    /// Compute-offload accelerators by id.
+    pub accels: Vec<AccelDevice>,
+    /// Accel frontends, per host (Oasis hosts in pods with accelerators).
+    pub accel_frontends: Vec<Option<AccelFrontend>>,
+    /// Accel backends, per accelerator.
+    pub accel_backends: Vec<AccelBackend>,
     nic_macs: Vec<MacAddr>,
     nic_host: Vec<usize>,
     nic_port: Vec<usize>,
@@ -159,6 +261,8 @@ pub struct PodBuilder {
     backup_nic_host: Option<usize>,
     /// (host, config) per SSD.
     ssds: Vec<(usize, SsdConfig)>,
+    /// (host, config) per accelerator.
+    accels: Vec<(usize, AccelConfig)>,
 }
 
 impl PodBuilder {
@@ -170,6 +274,7 @@ impl PodBuilder {
             hosts: Vec::new(),
             backup_nic_host: None,
             ssds: Vec::new(),
+            accels: Vec::new(),
         }
     }
 
@@ -204,6 +309,18 @@ impl PodBuilder {
         assert!(host < self.hosts.len(), "add hosts before their SSDs");
         self.ssds.push((host, cfg));
         self.ssds.len() - 1
+    }
+
+    /// Attach a compute-offload accelerator to `host` (drives the accel
+    /// engine — the third device class, proving the [`crate::engine`]
+    /// abstraction generalizes). Returns the accelerator id.
+    pub fn add_accel(&mut self, host: usize, cfg: AccelConfig) -> usize {
+        assert!(
+            host < self.hosts.len(),
+            "add hosts before their accelerators"
+        );
+        self.accels.push((host, cfg));
+        self.accels.len() - 1
     }
 
     /// Reserve the NIC of `host` as the pod's failover backup (§3.3.3).
@@ -403,6 +520,59 @@ impl PodBuilder {
             storage_frontends.push(Some(fe));
         }
 
+        // Accel engine: one backend per accelerator, one frontend per Oasis
+        // host (only when the pod has accelerators), fully meshed with 64 B
+        // job-descriptor channels — structurally identical to storage, which
+        // is the point of the engine abstraction.
+        let mut accels = Vec::new();
+        let mut accel_backends: Vec<AccelBackend> = Vec::new();
+        let mut accel_frontends: Vec<Option<AccelFrontend>> = Vec::new();
+        for (dev_id, (host, accel_cfg)) in self.accels.iter().enumerate() {
+            allocator.propose(AllocCommand::RegisterAccel {
+                accel: dev_id as u32,
+                host: *host as u32,
+            });
+            let be_core = HostCtx::new(PortId(*host), 0);
+            accel_backends.push(AccelBackend::new(dev_id, *host, be_core, self.cfg.clone()));
+            accels.push(AccelDevice::new(accel_cfg.clone()));
+        }
+        for (host, &(_, baseline)) in self.hosts.iter().enumerate() {
+            if self.accels.is_empty() || baseline.is_some() {
+                accel_frontends.push(None);
+                continue;
+            }
+            let data_region = ra.alloc(
+                &mut pool,
+                format!("host{host}.accel_data"),
+                self.cfg.accel_area_per_host,
+                TrafficClass::Payload,
+            );
+            let fe_core = HostCtx::new(PortId(host), 0);
+            let mut fe = AccelFrontend::new(
+                host,
+                fe_core,
+                self.cfg.clone(),
+                BufferArea::new(data_region, self.cfg.accel_buf_size),
+            );
+            for (dev_id, be) in accel_backends.iter_mut().enumerate() {
+                let cmd = alloc_accel_channel(
+                    &mut pool,
+                    &mut ra,
+                    &format!("afe{host}->abe{dev_id}"),
+                    1024,
+                );
+                let cpl = alloc_accel_channel(
+                    &mut pool,
+                    &mut ra,
+                    &format!("abe{dev_id}->afe{host}"),
+                    1024,
+                );
+                fe.add_accel_link(dev_id, cmd.sender, cpl.receiver);
+                be.add_frontend_link(host, cpl.sender, cmd.receiver);
+            }
+            accel_frontends.push(Some(fe));
+        }
+
         Pod {
             cfg: self.cfg,
             pool,
@@ -416,6 +586,9 @@ impl PodBuilder {
             ssds,
             storage_frontends,
             storage_backends,
+            accels,
+            accel_frontends,
+            accel_backends,
             nic_macs,
             nic_host,
             nic_port,
@@ -460,7 +633,27 @@ impl Pod {
     /// Launch an instance on `host` with a NIC-bandwidth lease. Placement
     /// is local-first via the pod-wide allocator; the instance is also
     /// pre-registered with the pod's backup NIC (§3.3.3).
+    ///
+    /// Panics when placement fails — experiment harnesses that want to
+    /// handle a full pod use [`Pod::try_launch_instance`].
     pub fn launch_instance(&mut self, host: usize, app: AppKind, lease_mbps: u32) -> usize {
+        match self.try_launch_instance(host, app, lease_mbps) {
+            Ok(idx) => idx,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible instance launch: placement failure surfaces as a
+    /// [`PodError`] instead of a panic.
+    pub fn try_launch_instance(
+        &mut self,
+        host: usize,
+        app: AppKind,
+        lease_mbps: u32,
+    ) -> Result<usize, PodError> {
+        if host >= self.drivers.len() {
+            return Err(PodError::NoSuchHost(host));
+        }
         let idx = self.instances.len();
         let id = idx as u32;
         let ip = Ipv4Addr::instance(id + 1);
@@ -471,8 +664,7 @@ impl Pod {
                 let nic = self
                     .allocator
                     .place_instance(host, ip, lease_mbps)
-                    .expect("no NIC with spare capacity in the pod")
-                    as usize;
+                    .ok_or(PodError::NoNicCapacity)? as usize;
                 let backup = self
                     .allocator
                     .state
@@ -488,7 +680,10 @@ impl Pod {
                 self.inst_region.push(Some(tx_region.clone()));
                 let area = BufferArea::new(tx_region, self.cfg.buf_size);
                 let HostDriver::Oasis(fe) = &mut self.drivers[host] else {
-                    unreachable!()
+                    return Err(PodError::EngineMissing {
+                        host,
+                        engine: "net",
+                    });
                 };
                 fe.attach_instance(idx, ip, area, nic, backup);
                 // Register with the serving and backup backends (flow rules
@@ -502,7 +697,10 @@ impl Pod {
             }
             HostDriver::Local(_) => {
                 let HostDriver::Local(ld) = &mut self.drivers[host] else {
-                    unreachable!()
+                    return Err(PodError::EngineMissing {
+                        host,
+                        engine: "net",
+                    });
                 };
                 let nic = ld.nic_id;
                 ld.attach_instance(&mut self.nics[nic], idx, ip, id);
@@ -511,7 +709,7 @@ impl Pod {
             }
         }
         self.instances.push(inst);
-        idx
+        Ok(idx)
     }
 
     /// Attach a client endpoint to a new switch port. Returns its index.
@@ -622,6 +820,21 @@ impl Pod {
                     };
                     self.pending.push(at, ev);
                 }
+                FaultKind::AccelFault {
+                    accel,
+                    mode,
+                    duration,
+                } => {
+                    let ev = match mode {
+                        AccelFaultMode::Timeout => {
+                            PodEvent::AccelTimeoutUntil(accel, at + duration)
+                        }
+                        AccelFaultMode::ComputeError => {
+                            PodEvent::AccelErrorsUntil(accel, at + duration)
+                        }
+                    };
+                    self.pending.push(at, ev);
+                }
             }
             tag += 1;
         }
@@ -701,25 +914,163 @@ impl Pod {
         self.ssds[ssd].set_failed(failed);
     }
 
+    /// Submit a compute-offload job from `host`. The accelerator is picked
+    /// local-first through the pod-wide allocator (the compute analog of
+    /// §3.5 placement). Returns the command id, or `Ok(None)` when
+    /// backpressured (no free job buffers / full channel) — the caller
+    /// retries on a later tick.
+    pub fn submit_accel_job(
+        &mut self,
+        host: usize,
+        op: AccelOp,
+        arg: u32,
+        input: &[u8],
+    ) -> Result<Option<u16>, PodError> {
+        if host >= self.drivers.len() {
+            return Err(PodError::NoSuchHost(host));
+        }
+        let dev = self
+            .allocator
+            .state
+            .pick_accel(host as u32)
+            .ok_or(PodError::NoSuchDevice {
+                class: "accel",
+                index: 0,
+            })? as usize;
+        let fe = self.accel_frontends[host]
+            .as_mut()
+            .ok_or(PodError::EngineMissing {
+                host,
+                engine: "accel",
+            })?;
+        Ok(fe.submit_job(&mut self.pool, dev, op, arg, input))
+    }
+
+    /// Drain completed offload jobs for `host`.
+    pub fn take_accel_completions(&mut self, host: usize) -> Vec<JobResult> {
+        self.accel_frontends
+            .get_mut(host)
+            .and_then(|fe| fe.as_mut())
+            .map(|fe| fe.take_completions())
+            .unwrap_or_default()
+    }
+
+    /// Offload jobs still in flight from `host`.
+    pub fn accel_jobs_in_flight(&self, host: usize) -> usize {
+        self.accel_frontends
+            .get(host)
+            .and_then(|fe| fe.as_ref())
+            .map(|fe| fe.in_flight())
+            .unwrap_or(0)
+    }
+
+    /// Fail (or repair) an accelerator; in-flight and future jobs complete
+    /// with an error status that propagates to the guest (§3.4 — no
+    /// transparent failover for stateful devices).
+    pub fn set_accel_failed(&mut self, accel: usize, failed: bool) {
+        self.accels[accel].set_failed(failed);
+    }
+
     /// Apply `f` to every polling core that lives on `host`. The allocator
     /// service core is the control plane's own machine and is never
     /// fault-targeted (chaos mixes exclude it).
     fn for_each_host_core(&mut self, host: usize, mut f: impl FnMut(&mut HostCtx)) {
-        match &mut self.drivers[host] {
-            HostDriver::Oasis(fe) => f(&mut fe.core),
-            HostDriver::Local(ld) => f(&mut ld.core),
-        }
-        for be in &mut self.backends {
+        let Pod {
+            drivers,
+            backends,
+            storage_frontends,
+            storage_backends,
+            accel_frontends,
+            accel_backends,
+            ..
+        } = self;
+        each_host_engine(
+            drivers,
+            backends,
+            storage_frontends,
+            storage_backends,
+            accel_frontends,
+            accel_backends,
+            host,
+            |e| f(e.core_mut()),
+        );
+    }
+
+    /// Deliver a host-level fault to every engine core on `host`: drop the
+    /// private cache (dirty lines included — torn write-backs are real), on
+    /// restart bump the clock to the restart time, then give the engine its
+    /// [`DeviceEngine::on_fault`] hook for recovery work (command replay).
+    fn apply_engine_fault(&mut self, host: usize, fault: EngineFault, at: SimTime) {
+        let Pod {
+            drivers,
+            backends,
+            storage_frontends,
+            storage_backends,
+            accel_frontends,
+            accel_backends,
+            pool,
+            ..
+        } = self;
+        each_host_engine(
+            drivers,
+            backends,
+            storage_frontends,
+            storage_backends,
+            accel_frontends,
+            accel_backends,
+            host,
+            |e| {
+                e.core_mut().cache.drain();
+                if fault == EngineFault::HostRestart {
+                    let c = e.core_mut();
+                    c.clock = c.clock.max(at);
+                }
+                e.on_fault(fault, pool);
+            },
+        );
+    }
+
+    /// Re-arm the scheduler entries of every engine on `host` at its
+    /// current clock (used after a restart revives actors that went idle
+    /// while the host was dead).
+    fn wake_host_engines(&self, host: usize, map: &ActorMap, ctx: &mut StepCtx) {
+        let clock = match &self.drivers[host] {
+            HostDriver::Oasis(fe) => fe.core.clock,
+            HostDriver::Local(ld) => ld.core.clock,
+        };
+        ctx.wake(map.driver_base + host, clock);
+        for (i, be) in self.backends.iter().enumerate() {
             if be.host == host {
-                f(&mut be.core);
+                ctx.wake(map.net_backend_base + i, be.core.clock);
             }
         }
-        if let Some(fe) = self.storage_frontends[host].as_mut() {
-            f(&mut fe.core);
+        if let Some(fe) = self.storage_frontends[host].as_ref() {
+            ctx.wake(map.storage_fe_base + host, fe.core.clock);
         }
-        for be in &mut self.storage_backends {
+        for (i, be) in self.storage_backends.iter().enumerate() {
             if be.host == host {
-                f(&mut be.core);
+                ctx.wake(map.storage_be_base + i, be.core.clock);
+            }
+        }
+        if let Some(fe) = self.accel_frontends[host].as_ref() {
+            ctx.wake(map.accel_fe_base + host, fe.core.clock);
+        }
+        for (i, be) in self.accel_backends.iter().enumerate() {
+            if be.host == host {
+                ctx.wake(map.accel_be_base + i, be.core.clock);
+            }
+        }
+    }
+
+    /// Re-arm every endpoint actor at its next activation time. Called
+    /// after any dispatch that forwarded frames: a delivery can only move
+    /// an endpoint's `next_time` earlier (or wake an idle one), and
+    /// [`StepCtx::wake`] is earlier-wins, so redundant wakes are no-ops.
+    fn wake_endpoints(&self, map: &ActorMap, ctx: &mut StepCtx) {
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            let nt = ep.next_time();
+            if nt != SimTime::MAX {
+                ctx.wake(map.endpoint_base + i, nt);
             }
         }
     }
@@ -769,7 +1120,7 @@ impl Pod {
         }
     }
 
-    fn apply_event(&mut self, at: SimTime, ev: PodEvent) {
+    fn apply_event(&mut self, at: SimTime, ev: PodEvent, map: &ActorMap, ctx: &mut StepCtx) {
         match ev {
             PodEvent::DisableNicPort(nic) => {
                 self.switch.set_port_enabled(self.nic_port[nic], false);
@@ -793,22 +1144,17 @@ impl Pod {
                 // The crash discards every private CPU cache on the host,
                 // dirty lines included: anything not yet written back to
                 // the pool is lost (torn write-backs).
-                self.for_each_host_core(host, |c| {
-                    c.cache.drain();
-                });
+                self.apply_engine_fault(host, EngineFault::HostCrash, at);
             }
             PodEvent::RestartHost(host) => {
                 if !self.dead_host[host] {
                     return;
                 }
                 self.dead_host[host] = false;
-                self.for_each_host_core(host, |c| {
-                    c.cache.drain();
-                    c.clock = c.clock.max(at);
-                });
-                if let Some(fe) = self.storage_frontends[host].as_mut() {
-                    fe.replay_pending(&mut self.pool);
-                }
+                // Cold caches, clocks bumped to the restart time; engines
+                // with in-flight state replay it through their fault hook.
+                self.apply_engine_fault(host, EngineFault::HostRestart, at);
+                self.wake_host_engines(host, map, ctx);
             }
             PodEvent::SetPacketFault(nic, state) => {
                 self.switch.set_packet_fault(self.nic_port[nic], state);
@@ -830,6 +1176,12 @@ impl Pod {
             PodEvent::SsdReadErrorsUntil(ssd, until) => {
                 self.ssds[ssd].inject_read_errors_until(until);
             }
+            PodEvent::AccelTimeoutUntil(accel, until) => {
+                self.accels[accel].inject_timeout_until(until);
+            }
+            PodEvent::AccelErrorsUntil(accel, until) => {
+                self.accels[accel].inject_compute_errors_until(until);
+            }
             PodEvent::Migrate(ip, nic) => {
                 // The frontend registers with the new NIC's backend over
                 // its message channel (§3.3.4 ordering); the pod only
@@ -840,149 +1192,279 @@ impl Pod {
     }
 
     /// Run the co-simulation until every component's clock reaches `until`.
+    ///
+    /// Every component — device engines, the allocator, endpoints, the
+    /// fault event queue — is registered as an actor on a fresh
+    /// [`Scheduler`]; the scheduler dispatches whichever actor has the
+    /// earliest wake time, breaking ties by registration order (the same
+    /// order the legacy earliest-clock scan considered components in, so
+    /// the timeline is byte-identical). Components with clocks at or past
+    /// `until` simply re-arm without running, which a fresh registration
+    /// per call makes uniform.
     pub fn run(&mut self, until: SimTime) {
-        loop {
-            // Find the earliest component. `best_t` starts at the horizon so
-            // a single strict compare both enforces `t < until` and keeps
-            // the first-considered component on ties, exactly as before.
-            let mut best_t = until;
-            let mut second_t = until;
-            let mut best_who = usize::MAX;
-            let mut found = false;
-            let mut consider = |t: SimTime, who: usize| {
-                if t < best_t {
-                    second_t = best_t;
-                    best_t = t;
-                    best_who = who;
-                    found = true;
-                } else if t < second_t {
-                    second_t = t;
-                }
-            };
-            // Who encoding: 0..D drivers, D..D+B backends, D+B allocator,
-            // then endpoints, then pending events.
-            let d = self.drivers.len();
-            let b = self.backends.len();
-            for (i, drv) in self.drivers.iter().enumerate() {
-                if self.dead_host[i] {
-                    continue;
-                }
+        // The legacy scan stepped components with clocks strictly below
+        // `until`; the scheduler deadline is inclusive, so it sits 1 ns
+        // earlier.
+        let Some(deadline) = until.as_nanos().checked_sub(1).map(SimTime::from_nanos) else {
+            return;
+        };
+        let mut sched = Scheduler::new();
+        let mut kinds: Vec<ActorKind> = Vec::new();
+
+        let driver_base = sched.actor_count();
+        for (host, drv) in self.drivers.iter().enumerate() {
+            if self.dead_host[host] {
+                sched.add_idle_actor();
+            } else {
                 let clock = match drv {
                     HostDriver::Oasis(fe) => fe.core.clock,
                     HostDriver::Local(ld) => ld.core.clock,
                 };
-                consider(clock, i);
+                sched.add_actor(clock);
             }
-            for (i, be) in self.backends.iter().enumerate() {
-                if self.dead_host[be.host] {
-                    continue;
+            kinds.push(ActorKind::Engine(EngineRef::Driver(host)));
+        }
+        let net_backend_base = sched.actor_count();
+        for (i, be) in self.backends.iter().enumerate() {
+            if self.dead_host[be.host] {
+                sched.add_idle_actor();
+            } else {
+                sched.add_actor(be.core.clock);
+            }
+            kinds.push(ActorKind::Engine(EngineRef::NetBackend(i)));
+        }
+        sched.add_actor(self.allocator.core.clock);
+        kinds.push(ActorKind::Allocator);
+        let endpoint_base = sched.actor_count();
+        for (i, ep) in self.endpoints.iter().enumerate() {
+            sched.add_actor(ep.next_time());
+            kinds.push(ActorKind::Endpoint(i));
+        }
+        let storage_fe_base = sched.actor_count();
+        for (host, fe) in self.storage_frontends.iter().enumerate() {
+            match fe {
+                Some(fe) if !self.dead_host[host] => {
+                    sched.add_actor(fe.core.clock);
                 }
-                consider(be.core.clock, d + i);
-            }
-            consider(self.allocator.core.clock, d + b);
-            let e = self.endpoints.len();
-            for (i, ep) in self.endpoints.iter().enumerate() {
-                consider(ep.next_time(), d + b + 1 + i);
-            }
-            let sf_base = d + b + 1 + e;
-            for (i, fe) in self.storage_frontends.iter().enumerate() {
-                if self.dead_host[i] {
-                    continue;
-                }
-                if let Some(fe) = fe {
-                    consider(fe.core.clock, sf_base + i);
+                _ => {
+                    sched.add_idle_actor();
                 }
             }
-            let sb_base = sf_base + self.storage_frontends.len();
-            for (i, be) in self.storage_backends.iter().enumerate() {
-                if self.dead_host[be.host] {
-                    continue;
+            kinds.push(ActorKind::Engine(EngineRef::StorageFe(host)));
+        }
+        let storage_be_base = sched.actor_count();
+        for (i, be) in self.storage_backends.iter().enumerate() {
+            if self.dead_host[be.host] {
+                sched.add_idle_actor();
+            } else {
+                sched.add_actor(be.core.clock);
+            }
+            kinds.push(ActorKind::Engine(EngineRef::StorageBe(i)));
+        }
+        let accel_fe_base = sched.actor_count();
+        for (host, fe) in self.accel_frontends.iter().enumerate() {
+            match fe {
+                Some(fe) if !self.dead_host[host] => {
+                    sched.add_actor(fe.core.clock);
                 }
-                consider(be.core.clock, sb_base + i);
+                _ => {
+                    sched.add_idle_actor();
+                }
             }
-            if let Some(t) = self.pending.peek_time() {
-                consider(t, usize::MAX);
+            kinds.push(ActorKind::Engine(EngineRef::AccelFe(host)));
+        }
+        let accel_be_base = sched.actor_count();
+        for (i, be) in self.accel_backends.iter().enumerate() {
+            if self.dead_host[be.host] {
+                sched.add_idle_actor();
+            } else {
+                sched.add_actor(be.core.clock);
             }
+            kinds.push(ActorKind::Engine(EngineRef::AccelBe(i)));
+        }
+        // The event queue goes last so on wake-time ties every component
+        // runs before the event fires, matching the legacy scan's
+        // events-considered-last rule.
+        match self.pending.peek_time() {
+            Some(t) => {
+                sched.add_actor(t);
+            }
+            None => {
+                sched.add_idle_actor();
+            }
+        }
+        kinds.push(ActorKind::Events);
 
-            if !found {
-                break;
-            }
-            let (t, who) = (best_t, best_who);
+        let map = ActorMap {
+            driver_base,
+            net_backend_base,
+            endpoint_base,
+            storage_fe_base,
+            storage_be_base,
+            accel_fe_base,
+            accel_be_base,
+        };
 
-            // Idle-skip: a baseline driver that provably has no work until
-            // some future time would burn one selection per polling quantum
-            // just advancing its clock. Batch every iteration that (a) ends
-            // before its next real work and (b) keeps it strictly earliest
-            // (ties fall through to the exact per-step path).
-            if who < d {
-                if let HostDriver::Local(ld) = &self.drivers[who] {
-                    let quanta = ld.idle_quanta(&self.nics[ld.nic_id], &self.instances, second_t);
-                    if quanta > 0 {
-                        match &mut self.drivers[who] {
-                            HostDriver::Local(ld) => ld.skip_idle(quanta),
-                            HostDriver::Oasis(_) => unreachable!(),
-                        }
-                        continue;
-                    }
-                }
-            }
-            self.now = self.now.max(t);
+        sched.run_until_with(self, deadline, |pod, actor, at, ctx| {
+            pod.dispatch(&kinds, &map, actor, at, until, ctx)
+        });
+        self.now = self.now.max(until);
+    }
 
-            if who == usize::MAX {
-                let (at, ev) = self.pending.pop().unwrap();
-                self.apply_event(at, ev);
-            } else if who < d {
-                let mut local_out: Option<(usize, Vec<(SimTime, Frame)>)> = None;
-                match &mut self.drivers[who] {
-                    HostDriver::Oasis(fe) => {
-                        fe.step(&mut self.pool, &mut self.instances, &self.nic_macs);
-                    }
-                    HostDriver::Local(ld) => {
-                        let nic = ld.nic_id;
-                        let egress =
-                            ld.step(&mut self.pool, &mut self.nics[nic], &mut self.instances);
-                        local_out = Some((self.nic_port[nic], egress));
-                    }
+    /// Dispatch one actor at its wake time.
+    fn dispatch(
+        &mut self,
+        kinds: &[ActorKind],
+        map: &ActorMap,
+        actor: usize,
+        at: SimTime,
+        until: SimTime,
+        ctx: &mut StepCtx,
+    ) -> StepOutcome {
+        match kinds[actor] {
+            ActorKind::Engine(eref) => self.dispatch_engine(eref, map, at, until, ctx),
+            ActorKind::Allocator => {
+                let clock = self.allocator.core.clock;
+                if at < clock {
+                    // Stale entry: something (e.g. a migration command sent
+                    // on the allocator's core) advanced the clock since this
+                    // wake was queued.
+                    return StepOutcome::WakeAt(clock);
                 }
-                if let Some((port, egress)) = local_out {
-                    for (at, f) in egress {
-                        self.forward(at, port, f);
-                    }
-                }
-            } else if who < d + b {
-                let bi = who - d;
-                let nic = self.backends[bi].nic_id;
-                let egress = {
-                    let (be, nic_ref) = (&mut self.backends[bi], &mut self.nics[nic]);
-                    be.step(&mut self.pool, nic_ref)
-                };
-                let port = self.nic_port[nic];
-                for (at, f) in egress {
-                    self.forward(at, port, f);
-                }
-            } else if who == d + b {
+                self.now = self.now.max(at);
                 self.allocator.step(&mut self.pool);
                 if self.allocator.has_newly_failed_hosts() {
                     self.reclaim_failed_hosts();
                 }
-            } else if who < d + b + 1 + self.endpoints.len() {
-                let ei = who - d - b - 1;
-                let frames = self.endpoints[ei].poll(t);
+                StepOutcome::WakeAt(self.allocator.core.clock)
+            }
+            ActorKind::Endpoint(ei) => {
+                let nt = self.endpoints[ei].next_time();
+                if at < nt {
+                    // A delivery since this wake was queued pushed the
+                    // activation later, or the endpoint went idle.
+                    return if nt == SimTime::MAX {
+                        StepOutcome::Idle
+                    } else {
+                        StepOutcome::WakeAt(nt)
+                    };
+                }
+                self.now = self.now.max(at);
+                let frames = self.endpoints[ei].poll(at);
                 let port = self.endpoint_port[ei];
                 for f in frames {
-                    self.forward(t, port, f);
+                    self.forward(at, port, f);
                 }
-            } else if who < d + b + 1 + self.endpoints.len() + self.storage_frontends.len() {
-                let fi = who - d - b - 1 - self.endpoints.len();
-                if let Some(fe) = self.storage_frontends[fi].as_mut() {
-                    fe.step(&mut self.pool);
+                self.wake_endpoints(map, ctx);
+                let nt = self.endpoints[ei].next_time();
+                if nt == SimTime::MAX {
+                    StepOutcome::Idle
+                } else {
+                    StepOutcome::WakeAt(nt)
                 }
-            } else {
-                let bi = who - d - b - 1 - self.endpoints.len() - self.storage_frontends.len();
-                let ssd = self.storage_backends[bi].ssd_id;
-                self.storage_backends[bi].step(&mut self.pool, &mut self.ssds[ssd]);
+            }
+            ActorKind::Events => {
+                if let Some(t) = self.pending.peek_time() {
+                    if at < t {
+                        return StepOutcome::WakeAt(t);
+                    }
+                    self.now = self.now.max(at);
+                    if let Some((eat, ev)) = self.pending.pop() {
+                        self.apply_event(eat, ev, map, ctx);
+                    }
+                }
+                // Re-peek after applying: the event may have chained a
+                // follow-up (LinkDown after DisableNicPort).
+                match self.pending.peek_time() {
+                    Some(t) => StepOutcome::WakeAt(t),
+                    None => StepOutcome::Idle,
+                }
             }
         }
-        self.now = self.now.max(until);
+    }
+
+    /// Dispatch one device-engine actor: the single uniform stepping path
+    /// for every engine type.
+    fn dispatch_engine(
+        &mut self,
+        eref: EngineRef,
+        map: &ActorMap,
+        at: SimTime,
+        until: SimTime,
+        ctx: &mut StepCtx,
+    ) -> StepOutcome {
+        let (egress, egress_nic, next) = {
+            let Pod {
+                drivers,
+                backends,
+                storage_frontends,
+                storage_backends,
+                accel_frontends,
+                accel_backends,
+                pool,
+                instances,
+                nics,
+                ssds,
+                accels,
+                nic_macs,
+                dead_host,
+                now,
+                ..
+            } = self;
+            let engine: &mut dyn DeviceEngine = match eref {
+                EngineRef::Driver(i) => match &mut drivers[i] {
+                    HostDriver::Oasis(fe) => fe,
+                    HostDriver::Local(ld) => ld,
+                },
+                EngineRef::NetBackend(i) => &mut backends[i],
+                EngineRef::StorageFe(h) => match storage_frontends[h].as_mut() {
+                    Some(fe) => fe,
+                    None => return StepOutcome::Idle,
+                },
+                EngineRef::StorageBe(i) => &mut storage_backends[i],
+                EngineRef::AccelFe(h) => match accel_frontends[h].as_mut() {
+                    Some(fe) => fe,
+                    None => return StepOutcome::Idle,
+                },
+                EngineRef::AccelBe(i) => &mut accel_backends[i],
+            };
+            if dead_host[engine.host()] {
+                // The host crashed after this wake was queued; park the
+                // actor (a restart re-arms it via `wake_host_engines`).
+                return StepOutcome::Idle;
+            }
+            let nt = engine.next_time();
+            if at < nt {
+                // Stale entry: a fault (CXL stall, restart) jumped the
+                // clock since this wake was queued.
+                return StepOutcome::WakeAt(nt);
+            }
+            // Fast-forward through provable idleness: anything the engine
+            // can show matters next happens no earlier than the next other
+            // actor's wake (the legacy scan's `second_t`).
+            let limit = ctx.next_other().min(until);
+            if engine.try_idle_skip(nics, instances, limit) {
+                return StepOutcome::WakeAt(engine.next_time());
+            }
+            *now = (*now).max(at);
+            let mut world = EngineWorld {
+                pool,
+                instances,
+                nic_macs: nic_macs.as_slice(),
+                nics: nics.as_mut_slice(),
+                ssds: ssds.as_mut_slice(),
+                accels: accels.as_mut_slice(),
+            };
+            let egress = engine.poll(&mut world);
+            (egress, engine.egress_nic(), engine.next_time())
+        };
+        if let Some(nic) = egress_nic {
+            let port = self.nic_port[nic];
+            for (fat, f) in egress {
+                self.forward(fat, port, f);
+            }
+        }
+        self.wake_endpoints(map, ctx);
+        StepOutcome::WakeAt(next)
     }
 }

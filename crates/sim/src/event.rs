@@ -130,6 +130,29 @@ mod tests {
     }
 
     #[test]
+    fn fifo_on_equal_times_survives_interleaved_pops_and_mixed_times() {
+        // Equal-time FIFO must hold even when pushes at that instant are
+        // interleaved with pops and with events at other instants — the seq
+        // counter is global, never reset, so drain order is insertion order
+        // within each timestamp.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(50);
+        q.push(t, "a");
+        q.push(SimTime::from_nanos(10), "early");
+        q.push(t, "b");
+        assert_eq!(q.pop().unwrap().1, "early");
+        q.push(t, "c");
+        assert_eq!(q.pop(), Some((t, "a")));
+        q.push(t, "d");
+        q.push(SimTime::from_nanos(90), "late");
+        assert_eq!(q.pop(), Some((t, "b")));
+        assert_eq!(q.pop(), Some((t, "c")));
+        assert_eq!(q.pop(), Some((t, "d")));
+        assert_eq!(q.pop().unwrap().1, "late");
+        assert!(q.is_empty());
+    }
+
+    #[test]
     fn pop_due_respects_now() {
         let mut q = EventQueue::new();
         q.push(SimTime::from_nanos(10), 1);
@@ -138,6 +161,36 @@ mod tests {
         assert_eq!(q.pop_due(SimTime::from_nanos(10)).unwrap().1, 1);
         assert!(q.pop_due(SimTime::from_nanos(15)).is_none());
         assert_eq!(q.pop_due(SimTime::from_nanos(25)).unwrap().1, 2);
+    }
+
+    #[test]
+    fn fifo_ordering_survives_clear() {
+        // `clear` drops events but never resets the seq counter, so FIFO
+        // ties keep working after a reset.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_nanos(7);
+        q.push(t, "stale");
+        q.clear();
+        q.push(t, "x");
+        q.push(t, "y");
+        assert_eq!(q.pop(), Some((t, "x")));
+        assert_eq!(q.pop(), Some((t, "y")));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_tracks_earliest_without_consuming() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(40), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(40)));
+        // An earlier push moves the head; peeking never consumes.
+        q.push(SimTime::from_nanos(15), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(15)));
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(15)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(40)));
     }
 
     #[test]

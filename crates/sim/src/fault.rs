@@ -27,6 +27,11 @@
 //! * **SSD misbehaviour** — commands silently swallowed (`Timeout`, forcing
 //!   the storage engine's resubmission path) or reads completed with a
 //!   media error (`ReadError`).
+//!
+//! A sixth class targets pooled accelerators (`AccelFault`): jobs silently
+//! swallowed (`Timeout`) or completed with a compute error, exercising the
+//! accel engine's retry path. It only enters randomized plans when the mix
+//! lists eligible accelerators, so legacy seeds draw unchanged schedules.
 
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -41,8 +46,18 @@ pub enum SsdFaultMode {
     ReadError,
 }
 
+/// How an injected accelerator fault manifests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccelFaultMode {
+    /// Jobs are accepted but never complete (the frontend's retry timeout
+    /// must fire).
+    Timeout,
+    /// Jobs complete with a compute-error status.
+    ComputeError,
+}
+
 /// One injectable fault. Component ids are plan-level indices; the
-/// embedding maps them onto its own hosts/NICs/SSDs.
+/// embedding maps them onto its own hosts/NICs/SSDs/accelerators.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultKind {
     /// Crash host `host`; if `restart_after` is set the host comes back
@@ -101,6 +116,15 @@ pub enum FaultKind {
         /// Window length.
         duration: SimDuration,
     },
+    /// Accelerator `accel` misbehaves per `mode` for `duration`.
+    AccelFault {
+        /// Accelerator index.
+        accel: usize,
+        /// Timeout or compute-error behaviour.
+        mode: AccelFaultMode,
+        /// Window length.
+        duration: SimDuration,
+    },
 }
 
 /// A fault scheduled at a simulated time.
@@ -123,6 +147,8 @@ pub struct FaultMix {
     pub nics: Vec<usize>,
     /// SSD indices eligible for timeouts/read errors.
     pub ssds: Vec<usize>,
+    /// Accelerator indices eligible for timeouts/compute errors.
+    pub accels: Vec<usize>,
     /// Number of fault events to draw.
     pub events: usize,
 }
@@ -183,6 +209,9 @@ impl FaultPlan {
         if !mix.ssds.is_empty() {
             classes.push(5); // ssd fault
         }
+        if !mix.accels.is_empty() {
+            classes.push(6); // accel fault
+        }
         if classes.is_empty() {
             return plan;
         }
@@ -214,12 +243,21 @@ impl FaultPlan {
                     host: *rng.choose(&mix.hosts),
                     stall: SimDuration::from_nanos(rng.range_u64(100_000, 5_000_000)),
                 },
-                _ => FaultKind::SsdFault {
+                5 => FaultKind::SsdFault {
                     ssd: *rng.choose(&mix.ssds),
                     mode: if rng.chance(0.5) {
                         SsdFaultMode::Timeout
                     } else {
                         SsdFaultMode::ReadError
+                    },
+                    duration: SimDuration::from_nanos(rng.range_u64(h / 20, h / 5)),
+                },
+                _ => FaultKind::AccelFault {
+                    accel: *rng.choose(&mix.accels),
+                    mode: if rng.chance(0.5) {
+                        AccelFaultMode::Timeout
+                    } else {
+                        AccelFaultMode::ComputeError
                     },
                     duration: SimDuration::from_nanos(rng.range_u64(h / 20, h / 5)),
                 },
@@ -245,6 +283,7 @@ impl FaultPlan {
                 FaultKind::PacketFault { .. } => add("packet-fault"),
                 FaultKind::CxlSlow { .. } | FaultKind::CxlStall { .. } => add("cxl-stall"),
                 FaultKind::SsdFault { .. } => add("ssd-error"),
+                FaultKind::AccelFault { .. } => add("accel-error"),
             }
         }
         out
@@ -436,6 +475,7 @@ mod tests {
             hosts: vec![0, 1],
             nics: vec![0],
             ssds: vec![0],
+            accels: vec![],
             events: 8,
         };
         let a = FaultPlan::randomized(42, SimDuration::from_secs(1), &mix);
@@ -452,6 +492,7 @@ mod tests {
             hosts: vec![],
             nics: vec![2],
             ssds: vec![],
+            accels: vec![],
             events: 16,
         };
         let plan = FaultPlan::randomized(9, SimDuration::from_secs(1), &mix);

@@ -35,9 +35,11 @@ pub mod time;
 pub use addrmap::AddrMap;
 pub use detmap::{DetMap, DetSet};
 pub use event::EventQueue;
-pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultMix, FaultPlan, PacketFaultState};
+pub use fault::{
+    AccelFaultMode, FaultEvent, FaultInjector, FaultKind, FaultMix, FaultPlan, PacketFaultState,
+};
 pub use hist::Histogram;
 pub use rng::SimRng;
-pub use sched::{Scheduler, StepOutcome};
+pub use sched::{Scheduler, StepCtx, StepOutcome};
 pub use series::BinnedSeries;
 pub use time::{SimDuration, SimTime};

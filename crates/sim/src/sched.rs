@@ -12,8 +12,14 @@
 //! `oasis_core::pod::Pod`), which implements the dispatch from actor id to
 //! component — this sidesteps the classic "actor inside the world it
 //! mutates" borrow problem without `RefCell` webs.
+//!
+//! Determinism: equal wake times dispatch in ascending actor-id order, so a
+//! pod that registers its components in a fixed order replays bit-identically
+//! run after run. Registration order *is* the priority order on ties.
 
-use crate::event::EventQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use crate::time::SimTime;
 
 /// What an actor wants after a step.
@@ -28,13 +34,44 @@ pub enum StepOutcome {
     Done,
 }
 
+/// Per-dispatch context handed to the callback of
+/// [`Scheduler::run_until_with`].
+///
+/// Lets the running actor (a) request wake-ups for *other* actors — applied
+/// after its own step completes, so the borrow of the world stays simple —
+/// and (b) see when the next-earliest actor is scheduled, which engines use
+/// to bound idle-skip fast-forwarding.
+pub struct StepCtx {
+    wakes: Vec<(usize, SimTime)>,
+    next_other: SimTime,
+}
+
+impl StepCtx {
+    /// Request that `actor` be woken at `at` (or earlier, if it already has
+    /// an earlier wake pending). Applied when the current dispatch returns.
+    pub fn wake(&mut self, actor: usize, at: SimTime) {
+        self.wakes.push((actor, at));
+    }
+
+    /// Earliest scheduled wake time among all *other* pending heap entries
+    /// at the moment this actor was dispatched ([`SimTime::MAX`] if none).
+    /// Superseded entries may make this earlier than the true next dispatch
+    /// — safe for its intended use as an idle-skip bound (never later).
+    pub fn next_other(&self) -> SimTime {
+        self.next_other
+    }
+}
+
 /// Time-ordered actor scheduler.
 ///
 /// Dispatch is a callback so the scheduler itself has no opinion about what
 /// an actor is: `run_until` hands `(world, actor_id, now)` to the closure and
 /// obeys the returned [`StepOutcome`].
 pub struct Scheduler {
-    queue: EventQueue<usize>,
+    /// Min-heap on `(wake time, actor id)`: earliest first, lowest actor id
+    /// on ties. Entries are never deleted; stale ones (superseded by an
+    /// earlier `wake`) are filtered against `pending` on pop.
+    queue: BinaryHeap<Reverse<(SimTime, usize)>>,
     /// Wake generation per actor: lets `wake` supersede a later scheduled
     /// wake-up without having to delete heap entries.
     pending: Vec<Option<SimTime>>,
@@ -51,7 +88,7 @@ impl Scheduler {
     /// Create an empty scheduler at time zero.
     pub fn new() -> Self {
         Scheduler {
-            queue: EventQueue::new(),
+            queue: BinaryHeap::new(),
             pending: Vec::new(),
             now: SimTime::ZERO,
         }
@@ -68,7 +105,7 @@ impl Scheduler {
     pub fn add_actor(&mut self, first_wake: SimTime) -> usize {
         let id = self.pending.len();
         self.pending.push(Some(first_wake));
-        self.queue.push(first_wake, id);
+        self.queue.push(Reverse((first_wake, id)));
         id
     }
 
@@ -88,7 +125,7 @@ impl Scheduler {
             Some(t) if t <= at => {} // already scheduled earlier
             _ => {
                 self.pending[actor] = Some(at);
-                self.queue.push(at, actor);
+                self.queue.push(Reverse((at, actor)));
             }
         }
     }
@@ -107,13 +144,26 @@ impl Scheduler {
         deadline: SimTime,
         mut dispatch: impl FnMut(&mut W, usize, SimTime) -> StepOutcome,
     ) -> SimTime {
-        while let Some((at, actor)) = self.queue.pop() {
+        self.run_until_with(world, deadline, |w, actor, now, _ctx| {
+            dispatch(w, actor, now)
+        })
+    }
+
+    /// Like [`Scheduler::run_until`], but the dispatch callback also gets a
+    /// [`StepCtx`] for cross-actor wake requests and the next-wake hint.
+    pub fn run_until_with<W>(
+        &mut self,
+        world: &mut W,
+        deadline: SimTime,
+        mut dispatch: impl FnMut(&mut W, usize, SimTime, &mut StepCtx) -> StepOutcome,
+    ) -> SimTime {
+        while let Some(&Reverse((at, actor))) = self.queue.peek() {
             if at > deadline {
-                // Put it back; the caller may continue later.
-                self.queue.push(at, actor);
+                // Leave it queued; the caller may continue later.
                 self.now = deadline;
                 break;
             }
+            self.queue.pop();
             // Skip stale heap entries: only the entry matching the actor's
             // current pending time is live.
             match self.pending[actor] {
@@ -122,17 +172,25 @@ impl Scheduler {
             }
             self.pending[actor] = None;
             self.now = at;
-            match dispatch(world, actor, at) {
+            let mut ctx = StepCtx {
+                wakes: Vec::new(),
+                next_other: self
+                    .queue
+                    .peek()
+                    .map(|&Reverse((t, _))| t)
+                    .unwrap_or(SimTime::MAX),
+            };
+            match dispatch(world, actor, at, &mut ctx) {
                 StepOutcome::WakeAt(next) => {
                     let next = next.max(at);
                     self.pending[actor] = Some(next);
-                    self.queue.push(next, actor);
+                    self.queue.push(Reverse((next, actor)));
                 }
                 StepOutcome::Idle | StepOutcome::Done => {}
             }
-        }
-        if self.queue.is_empty() {
-            self.now = self.now.max(SimTime::ZERO);
+            for (who, when) in ctx.wakes {
+                self.wake(who, when);
+            }
         }
         self.now
     }
@@ -207,6 +265,23 @@ mod tests {
     }
 
     #[test]
+    fn later_wake_does_not_postpone() {
+        // `wake` may only move an actor earlier: a later request while an
+        // earlier one is pending is ignored, and the stale heap entry it
+        // would have left behind is filtered on pop.
+        let mut sched = Scheduler::new();
+        let a = sched.add_idle_actor();
+        sched.wake(a, SimTime::from_nanos(10));
+        sched.wake(a, SimTime::from_nanos(100)); // ignored
+        let mut times = Vec::new();
+        sched.run_until(&mut times, SimTime::from_nanos(200), |w, _, now| {
+            w.push(now.as_nanos());
+            StepOutcome::Idle
+        });
+        assert_eq!(times, vec![10], "actor fires once, at the earlier time");
+    }
+
+    #[test]
     fn deadline_pauses_and_resumes() {
         let mut sched = Scheduler::new();
         sched.add_actor(SimTime::from_nanos(5));
@@ -248,5 +323,128 @@ mod tests {
             StepOutcome::Idle
         });
         assert_eq!(order, vec![a, b]);
+    }
+
+    #[test]
+    fn equal_time_ties_dispatch_in_actor_id_order() {
+        // Registration order is the tie-break priority: all actors due at
+        // the same instant dispatch lowest-id first, every round, regardless
+        // of the order their wake entries were pushed.
+        let mut sched = Scheduler::new();
+        for _ in 0..5 {
+            sched.add_idle_actor();
+        }
+        // Wake in scrambled order, all at the same time.
+        for &id in &[3usize, 0, 4, 2, 1] {
+            sched.wake(id, SimTime::from_nanos(7));
+        }
+        let mut order = Vec::new();
+        sched.run_until(
+            &mut order,
+            SimTime::from_nanos(10),
+            |o: &mut Vec<usize>, id, _| {
+                o.push(id);
+                StepOutcome::Idle
+            },
+        );
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tie_break_is_deterministic_across_runs() {
+        let run = || {
+            let mut sched = Scheduler::new();
+            let _a = sched.add_actor(SimTime::ZERO);
+            let _b = sched.add_actor(SimTime::ZERO);
+            let _c = sched.add_actor(SimTime::ZERO);
+            let mut log = Vec::new();
+            sched.run_until(
+                &mut log,
+                SimTime::from_nanos(30),
+                |l: &mut Vec<(usize, u64)>, id, now| {
+                    l.push((id, now.as_nanos()));
+                    StepOutcome::WakeAt(now + SimDuration::from_nanos(10))
+                },
+            );
+            log
+        };
+        let first = run();
+        assert_eq!(first, run(), "identical setup must replay identically");
+        // Within each instant, ids ascend.
+        for chunk in first.chunks(3) {
+            assert!(chunk
+                .windows(2)
+                .all(|w| w[0].0 < w[1].0 && w[0].1 == w[1].1));
+        }
+    }
+
+    #[test]
+    fn max_wake_never_dispatches_before_deadline() {
+        // `SimTime::MAX` is the "parked" sentinel: an actor rescheduling to
+        // MAX must never run again within any finite horizon, and must not
+        // prevent the loop from reaching the deadline.
+        let mut sched = Scheduler::new();
+        sched.add_actor(SimTime::ZERO); // parks itself at MAX
+        sched.add_actor(SimTime::ZERO); // ticks every 10ns
+        let mut hits = vec![0u32; 2];
+        let stopped = sched.run_until(&mut hits, SimTime::from_nanos(100), |w, id, now| {
+            w[id] += 1;
+            if id == 0 {
+                StepOutcome::WakeAt(SimTime::MAX)
+            } else {
+                StepOutcome::WakeAt(now + SimDuration::from_nanos(10))
+            }
+        });
+        assert_eq!(hits[0], 1, "parked actor ran only its first step");
+        assert_eq!(hits[1], 11);
+        assert_eq!(stopped, SimTime::from_nanos(100));
+
+        // A later wake un-parks it.
+        sched.wake(0, SimTime::from_nanos(110));
+        sched.run_until(&mut hits, SimTime::from_nanos(120), |w, id, _| {
+            w[id] += 1;
+            StepOutcome::Idle
+        });
+        assert_eq!(hits[0], 2);
+    }
+
+    #[test]
+    fn idle_actors_at_max_do_not_stall_empty_queue() {
+        // A scheduler holding only MAX-parked actors stops at the deadline
+        // without dispatching anyone.
+        let mut sched = Scheduler::new();
+        sched.add_actor(SimTime::MAX);
+        sched.add_actor(SimTime::MAX);
+        let mut hits = 0u32;
+        let stopped = sched.run_until(&mut hits, SimTime::from_secs(1), |c, _, _| {
+            *c += 1;
+            StepOutcome::Idle
+        });
+        assert_eq!(hits, 0);
+        assert_eq!(stopped, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn step_ctx_wakes_other_actor_and_reports_next() {
+        // Actor 0 (at t=5) wakes actor 1 at t=20 via the ctx; the hint shows
+        // the next-earliest other entry (actor 2 at t=50).
+        let mut sched = Scheduler::new();
+        let trigger = sched.add_actor(SimTime::from_nanos(5));
+        let target = sched.add_idle_actor();
+        let _bg = sched.add_actor(SimTime::from_nanos(50));
+        let mut log = Vec::new();
+        sched.run_until_with(
+            &mut log,
+            SimTime::from_nanos(100),
+            |l: &mut Vec<(usize, u64)>, id, now, ctx| {
+                l.push((id, now.as_nanos()));
+                if id == trigger {
+                    assert_eq!(ctx.next_other(), SimTime::from_nanos(50));
+                    ctx.wake(target, SimTime::from_nanos(20));
+                }
+                StepOutcome::Idle
+            },
+        );
+        assert_eq!(log, vec![(0, 5), (1, 20), (2, 50)]);
     }
 }
