@@ -109,6 +109,16 @@ pub struct AccelCommand {
     pub frontend: u32,
 }
 
+/// Fixed-width little-endian field at `off` in a 64 B message; bounds are
+/// checked at compile time through the const generic, so no fallible
+/// `try_into` is needed on the decode path.
+#[inline]
+fn sub<const N: usize>(b: &[u8; 64], off: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&b[off..off + N]);
+    out
+}
+
 impl AccelCommand {
     /// Encode into a 64 B message (epoch byte left clear).
     pub fn encode(&self) -> [u8; 64] {
@@ -127,12 +137,12 @@ impl AccelCommand {
     pub fn decode(b: &[u8; 64]) -> Option<AccelCommand> {
         Some(AccelCommand {
             op: AccelOp::from_byte(b[0])?,
-            cid: u16::from_le_bytes(b[2..4].try_into().unwrap()),
-            arg: u32::from_le_bytes(b[4..8].try_into().unwrap()),
-            input_ptr: u64::from_le_bytes(b[8..16].try_into().unwrap()),
-            output_ptr: u64::from_le_bytes(b[16..24].try_into().unwrap()),
-            input_len: u32::from_le_bytes(b[24..28].try_into().unwrap()),
-            frontend: u32::from_le_bytes(b[28..32].try_into().unwrap()),
+            cid: u16::from_le_bytes(sub(b, 2)),
+            arg: u32::from_le_bytes(sub(b, 4)),
+            input_ptr: u64::from_le_bytes(sub(b, 8)),
+            output_ptr: u64::from_le_bytes(sub(b, 16)),
+            input_len: u32::from_le_bytes(sub(b, 24)),
+            frontend: u32::from_le_bytes(sub(b, 28)),
         })
     }
 
@@ -174,10 +184,10 @@ impl AccelCompletion {
             return None;
         }
         Some(AccelCompletion {
-            cid: u16::from_le_bytes(b[2..4].try_into().unwrap()),
+            cid: u16::from_le_bytes(sub(b, 2)),
             status: AccelStatus::from_byte(b[1]),
-            result: u64::from_le_bytes(b[8..16].try_into().unwrap()),
-            frontend: u32::from_le_bytes(b[28..32].try_into().unwrap()),
+            result: u64::from_le_bytes(sub(b, 8)),
+            frontend: u32::from_le_bytes(sub(b, 28)),
         })
     }
 }

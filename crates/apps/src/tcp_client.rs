@@ -48,6 +48,8 @@ pub struct TcpRequestClient {
 
 impl TcpRequestClient {
     /// Create a client issuing `count` requests, one every `gap`.
+    // Constructor mirrors the experiment-config fields one-to-one; a
+    // builder would just restate them.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: u64,

@@ -104,6 +104,8 @@ pub struct UdpClient {
 impl UdpClient {
     /// Create a client sending `payload_len`-byte requests to
     /// `(dst_ip, dst_mac)`.
+    // Constructor mirrors the experiment-config fields one-to-one; a
+    // builder would just restate them.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         id: u64,
@@ -137,6 +139,7 @@ impl UdpClient {
 
     /// Create a client that resolves the destination MAC itself with ARP
     /// before sending (no out-of-band MAC configuration).
+    // Same shape as `new` minus the MAC; kept in lockstep with it.
     #[allow(clippy::too_many_arguments)]
     pub fn new_resolving(
         id: u64,

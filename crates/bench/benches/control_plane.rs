@@ -87,6 +87,8 @@ fn bench_raft(c: &mut Criterion) {
                     }
                     committed = nodes[leader].commit_index();
                 }
+                // Indexing sidesteps borrowing `nodes` while
+                // `take_outbox` mutates one element.
                 #[allow(clippy::needless_range_loop)]
                 for i in 0..nodes.len() {
                     for (to, msg) in nodes[i].take_outbox() {

@@ -11,6 +11,9 @@
 //!   perf_smoke              measure; keep any recorded baseline in the JSON
 //!   perf_smoke --baseline   measure and also record this run as the baseline
 
+// oasis-check: allow-file(nondeterminism) this binary measures wall-clock
+// throughput of the simulator itself; its output is a report, not an input
+// to any simulation.
 use std::time::Instant;
 
 use oasis_bench::harness::{run_udp_echo, Mode};

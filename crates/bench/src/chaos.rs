@@ -21,8 +21,9 @@
 //!
 //! Everything is keyed off one seed, so a violation reproduces exactly.
 
-use std::collections::HashMap;
 use std::fmt::Write as _;
+
+use oasis_sim::detmap::DetMap;
 
 use oasis_apps::stats::ClientStats;
 use oasis_apps::udp::{EchoServer, Pacing, UdpClient};
@@ -234,9 +235,9 @@ pub fn run_chaos(seed: u64) -> ChaosReport {
     repairs.reverse(); // pop() yields earliest first
 
     let mut violations: Vec<String> = Vec::new();
-    let mut pending: HashMap<u16, Io> = HashMap::new();
-    let mut completions: HashMap<u16, u32> = HashMap::new();
-    let mut shadow: HashMap<u64, u8> = HashMap::new();
+    let mut pending: DetMap<u16, Io> = DetMap::default();
+    let mut completions: DetMap<u16, u32> = DetMap::default();
+    let mut shadow: DetMap<u64, u8> = DetMap::default();
     let mut acked: Vec<u64> = Vec::new();
     let mut submitted = 0usize;
 
@@ -355,6 +356,17 @@ pub fn run_chaos(seed: u64) -> ChaosReport {
     };
     if probe.1 == 0 {
         violations.push("no echo traffic after recovery (probe starved)".into());
+    }
+
+    // 6. Coherence protocol (when the sanitizer is compiled in): the
+    // drivers' declared publish/acquire points must stay clean through
+    // every injected fault — crashes included.
+    #[cfg(feature = "sanitize")]
+    if pod.pool.san.error_count() > 0 {
+        violations.push(format!("coherence sanitizer: {}", pod.pool.san.summary()));
+        for r in pod.pool.san.reports().iter().take(10) {
+            violations.push(format!("  {r}"));
+        }
     }
 
     let fe_stats = pod.storage_frontends[h0]

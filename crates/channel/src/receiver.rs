@@ -143,6 +143,7 @@ impl Receiver {
         }
         host.write_u64(pool, self.layout.counter_addr, self.tail);
         host.clwb(pool, self.layout.counter_addr);
+        host.publish(pool, self.layout.counter_addr, 8);
         self.unpublished = 0;
     }
 
@@ -158,7 +159,7 @@ impl Receiver {
 
         if self.policy == Policy::BypassCache {
             host.clflushopt(pool, addr);
-            host.mfence();
+            host.mfence(pool);
         }
 
         let mut buf = [0u8; 64];
@@ -200,7 +201,7 @@ impl Receiver {
                     // Invalidate only the current line so the next poll
                     // re-fetches it from the pool.
                     host.clflushopt(pool, addr);
-                    host.mfence();
+                    host.mfence(pool);
                 }
                 Policy::InvalidatePrefetched => {
                     // Invalidate the current line *and* every speculatively
@@ -215,7 +216,7 @@ impl Receiver {
                         l += 1;
                     }
                     self.prefetched_until = cur;
-                    host.mfence();
+                    host.mfence(pool);
                 }
             }
             false

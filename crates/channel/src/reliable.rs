@@ -129,10 +129,11 @@ impl SeqWindow {
         }
         let mut evicted = None;
         if self.order.len() == self.capacity {
-            let old = self.order.pop_front().unwrap();
-            let (w, m) = Self::bit(old);
-            self.present[w] &= !m;
-            evicted = Some(old);
+            if let Some(old) = self.order.pop_front() {
+                let (w, m) = Self::bit(old);
+                self.present[w] &= !m;
+                evicted = Some(old);
+            }
         }
         let (w, m) = Self::bit(seq);
         self.present[w] |= m;

@@ -120,10 +120,9 @@ pub fn run_offered_load_sized(
                 continue;
             }
             msg_buf[..8].copy_from_slice(&tx_host.clock.as_nanos().to_le_bytes());
-            if sender
-                .try_send(&mut tx_host, &mut pool, &msg_buf)
-                .expect("bench messages are well-formed")
-            {
+            // Bench messages are well-formed by construction; a send error
+            // here just means no message was enqueued this step.
+            if matches!(sender.try_send(&mut tx_host, &mut pool, &msg_buf), Ok(true)) {
                 if tx_host.clock >= warmup {
                     sent_measured += 1;
                 }
@@ -141,7 +140,9 @@ pub fn run_offered_load_sized(
             // On failure (ring full) try_send already charged the counter
             // refresh; just loop.
         } else if !r_done && receiver.try_recv(&mut rx_host, &mut pool, &mut out_buf) {
-            let ts = u64::from_le_bytes(out_buf[..8].try_into().unwrap());
+            let mut ts_bytes = [0u8; 8];
+            ts_bytes.copy_from_slice(&out_buf[..8]);
+            let ts = u64::from_le_bytes(ts_bytes);
             if rx_host.clock >= warmup {
                 received_measured += 1;
                 // Latency samples only for messages sent after warm-up so

@@ -68,7 +68,7 @@ impl Sender {
         // The receiver updates this counter through its own cache; we must
         // invalidate our copy and fence before re-reading (§4).
         host.clflushopt(pool, self.layout.counter_addr);
-        host.mfence();
+        host.mfence(pool);
         let read = host.read_u64(pool, self.layout.counter_addr);
         self.counter_refreshes += 1;
         if read > self.head {
@@ -118,6 +118,7 @@ impl Sender {
         if let Some(d) = self.dirty_line {
             if d != line {
                 host.clwb(pool, d);
+                host.publish(pool, d, 1);
                 self.dirty_line = None;
             }
         }
@@ -134,6 +135,7 @@ impl Sender {
         // CLWB once the line is full (4 msgs for 16 B, every msg for 64 B).
         if last_in_line {
             host.clwb(pool, addr);
+            host.publish(pool, line, 1);
             self.dirty_line = None;
         } else {
             self.dirty_line = Some(line);
@@ -146,6 +148,7 @@ impl Sender {
     pub fn flush(&mut self, host: &mut HostCtx, pool: &mut CxlPool) {
         if let Some(d) = self.dirty_line.take() {
             host.clwb(pool, d);
+            host.publish(pool, d, 1);
         }
     }
 

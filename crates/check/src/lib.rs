@@ -1,0 +1,801 @@
+//! Repo-wide invariant lint for the Oasis workspace.
+//!
+//! A plain source walker (no syn, no external deps) that enforces the
+//! project's cross-cutting rules — the ones the compiler cannot:
+//!
+//! - **no-panic**: no `unwrap()` / `expect()` / `panic!` family on runtime
+//!   paths (the pod, engine, channel, and memory-model crates). A crashed
+//!   driver must degrade, not abort the whole simulated pod.
+//! - **wire-assert**: every `impl WireDescriptor for T` is paired with an
+//!   `assert_wire_size!(T)` compile-time 64-byte layout assertion in the
+//!   same file.
+//! - **pool-escape**: no raw `CxlPool` byte access (`poke`/`peek`) outside
+//!   `oasis-cxl` — all runtime traffic goes through `HostCtx`, which is
+//!   what the coherence model (and its sanitizer) observes.
+//! - **nondeterminism**: no wall-clock or randomly-seeded state in
+//!   simulation crates (`SystemTime::now`, `Instant::now`, `rand`,
+//!   std `HashMap`/`HashSet`) — experiments must be bit-reproducible.
+//! - **allow-comment**: every `#[allow(...)]` carries a justification
+//!   comment on the attribute line or directly above it.
+//!
+//! Test code is exempt: files under `tests/` and `benches/` are skipped
+//! where appropriate, and `#[cfg(test)]` blocks are excluded by brace
+//! matching. Deliberate exceptions in runtime code are waived in place:
+//!
+//! ```text
+//! // oasis-check: allow(no-panic) <reason>          (next statement)
+//! // oasis-check: allow-file(nondeterminism) <reason> (whole file)
+//! ```
+//!
+//! A waiver without a reason is itself a finding.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Crates whose `src/` trees are runtime paths for the `no-panic` rule.
+const RUNTIME_CRATES: &[&str] = &["cxl", "channel", "core", "storage", "accel"];
+
+/// The rule identifiers accepted in waiver comments.
+pub const RULES: &[&str] = &[
+    "no-panic",
+    "wire-assert",
+    "pool-escape",
+    "nondeterminism",
+    "allow-comment",
+];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Where a file sits in its crate, which decides rule applicability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// Under `src/` — runtime code.
+    Src,
+    /// Under `tests/`, `benches/`, or `examples/` — harness code.
+    Harness,
+}
+
+/// Per-file context handed to the scanner.
+#[derive(Clone, Debug)]
+pub struct FileCtx {
+    /// Workspace-relative path (for reporting).
+    pub rel_path: String,
+    /// Directory name of the crate under `crates/`.
+    pub crate_name: String,
+    /// Src vs harness.
+    pub kind: FileKind,
+}
+
+// ---------------------------------------------------------------------------
+// Lexical pass: mask comments/strings, collect comment text per line.
+// ---------------------------------------------------------------------------
+
+/// The source with every comment and string-literal character replaced by a
+/// space (newlines preserved), plus the comment text found on each line.
+/// All structural scanning happens on the masked text, so patterns inside
+/// strings or comments can never trigger (or suppress) a rule.
+pub struct Lexed {
+    /// Masked source, byte-for-byte the same shape as the input.
+    pub masked: String,
+    /// Comment text per 1-indexed line (concatenated if several).
+    pub comments: BTreeMap<usize, String>,
+}
+
+/// Mask comments and string/char literals out of `src`.
+pub fn lex(src: &str) -> Lexed {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut comments: BTreeMap<usize, String> = BTreeMap::new();
+    let mut st = St::Code;
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let push_comment = |comments: &mut BTreeMap<usize, String>, line: usize, c: u8| {
+        comments.entry(line).or_default().push(c as char);
+    };
+    while i < b.len() {
+        let c = b[i];
+        let nl = c == b'\n';
+        match st {
+            St::Code => match c {
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    st = St::Line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    st = St::Block(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    st = St::Str;
+                    out.push(b' ');
+                }
+                b'r' | b'b'
+                    if {
+                        // r"...", r#"..."#, b"...", br#"..."# raw/byte strings.
+                        let mut j = i + 1;
+                        if c == b'b' && b.get(j) == Some(&b'r') {
+                            j += 1;
+                        }
+                        let mut h = 0u32;
+                        while b.get(j) == Some(&b'#') {
+                            h += 1;
+                            j += 1;
+                        }
+                        b.get(j) == Some(&b'"')
+                            && (c != b'b' || h > 0 || b[i + 1] == b'"' || b[i + 1] == b'r')
+                    } =>
+                {
+                    // Re-scan to find hash count and the opening quote.
+                    let mut j = i + 1;
+                    if c == b'b' && b.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut h = 0u32;
+                    while b.get(j) == Some(&b'#') {
+                        h += 1;
+                        j += 1;
+                    }
+                    // Emit the prefix as spaces, land on the quote.
+                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                    i = j + 1;
+                    st = if h > 0 || b[j] == b'"' {
+                        St::RawStr(h)
+                    } else {
+                        St::Code
+                    };
+                    continue;
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a literal is '\...' or 'x'
+                    // followed by a closing quote.
+                    let is_char = match b.get(i + 1) {
+                        Some(b'\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                        out.push(b' ');
+                    } else {
+                        out.push(c);
+                    }
+                }
+                _ => out.push(c),
+            },
+            St::Line => {
+                if nl {
+                    st = St::Code;
+                    out.push(c);
+                } else {
+                    push_comment(&mut comments, line, c);
+                    out.push(b' ');
+                }
+            }
+            St::Block(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::Block(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if nl {
+                    out.push(c);
+                } else {
+                    push_comment(&mut comments, line, c);
+                    out.push(b' ');
+                }
+            }
+            St::Str => match c {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if b.get(i - 1) == Some(&b'\n') {
+                        line += 1;
+                    }
+                    continue;
+                }
+                b'"' => {
+                    st = St::Code;
+                    out.push(b' ');
+                }
+                _ => out.push(if nl { c } else { b' ' }),
+            },
+            St::RawStr(h) => {
+                if c == b'"' {
+                    let closes = (1..=h as usize).all(|k| b.get(i + k) == Some(&b'#'));
+                    if closes {
+                        out.extend(std::iter::repeat_n(b' ', h as usize + 1));
+                        i += 1 + h as usize;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+                out.push(if nl { c } else { b' ' });
+            }
+            St::Char => match c {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'\'' => {
+                    st = St::Code;
+                    out.push(b' ');
+                }
+                _ => out.push(if nl { c } else { b' ' }),
+            },
+        }
+        if nl {
+            line += 1;
+        }
+        i += 1;
+    }
+    Lexed {
+        masked: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structural helpers on the masked text.
+// ---------------------------------------------------------------------------
+
+/// 1-indexed line ranges (inclusive) covered by `#[cfg(test)]` items,
+/// found by brace matching from each attribute.
+pub fn cfg_test_ranges(masked: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let bytes = masked.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
+        let start = search + pos;
+        search = start + 1;
+        let start_line = line_of(masked, start);
+        // Scan forward to the item's opening brace or terminating
+        // semicolon, skipping further attributes and the item header.
+        let mut j = start + "#[cfg(test)]".len();
+        let mut end_line = start_line;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    let mut depth = 1usize;
+                    let mut k = j + 1;
+                    while k < bytes.len() && depth > 0 {
+                        match bytes[k] {
+                            b'{' => depth += 1,
+                            b'}' => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end_line = line_of(masked, k.saturating_sub(1));
+                    break;
+                }
+                b';' => {
+                    end_line = line_of(masked, j);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        ranges.push((start_line, end_line));
+    }
+    ranges
+}
+
+fn line_of(s: &str, byte_pos: usize) -> usize {
+    s.as_bytes()[..byte_pos.min(s.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Parsed waivers for one file.
+#[derive(Default)]
+pub struct Waivers {
+    /// Rules waived for the entire file.
+    file_wide: Vec<&'static str>,
+    /// (rule, first_line, last_line) spans waived by inline comments.
+    spans: Vec<(&'static str, usize, usize)>,
+    /// Malformed waivers (missing reason / unknown rule) become findings.
+    bad: Vec<(usize, String)>,
+}
+
+impl Waivers {
+    /// Is `rule` waived on `line`?
+    pub fn waived(&self, rule: &str, line: usize) -> bool {
+        self.file_wide.contains(&rule)
+            || self
+                .spans
+                .iter()
+                .any(|&(r, a, b)| r == rule && line >= a && line <= b)
+    }
+}
+
+/// Extract waiver comments (the `allow` / `allow-file` markers described
+/// in the module docs) from the comment map. A line-scoped waiver covers
+/// its comment line through the end of the next statement (the first
+/// following line holding `;`, `{`, or `}`).
+pub fn parse_waivers(lex: &Lexed) -> Waivers {
+    let lines: Vec<&str> = lex.masked.lines().collect();
+    let mut w = Waivers::default();
+    for (&line, text) in &lex.comments {
+        let Some(pos) = text.find("oasis-check:") else {
+            continue;
+        };
+        let rest = text[pos + "oasis-check:".len()..].trim_start();
+        let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            w.bad.push((line, "malformed oasis-check waiver".into()));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            w.bad.push((line, "unclosed oasis-check waiver".into()));
+            continue;
+        };
+        let rule_txt = rest[..close].trim();
+        let reason = rest[close + 1..].trim();
+        let Some(rule) = RULES.iter().find(|&&r| r == rule_txt) else {
+            w.bad
+                .push((line, format!("unknown waiver rule '{rule_txt}'")));
+            continue;
+        };
+        if reason.is_empty() {
+            w.bad.push((
+                line,
+                format!("waiver for '{rule}' has no justification text"),
+            ));
+            continue;
+        }
+        if file_wide {
+            w.file_wide.push(rule);
+            continue;
+        }
+        // Scope: this line through the end of the next statement.
+        let mut last = line;
+        for (off, l) in lines.iter().enumerate().skip(line).take(12) {
+            last = off + 1;
+            if l.contains(';') || l.contains('{') || l.contains('}') {
+                break;
+            }
+        }
+        w.spans.push((rule, line, last));
+    }
+    w
+}
+
+// ---------------------------------------------------------------------------
+// Rules.
+// ---------------------------------------------------------------------------
+
+fn push(
+    out: &mut Vec<Finding>,
+    ctx: &FileCtx,
+    waivers: &Waivers,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
+    if !waivers.waived(rule, line) {
+        out.push(Finding {
+            file: ctx.rel_path.clone(),
+            line,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Patterns whose presence on a runtime line is a `no-panic` finding.
+const PANIC_PATTERNS: &[(&str, &str)] = &[
+    (".unwrap()", "unwrap() on a runtime path"),
+    (".expect(", "expect() on a runtime path"),
+    ("panic!(", "panic! on a runtime path"),
+    ("unreachable!(", "unreachable! on a runtime path"),
+    ("todo!(", "todo! on a runtime path"),
+    ("unimplemented!(", "unimplemented! on a runtime path"),
+];
+
+fn rule_no_panic(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    tests: &[(usize, usize)],
+    waivers: &Waivers,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.kind != FileKind::Src || !RUNTIME_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, l) in lexed.masked.lines().enumerate() {
+        let line = i + 1;
+        if in_ranges(line, tests) {
+            continue;
+        }
+        for &(pat, msg) in PANIC_PATTERNS {
+            // The trailing `(` in each pattern keeps `.expect(` from
+            // matching `.expect_err(`.
+            if l.contains(pat) {
+                push(out, ctx, waivers, line, "no-panic", msg.to_string());
+            }
+        }
+    }
+}
+
+fn rule_wire_assert(ctx: &FileCtx, lexed: &Lexed, waivers: &Waivers, out: &mut Vec<Finding>) {
+    let masked = &lexed.masked;
+    let mut search = 0usize;
+    while let Some(pos) = masked[search..].find("impl WireDescriptor for ") {
+        let start = search + pos + "impl WireDescriptor for ".len();
+        search = start;
+        let ty: String = masked[start..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ':')
+            .collect();
+        if ty.is_empty() {
+            continue;
+        }
+        let needle = format!("assert_wire_size!({ty})");
+        if !masked.contains(&needle) {
+            push(
+                out,
+                ctx,
+                waivers,
+                line_of(masked, start),
+                "wire-assert",
+                format!("impl WireDescriptor for {ty} lacks {needle}"),
+            );
+        }
+    }
+}
+
+fn rule_pool_escape(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    tests: &[(usize, usize)],
+    waivers: &Waivers,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.kind != FileKind::Src || ctx.crate_name == "cxl" || ctx.crate_name == "check" {
+        return;
+    }
+    for (i, l) in lexed.masked.lines().enumerate() {
+        let line = i + 1;
+        if in_ranges(line, tests) {
+            continue;
+        }
+        // `poke` exists only on CxlPool; `peek` is common (heaps), so it is
+        // only flagged on a receiver literally named `pool`.
+        if l.contains(".poke(") || l.contains("pool.peek(") {
+            push(
+                out,
+                ctx,
+                waivers,
+                line,
+                "pool-escape",
+                "raw CxlPool byte access outside oasis-cxl (use HostCtx)".into(),
+            );
+        }
+    }
+}
+
+/// Nondeterminism sources forbidden in simulation code.
+const NONDET_PATTERNS: &[(&str, &str)] = &[
+    ("SystemTime::now", "wall-clock time in simulation code"),
+    ("Instant::now", "wall-clock time in simulation code"),
+    ("thread_rng", "OS-seeded randomness in simulation code"),
+    ("rand::", "external randomness in simulation code"),
+    ("HashMap::new", "randomly-seeded std HashMap (use DetMap)"),
+    ("HashSet::new", "randomly-seeded std HashSet (use DetSet)"),
+    (
+        "collections::HashMap",
+        "randomly-seeded std HashMap (use DetMap)",
+    ),
+    (
+        "collections::HashSet",
+        "randomly-seeded std HashSet (use DetSet)",
+    ),
+];
+
+fn rule_nondeterminism(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    tests: &[(usize, usize)],
+    waivers: &Waivers,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.kind != FileKind::Src {
+        return;
+    }
+    for (i, l) in lexed.masked.lines().enumerate() {
+        let line = i + 1;
+        if in_ranges(line, tests) {
+            continue;
+        }
+        for &(pat, msg) in NONDET_PATTERNS {
+            if l.contains(pat) {
+                push(out, ctx, waivers, line, "nondeterminism", msg.to_string());
+            }
+        }
+    }
+}
+
+fn rule_allow_comment(ctx: &FileCtx, lexed: &Lexed, waivers: &Waivers, out: &mut Vec<Finding>) {
+    for (i, l) in lexed.masked.lines().enumerate() {
+        let line = i + 1;
+        if !(l.contains("#[allow(") || l.contains("#![allow(")) {
+            continue;
+        }
+        let justified = lexed
+            .comments
+            .get(&line)
+            .is_some_and(|c| !c.trim().is_empty())
+            || line > 1
+                && lexed
+                    .comments
+                    .get(&(line - 1))
+                    .is_some_and(|c| !c.trim().is_empty());
+        if !justified {
+            push(
+                out,
+                ctx,
+                waivers,
+                line,
+                "allow-comment",
+                "#[allow(...)] without a justification comment on or above it".into(),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Run every rule over one file's source.
+pub fn check_source(ctx: &FileCtx, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tests = cfg_test_ranges(&lexed.masked);
+    let waivers = parse_waivers(&lexed);
+    let mut out = Vec::new();
+    for &(line, ref msg) in &waivers.bad {
+        out.push(Finding {
+            file: ctx.rel_path.clone(),
+            line,
+            rule: "allow-comment",
+            message: msg.clone(),
+        });
+    }
+    rule_no_panic(ctx, &lexed, &tests, &waivers, &mut out);
+    rule_wire_assert(ctx, &lexed, &waivers, &mut out);
+    rule_pool_escape(ctx, &lexed, &tests, &waivers, &mut out);
+    rule_nondeterminism(ctx, &lexed, &tests, &waivers, &mut out);
+    rule_allow_comment(ctx, &lexed, &waivers, &mut out);
+    out
+}
+
+/// Walk `root/crates` and lint every `.rs` file. Paths are visited in
+/// sorted order so output is stable.
+pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let mut parts = rel.split('/');
+        let (Some("crates"), Some(krate)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        let kind = match parts.next() {
+            Some("src") => FileKind::Src,
+            Some("tests") | Some("benches") | Some("examples") => FileKind::Harness,
+            _ => continue,
+        };
+        let ctx = FileCtx {
+            rel_path: rel.clone(),
+            crate_name: krate.to_string(),
+            kind,
+        };
+        let src = std::fs::read_to_string(&path)?;
+        findings.extend(check_source(&ctx, &src));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn src_ctx(krate: &str) -> FileCtx {
+        FileCtx {
+            rel_path: format!("crates/{krate}/src/x.rs"),
+            crate_name: krate.into(),
+            kind: FileKind::Src,
+        }
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn masking_strings_and_comments() {
+        let l = lex("let a = \"panic!(x)\"; // .unwrap() here\nlet b = 1;");
+        assert!(!l.masked.contains("panic!"));
+        assert!(!l.masked.contains(".unwrap()"));
+        assert!(l.comments[&1].contains(".unwrap() here"));
+    }
+
+    #[test]
+    fn masking_raw_strings_and_chars() {
+        let l =
+            lex("let a = r#\"has .unwrap() inside\"#; let c = '\\'';\nlet lt: &'static str = x;");
+        assert!(!l.masked.contains(".unwrap()"));
+        assert!(l.masked.contains("'static"), "lifetimes survive masking");
+    }
+
+    #[test]
+    fn no_panic_flags_runtime_only() {
+        let f = check_source(&src_ctx("core"), "fn f() { x.unwrap(); }\n");
+        assert_eq!(rules_of(&f), ["no-panic"]);
+        // Non-runtime crate: clean.
+        let f = check_source(&src_ctx("sim"), "fn f() { x.unwrap(); }\n");
+        assert!(f.is_empty());
+        // Harness file: clean.
+        let ctx = FileCtx {
+            rel_path: "crates/core/tests/t.rs".into(),
+            crate_name: "core".into(),
+            kind: FileKind::Harness,
+        };
+        assert!(check_source(&ctx, "fn f() { x.unwrap(); }\n").is_empty());
+    }
+
+    #[test]
+    fn no_panic_skips_cfg_test_blocks() {
+        let src =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(\"y\"); }\n}\n";
+        assert!(check_source(&src_ctx("channel"), src).is_empty());
+    }
+
+    #[test]
+    fn no_panic_waiver_covers_statement() {
+        let src = "fn f() {\n    // oasis-check: allow(no-panic) construction-time contract.\n    let x = y\n        .iter()\n        .position(|v| v)\n        .expect(\"present\");\n    x\n}\n";
+        assert!(check_source(&src_ctx("core"), src).is_empty());
+        // The waiver does not leak past its statement.
+        let src2 = format!("{src}fn g() {{ z.unwrap(); }}\n");
+        assert_eq!(
+            rules_of(&check_source(&src_ctx("core"), &src2)),
+            ["no-panic"]
+        );
+    }
+
+    #[test]
+    fn waiver_without_reason_is_a_finding() {
+        let src = "// oasis-check: allow(no-panic)\nfn f() { x.unwrap(); }\n";
+        let f = check_source(&src_ctx("core"), src);
+        assert_eq!(rules_of(&f), ["allow-comment", "no-panic"]);
+    }
+
+    #[test]
+    fn wire_assert_pairing() {
+        let bad = "impl WireDescriptor for Foo {\n    const WIRE_SIZE: usize = 64;\n}\n";
+        let f = check_source(&src_ctx("core"), bad);
+        assert_eq!(rules_of(&f), ["wire-assert"]);
+        let good = format!("{bad}assert_wire_size!(Foo);\n");
+        assert!(check_source(&src_ctx("core"), &good).is_empty());
+    }
+
+    #[test]
+    fn pool_escape_outside_cxl() {
+        let src = "fn f(pool: &mut CxlPool) { pool.poke(0, &[1]); }\n";
+        assert_eq!(
+            rules_of(&check_source(&src_ctx("core"), src)),
+            ["pool-escape"]
+        );
+        // Inside oasis-cxl the same access is the implementation.
+        assert!(check_source(&src_ctx("cxl"), src).is_empty());
+        // A heap's .peek() is not pool access.
+        let heap = "fn g(q: &BinaryHeap<u64>) { q.peek(); }\n";
+        assert!(check_source(&src_ctx("core"), heap).is_empty());
+    }
+
+    #[test]
+    fn nondeterminism_sources_flagged() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }\n";
+        let f = check_source(&src_ctx("sim"), src);
+        assert_eq!(rules_of(&f), ["nondeterminism", "nondeterminism"]);
+        // File-wide waiver silences the whole file.
+        let waived =
+            format!("// oasis-check: allow-file(nondeterminism) wall-clock reporter.\n{src}");
+        assert!(check_source(&src_ctx("sim"), &waived).is_empty());
+    }
+
+    #[test]
+    fn allow_needs_comment() {
+        let bare = "#[allow(clippy::type_complexity)]\nfn f() {}\n";
+        assert_eq!(
+            rules_of(&check_source(&src_ctx("sim"), bare)),
+            ["allow-comment"]
+        );
+        let ok = "// The tuple documents the exact projection.\n#[allow(clippy::type_complexity)]\nfn f() {}\n";
+        assert!(check_source(&src_ctx("sim"), ok).is_empty());
+        let trailing = "#[allow(dead_code)] // kept for the harness\nfn f() {}\n";
+        assert!(check_source(&src_ctx("sim"), trailing).is_empty());
+    }
+}

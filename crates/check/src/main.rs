@@ -1,0 +1,36 @@
+//! `oasis-check`: repo-wide invariant lint. Run from the workspace root
+//! (or pass it as the first argument); exits non-zero on any finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "oasis-check: {} has no crates/ directory (run from the workspace root)",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+    let findings = match oasis_check::check_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("oasis-check: walk failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("oasis-check: clean ({} rules)", oasis_check::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("oasis-check: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -134,6 +134,8 @@ mod tests {
                                         nodes[to].handle(now, from, msg);
                                     }
                                 }
+                                // Indexing sidesteps borrowing `nodes`
+                                // while `take_outbox` mutates one element.
                                 #[allow(clippy::needless_range_loop)]
                                 for i in 0..n {
                                     for (to, msg) in nodes[i].take_outbox() {

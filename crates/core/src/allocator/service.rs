@@ -466,6 +466,8 @@ impl PodAllocator {
     /// Propose a command through Raft and apply everything committed.
     pub fn propose(&mut self, cmd: AllocCommand) {
         let now = self.core.clock;
+        // oasis-check: allow(no-panic) single-node Raft group: propose can
+        // only fail on a non-leader, which cannot exist here.
         self.raft
             .propose(now, cmd.encode())
             .expect("single-node allocator group is always leader");
@@ -487,7 +489,7 @@ impl PodAllocator {
     /// Returns `(ssd, base_block)`.
     pub fn place_volume(&mut self, host: usize, ip: Ipv4Addr, blocks: u32) -> Option<(u32, u32)> {
         let ssd = self.state.pick_ssd(host as u32, blocks)?;
-        let base = self.state.ssds[ssd as usize].as_ref().unwrap().next_block;
+        let base = self.state.ssds.get(ssd as usize)?.as_ref()?.next_block;
         self.propose(AllocCommand::AssignVolume {
             ip,
             ssd,
@@ -629,6 +631,8 @@ impl PodAllocator {
 
     /// The log-derived projection of an [`AllocState`] (excludes telemetry
     /// timestamps and lease expiries, which are allocator-local).
+    // The tuple type is written out once, here, as documentation of exactly
+    // which fields the log determines; a named struct would hide that.
     #[allow(clippy::type_complexity)]
     fn log_view(
         s: &AllocState,
@@ -780,9 +784,10 @@ impl PodAllocator {
                     .filter(|(_, n)| !n.failed && !n.backup)
                     .map(|(i, n)| (i, n.recent_load_bytes))
                     .collect();
-                if usable.len() >= 2 {
-                    let &(hot, hot_load) = usable.iter().max_by_key(|&&(_, l)| l).unwrap();
-                    let &(cold, cold_load) = usable.iter().min_by_key(|&&(_, l)| l).unwrap();
+                if let (Some(&(hot, hot_load)), Some(&(cold, cold_load))) = (
+                    usable.iter().max_by_key(|&&(_, l)| l),
+                    usable.iter().min_by_key(|&&(_, l)| l),
+                ) {
                     if hot != cold
                         && hot_load >= policy.min_load_bytes
                         && hot_load as f64 > policy.ratio * (cold_load.max(1)) as f64

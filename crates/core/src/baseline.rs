@@ -202,7 +202,8 @@ impl LocalDriver {
                 // SFENCE before the doorbell: the NIC's DMA read must not
                 // overtake the posted write-backs (there is no ordering
                 // between pool writes and the MMIO doorbell otherwise).
-                self.core.mfence();
+                self.core.mfence(pool);
+                self.core.publish_fenced(pool, addr, bytes.len() as u64);
             }
             BufferPlacement::LocalDdr => self.core.local_write(addr, bytes),
         }
@@ -212,6 +213,7 @@ impl LocalDriver {
     fn read_buf(&mut self, pool: &mut CxlPool, addr: u64, out: &mut [u8]) {
         match self.placement {
             BufferPlacement::CxlPool => {
+                self.core.expect_fresh(pool, addr, out.len() as u64);
                 self.core.read_stream(pool, addr, out);
                 for la in lines_covering(addr, out.len() as u64) {
                     self.core.clflushopt(pool, la);

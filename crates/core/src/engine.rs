@@ -53,55 +53,84 @@ pub trait WireDescriptor: Sized {
     fn decode_from(buf: &[u8]) -> Option<Self>;
 }
 
+/// Compile-time wire-contract checks for a [`WireDescriptor`] impl: the
+/// descriptor must fit in one 64 B cache line, divide it evenly (so slots
+/// never straddle lines), and be at least a word wide. Every impl below is
+/// paired with one of these blocks; `oasis-check` enforces the pairing.
+macro_rules! assert_wire_size {
+    ($t:ty) => {
+        const _: () = {
+            assert!(<$t as WireDescriptor>::WIRE_SIZE <= 64);
+            assert!(64 % <$t as WireDescriptor>::WIRE_SIZE == 0);
+            assert!(<$t as WireDescriptor>::WIRE_SIZE >= 8);
+        };
+    };
+}
+
 impl WireDescriptor for crate::msg::NetMsg {
     const WIRE_SIZE: usize = oasis_channel::MSG16;
     fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "encode buffer too small");
         buf[..16].copy_from_slice(&self.encode());
     }
     fn decode_from(buf: &[u8]) -> Option<Self> {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "decode buffer too small");
         Self::decode(buf[..16].try_into().ok()?)
     }
 }
+assert_wire_size!(crate::msg::NetMsg);
 
 impl WireDescriptor for oasis_storage::command::NvmeCommand {
     const WIRE_SIZE: usize = oasis_channel::MSG64;
     fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "encode buffer too small");
         buf[..64].copy_from_slice(&self.encode());
     }
     fn decode_from(buf: &[u8]) -> Option<Self> {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "decode buffer too small");
         Self::decode(buf[..64].try_into().ok()?)
     }
 }
+assert_wire_size!(oasis_storage::command::NvmeCommand);
 
 impl WireDescriptor for oasis_storage::command::NvmeCompletion {
     const WIRE_SIZE: usize = oasis_channel::MSG64;
     fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "encode buffer too small");
         buf[..64].copy_from_slice(&self.encode());
     }
     fn decode_from(buf: &[u8]) -> Option<Self> {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "decode buffer too small");
         Self::decode(buf[..64].try_into().ok()?)
     }
 }
+assert_wire_size!(oasis_storage::command::NvmeCompletion);
 
 impl WireDescriptor for oasis_accel::AccelCommand {
     const WIRE_SIZE: usize = oasis_channel::MSG64;
     fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "encode buffer too small");
         buf[..64].copy_from_slice(&self.encode());
     }
     fn decode_from(buf: &[u8]) -> Option<Self> {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "decode buffer too small");
         Self::decode(buf[..64].try_into().ok()?)
     }
 }
+assert_wire_size!(oasis_accel::AccelCommand);
 
 impl WireDescriptor for oasis_accel::AccelCompletion {
     const WIRE_SIZE: usize = oasis_channel::MSG64;
     fn encode_into(&self, buf: &mut [u8]) {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "encode buffer too small");
         buf[..64].copy_from_slice(&self.encode());
     }
     fn decode_from(buf: &[u8]) -> Option<Self> {
+        debug_assert!(buf.len() >= Self::WIRE_SIZE, "decode buffer too small");
         Self::decode(buf[..64].try_into().ok()?)
     }
 }
+assert_wire_size!(oasis_accel::AccelCompletion);
 
 /// A host-level fault delivered to every engine core on the affected host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -182,6 +182,7 @@ impl AccelFrontend {
         for la in lines_covering(in_buf, bytes) {
             self.core.clwb(pool, la);
         }
+        self.core.publish(pool, in_buf, bytes);
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
         let cmd = AccelCommand {
@@ -251,7 +252,10 @@ impl AccelFrontend {
                     continue;
                 }
                 let output = if comp.status.is_ok() {
-                    // Copy the result out of shared memory.
+                    // Copy the result out of shared memory. The device DMA'd
+                    // it into the pool; cached lines of this buffer are
+                    // stale by definition.
+                    self.core.expect_fresh(pool, p.out_buf, p.out_bytes);
                     let mut out = vec![0u8; p.out_bytes as usize];
                     self.core.read_stream(pool, p.out_buf, &mut out);
                     Some(out)
@@ -288,13 +292,17 @@ impl AccelFrontend {
                 .get(&cid)
                 .is_some_and(|p| p.retry.can_retry(&policy));
             if can {
-                let p = self.pending.get_mut(&cid).expect("expired cid is pending");
+                let Some(p) = self.pending.get_mut(&cid) else {
+                    continue;
+                };
                 p.retry.rearm(&policy, now);
                 let (dev, cmd) = (p.dev, p.cmd);
                 self.stats.retries += 1;
                 self.resend(pool, dev, &cmd);
             } else {
-                let p = self.pending.remove(&cid).expect("expired cid is pending");
+                let Some(p) = self.pending.remove(&cid) else {
+                    continue;
+                };
                 self.release_bufs(pool, &p);
                 self.stats.completed += 1;
                 self.stats.errors += 1;
@@ -319,7 +327,9 @@ impl AccelFrontend {
         let mut cids: Vec<u16> = self.pending.keys().copied().collect();
         cids.sort_unstable();
         for cid in cids {
-            let p = self.pending.get_mut(&cid).expect("cid is pending");
+            let Some(p) = self.pending.get_mut(&cid) else {
+                continue;
+            };
             p.retry = RetryState::armed(&policy, now);
             let (dev, cmd) = (p.dev, p.cmd);
             self.stats.retries += 1;

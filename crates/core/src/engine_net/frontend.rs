@@ -230,6 +230,7 @@ impl FrontendDriver {
         for la in lines_covering(buf, bytes.len() as u64) {
             self.core.clwb(pool, la);
         }
+        self.core.publish(pool, buf, bytes.len() as u64);
         let nic = self.insts[slot].serving_nic;
         let msg = NetMsg {
             ptr: buf,
@@ -389,6 +390,7 @@ impl FrontendDriver {
                         // reads fresh DMA data (§3.3.1).
                         let len = msg.size as usize;
                         let mut pkt = vec![0u8; len];
+                        self.core.expect_fresh(pool, msg.ptr, len as u64);
                         self.core.read_stream(pool, msg.ptr, &mut pkt);
                         for la in lines_covering(msg.ptr, len as u64) {
                             self.core.clflushopt(pool, la);

@@ -72,6 +72,11 @@ pub struct StorageFrontend {
     pending: DetMap<u16, PendingIo>,
     done: Vec<IoResult>,
     next_cid: u16,
+    /// Testing knob for the sanitizer regression harness: skip the
+    /// invalidation in [`Self::release_buf`], reintroducing the stale-read
+    /// bug the release flush fixed.
+    #[cfg(feature = "sanitize")]
+    skip_release_invalidate: bool,
 }
 
 impl StorageFrontend {
@@ -87,7 +92,17 @@ impl StorageFrontend {
             pending: DetMap::default(),
             done: Vec::new(),
             next_cid: 0,
+            #[cfg(feature = "sanitize")]
+            skip_release_invalidate: false,
         }
+    }
+
+    /// Reintroduce the pre-fix buffer-release behaviour (no invalidation)
+    /// so the sanitizer regression harness can prove it re-detects the
+    /// stale-read bug. Test-only; exists only with the `sanitize` feature.
+    #[cfg(feature = "sanitize")]
+    pub fn set_skip_release_invalidate(&mut self, skip: bool) {
+        self.skip_release_invalidate = skip;
     }
 
     /// Wire a channel pair to an SSD's backend.
@@ -114,6 +129,11 @@ impl StorageFrontend {
     /// (§3.2.1 software coherence).
     fn release_buf(&mut self, pool: &mut CxlPool, p: &PendingIo) {
         if p.op == NvmeOpcode::Flush {
+            return;
+        }
+        #[cfg(feature = "sanitize")]
+        if self.skip_release_invalidate {
+            self.data_area.free(p.buf);
             return;
         }
         for la in lines_covering(p.buf, p.bytes) {
@@ -171,6 +191,7 @@ impl StorageFrontend {
             for la in lines_covering(buf, bytes) {
                 self.core.clwb(pool, la);
             }
+            self.core.publish(pool, buf, bytes);
         }
         let cid = self.next_cid;
         self.next_cid = self.next_cid.wrapping_add(1);
@@ -272,7 +293,10 @@ impl StorageFrontend {
                     continue;
                 }
                 let data = if p.op == NvmeOpcode::Read && comp.status.is_ok() {
-                    // Copy the data out of shared memory.
+                    // Copy the data out of shared memory. The SSD DMA'd it
+                    // into the pool; any line of the buffer still cached
+                    // here is stale by definition.
+                    self.core.expect_fresh(pool, p.buf, p.bytes);
                     let mut out = vec![0u8; p.bytes as usize];
                     self.core.read_stream(pool, p.buf, &mut out);
                     Some(out)
@@ -308,13 +332,17 @@ impl StorageFrontend {
                 .get(&cid)
                 .is_some_and(|p| p.retry.can_retry(&policy));
             if can {
-                let p = self.pending.get_mut(&cid).expect("expired cid is pending");
+                let Some(p) = self.pending.get_mut(&cid) else {
+                    continue;
+                };
                 p.retry.rearm(&policy, now);
                 let (ssd, cmd) = (p.ssd, p.cmd);
                 self.stats.retries += 1;
                 self.resend(pool, ssd, &cmd);
             } else {
-                let p = self.pending.remove(&cid).expect("expired cid is pending");
+                let Some(p) = self.pending.remove(&cid) else {
+                    continue;
+                };
                 self.release_buf(pool, &p);
                 self.stats.completed += 1;
                 self.stats.errors += 1;
@@ -339,7 +367,9 @@ impl StorageFrontend {
         let mut cids: Vec<u16> = self.pending.keys().copied().collect();
         cids.sort_unstable();
         for cid in cids {
-            let p = self.pending.get_mut(&cid).expect("cid is pending");
+            let Some(p) = self.pending.get_mut(&cid) else {
+                continue;
+            };
             p.retry = RetryState::armed(&policy, now);
             let (ssd, cmd) = (p.ssd, p.cmd);
             self.stats.retries += 1;

@@ -112,11 +112,17 @@ impl NetMsg {
 
     /// Decode a 16 B channel message. `None` for unknown opcodes.
     pub fn decode(b: &[u8; 16]) -> Option<NetMsg> {
+        #[inline]
+        fn sub<const N: usize>(b: &[u8; 16], off: usize) -> [u8; N] {
+            let mut out = [0u8; N];
+            out.copy_from_slice(&b[off..off + N]);
+            out
+        }
         Some(NetMsg {
-            ptr: u64::from_le_bytes(b[0..8].try_into().unwrap()),
-            size: u16::from_le_bytes(b[8..10].try_into().unwrap()),
+            ptr: u64::from_le_bytes(sub(b, 0)),
+            size: u16::from_le_bytes(sub(b, 8)),
             op: NetOp::from_byte(b[10])?,
-            ip: Ipv4Addr(b[11..15].try_into().unwrap()),
+            ip: Ipv4Addr(sub(b, 11)),
         })
     }
 }

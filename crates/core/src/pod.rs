@@ -158,6 +158,8 @@ struct ActorMap {
 /// Visit every device engine on `host` as `&mut dyn DeviceEngine`, in
 /// actor registration order. A free function over the split engine tables
 /// so callers can destructure [`Pod`] and keep the pool borrowed alongside.
+// One parameter per engine table is the point: the split borrows are what
+// let the pool stay mutably borrowed next to them.
 #[allow(clippy::too_many_arguments)]
 fn each_host_engine(
     drivers: &mut [HostDriver],
@@ -409,6 +411,8 @@ impl PodBuilder {
         for (host, &(has_nic, baseline)) in self.hosts.iter().enumerate() {
             match baseline {
                 Some(placement) => {
+                    // oasis-check: allow(no-panic) pod construction, not a runtime path: a
+                    // baseline placement without a NIC is a config error caught at build.
                     let nic_id = nic_host
                         .iter()
                         .position(|&h| h == host)
@@ -455,6 +459,8 @@ impl PodBuilder {
                             self.cfg.channel_slots,
                         );
                         fe.add_backend_link(nic_id, fe_be.sender, be_fe.receiver);
+                        // oasis-check: allow(no-panic) pod construction: every Oasis NIC id
+                        // was assigned a backend in the loop above.
                         let be_idx = backend_of_nic[nic_id].unwrap();
                         backends[be_idx].add_frontend_link(host, be_fe.sender, fe_be.receiver);
                     }
@@ -639,6 +645,8 @@ impl Pod {
     pub fn launch_instance(&mut self, host: usize, app: AppKind, lease_mbps: u32) -> usize {
         match self.try_launch_instance(host, app, lease_mbps) {
             Ok(idx) => idx,
+            // oasis-check: allow(no-panic) documented panicking convenience wrapper;
+            // runtime callers use try_launch_instance.
             Err(e) => panic!("{e}"),
         }
     }
@@ -1021,6 +1029,9 @@ impl Pod {
             host,
             |e| {
                 e.core_mut().cache.drain();
+                // The host lost its private cache: any shadow-state the
+                // coherence sanitizer tracked for this port is void.
+                pool.san_host_reset(e.core().port);
                 if fault == EngineFault::HostRestart {
                     let c = e.core_mut();
                     c.clock = c.clock.max(at);

@@ -175,7 +175,9 @@ impl TcpConn {
                 if seq_lt(self.rcv_nxt, s) {
                     break;
                 }
-                let (s, data) = self.ooo.pop_first().unwrap();
+                let Some((s, data)) = self.ooo.pop_first() else {
+                    break;
+                };
                 let skip = self.rcv_nxt.wrapping_sub(s) as usize;
                 if skip < data.len() {
                     self.recv_ready.extend_from_slice(&data[skip..]);

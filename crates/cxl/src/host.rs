@@ -146,6 +146,8 @@ impl HostCtx {
                     self.clock += SimDuration::from_nanos(self.costs.cache_hit_ns);
                 }
                 out[off..off + n].copy_from_slice(&line.data[s..s + n]);
+                #[cfg(feature = "sanitize")]
+                pool.san.on_read_hit(self.port, la);
             } else {
                 self.stats.misses += 1;
                 self.clock += SimDuration::from_nanos(self.costs.cxl_load_ns);
@@ -154,6 +156,8 @@ impl HostCtx {
                 if let Some(v) = self.cache.insert(la, data, false, self.clock) {
                     self.evict(pool, v);
                 }
+                #[cfg(feature = "sanitize")]
+                pool.san.on_fill(self.port, la);
                 self.hw_prefetch(pool, la);
             }
             off += n;
@@ -199,6 +203,8 @@ impl HostCtx {
                 let n = (hi - lo) as usize;
                 let s = (lo - la) as usize;
                 out[off..off + n].copy_from_slice(&line.data[s..s + n]);
+                #[cfg(feature = "sanitize")]
+                pool.san.on_read_hit(self.port, la);
                 off += n;
                 la += LINE;
                 continue;
@@ -235,6 +241,8 @@ impl HostCtx {
                 if let Some(v) = self.cache.insert(la + i * LINE, data, false, t_i) {
                     self.evict(pool, v);
                 }
+                #[cfg(feature = "sanitize")]
+                pool.san.on_fill(self.port, la + i * LINE);
             }
             let lo = addr.max(la);
             let hi = end.min(run_end);
@@ -265,6 +273,8 @@ impl HostCtx {
                 line.data[(lo - la) as usize..(lo - la) as usize + n]
                     .copy_from_slice(&data[off..off + n]);
                 line.dirty = true;
+                #[cfg(feature = "sanitize")]
+                pool.san.on_write(self.port, la);
             } else if n as u64 == LINE {
                 // Full-line store: no read-for-ownership fetch needed.
                 self.stats.store_hits += 1;
@@ -274,6 +284,8 @@ impl HostCtx {
                 if let Some(v) = self.cache.insert(la, buf, true, self.clock) {
                     self.evict(pool, v);
                 }
+                #[cfg(feature = "sanitize")]
+                pool.san.on_write(self.port, la);
             } else {
                 // Partial-line write miss: read-for-ownership at CXL latency.
                 self.stats.store_misses += 1;
@@ -284,6 +296,11 @@ impl HostCtx {
                 self.clock += SimDuration::from_nanos(self.costs.store_hit_ns);
                 if let Some(v) = self.cache.insert(la, buf, true, self.clock) {
                     self.evict(pool, v);
+                }
+                #[cfg(feature = "sanitize")]
+                {
+                    pool.san.on_fill(self.port, la);
+                    pool.san.on_write(self.port, la);
                 }
             }
             off += n;
@@ -301,8 +318,14 @@ impl HostCtx {
         let la = line_base(addr);
         self.stats.writebacks += 1;
         self.clock += SimDuration::from_nanos(self.costs.clwb_ns);
+        #[cfg(feature = "sanitize")]
+        let mut was_dirty = false;
         if let Some(line) = self.cache.touch(la) {
             if line.dirty {
+                #[cfg(feature = "sanitize")]
+                {
+                    was_dirty = true;
+                }
                 line.dirty = false;
                 let data = line.data;
                 let visible = self.clock + SimDuration::from_nanos(self.costs.cxl_write_visible_ns);
@@ -310,6 +333,8 @@ impl HostCtx {
                 pool.post_writeback(self.port, la, data, visible);
             }
         }
+        #[cfg(feature = "sanitize")]
+        pool.san.on_clwb(self.port, la, was_dirty, self.clock);
     }
 
     /// `CLFLUSHOPT`: write back if dirty, then evict the line so the next
@@ -318,23 +343,39 @@ impl HostCtx {
         let la = line_base(addr);
         self.stats.flushes += 1;
         self.clock += SimDuration::from_nanos(self.costs.clflushopt_ns);
+        #[cfg(feature = "sanitize")]
+        let (mut was_present, mut was_dirty) = (false, false);
         if let Some(line) = self.cache.remove(la) {
+            #[cfg(feature = "sanitize")]
+            {
+                was_present = true;
+                was_dirty = line.dirty;
+            }
             if line.dirty {
                 let visible = self.clock + SimDuration::from_nanos(self.costs.cxl_write_visible_ns);
                 self.pending_visible = self.pending_visible.max(visible);
                 pool.post_writeback(self.port, la, line.data, visible);
             }
         }
+        #[cfg(feature = "sanitize")]
+        pool.san
+            .on_clflush(self.port, la, was_present, was_dirty, self.clock);
     }
 
     /// `MFENCE`: ordering point. Stalls until this host's posted
     /// write-backs are visible in pool memory (the SFENCE-after-CLWB
     /// completion guarantee drivers rely on before ringing a doorbell),
     /// plus the fixed drain cost.
-    pub fn mfence(&mut self) {
+    pub fn mfence(&mut self, pool: &mut CxlPool) {
         self.stats.fences += 1;
+        #[cfg(feature = "sanitize")]
+        let had_inflight = self.pending_visible > self.clock;
+        #[cfg(not(feature = "sanitize"))]
+        let _ = &pool;
         self.clock = self.clock.max(self.pending_visible);
         self.clock += SimDuration::from_nanos(self.costs.mfence_ns);
+        #[cfg(feature = "sanitize")]
+        pool.san.on_fence(self.port, had_inflight, self.clock);
     }
 
     /// Hardware stream prefetcher: fired on a demand miss; if the previous
@@ -359,6 +400,8 @@ impl HostCtx {
             if let Some(v) = self.cache.insert(la, data, false, ready) {
                 self.evict(pool, v);
             }
+            #[cfg(feature = "sanitize")]
+            pool.san.on_prefetch_fill(self.port, la);
         }
     }
 
@@ -379,7 +422,62 @@ impl HostCtx {
         if let Some(v) = self.cache.insert(la, data, false, ready) {
             self.evict(pool, v);
         }
+        #[cfg(feature = "sanitize")]
+        pool.san.on_prefetch_fill(self.port, la);
     }
+
+    /// Sanitizer annotation: declare that `[addr, addr+len)` has just been
+    /// *published* — flushed so that other hosts/devices can observe it. The
+    /// sanitizer reports any line still dirty in this host's cache. Pure
+    /// observer; free when the `sanitize` feature is off.
+    #[cfg(feature = "sanitize")]
+    pub fn publish(&mut self, pool: &mut CxlPool, addr: u64, len: u64) {
+        for la in lines_covering(addr, len) {
+            let dirty = self.cache.get(la).map(|l| l.dirty);
+            pool.san.on_publish(self.port, la, dirty, self.clock);
+        }
+    }
+
+    /// Sanitizer annotation (no-op: `sanitize` feature disabled).
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    pub fn publish(&mut self, _pool: &mut CxlPool, _addr: u64, _len: u64) {}
+
+    /// Sanitizer annotation: declare a *fenced* publish point (a doorbell
+    /// another agent may act on immediately). In addition to the
+    /// [`Self::publish`] dirty check, the sanitizer reports lines whose
+    /// last flush is not yet covered by an `mfence`. Pure observer; free
+    /// when the `sanitize` feature is off.
+    #[cfg(feature = "sanitize")]
+    pub fn publish_fenced(&mut self, pool: &mut CxlPool, addr: u64, len: u64) {
+        for la in lines_covering(addr, len) {
+            let dirty = self.cache.get(la).map(|l| l.dirty);
+            pool.san.on_publish_fenced(self.port, la, dirty, self.clock);
+        }
+    }
+
+    /// Sanitizer annotation (no-op: `sanitize` feature disabled).
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    pub fn publish_fenced(&mut self, _pool: &mut CxlPool, _addr: u64, _len: u64) {}
+
+    /// Sanitizer annotation: declare that the next read of
+    /// `[addr, addr+len)` must observe *current* pool bytes (an acquire
+    /// point whose protocol guarantees freshness). The sanitizer reports
+    /// stale cached snapshots and fetches torn by other hosts' in-flight
+    /// write-backs. Pure observer; free when the `sanitize` feature is off.
+    #[cfg(feature = "sanitize")]
+    pub fn expect_fresh(&mut self, pool: &mut CxlPool, addr: u64, len: u64) {
+        for la in lines_covering(addr, len) {
+            let dirty = self.cache.get(la).map(|l| l.dirty);
+            pool.san.on_expect_fresh(self.port, la, dirty, self.clock);
+        }
+    }
+
+    /// Sanitizer annotation (no-op: `sanitize` feature disabled).
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    pub fn expect_fresh(&mut self, _pool: &mut CxlPool, _addr: u64, _len: u64) {}
 
     /// Size of the host's private DRAM.
     pub fn local_size(&self) -> u64 {
@@ -447,7 +545,7 @@ mod tests {
         assert_eq!(b.read_u64(&mut pool, 0), 0);
         // After invalidating, B sees the new value.
         b.clflushopt(&mut pool, 0);
-        b.mfence();
+        b.mfence(&mut pool);
         assert_eq!(b.read_u64(&mut pool, 0), 0xfeed);
     }
 
@@ -575,7 +673,7 @@ mod tests {
             a.write_u64(&mut pool, i * 64, 0xbeef + i);
             a.clwb(&mut pool, i * 64);
         }
-        a.mfence();
+        a.mfence(&mut pool);
         pool.flush_pending();
         // B streams again: lines 0..4 are present (stale) so the HW
         // prefetcher skips them and B reads stale values.
@@ -588,7 +686,7 @@ mod tests {
         for i in 0..4u64 {
             b.clflushopt(&mut pool, i * 64);
         }
-        b.mfence();
+        b.mfence(&mut pool);
         for i in 0..4u64 {
             assert_eq!(b.read_u64(&mut pool, i * 64), 0xbeef + i);
         }

@@ -32,6 +32,8 @@ pub mod dma;
 pub mod host;
 pub mod pool;
 pub mod region;
+#[cfg(feature = "sanitize")]
+pub mod sanitizer;
 pub mod topology;
 
 pub use cache::HostCache;
@@ -40,6 +42,8 @@ pub use dma::{DmaMemory, MemRef};
 pub use host::HostCtx;
 pub use pool::{CxlPool, LinkMeter, PortId, TrafficClass};
 pub use region::{Region, RegionAllocator};
+#[cfg(feature = "sanitize")]
+pub use sanitizer::{Report, ReportKind, Sanitizer, Severity};
 pub use topology::PodTopology;
 
 /// Cache-line size in bytes; everything in the pool is managed at this

@@ -130,6 +130,10 @@ pub struct CxlPool {
     /// traffic hammers one region at a time, so most lookups hit here and
     /// skip the binary search. `(0, 0, _)` never matches.
     last_class: std::cell::Cell<(u64, u64, TrafficClass)>,
+    /// Coherence sanitizer shadow state (pure observer; never affects
+    /// timing, metering, or memory contents).
+    #[cfg(feature = "sanitize")]
+    pub san: crate::sanitizer::Sanitizer,
 }
 
 impl CxlPool {
@@ -142,8 +146,37 @@ impl CxlPool {
             pending: Vec::new(),
             pending_by_line: AddrMap::new(),
             last_class: std::cell::Cell::new((0, 0, TrafficClass::Unclassified)),
+            #[cfg(feature = "sanitize")]
+            san: crate::sanitizer::Sanitizer::new(ports),
         }
     }
+
+    /// Register a region name for sanitizer diagnostics. No-op unless the
+    /// `sanitize` feature is enabled.
+    #[cfg(feature = "sanitize")]
+    pub fn note_region(&mut self, base: u64, end: u64, name: &str) {
+        self.san.note_region(base, end, name);
+    }
+
+    /// Register a region name for sanitizer diagnostics. No-op unless the
+    /// `sanitize` feature is enabled.
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    pub fn note_region(&mut self, _base: u64, _end: u64, _name: &str) {}
+
+    /// Tell the sanitizer a host's CPU cache was dropped wholesale (crash):
+    /// its shadow snapshots are invalidated. No-op unless the `sanitize`
+    /// feature is enabled.
+    #[cfg(feature = "sanitize")]
+    pub fn san_host_reset(&mut self, port: PortId) {
+        self.san.on_host_reset(port);
+    }
+
+    /// Tell the sanitizer a host's CPU cache was dropped wholesale (crash).
+    /// No-op unless the `sanitize` feature is enabled.
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    pub fn san_host_reset(&mut self, _port: PortId) {}
 
     /// Pool capacity in bytes.
     pub fn size(&self) -> u64 {
@@ -234,6 +267,9 @@ impl CxlPool {
         for w in self.pending.drain(..idx) {
             // The queue's global order restricted to one line equals that
             // line's index order, so this write is its line's front entry.
+            // oasis-check: allow(no-panic) pending and pending_by_line are
+            // updated together; a missing index entry is memory corruption,
+            // not a recoverable condition.
             let entries = self
                 .pending_by_line
                 .get_mut(w.addr)
@@ -243,6 +279,8 @@ impl CxlPool {
             if entries.is_empty() {
                 self.pending_by_line.remove(w.addr);
             }
+            #[cfg(feature = "sanitize")]
+            self.san.on_apply_writeback(e.port, w.addr);
             let base = w.addr as usize;
             self.mem[base..base + LINE as usize].copy_from_slice(&e.data);
         }
@@ -355,6 +393,8 @@ impl CxlPool {
     ) {
         let class = self.classify(line_addr);
         self.meters[port.0].write_bytes[class.index()] += LINE;
+        #[cfg(feature = "sanitize")]
+        self.san.on_post_writeback(port, line_addr, visible_at);
         // Insert keeping `pending` sorted by visibility time so apply order
         // is deterministic even when host clocks are slightly skewed.
         let idx = self.pending.partition_point(|w| w.visible_at <= visible_at);
@@ -384,6 +424,8 @@ impl CxlPool {
     /// off).
     pub fn dma_read(&mut self, now: SimTime, port: PortId, addr: u64, out: &mut [u8]) {
         self.apply_pending(now);
+        #[cfg(feature = "sanitize")]
+        self.san.on_dma_read(port, addr, out.len() as u64, now);
         let class = self.classify(addr);
         self.meters[port.0].read_bytes[class.index()] += out.len() as u64;
         let base = addr as usize;
@@ -395,6 +437,8 @@ impl CxlPool {
     /// their latency is charged by the device's own timing model).
     pub fn dma_write(&mut self, now: SimTime, port: PortId, addr: u64, data: &[u8]) {
         self.apply_pending(now);
+        #[cfg(feature = "sanitize")]
+        self.san.on_dma_write(port, addr, data.len() as u64);
         let class = self.classify(addr);
         self.meters[port.0].write_bytes[class.index()] += data.len() as u64;
         let base = addr as usize;

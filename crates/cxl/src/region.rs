@@ -114,6 +114,7 @@ impl RegionAllocator {
                 self.free_list[i] = (base + size_aligned, s - size_aligned, c);
             }
             self.outstanding += size_aligned;
+            pool.note_region(base, base + size_aligned, &name);
             return Region {
                 name,
                 base,
@@ -130,6 +131,7 @@ impl RegionAllocator {
         self.next = base + size_aligned;
         self.outstanding += size_aligned;
         pool.register_class(base, base + size_aligned, class);
+        pool.note_region(base, base + size_aligned, &name);
         Region {
             name,
             base,
@@ -147,6 +149,9 @@ impl RegionAllocator {
             "free of a region never handed out"
         );
         assert!(region.size.is_multiple_of(LINE), "regions are line-sized");
+        // oasis-check: allow(no-panic) allocator-misuse contract like the
+        // asserts above: freeing more than was allocated is a setup bug in
+        // the calling driver, caught at development time.
         self.outstanding = self
             .outstanding
             .checked_sub(region.size)

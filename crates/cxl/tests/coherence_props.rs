@@ -84,7 +84,7 @@ proptest! {
                 }
                 Op::Clwb { addr } => host.clwb(&mut pool, addr),
                 Op::Flush { addr } => host.clflushopt(&mut pool, addr),
-                Op::Fence => host.mfence(),
+                Op::Fence => host.mfence(&mut pool),
                 Op::Prefetch { addr } => host.prefetch(&mut pool, addr),
             }
         }
@@ -110,7 +110,7 @@ proptest! {
         for la in (0..AREA).step_by(64) {
             host.clwb(&mut pool, la);
         }
-        host.mfence();
+        host.mfence(&mut pool);
         pool.apply_pending(host.clock);
         let mut out = vec![0u8; AREA as usize];
         pool.peek(0, &mut out);
@@ -132,7 +132,7 @@ proptest! {
         // Host caches the old value (written back so DMA-read sees it too).
         host.write(&mut pool, addr, &[old; 64]);
         host.clwb(&mut pool, addr);
-        host.mfence();
+        host.mfence(&mut pool);
         pool.apply_pending(host.clock);
         // Device overwrites via DMA.
         pool.dma_write(SimTime::MAX, PortId(1), addr, &[new; 64]);
@@ -142,7 +142,7 @@ proptest! {
         prop_assert_eq!(out[0], old, "cached read must be stale");
         // ...until invalidated.
         host.clflushopt(&mut pool, addr);
-        host.mfence();
+        host.mfence(&mut pool);
         host.read(&mut pool, addr, &mut out);
         prop_assert_eq!(out[0], new, "post-invalidate read must be fresh");
     }

@@ -89,6 +89,16 @@ impl NvmeStatus {
     }
 }
 
+/// Fixed-width little-endian field at `off` in a 64 B message; bounds are
+/// checked at compile time through the const generic, so no fallible
+/// `try_into` is needed on the decode path.
+#[inline]
+fn sub<const N: usize>(b: &[u8; 64], off: usize) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&b[off..off + N]);
+    out
+}
+
 /// A 64 B NVMe-style I/O command.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NvmeCommand {
@@ -127,12 +137,12 @@ impl NvmeCommand {
     pub fn decode(b: &[u8; 64]) -> Option<NvmeCommand> {
         Some(NvmeCommand {
             opcode: NvmeOpcode::from_byte(b[0])?,
-            cid: u16::from_le_bytes(b[2..4].try_into().unwrap()),
-            nsid: u32::from_le_bytes(b[4..8].try_into().unwrap()),
-            data_ptr: u64::from_le_bytes(b[8..16].try_into().unwrap()),
-            slba: u64::from_le_bytes(b[16..24].try_into().unwrap()),
-            nlb: u32::from_le_bytes(b[24..28].try_into().unwrap()),
-            frontend: u32::from_le_bytes(b[28..32].try_into().unwrap()),
+            cid: u16::from_le_bytes(sub(b, 2)),
+            nsid: u32::from_le_bytes(sub(b, 4)),
+            data_ptr: u64::from_le_bytes(sub(b, 8)),
+            slba: u64::from_le_bytes(sub(b, 16)),
+            nlb: u32::from_le_bytes(sub(b, 24)),
+            frontend: u32::from_le_bytes(sub(b, 28)),
         })
     }
 
@@ -174,9 +184,9 @@ impl NvmeCompletion {
             return None;
         }
         Some(NvmeCompletion {
-            cid: u16::from_le_bytes(b[2..4].try_into().unwrap()),
+            cid: u16::from_le_bytes(sub(b, 2)),
             status: NvmeStatus::from_byte(b[1]),
-            frontend: u32::from_le_bytes(b[28..32].try_into().unwrap()),
+            frontend: u32::from_le_bytes(sub(b, 28)),
         })
     }
 }

@@ -197,7 +197,9 @@ impl Ssd {
             else {
                 break;
             };
-            let cmd = self.sq.pop_front().unwrap();
+            let Some(cmd) = self.sq.pop_front() else {
+                break;
+            };
             if now < self.fault_timeout_until {
                 // Injected timeout: the command vanishes inside the device.
                 // No completion will ever be posted for this cid.
@@ -272,11 +274,10 @@ impl Ssd {
     /// Drain completions that finished by `now`.
     pub fn poll_completions(&mut self, now: SimTime) -> Vec<NvmeCompletion> {
         let mut out = Vec::new();
-        while let Some(f) = self.cq.front() {
-            if f.done_at > now {
-                break;
+        while self.cq.front().is_some_and(|f| f.done_at <= now) {
+            if let Some(f) = self.cq.pop_front() {
+                out.push(f.completion);
             }
-            out.push(self.cq.pop_front().unwrap().completion);
         }
         out
     }
