@@ -13,11 +13,22 @@
 //!  2. What does pooling buy? Aggregate throughput as more hosts share one
 //!     device — stranded-per-host accelerators idle while a pooled one
 //!     serves every host up to its lane parallelism.
+//!
+//! Usage mirrors `perf_smoke`:
+//!
+//! ```text
+//! accel_offload              measure; keep any recorded baseline
+//! accel_offload --baseline   measure and record this run as the baseline
+//! accel_offload --check      fail (exit 1) when aggregate throughput fell
+//!                            below the tolerance band vs BENCH_accel.json
+//! ```
 
 use oasis_accel::{AccelConfig, AccelOp};
+use oasis_bench::{metrics, regress};
 use oasis_core::config::OasisConfig;
 use oasis_core::instance::AppKind;
 use oasis_core::pod::{Pod, PodBuilder};
+use oasis_obs::MetricSink;
 use oasis_sim::report::Table;
 use oasis_sim::time::SimDuration;
 
@@ -79,6 +90,8 @@ fn run_batch(pod: &mut Pod, hosts: &[usize]) -> (SimDuration, usize) {
 }
 
 fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--baseline");
+    let check = std::env::args().any(|a| a == "--check");
     println!("== Accel offload over the pooled engine fabric (64 KiB checksum jobs) ==\n");
 
     // 1. Pooling cost: a single host reaching the accelerator over the
@@ -106,13 +119,29 @@ fn main() {
         "aggregate GB/s",
         "device util vs 1 host",
     ]);
-    let mut base_span: Option<f64> = None;
-    for consumers in [1usize, 2, 4, 8] {
+    // Every sweep point is exported into a metrics sink keyed by the
+    // sharing-host count, and the table below is rendered from the snapshot
+    // read-back — the same path `obs_report` uses.
+    let mut sink = MetricSink::new();
+    let sweep = [1usize, 2, 4, 8];
+    for &consumers in &sweep {
         let (mut pod, hosts) = build_pod(consumers);
         let (span, jobs) = run_batch(&mut pod, &hosts);
-        let secs = span.as_nanos() as f64 / 1e9;
-        let gbps = (jobs * JOB_BYTES) as f64 / secs / 1e9;
-        let span_us = span.as_nanos() as f64 / 1e3;
+        sink.set(metrics::ACCEL_BATCH_JOBS, consumers as u32, jobs as u64);
+        sink.set(
+            metrics::ACCEL_MAKESPAN_NS,
+            consumers as u32,
+            span.as_nanos(),
+        );
+    }
+    let snap = sink.snapshot();
+    let mut base_span: Option<f64> = None;
+    let mut gbps_at: Vec<(usize, f64)> = Vec::new();
+    for &consumers in &sweep {
+        let jobs = snap.counter(metrics::ACCEL_BATCH_JOBS, consumers as u32);
+        let span_ns = snap.counter(metrics::ACCEL_MAKESPAN_NS, consumers as u32) as f64;
+        let gbps = (jobs as usize * JOB_BYTES) as f64 / (span_ns / 1e9) / 1e9;
+        let span_us = span_ns / 1e3;
         let util = match base_span {
             None => {
                 base_span = Some(span_us);
@@ -123,6 +152,7 @@ fn main() {
             // worth of work — utilization relative to the single-host run.
             Some(base) => consumers as f64 * base / span_us,
         };
+        gbps_at.push((consumers, gbps));
         t.row(vec![
             format!("{consumers}"),
             format!("{jobs}"),
@@ -135,6 +165,49 @@ fn main() {
     println!(
         "pooling lets every host reach the device; aggregate throughput grows\n\
          until the device's internal lanes saturate, where a stranded\n\
-         one-device-per-host deployment would leave each device mostly idle."
+         one-device-per-host deployment would leave each device mostly idle.\n"
     );
+
+    // Regression bookkeeping. The gated metric is aggregate GB/s per
+    // sharing-host count — a pure function of the deterministic simulation,
+    // so any drift is a behavioral change in the engine fabric, not noise.
+    let prior = std::fs::read_to_string("BENCH_accel.json").ok();
+    let baseline_for = |consumers: usize| -> Option<f64> {
+        prior
+            .as_deref()
+            .and_then(|text| regress::read_json_number(text, &format!("baseline_gbps_{consumers}")))
+    };
+
+    if check {
+        let mut ok = true;
+        for &(consumers, gbps) in &gbps_at {
+            let baseline = baseline_for(consumers).expect(
+                "--check needs a committed BENCH_accel.json with baseline_gbps_<hosts> entries",
+            );
+            ok &= regress::gate(
+                &format!("accel aggregate GB/s @ {consumers} hosts"),
+                regress::handicapped(gbps),
+                baseline,
+            );
+        }
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"accel_offload\",\n");
+    for (i, &(consumers, gbps)) in gbps_at.iter().enumerate() {
+        let baseline = if record_baseline {
+            Some(gbps)
+        } else {
+            baseline_for(consumers)
+        };
+        json.push_str(&format!("  \"gbps_{consumers}\": {gbps:.3},\n"));
+        match baseline {
+            Some(b) => json.push_str(&format!("  \"baseline_gbps_{consumers}\": {b:.3}")),
+            None => json.push_str(&format!("  \"baseline_gbps_{consumers}\": null")),
+        }
+        json.push_str(if i + 1 == gbps_at.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_accel.json", &json).expect("write BENCH_accel.json");
+    println!("wrote BENCH_accel.json");
 }

@@ -7,10 +7,11 @@
 //! bandwidth.
 
 use oasis_bench::SweepRunner;
+use oasis_obs::MetricSink;
 use oasis_sim::report::{fmt_pct, Table};
 use oasis_sim::time::SimDuration;
 use oasis_trace::alloc_trace::{AllocTrace, ArrivalStream, HostCapacity};
-use oasis_trace::stranding::stranding_by_pod_size;
+use oasis_trace::stranding::{export_stranding, stranding_by_pod_size, stranding_from_snapshot};
 
 fn main() {
     let hosts = 32;
@@ -28,13 +29,22 @@ fn main() {
     // so the sweep fans one pod size per job across SweepRunner workers;
     // results come back in input order, identical at any thread count.
     let runner = SweepRunner::from_env();
-    let pts: Vec<_> = runner
+    let measured: Vec<_> = runner
         .run(&pod_sizes, |&k| {
             stranding_by_pod_size(hosts, duration, &[k], repeats, 2025)
         })
         .into_iter()
         .flatten()
         .collect();
+
+    // Everything the figure prints flows through a metrics snapshot: the
+    // sweep is exported into a sink and read back, so the table below is a
+    // pure function of the snapshot (and byte-identical with `obs` on or
+    // off — the feature only adds entries this figure does not print).
+    let mut sink = MetricSink::new();
+    export_stranding(&measured, &mut sink);
+    let snap = sink.snapshot();
+    let pts = stranding_from_snapshot(&snap);
 
     let mut t = Table::new(vec![
         "pod size",

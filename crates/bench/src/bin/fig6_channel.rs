@@ -12,7 +12,7 @@
 //! `OASIS_SWEEP_THREADS` setting.
 
 use oasis_bench::SweepRunner;
-use oasis_channel::runner::{run_offered_load, PairReport};
+use oasis_channel::runner::{run_offered_load_snap, PairReport};
 use oasis_channel::{Policy, DEFAULT_SLOTS};
 use oasis_sim::report::Table;
 use oasis_sim::time::SimDuration;
@@ -25,8 +25,13 @@ fn main() {
     // Saturation throughput per design.
     let mut t = Table::new(vec!["design", "max throughput", "paper"]);
     let paper_max = ["3.0", "8.6", "87.0", "~87"];
+    // Every printed number is derived from the run's metrics snapshot:
+    // `from_snapshot` reads the received count and latency histogram back
+    // out of the canonical export, so the figure is a pure function of the
+    // snapshot (byte-identical with `obs` on or off).
     let sat: Vec<PairReport> = runner.run(&Policy::ALL, |&policy| {
-        run_offered_load(policy, DEFAULT_SLOTS, f64::INFINITY, duration)
+        let (_, snap) = run_offered_load_snap(policy, DEFAULT_SLOTS, 16, f64::INFINITY, duration);
+        PairReport::from_snapshot(policy, f64::INFINITY, duration, &snap)
     });
     let max_tput: Vec<f64> = sat.iter().map(|r| r.achieved_mops).collect();
     for (i, policy) in Policy::ALL.iter().enumerate() {
@@ -54,7 +59,8 @@ fn main() {
         }
     }
     let results: Vec<PairReport> = runner.run(&jobs, |&(load, policy)| {
-        run_offered_load(policy, DEFAULT_SLOTS, load, duration)
+        let (_, snap) = run_offered_load_snap(policy, DEFAULT_SLOTS, 16, load, duration);
+        PairReport::from_snapshot(policy, load, duration, &snap)
     });
     let mut next_result = results.into_iter();
 

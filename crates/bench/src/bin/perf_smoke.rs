@@ -10,6 +10,9 @@
 //! Usage:
 //!   perf_smoke              measure; keep any recorded baseline in the JSON
 //!   perf_smoke --baseline   measure and also record this run as the baseline
+//!   perf_smoke --check      measure and fail (exit 1) when throughput fell
+//!                           more than the tolerance band below the
+//!                           committed baseline (see `oasis_bench::regress`)
 
 // oasis-check: allow-file(nondeterminism) this binary measures wall-clock
 // throughput of the simulator itself; its output is a report, not an input
@@ -17,6 +20,7 @@
 use std::time::Instant;
 
 use oasis_bench::harness::{run_udp_echo, Mode};
+use oasis_bench::regress;
 use oasis_channel::runner::run_offered_load;
 use oasis_channel::Policy;
 use oasis_sim::report::Table;
@@ -72,21 +76,9 @@ fn datapath_phase() -> Phase {
     }
 }
 
-/// Pull `"key": <number>` out of a previously written JSON file. The file
-/// is machine-written by this binary with a fixed shape, so a plain text
-/// scan is reliable; we have no JSON dependency offline.
-fn read_json_number(text: &str, key: &str) -> Option<f64> {
-    let pat = format!("\"{key}\":");
-    let at = text.find(&pat)? + pat.len();
-    let rest = text[at..].trim_start();
-    let end = rest
-        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}
-
 fn main() {
     let record_baseline = std::env::args().any(|a| a == "--baseline");
+    let check = std::env::args().any(|a| a == "--check");
     println!("== perf_smoke: simulation-substrate throughput ==\n");
 
     let phases = [channel_phase(), datapath_phase()];
@@ -115,7 +107,20 @@ fn main() {
 
     let prior_baseline = std::fs::read_to_string("BENCH_substrate.json")
         .ok()
-        .and_then(|text| read_json_number(&text, "baseline_ops_per_sec"));
+        .and_then(|text| regress::read_json_number(&text, "baseline_ops_per_sec"));
+
+    if check {
+        let baseline = prior_baseline
+            .expect("--check needs a committed BENCH_substrate.json with a baseline_ops_per_sec");
+        let ok = regress::gate(
+            "substrate ops/wall-second",
+            regress::handicapped(ops_per_sec),
+            baseline,
+        );
+        // --check is the CI gate: never rewrite the committed file, just
+        // compare and set the exit status.
+        std::process::exit(if ok { 0 } else { 1 });
+    }
     let baseline = if record_baseline {
         Some(ops_per_sec)
     } else {

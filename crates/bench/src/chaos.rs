@@ -369,12 +369,11 @@ pub fn run_chaos(seed: u64) -> ChaosReport {
         }
     }
 
-    let fe_stats = pod.storage_frontends[h0]
-        .as_ref()
-        .expect("driver host has a storage frontend")
-        .stats
-        .clone();
-    let be_stats = pod.storage_backends[0].stats.clone();
+    // Storage accounting comes out of the pod's canonical metrics snapshot
+    // rather than poking engine fields directly, so the chaos report prints
+    // the same numbers the observability exporter would.
+    let snap = pod.metrics_snapshot();
+    use oasis_core::metrics as m;
     ChaosReport {
         seed,
         classes,
@@ -382,9 +381,9 @@ pub fn run_chaos(seed: u64) -> ChaosReport {
         violations,
         detections,
         storage_submitted: submitted,
-        storage_retries: fe_stats.retries,
-        storage_retry_exhausted: fe_stats.retry_exhausted,
-        storage_replays_answered: be_stats.replays_answered,
+        storage_retries: snap.counter(m::STORAGE_FE_RETRIES, h0 as u32),
+        storage_retry_exhausted: snap.counter(m::STORAGE_FE_RETRY_EXHAUSTED, h0 as u32),
+        storage_replays_answered: snap.counter(m::STORAGE_BE_REPLAYS_ANSWERED, 0),
         probe,
     }
 }

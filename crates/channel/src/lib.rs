@@ -31,6 +31,8 @@
 
 pub mod error;
 pub mod layout;
+pub mod metrics;
+pub mod obs;
 pub mod receiver;
 pub mod reliable;
 pub mod runner;
@@ -40,7 +42,7 @@ pub use error::ChannelError;
 pub use layout::ChannelLayout;
 pub use receiver::{Policy, Receiver};
 pub use reliable::{RetryPolicy, RetryState, SeqWindow};
-pub use runner::{run_offered_load, PairReport};
+pub use runner::{run_offered_load, run_offered_load_snap, PairReport};
 pub use sender::Sender;
 
 /// Message size used by the network engine (§3.3): 8 B buffer pointer, 2 B

@@ -1,0 +1,24 @@
+//! Metric name registry for `oasis-channel` (`oasis-check` `metric-name`
+//! rule: all metric name literals live here, `snake_case`, crate-prefixed).
+//!
+//! Tags are channel/endpoint indices chosen by the harness (0 for a single
+//! co-simulated pair).
+
+/// Messages sent during the measurement window.
+pub const SENT: &str = "channel.sent";
+/// Messages received during the measurement window.
+pub const RECEIVED: &str = "channel.received";
+/// Histogram: one-way message latency in nanoseconds.
+pub const LATENCY_NS: &str = "channel.latency_ns";
+/// Lifetime messages the sender has enqueued.
+pub const SENDER_SENT_TOTAL: &str = "channel.sender_sent_total";
+/// Lifetime messages the receiver has consumed.
+pub const RECEIVER_CONSUMED_TOTAL: &str = "channel.receiver_consumed_total";
+/// Ring depth at export time (sent minus consumed).
+pub const DEPTH: &str = "channel.depth";
+/// Consumed-counter refreshes the sender performed (ring-full probes).
+pub const COUNTER_REFRESHES: &str = "channel.counter_refreshes";
+/// Receiver polls that found no message.
+pub const EMPTY_POLLS: &str = "channel.empty_polls";
+/// Duplicate sequence numbers dropped by a receive-side dedup window.
+pub const DEDUP_DROPS: &str = "channel.dedup_drops";

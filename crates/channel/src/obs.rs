@@ -1,0 +1,79 @@
+//! Metric export for message-channel endpoints (always compiled; the
+//! figures' snapshot-sourced numbers depend on it with `obs` off too).
+
+use oasis_obs::MetricSink;
+
+use crate::metrics;
+use crate::receiver::Receiver;
+use crate::sender::Sender;
+
+/// Export one sender/receiver pair's lifetime tallies into `sink` under
+/// `tag` (the harness's channel index).
+pub fn export_endpoint_metrics(
+    sender: &Sender,
+    receiver: &Receiver,
+    tag: u32,
+    sink: &mut MetricSink,
+) {
+    sink.set(metrics::SENDER_SENT_TOTAL, tag, sender.sent());
+    sink.set(metrics::RECEIVER_CONSUMED_TOTAL, tag, receiver.consumed());
+    sink.set(
+        metrics::DEPTH,
+        tag,
+        sender.sent().saturating_sub(receiver.consumed()),
+    );
+    sink.set(metrics::COUNTER_REFRESHES, tag, sender.counter_refreshes);
+    sink.set(metrics::EMPTY_POLLS, tag, receiver.empty_polls);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::ChannelLayout;
+    use crate::receiver::Policy;
+    use oasis_cxl::pool::{PortId, TrafficClass};
+    use oasis_cxl::{CxlPool, HostCtx, RegionAllocator};
+
+    #[test]
+    fn endpoint_export_tracks_traffic() {
+        let mut pool = CxlPool::new(1 << 20, 2);
+        let mut ra = RegionAllocator::new(&pool);
+        let region = ra.alloc(
+            &mut pool,
+            "t",
+            ChannelLayout::bytes_needed(64, 16),
+            TrafficClass::Message,
+        );
+        let layout = ChannelLayout::in_region(&region, 64, 16);
+        let mut tx_host = HostCtx::new(PortId(0), 0);
+        let mut rx_host = HostCtx::new(PortId(1), 0);
+        let mut tx = Sender::new(layout.clone());
+        let mut rx = Receiver::new(layout, Policy::InvalidatePrefetched);
+
+        let msg = [7u8; 16];
+        for _ in 0..5 {
+            assert!(matches!(
+                tx.try_send(&mut tx_host, &mut pool, &msg),
+                Ok(true)
+            ));
+        }
+        tx.flush(&mut tx_host, &mut pool);
+        pool.flush_pending();
+        let mut out = [0u8; 16];
+        rx_host.clock = tx_host.clock;
+        let mut got = 0;
+        for _ in 0..32 {
+            if rx.try_recv(&mut rx_host, &mut pool, &mut out) {
+                got += 1;
+            }
+        }
+        assert!(got >= 1, "at least one message must arrive");
+
+        let mut sink = MetricSink::new();
+        export_endpoint_metrics(&tx, &rx, 3, &mut sink);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(metrics::SENDER_SENT_TOTAL, 3), 5);
+        assert_eq!(snap.counter(metrics::RECEIVER_CONSUMED_TOTAL, 3), got);
+        assert_eq!(snap.counter(metrics::DEPTH, 3), 5 - got);
+    }
+}

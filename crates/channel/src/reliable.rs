@@ -92,6 +92,9 @@ pub struct SeqWindow {
     /// Presence bitmap over the full u16 space (8 KiB — cheap and O(1)).
     present: Vec<u64>,
     capacity: usize,
+    /// Duplicates rejected over the window's lifetime (telemetry; exported
+    /// as `channel.dedup_drops`).
+    pub dup_hits: u64,
 }
 
 impl SeqWindow {
@@ -102,6 +105,7 @@ impl SeqWindow {
             order: std::collections::VecDeque::with_capacity(capacity),
             present: vec![0u64; 1024],
             capacity,
+            dup_hits: 0,
         }
     }
 
@@ -125,6 +129,7 @@ impl SeqWindow {
     /// any) so callers can keep a side table in lockstep with the window.
     pub fn insert_evicting(&mut self, seq: u16) -> (bool, Option<u16>) {
         if self.contains(seq) {
+            self.dup_hits += 1;
             return (false, None);
         }
         let mut evicted = None;

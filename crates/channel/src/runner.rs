@@ -13,14 +13,17 @@
 
 use oasis_cxl::pool::{PortId, TrafficClass};
 use oasis_cxl::{CxlPool, HostCtx, RegionAllocator};
-use oasis_sim::hist::Histogram;
+use oasis_obs::{MetricSink, MetricsSnapshot};
 use oasis_sim::time::{SimDuration, SimTime};
 
 use crate::layout::ChannelLayout;
+use crate::metrics;
 use crate::receiver::{Policy, Receiver};
 use crate::sender::Sender;
 
-/// Results of one offered-load point.
+/// Results of one offered-load point, derived from a
+/// [`MetricsSnapshot`] (see [`PairReport::from_snapshot`]) — the runner
+/// keeps no private tallies.
 #[derive(Clone, Debug)]
 pub struct PairReport {
     /// The policy measured.
@@ -38,6 +41,34 @@ pub struct PairReport {
     pub sent: u64,
     /// Messages received during the measurement window.
     pub received: u64,
+}
+
+impl PairReport {
+    /// Derive the figure-facing numbers from a measurement snapshot: the
+    /// counters under `channel.*` tag 0 and the one-way latency histogram.
+    pub fn from_snapshot(
+        policy: Policy,
+        offered_mops: f64,
+        duration: SimDuration,
+        snap: &MetricsSnapshot,
+    ) -> PairReport {
+        let warmup_ns = duration.as_nanos() / 5;
+        let measured_secs = (duration.as_nanos() - warmup_ns) as f64 / 1e9;
+        let received = snap.counter(metrics::RECEIVED, 0);
+        let (p50, p99) = match snap.hist(metrics::LATENCY_NS, 0) {
+            Some(h) => (h.percentile(50.0), h.percentile(99.0)),
+            None => (0, 0),
+        };
+        PairReport {
+            policy,
+            offered_mops,
+            achieved_mops: received as f64 / measured_secs / 1e6,
+            p50_latency_ns: p50,
+            p99_latency_ns: p99,
+            sent: snap.counter(metrics::SENT, 0),
+            received,
+        }
+    }
 }
 
 /// Run a sender/receiver pair at a given offered load for `duration` of
@@ -64,6 +95,19 @@ pub fn run_offered_load_sized(
     offered_mops: f64,
     duration: SimDuration,
 ) -> PairReport {
+    run_offered_load_snap(policy, slots, msg_size, offered_mops, duration).0
+}
+
+/// Like [`run_offered_load_sized`], also returning the full measurement
+/// snapshot the report was derived from (endpoint tallies, latency
+/// histogram buckets) for exporters and the bench-regression artifacts.
+pub fn run_offered_load_snap(
+    policy: Policy,
+    slots: u64,
+    msg_size: u64,
+    offered_mops: f64,
+    duration: SimDuration,
+) -> (PairReport, MetricsSnapshot) {
     let mut pool = CxlPool::new(
         (ChannelLayout::bytes_needed(slots, msg_size) + 4096).next_power_of_two(),
         2,
@@ -98,9 +142,7 @@ pub fn run_offered_load_sized(
     let mut out_buf = vec![0u8; msg_size as usize];
     let mut next_send = SimTime::ZERO;
     let mut send_credit = 0.0f64; // fractional ns carry for non-integer gaps
-    let mut sent_measured = 0u64;
-    let mut received_measured = 0u64;
-    let mut hist = Histogram::new();
+    let mut sink = MetricSink::new();
 
     loop {
         let s_done = tx_host.clock >= end;
@@ -124,7 +166,7 @@ pub fn run_offered_load_sized(
             // here just means no message was enqueued this step.
             if matches!(sender.try_send(&mut tx_host, &mut pool, &msg_buf), Ok(true)) {
                 if tx_host.clock >= warmup {
-                    sent_measured += 1;
+                    sink.incr(metrics::SENT, 0);
                 }
                 if low_rate && sender.has_unflushed() {
                     sender.flush(&mut tx_host, &mut pool);
@@ -144,26 +186,21 @@ pub fn run_offered_load_sized(
             ts_bytes.copy_from_slice(&out_buf[..8]);
             let ts = u64::from_le_bytes(ts_bytes);
             if rx_host.clock >= warmup {
-                received_measured += 1;
+                sink.incr(metrics::RECEIVED, 0);
                 // Latency samples only for messages sent after warm-up so
                 // the cold-start transient does not skew tails.
                 if SimTime::from_nanos(ts) >= warmup {
-                    hist.record(rx_host.clock.as_nanos().saturating_sub(ts));
+                    let span = sink.span(SimTime::from_nanos(ts));
+                    span.end(&mut sink, metrics::LATENCY_NS, 0, rx_host.clock);
                 }
             }
         }
     }
 
-    let measured_secs = (duration.as_nanos() - warmup.as_nanos()) as f64 / 1e9;
-    PairReport {
-        policy,
-        offered_mops,
-        achieved_mops: received_measured as f64 / measured_secs / 1e6,
-        p50_latency_ns: hist.percentile(50.0),
-        p99_latency_ns: hist.percentile(99.0),
-        sent: sent_measured,
-        received: received_measured,
-    }
+    crate::obs::export_endpoint_metrics(&sender, &receiver, 0, &mut sink);
+    let snap = sink.snapshot();
+    let report = PairReport::from_snapshot(policy, offered_mops, duration, &snap);
+    (report, snap)
 }
 
 #[cfg(test)]

@@ -17,6 +17,11 @@
 //!   std `HashMap`/`HashSet`) — experiments must be bit-reproducible.
 //! - **allow-comment**: every `#[allow(...)]` carries a justification
 //!   comment on the attribute line or directly above it.
+//! - **metric-name**: telemetry metric names (`"<crate>.<snake_case>"`
+//!   string literals whose first segment names a crate with a metric
+//!   registry) live only in that crate's `src/metrics.rs`, where the
+//!   prefix must match the owning crate; everywhere else code must use
+//!   the registered const.
 //!
 //! Test code is exempt: files under `tests/` and `benches/` are skipped
 //! where appropriate, and `#[cfg(test)]` blocks are excluded by brace
@@ -35,6 +40,10 @@ use std::path::{Path, PathBuf};
 /// Crates whose `src/` trees are runtime paths for the `no-panic` rule.
 const RUNTIME_CRATES: &[&str] = &["cxl", "channel", "core", "storage", "accel"];
 
+/// Crates that own a metric-name registry (`src/metrics.rs`). These are
+/// also the only legal first segments of a metric name.
+const METRIC_REGISTRY_CRATES: &[&str] = &["sim", "cxl", "channel", "core", "trace", "bench"];
+
 /// The rule identifiers accepted in waiver comments.
 pub const RULES: &[&str] = &[
     "no-panic",
@@ -42,6 +51,7 @@ pub const RULES: &[&str] = &[
     "pool-escape",
     "nondeterminism",
     "allow-comment",
+    "metric-name",
 ];
 
 /// One lint finding.
@@ -278,6 +288,142 @@ pub fn lex(src: &str) -> Lexed {
         masked: String::from_utf8_lossy(&out).into_owned(),
         comments,
     }
+}
+
+/// Extract ordinary and raw string literal contents from `src` with their
+/// 1-indexed starting lines. The inverse concern of [`lex`]: comments are
+/// skipped, literal *contents* are kept. Escape sequences are passed
+/// through raw — a literal containing one can never look like a metric
+/// name, which is all this feeds.
+pub fn string_literals(src: &str) -> Vec<(usize, String)> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let b = src.as_bytes();
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_line = 1usize;
+    let mut st = St::Code;
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => match c {
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    st = St::Line;
+                    i += 2;
+                    continue;
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    st = St::Block(1);
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    st = St::Str;
+                    cur.clear();
+                    cur_line = line;
+                }
+                b'r' | b'b' => {
+                    let mut j = i + 1;
+                    if c == b'b' && b.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut h = 0u32;
+                    while b.get(j) == Some(&b'#') {
+                        h += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') && (c != b'b' || h > 0 || b[i + 1] != b'\'') {
+                        st = St::RawStr(h);
+                        cur.clear();
+                        cur_line = line;
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                b'\'' => {
+                    let is_char = match b.get(i + 1) {
+                        Some(b'\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                    }
+                }
+                _ => {}
+            },
+            St::Line => {
+                if c == b'\n' {
+                    st = St::Code;
+                }
+            }
+            St::Block(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::Block(depth + 1);
+                    i += 2;
+                    continue;
+                }
+            }
+            St::Str => match c {
+                b'\\' => {
+                    cur.push('\\');
+                    if let Some(&e) = b.get(i + 1) {
+                        cur.push(e as char);
+                        if e == b'\n' {
+                            line += 1;
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    out.push((cur_line, std::mem::take(&mut cur)));
+                    st = St::Code;
+                }
+                _ => cur.push(c as char),
+            },
+            St::RawStr(h) => {
+                if c == b'"' && (1..=h as usize).all(|k| b.get(i + k) == Some(&b'#')) {
+                    out.push((cur_line, std::mem::take(&mut cur)));
+                    i += 1 + h as usize;
+                    st = St::Code;
+                    continue;
+                }
+                cur.push(c as char);
+            }
+            St::Char => match c {
+                b'\\' => {
+                    i += 2;
+                    continue;
+                }
+                b'\'' => st = St::Code,
+                _ => {}
+            },
+        }
+        if c == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -570,6 +716,87 @@ fn rule_nondeterminism(
     }
 }
 
+/// Does `s` have the shape of a metric name: two or more non-empty
+/// `snake_case` segments joined by dots?
+fn is_metric_shaped(s: &str) -> bool {
+    let segs: Vec<&str> = s.split('.').collect();
+    segs.len() >= 2
+        && segs.iter().all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+fn rule_metric_name(
+    ctx: &FileCtx,
+    src: &str,
+    lexed: &Lexed,
+    tests: &[(usize, usize)],
+    waivers: &Waivers,
+    out: &mut Vec<Finding>,
+) {
+    // Harness code reads snapshots through registered consts too, but only
+    // src trees are policed; the check crate's own fixtures are exempt.
+    if ctx.kind != FileKind::Src || ctx.crate_name == "check" {
+        return;
+    }
+    let is_registry = ctx.rel_path.ends_with("src/metrics.rs");
+    let masked_lines: Vec<&str> = lexed.masked.lines().collect();
+    for (line, lit) in string_literals(src) {
+        if !is_metric_shaped(&lit) {
+            continue;
+        }
+        let prefix = lit.split('.').next().unwrap_or("");
+        if !METRIC_REGISTRY_CRATES.contains(&prefix) {
+            continue;
+        }
+        if in_ranges(line, tests) {
+            continue;
+        }
+        if !is_registry {
+            push(
+                out,
+                ctx,
+                waivers,
+                line,
+                "metric-name",
+                format!("metric name \"{lit}\" outside metrics.rs — use the registered const"),
+            );
+            continue;
+        }
+        if prefix != ctx.crate_name {
+            push(
+                out,
+                ctx,
+                waivers,
+                line,
+                "metric-name",
+                format!(
+                    "metric \"{lit}\" registered in crate '{}' but prefixed '{prefix}.'",
+                    ctx.crate_name
+                ),
+            );
+        }
+        // Registry entries must be const declarations, so every user can
+        // name them; the declaration and literal share a line.
+        let declared = masked_lines
+            .get(line - 1)
+            .is_some_and(|l| l.contains("const "));
+        if !declared {
+            push(
+                out,
+                ctx,
+                waivers,
+                line,
+                "metric-name",
+                format!("metric \"{lit}\" in metrics.rs is not a `const` declaration"),
+            );
+        }
+    }
+}
+
 fn rule_allow_comment(ctx: &FileCtx, lexed: &Lexed, waivers: &Waivers, out: &mut Vec<Finding>) {
     for (i, l) in lexed.masked.lines().enumerate() {
         let line = i + 1;
@@ -621,6 +848,7 @@ pub fn check_source(ctx: &FileCtx, src: &str) -> Vec<Finding> {
     rule_pool_escape(ctx, &lexed, &tests, &waivers, &mut out);
     rule_nondeterminism(ctx, &lexed, &tests, &waivers, &mut out);
     rule_allow_comment(ctx, &lexed, &waivers, &mut out);
+    rule_metric_name(ctx, src, &lexed, &tests, &waivers, &mut out);
     out
 }
 
@@ -784,6 +1012,60 @@ mod tests {
         let waived =
             format!("// oasis-check: allow-file(nondeterminism) wall-clock reporter.\n{src}");
         assert!(check_source(&src_ctx("sim"), &waived).is_empty());
+    }
+
+    #[test]
+    fn string_literal_extraction() {
+        let lits = string_literals("let a = \"x.y\"; // \"not.this\"\nlet b = r#\"raw.one\"#;\n");
+        assert_eq!(lits, vec![(1, "x.y".into()), (2, "raw.one".into())]);
+    }
+
+    #[test]
+    fn metric_name_shape() {
+        assert!(is_metric_shaped("sim.sched_dispatches"));
+        assert!(is_metric_shaped("core.storage_fe_service_ns"));
+        assert!(!is_metric_shaped("nodots"));
+        assert!(!is_metric_shaped("Mixed.case"));
+        assert!(!is_metric_shaped("sim..double"));
+        assert!(!is_metric_shaped("trailing.dot."));
+        assert!(!is_metric_shaped("has-dash.x"));
+    }
+
+    #[test]
+    fn metric_name_outside_registry_flagged() {
+        let src = "fn f(s: &Snap) -> u64 { s.counter(\"core.net_fe_tx_packets\", 0) }\n";
+        assert_eq!(
+            rules_of(&check_source(&src_ctx("bench"), src)),
+            ["metric-name"]
+        );
+        // Non-registry prefixes (region labels etc.) are not metric names.
+        let label = "fn g(p: &mut Pool) { p.alloc(\"storage.fe0.data\", 64); }\n";
+        assert!(check_source(&src_ctx("core"), label).is_empty());
+        // Tests may spot-check raw names.
+        let test =
+            "#[cfg(test)]\nmod t {\n    fn c() { s.counter(\"sim.sched_dispatches\", 0); }\n}\n";
+        assert!(check_source(&src_ctx("sim"), test).is_empty());
+    }
+
+    #[test]
+    fn metric_registry_prefix_and_const() {
+        let reg = |krate: &str, src: &str| {
+            check_source(
+                &FileCtx {
+                    rel_path: format!("crates/{krate}/src/metrics.rs"),
+                    crate_name: krate.into(),
+                    kind: FileKind::Src,
+                },
+                src,
+            )
+        };
+        let good = "pub const X: &str = \"sim.sched_dispatches\";\n";
+        assert!(reg("sim", good).is_empty());
+        // Wrong prefix for the owning crate.
+        assert_eq!(rules_of(&reg("cxl", good)), ["metric-name"]);
+        // Registered name outside a const declaration.
+        let loose = "pub fn x() -> &'static str { \"sim.sched_dispatches\" }\n";
+        assert_eq!(rules_of(&reg("sim", loose)), ["metric-name"]);
     }
 
     #[test]

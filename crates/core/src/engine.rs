@@ -37,6 +37,7 @@ use crate::baseline::LocalDriver;
 use crate::engine_net::{BackendDriver, FrontendDriver};
 use crate::engine_storage::{StorageBackend, StorageFrontend};
 use crate::instance::Instance;
+use crate::metrics as m;
 
 /// A fixed-size descriptor that travels through an Oasis message channel.
 ///
@@ -203,6 +204,16 @@ pub trait DeviceEngine {
     fn try_idle_skip(&mut self, _nics: &[Nic], _instances: &[Instance], _limit: SimTime) -> bool {
         false
     }
+
+    /// Export this engine's lifetime tallies into `sink` under the names
+    /// registered in [`crate::metrics`]. Always compiled — the figure
+    /// binaries source their numbers from the resulting snapshots with
+    /// `obs` both on and off — and pure-observer: exporting must not
+    /// change engine state or timing. Engines also export their polling
+    /// core's memory-system counters via
+    /// [`oasis_cxl::obs::export_host_metrics`] so every core reports cache
+    /// behaviour uniformly.
+    fn on_metrics(&self, _sink: &mut oasis_obs::MetricSink) {}
 }
 
 /// A frontend driver: the per-consuming-host half of an engine. Encodes
@@ -247,6 +258,18 @@ impl DeviceEngine for FrontendDriver {
         self.step(world.pool, world.instances, world.nic_macs);
         Vec::new()
     }
+    fn on_metrics(&self, sink: &mut oasis_obs::MetricSink) {
+        let t = self.host as u32;
+        sink.set(m::NET_FE_TX_PACKETS, t, self.stats.tx_packets);
+        sink.set(m::NET_FE_TX_DROP_NOBUF, t, self.stats.tx_drop_nobuf);
+        sink.set(m::NET_FE_TX_DROP_CHANNEL, t, self.stats.tx_drop_channel);
+        sink.set(m::NET_FE_TX_POLICED, t, self.stats.tx_policed);
+        sink.set(m::NET_FE_RX_PACKETS, t, self.stats.rx_packets);
+        sink.set(m::NET_FE_RX_UNKNOWN, t, self.stats.rx_unknown);
+        sink.set(m::NET_FE_REROUTES, t, self.stats.reroutes);
+        sink.set(m::NET_FE_MIGRATIONS, t, self.stats.migrations);
+        oasis_cxl::obs::export_host_metrics(&self.core, sink);
+    }
 }
 
 impl EngineFrontend for FrontendDriver {
@@ -270,6 +293,18 @@ impl DeviceEngine for BackendDriver {
     }
     fn poll(&mut self, world: &mut EngineWorld) -> Vec<(SimTime, Frame)> {
         self.step(world.pool, &mut world.nics[self.nic_id])
+    }
+    fn on_metrics(&self, sink: &mut oasis_obs::MetricSink) {
+        let t = self.nic_id as u32;
+        sink.set(m::NET_BE_TX_POSTED, t, self.stats.tx_posted);
+        sink.set(m::NET_BE_TX_DROP_FULL, t, self.stats.tx_drop_full);
+        sink.set(m::NET_BE_RX_FORWARDED, t, self.stats.rx_forwarded);
+        sink.set(m::NET_BE_RX_TAG_MISS, t, self.stats.rx_tag_miss);
+        sink.set(m::NET_BE_RX_UNKNOWN, t, self.stats.rx_unknown);
+        sink.set(m::NET_BE_RX_DROP_CHANNEL, t, self.stats.rx_drop_channel);
+        sink.set(m::NET_BE_FAILURES_REPORTED, t, self.stats.failures_reported);
+        sink.set(m::NET_BE_TELEMETRY_SENT, t, self.stats.telemetry_sent);
+        oasis_cxl::obs::export_host_metrics(&self.core, sink);
     }
 }
 
@@ -311,6 +346,14 @@ impl DeviceEngine for LocalDriver {
             false
         }
     }
+    fn on_metrics(&self, sink: &mut oasis_obs::MetricSink) {
+        let t = self.host as u32;
+        sink.set(m::LOCAL_TX_PACKETS, t, self.stats.tx_packets);
+        sink.set(m::LOCAL_TX_DROPS, t, self.stats.tx_drops);
+        sink.set(m::LOCAL_RX_PACKETS, t, self.stats.rx_packets);
+        sink.set(m::LOCAL_RX_UNKNOWN, t, self.stats.rx_unknown);
+        oasis_cxl::obs::export_host_metrics(&self.core, sink);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -339,6 +382,19 @@ impl DeviceEngine for StorageFrontend {
             self.replay_pending(pool);
         }
     }
+    fn on_metrics(&self, sink: &mut oasis_obs::MetricSink) {
+        let t = self.host as u32;
+        sink.set(m::STORAGE_FE_SUBMITTED, t, self.stats.submitted);
+        sink.set(m::STORAGE_FE_COMPLETED, t, self.stats.completed);
+        sink.set(m::STORAGE_FE_ERRORS, t, self.stats.errors);
+        sink.set(m::STORAGE_FE_REFUSED, t, self.stats.refused);
+        sink.set(m::STORAGE_FE_RETRIES, t, self.stats.retries);
+        sink.set(m::STORAGE_FE_RETRY_EXHAUSTED, t, self.stats.retry_exhausted);
+        sink.set(m::STORAGE_FE_INFLIGHT, t, self.in_flight() as u64);
+        #[cfg(feature = "obs")]
+        sink.merge_hist(m::STORAGE_FE_SERVICE_NS, t, self.service_hist());
+        oasis_cxl::obs::export_host_metrics(&self.core, sink);
+    }
 }
 
 impl EngineFrontend for StorageFrontend {
@@ -360,6 +416,19 @@ impl DeviceEngine for StorageBackend {
     fn poll(&mut self, world: &mut EngineWorld) -> Vec<(SimTime, Frame)> {
         self.step(world.pool, &mut world.ssds[self.ssd_id]);
         Vec::new()
+    }
+    fn on_metrics(&self, sink: &mut oasis_obs::MetricSink) {
+        let t = self.ssd_id as u32;
+        sink.set(m::STORAGE_BE_FORWARDED, t, self.stats.forwarded);
+        sink.set(m::STORAGE_BE_SQ_FULL, t, self.stats.sq_full);
+        sink.set(m::STORAGE_BE_COMPLETIONS, t, self.stats.completions);
+        sink.set(
+            m::STORAGE_BE_REPLAYS_ANSWERED,
+            t,
+            self.stats.replays_answered,
+        );
+        sink.set(oasis_channel::metrics::DEDUP_DROPS, t, self.dedup_drops());
+        oasis_cxl::obs::export_host_metrics(&self.core, sink);
     }
 }
 

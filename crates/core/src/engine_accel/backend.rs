@@ -102,6 +102,12 @@ impl AccelBackend {
         }
     }
 
+    /// Duplicate jobs rejected by the per-link dedup windows over the
+    /// backend's lifetime (telemetry; exported as `channel.dedup_drops`).
+    pub fn dedup_drops(&self) -> u64 {
+        self.links.iter().map(|l| l.seen.dup_hits).sum()
+    }
+
     /// Wire a channel pair to a frontend on `fe_host`.
     pub fn add_frontend_link(&mut self, fe_host: usize, to: Sender, from: Receiver) {
         self.links.push(FeLink {
@@ -235,6 +241,16 @@ impl DeviceEngine for AccelBackend {
         let dev_id = self.dev_id;
         self.step(world.pool, &mut world.accels[dev_id]);
         Vec::new()
+    }
+    fn on_metrics(&self, sink: &mut oasis_obs::MetricSink) {
+        use crate::metrics as m;
+        let t = self.dev_id as u32;
+        sink.set(m::ACCEL_BE_FORWARDED, t, self.stats.forwarded);
+        sink.set(m::ACCEL_BE_SQ_FULL, t, self.stats.sq_full);
+        sink.set(m::ACCEL_BE_COMPLETIONS, t, self.stats.completions);
+        sink.set(m::ACCEL_BE_REPLAYS_ANSWERED, t, self.stats.replays_answered);
+        sink.set(oasis_channel::metrics::DEDUP_DROPS, t, self.dedup_drops());
+        oasis_cxl::obs::export_host_metrics(&self.core, sink);
     }
 }
 

@@ -36,6 +36,9 @@ struct PendingJob {
     cmd: AccelCommand,
     /// Retry pacing for this job.
     retry: RetryState,
+    /// First submission time (service-time telemetry; retries keep it).
+    #[cfg(feature = "obs")]
+    issued: oasis_sim::time::SimTime,
 }
 
 /// One channel link to an accel backend.
@@ -77,6 +80,9 @@ pub struct AccelFrontend {
     pending: DetMap<u16, PendingJob>,
     done: Vec<JobResult>,
     next_cid: u16,
+    /// Submit-to-completion latency, retries included (nanoseconds).
+    #[cfg(feature = "obs")]
+    service_ns: oasis_obs::ObsHistogram,
 }
 
 impl AccelFrontend {
@@ -92,6 +98,8 @@ impl AccelFrontend {
             pending: DetMap::default(),
             done: Vec::new(),
             next_cid: 0,
+            #[cfg(feature = "obs")]
+            service_ns: oasis_obs::ObsHistogram::new(),
         }
     }
 
@@ -217,6 +225,8 @@ impl AccelFrontend {
                 dev,
                 cmd,
                 retry,
+                #[cfg(feature = "obs")]
+                issued: self.core.clock,
             },
         );
         Some(cid)
@@ -264,6 +274,9 @@ impl AccelFrontend {
                 };
                 self.release_bufs(pool, &p);
                 self.stats.completed += 1;
+                #[cfg(feature = "obs")]
+                self.service_ns
+                    .record((self.core.clock - p.issued).as_nanos());
                 if !comp.status.is_ok() {
                     self.stats.errors += 1;
                 }
@@ -305,6 +318,9 @@ impl AccelFrontend {
                 };
                 self.release_bufs(pool, &p);
                 self.stats.completed += 1;
+                #[cfg(feature = "obs")]
+                self.service_ns
+                    .record((self.core.clock - p.issued).as_nanos());
                 self.stats.errors += 1;
                 self.stats.retry_exhausted += 1;
                 self.done.push(JobResult {
@@ -369,6 +385,20 @@ impl DeviceEngine for AccelFrontend {
         if fault == EngineFault::HostRestart {
             self.replay_pending(pool);
         }
+    }
+    fn on_metrics(&self, sink: &mut oasis_obs::MetricSink) {
+        use crate::metrics as m;
+        let t = self.host as u32;
+        sink.set(m::ACCEL_FE_SUBMITTED, t, self.stats.submitted);
+        sink.set(m::ACCEL_FE_COMPLETED, t, self.stats.completed);
+        sink.set(m::ACCEL_FE_ERRORS, t, self.stats.errors);
+        sink.set(m::ACCEL_FE_REFUSED, t, self.stats.refused);
+        sink.set(m::ACCEL_FE_RETRIES, t, self.stats.retries);
+        sink.set(m::ACCEL_FE_RETRY_EXHAUSTED, t, self.stats.retry_exhausted);
+        sink.set(m::ACCEL_FE_INFLIGHT, t, self.pending.len() as u64);
+        #[cfg(feature = "obs")]
+        sink.merge_hist(m::ACCEL_FE_SERVICE_NS, t, &self.service_ns);
+        oasis_cxl::obs::export_host_metrics(&self.core, sink);
     }
 }
 

@@ -104,6 +104,12 @@ impl StorageBackend {
         }
     }
 
+    /// Duplicate commands rejected by the per-link dedup windows over the
+    /// backend's lifetime (telemetry; exported as `channel.dedup_drops`).
+    pub fn dedup_drops(&self) -> u64 {
+        self.links.iter().map(|l| l.seen.dup_hits).sum()
+    }
+
     /// Wire a channel pair to a frontend on `fe_host`.
     pub fn add_frontend_link(&mut self, fe_host: usize, to: Sender, from: Receiver) {
         self.links.push(FeLink {

@@ -31,6 +31,9 @@ struct PendingIo {
     cmd: NvmeCommand,
     /// Retry pacing for this command.
     retry: RetryState,
+    /// First submission time (service-time telemetry; retries keep it).
+    #[cfg(feature = "obs")]
+    issued: oasis_sim::time::SimTime,
 }
 
 /// One channel link to a storage backend.
@@ -77,6 +80,9 @@ pub struct StorageFrontend {
     /// bug the release flush fixed.
     #[cfg(feature = "sanitize")]
     skip_release_invalidate: bool,
+    /// Submit-to-completion latency, retries included (nanoseconds).
+    #[cfg(feature = "obs")]
+    service_ns: oasis_obs::ObsHistogram,
 }
 
 impl StorageFrontend {
@@ -94,6 +100,8 @@ impl StorageFrontend {
             next_cid: 0,
             #[cfg(feature = "sanitize")]
             skip_release_invalidate: false,
+            #[cfg(feature = "obs")]
+            service_ns: oasis_obs::ObsHistogram::new(),
         }
     }
 
@@ -228,6 +236,8 @@ impl StorageFrontend {
                 ssd,
                 cmd,
                 retry,
+                #[cfg(feature = "obs")]
+                issued: self.core.clock,
             },
         );
         Some(cid)
@@ -305,6 +315,9 @@ impl StorageFrontend {
                 };
                 self.release_buf(pool, &p);
                 self.stats.completed += 1;
+                #[cfg(feature = "obs")]
+                self.service_ns
+                    .record((self.core.clock - p.issued).as_nanos());
                 if !comp.status.is_ok() {
                     self.stats.errors += 1;
                 }
@@ -345,6 +358,9 @@ impl StorageFrontend {
                 };
                 self.release_buf(pool, &p);
                 self.stats.completed += 1;
+                #[cfg(feature = "obs")]
+                self.service_ns
+                    .record((self.core.clock - p.issued).as_nanos());
                 self.stats.errors += 1;
                 self.stats.retry_exhausted += 1;
                 self.done.push(IoResult {
@@ -385,5 +401,11 @@ impl StorageFrontend {
     /// I/Os still in flight.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Submit-to-completion service-time histogram (telemetry export).
+    #[cfg(feature = "obs")]
+    pub fn service_hist(&self) -> &oasis_obs::ObsHistogram {
+        &self.service_ns
     }
 }

@@ -47,6 +47,7 @@ pub mod engine_net;
 pub mod engine_storage;
 pub mod error;
 pub mod instance;
+pub mod metrics;
 pub mod msg;
 pub mod pod;
 pub mod tcp;

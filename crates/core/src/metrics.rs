@@ -1,0 +1,143 @@
+//! Metric name registry for `oasis-core` (see `oasis-check`'s
+//! `metric-name` rule: every metric name literal in the workspace lives in
+//! its crate's `metrics.rs`, is `snake_case`, and carries the crate
+//! prefix).
+//!
+//! Tag conventions follow the engine split: frontend metrics are tagged by
+//! the consuming *host*, backend metrics by the *device* they drive
+//! (`nic_id` / `ssd_id` / `dev_id`), and pod-global control-plane tallies
+//! use tag 0.
+
+// ---------------------------------------------------------------------------
+// Network engine frontend (§3.3) — tag = host.
+// ---------------------------------------------------------------------------
+
+/// TX packets forwarded to backends.
+pub const NET_FE_TX_PACKETS: &str = "core.net_fe_tx_packets";
+/// TX packets dropped: no free TX buffer.
+pub const NET_FE_TX_DROP_NOBUF: &str = "core.net_fe_tx_drop_nobuf";
+/// TX packets dropped: channel full.
+pub const NET_FE_TX_DROP_CHANNEL: &str = "core.net_fe_tx_drop_channel";
+/// TX packets policed over the instance's bandwidth lease.
+pub const NET_FE_TX_POLICED: &str = "core.net_fe_tx_policed";
+/// RX packets copied to instances.
+pub const NET_FE_RX_PACKETS: &str = "core.net_fe_rx_packets";
+/// RX packets for unknown instances.
+pub const NET_FE_RX_UNKNOWN: &str = "core.net_fe_rx_unknown";
+/// Reroute commands handled (failover).
+pub const NET_FE_REROUTES: &str = "core.net_fe_reroutes";
+/// Graceful migrations started.
+pub const NET_FE_MIGRATIONS: &str = "core.net_fe_migrations";
+
+// ---------------------------------------------------------------------------
+// Network engine backend (§3.3) — tag = NIC id.
+// ---------------------------------------------------------------------------
+
+/// TX descriptors posted to the NIC.
+pub const NET_BE_TX_POSTED: &str = "core.net_be_tx_posted";
+/// TX descriptors dropped: NIC queue full.
+pub const NET_BE_TX_DROP_FULL: &str = "core.net_be_tx_drop_full";
+/// RX packets forwarded to frontends.
+pub const NET_BE_RX_FORWARDED: &str = "core.net_be_rx_forwarded";
+/// RX packets whose flow tag missed and needed payload inspection.
+pub const NET_BE_RX_TAG_MISS: &str = "core.net_be_rx_tag_miss";
+/// RX packets for unregistered instances.
+pub const NET_BE_RX_UNKNOWN: &str = "core.net_be_rx_unknown";
+/// RX packets dropped: frontend channel full.
+pub const NET_BE_RX_DROP_CHANNEL: &str = "core.net_be_rx_drop_channel";
+/// Link failures reported to the allocator.
+pub const NET_BE_FAILURES_REPORTED: &str = "core.net_be_failures_reported";
+/// Telemetry reports sent to the allocator.
+pub const NET_BE_TELEMETRY_SENT: &str = "core.net_be_telemetry_sent";
+
+// ---------------------------------------------------------------------------
+// Junction-style baseline driver — tag = host.
+// ---------------------------------------------------------------------------
+
+/// TX packets posted.
+pub const LOCAL_TX_PACKETS: &str = "core.local_tx_packets";
+/// TX drops (no buffer / NIC full).
+pub const LOCAL_TX_DROPS: &str = "core.local_tx_drops";
+/// RX packets delivered to instances.
+pub const LOCAL_RX_PACKETS: &str = "core.local_rx_packets";
+/// RX packets with no owning instance.
+pub const LOCAL_RX_UNKNOWN: &str = "core.local_rx_unknown";
+
+// ---------------------------------------------------------------------------
+// Storage engine frontend (§3.4) — tag = host.
+// ---------------------------------------------------------------------------
+
+/// Commands submitted.
+pub const STORAGE_FE_SUBMITTED: &str = "core.storage_fe_submitted";
+/// Completions delivered.
+pub const STORAGE_FE_COMPLETED: &str = "core.storage_fe_completed";
+/// Completions with error status.
+pub const STORAGE_FE_ERRORS: &str = "core.storage_fe_errors";
+/// Submissions refused (no buffer / channel full).
+pub const STORAGE_FE_REFUSED: &str = "core.storage_fe_refused";
+/// Commands resubmitted after a timeout or transient media error.
+pub const STORAGE_FE_RETRIES: &str = "core.storage_fe_retries";
+/// Commands failed after exhausting the retry budget.
+pub const STORAGE_FE_RETRY_EXHAUSTED: &str = "core.storage_fe_retry_exhausted";
+/// Commands in flight at export time (queue-depth gauge).
+pub const STORAGE_FE_INFLIGHT: &str = "core.storage_fe_inflight";
+/// Histogram: submit-to-completion service time, retries included
+/// (nanoseconds; collected behind `obs`).
+pub const STORAGE_FE_SERVICE_NS: &str = "core.storage_fe_service_ns";
+
+// ---------------------------------------------------------------------------
+// Storage engine backend (§3.4) — tag = SSD id.
+// ---------------------------------------------------------------------------
+
+/// Commands forwarded to the SSD.
+pub const STORAGE_BE_FORWARDED: &str = "core.storage_be_forwarded";
+/// Commands bounced by a full submission queue.
+pub const STORAGE_BE_SQ_FULL: &str = "core.storage_be_sq_full";
+/// Completions returned to frontends.
+pub const STORAGE_BE_COMPLETIONS: &str = "core.storage_be_completions";
+/// Replays answered from the completion cache.
+pub const STORAGE_BE_REPLAYS_ANSWERED: &str = "core.storage_be_replays_answered";
+
+// ---------------------------------------------------------------------------
+// Accelerator engine frontend — tag = host.
+// ---------------------------------------------------------------------------
+
+/// Jobs submitted.
+pub const ACCEL_FE_SUBMITTED: &str = "core.accel_fe_submitted";
+/// Completions delivered.
+pub const ACCEL_FE_COMPLETED: &str = "core.accel_fe_completed";
+/// Completions with error status.
+pub const ACCEL_FE_ERRORS: &str = "core.accel_fe_errors";
+/// Submissions refused (no buffer / channel full).
+pub const ACCEL_FE_REFUSED: &str = "core.accel_fe_refused";
+/// Jobs resubmitted after a timeout or transient compute error.
+pub const ACCEL_FE_RETRIES: &str = "core.accel_fe_retries";
+/// Jobs failed after exhausting the retry budget.
+pub const ACCEL_FE_RETRY_EXHAUSTED: &str = "core.accel_fe_retry_exhausted";
+/// Jobs in flight at export time (queue-depth gauge).
+pub const ACCEL_FE_INFLIGHT: &str = "core.accel_fe_inflight";
+/// Histogram: submit-to-completion service time, retries included
+/// (nanoseconds; collected behind `obs`).
+pub const ACCEL_FE_SERVICE_NS: &str = "core.accel_fe_service_ns";
+
+// ---------------------------------------------------------------------------
+// Accelerator engine backend — tag = accelerator id.
+// ---------------------------------------------------------------------------
+
+/// Jobs forwarded to the device.
+pub const ACCEL_BE_FORWARDED: &str = "core.accel_be_forwarded";
+/// Jobs bounced by a full submission queue.
+pub const ACCEL_BE_SQ_FULL: &str = "core.accel_be_sq_full";
+/// Completions returned to frontends.
+pub const ACCEL_BE_COMPLETIONS: &str = "core.accel_be_completions";
+/// Replays answered from the completion cache.
+pub const ACCEL_BE_REPLAYS_ANSWERED: &str = "core.accel_be_replays_answered";
+
+// ---------------------------------------------------------------------------
+// Pod-wide allocator (§3.5) — tag 0.
+// ---------------------------------------------------------------------------
+
+/// Reroute commands sent to frontends during failover.
+pub const ALLOC_REROUTES_SENT: &str = "core.alloc_reroutes_sent";
+/// Device failovers executed.
+pub const ALLOC_FAILOVERS: &str = "core.alloc_failovers";

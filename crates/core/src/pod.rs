@@ -205,6 +205,65 @@ pub struct VolumeHandle {
     pub blocks: u64,
 }
 
+/// Ambient-telemetry accumulators for the pod runtime (empty with `obs`
+/// off; the paired no-op methods keep every call site unconditional).
+#[derive(Default)]
+struct PodObs {
+    /// Scheduler stats folded across [`Pod::run`] calls (each run builds a
+    /// fresh [`Scheduler`]; actor registration order is fixed per pod
+    /// shape, so per-actor tallies line up).
+    #[cfg(feature = "obs")]
+    sched: oasis_sim::sched::SchedStats,
+    /// Idle-skip fast-forwards taken by the dispatch loop.
+    #[cfg(feature = "obs")]
+    idle_skips: u64,
+    /// Sim nanoseconds saved per idle-skip.
+    #[cfg(feature = "obs")]
+    idle_skip_ns: oasis_obs::ObsHistogram,
+}
+
+impl PodObs {
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn note_idle_skip(&mut self, from: SimTime, to: SimTime) {
+        self.idle_skips += 1;
+        self.idle_skip_ns.record((to - from).as_nanos());
+    }
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn note_idle_skip(&mut self, _from: SimTime, _to: SimTime) {}
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn fold_sched(&mut self, stats: &oasis_sim::sched::SchedStats) {
+        self.sched.merge(stats);
+    }
+
+    /// Export the collected ambient stats (no-op with `obs` off: the
+    /// corresponding snapshot entries simply do not exist).
+    #[cfg(feature = "obs")]
+    fn export(&self, sink: &mut oasis_obs::MetricSink) {
+        use oasis_sim::metrics as sm;
+        sink.set(sm::SCHED_DISPATCHES, 0, self.sched.dispatches);
+        sink.set(sm::SCHED_STALE_SKIPS, 0, self.sched.stale_skips);
+        for (actor, &polls) in self.sched.actor_polls.iter().enumerate() {
+            if polls != 0 {
+                sink.set(sm::SCHED_ACTOR_POLLS, actor as u32, polls);
+            }
+        }
+        sink.merge_hist(
+            sm::SCHED_WAKE_TO_POLL_NS,
+            0,
+            &oasis_obs::ObsHistogram::from_sim(&self.sched.wake_to_poll),
+        );
+        sink.set(sm::SCHED_IDLE_SKIPS, 0, self.idle_skips);
+        sink.merge_hist(sm::SCHED_IDLE_SKIP_NS, 0, &self.idle_skip_ns);
+    }
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn export(&self, _sink: &mut oasis_obs::MetricSink) {}
+}
+
 /// The assembled pod.
 pub struct Pod {
     /// Configuration.
@@ -251,6 +310,8 @@ pub struct Pod {
     /// Hosts that have crashed (their cores are no longer stepped).
     dead_host: Vec<bool>,
     now: SimTime,
+    /// Ambient-telemetry accumulators (empty with `obs` off).
+    obs: PodObs,
 }
 
 /// Builds a [`Pod`]. Hosts and NICs are declared first; instances and
@@ -606,6 +667,7 @@ impl PodBuilder {
             inst_region: Vec::new(),
             dead_host: vec![false; n_hosts],
             now: SimTime::ZERO,
+            obs: PodObs::default(),
         }
     }
 }
@@ -614,6 +676,48 @@ impl Pod {
     /// Current simulated time (max of all dispatched clocks).
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Export every component's telemetry as one canonical snapshot: each
+    /// engine's [`DeviceEngine::on_metrics`] hook (host order, registration
+    /// order within a host), the allocator's control-plane tallies, the
+    /// pool's link meters and per-host cache stats, and — with `obs` on —
+    /// the ambient scheduler/idle-skip stats. Pure observer: calling this
+    /// never changes pod state or timing, so the simulated timeline is
+    /// identical whether or not snapshots are taken.
+    pub fn metrics_snapshot(&self) -> oasis_obs::MetricsSnapshot {
+        let mut sink = oasis_obs::MetricSink::new();
+        for host in 0..self.drivers.len() {
+            match &self.drivers[host] {
+                HostDriver::Oasis(fe) => fe.on_metrics(&mut sink),
+                HostDriver::Local(ld) => ld.on_metrics(&mut sink),
+            }
+            for be in self.backends.iter().filter(|b| b.host == host) {
+                be.on_metrics(&mut sink);
+            }
+            if let Some(fe) = self.storage_frontends[host].as_ref() {
+                fe.on_metrics(&mut sink);
+            }
+            for be in self.storage_backends.iter().filter(|b| b.host == host) {
+                be.on_metrics(&mut sink);
+            }
+            if let Some(fe) = self.accel_frontends[host].as_ref() {
+                fe.on_metrics(&mut sink);
+            }
+            for be in self.accel_backends.iter().filter(|b| b.host == host) {
+                be.on_metrics(&mut sink);
+            }
+        }
+        sink.set(
+            crate::metrics::ALLOC_REROUTES_SENT,
+            0,
+            self.allocator.reroutes_sent,
+        );
+        sink.set(crate::metrics::ALLOC_FAILOVERS, 0, self.allocator.failovers);
+        oasis_cxl::obs::export_host_metrics(&self.allocator.core, &mut sink);
+        oasis_cxl::obs::export_pool_metrics(&self.pool, &mut sink);
+        self.obs.export(&mut sink);
+        sink.snapshot()
     }
 
     /// The MAC of a NIC.
@@ -1319,6 +1423,8 @@ impl Pod {
         sched.run_until_with(self, deadline, |pod, actor, at, ctx| {
             pod.dispatch(&kinds, &map, actor, at, until, ctx)
         });
+        #[cfg(feature = "obs")]
+        self.obs.fold_sched(sched.stats());
         self.now = self.now.max(until);
     }
 
@@ -1420,6 +1526,7 @@ impl Pod {
                 nic_macs,
                 dead_host,
                 now,
+                obs,
                 ..
             } = self;
             let engine: &mut dyn DeviceEngine = match eref {
@@ -1455,7 +1562,9 @@ impl Pod {
             // actor's wake (the legacy scan's `second_t`).
             let limit = ctx.next_other().min(until);
             if engine.try_idle_skip(nics, instances, limit) {
-                return StepOutcome::WakeAt(engine.next_time());
+                let skipped_to = engine.next_time();
+                obs.note_idle_skip(nt, skipped_to);
+                return StepOutcome::WakeAt(skipped_to);
             }
             *now = (*now).max(at);
             let mut world = EngineWorld {

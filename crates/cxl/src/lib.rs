@@ -30,6 +30,8 @@ pub mod cache;
 pub mod cost;
 pub mod dma;
 pub mod host;
+pub mod metrics;
+pub mod obs;
 pub mod pool;
 pub mod region;
 #[cfg(feature = "sanitize")]

@@ -1,0 +1,111 @@
+//! Metric export for the CXL layer.
+//!
+//! Always compiled: the per-port link meters and per-host cache stats are
+//! existing, unconditional tallies — exporting them into a
+//! [`MetricSink`] is how figures source their numbers from a
+//! [`oasis_obs::MetricsSnapshot`] with or without the `obs` feature. Only
+//! the *ambient* transfer timelines (recorded per pool access) live behind
+//! `obs`.
+
+use oasis_obs::MetricSink;
+
+use crate::host::HostCtx;
+use crate::metrics;
+use crate::pool::{CxlPool, PortId, TrafficClass};
+
+/// Export every port's link-meter tallies (and the pending write-back
+/// depth) into `sink`, tagged by port number.
+pub fn export_pool_metrics(pool: &CxlPool, sink: &mut MetricSink) {
+    for port in 0..pool.ports() {
+        let m = pool.meter(PortId(port));
+        let tag = port as u32;
+        let read: u64 = TrafficClass::ALL.iter().map(|&c| m.read_bytes(c)).sum();
+        let write: u64 = TrafficClass::ALL.iter().map(|&c| m.write_bytes(c)).sum();
+        sink.set(metrics::LINK_READ_BYTES, tag, read);
+        sink.set(metrics::LINK_WRITE_BYTES, tag, write);
+        sink.set(
+            metrics::LINK_BYTES_PAYLOAD,
+            tag,
+            m.class_bytes(TrafficClass::Payload),
+        );
+        sink.set(
+            metrics::LINK_BYTES_MESSAGE,
+            tag,
+            m.class_bytes(TrafficClass::Message),
+        );
+        sink.set(
+            metrics::LINK_BYTES_CONTROL,
+            tag,
+            m.class_bytes(TrafficClass::Control),
+        );
+        sink.set(
+            metrics::LINK_BYTES_UNCLASSIFIED,
+            tag,
+            m.class_bytes(TrafficClass::Unclassified),
+        );
+    }
+    sink.set(
+        metrics::POOL_PENDING_WRITEBACKS,
+        0,
+        pool.pending_writebacks() as u64,
+    );
+    #[cfg(feature = "obs")]
+    for (port, tl) in pool.transfer_timelines().iter().enumerate() {
+        sink.merge_timeline(metrics::LINK_BYTES_TIMELINE, port as u32, tl);
+    }
+}
+
+/// Export one host's memory-operation counters into `sink`, tagged by its
+/// port number.
+pub fn export_host_metrics(host: &HostCtx, sink: &mut MetricSink) {
+    let tag = host.port.0 as u32;
+    let s = &host.stats;
+    sink.set(metrics::CACHE_HITS, tag, s.hits);
+    sink.set(metrics::CACHE_MISSES, tag, s.misses);
+    sink.set(metrics::CACHE_PREFETCH_STALLS, tag, s.prefetch_stalls);
+    sink.set(metrics::CACHE_STORE_HITS, tag, s.store_hits);
+    sink.set(metrics::CACHE_STORE_MISSES, tag, s.store_misses);
+    sink.set(metrics::CACHE_FLUSHES, tag, s.flushes);
+    sink.set(metrics::CACHE_WRITEBACKS, tag, s.writebacks);
+    sink.set(metrics::CACHE_FENCES, tag, s.fences);
+    sink.set(metrics::CACHE_PREFETCHES, tag, s.prefetches);
+    sink.set(metrics::CACHE_PREFETCH_SKIPS, tag, s.prefetch_skips);
+    sink.set(metrics::CACHE_EVICT_WRITEBACKS, tag, s.evict_writebacks);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_sim::time::SimTime;
+
+    #[test]
+    fn pool_export_mirrors_meters() {
+        let mut pool = CxlPool::new(4096, 2);
+        pool.register_class(0, 1024, TrafficClass::Payload);
+        pool.dma_write(SimTime::ZERO, PortId(0), 0, &[0u8; 256]);
+        pool.dma_read(SimTime::ZERO, PortId(1), 0, &mut [0u8; 64]);
+        let mut sink = MetricSink::new();
+        export_pool_metrics(&pool, &mut sink);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(metrics::LINK_WRITE_BYTES, 0), 256);
+        assert_eq!(snap.counter(metrics::LINK_READ_BYTES, 1), 64);
+        assert_eq!(snap.counter(metrics::LINK_BYTES_PAYLOAD, 0), 256);
+        assert_eq!(snap.counter(metrics::LINK_BYTES_UNCLASSIFIED, 0), 0);
+    }
+
+    #[test]
+    fn host_export_mirrors_stats() {
+        let mut pool = CxlPool::new(4096, 1);
+        let mut host = HostCtx::new(PortId(0), 0);
+        host.write_u64(&mut pool, 128, 7);
+        let _ = host.read_u64(&mut pool, 128);
+        let mut sink = MetricSink::new();
+        export_host_metrics(&host, &mut sink);
+        let snap = sink.snapshot();
+        assert_eq!(
+            snap.counter(metrics::CACHE_STORE_MISSES, 0),
+            host.stats.store_misses
+        );
+        assert_eq!(snap.counter(metrics::CACHE_HITS, 0), host.stats.hits);
+    }
+}

@@ -134,6 +134,10 @@ pub struct CxlPool {
     /// timing, metering, or memory contents).
     #[cfg(feature = "sanitize")]
     pub san: crate::sanitizer::Sanitizer,
+    /// Per-port bytes-on-the-wire timelines (pure observer, like the
+    /// sanitizer: never affects timing, metering, or memory contents).
+    #[cfg(feature = "obs")]
+    tl_xfer: Vec<oasis_obs::Timeline>,
 }
 
 impl CxlPool {
@@ -148,8 +152,26 @@ impl CxlPool {
             last_class: std::cell::Cell::new((0, 0, TrafficClass::Unclassified)),
             #[cfg(feature = "sanitize")]
             san: crate::sanitizer::Sanitizer::new(ports),
+            #[cfg(feature = "obs")]
+            tl_xfer: vec![oasis_obs::Timeline::default(); ports],
         }
     }
+
+    /// Per-port transfer timelines recorded so far (`obs` feature).
+    #[cfg(feature = "obs")]
+    pub fn transfer_timelines(&self) -> &[oasis_obs::Timeline] {
+        &self.tl_xfer
+    }
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn note_xfer(&mut self, at: SimTime, port: PortId, bytes: u64) {
+        self.tl_xfer[port.0].add(at, bytes);
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn note_xfer(&mut self, _at: SimTime, _port: PortId, _bytes: u64) {}
 
     /// Register a region name for sanitizer diagnostics. No-op unless the
     /// `sanitize` feature is enabled.
@@ -308,6 +330,7 @@ impl CxlPool {
         self.apply_pending(now);
         let class = self.classify(line_addr);
         self.meters[port.0].read_bytes[class.index()] += LINE;
+        self.note_xfer(now, port, LINE);
         let base = line_addr as usize;
         let mut out = [0u8; LINE as usize];
         out.copy_from_slice(&self.mem[base..base + LINE as usize]);
@@ -351,6 +374,7 @@ impl CxlPool {
         self.apply_pending(t0);
         let class = self.classify(line_addr);
         self.meters[port.0].read_bytes[class.index()] += out.len() as u64;
+        self.note_xfer(t0, port, out.len() as u64);
         let base = line_addr as usize;
         out.copy_from_slice(&self.mem[base..base + out.len()]);
         // Per-line fixups for writes still queued after the t0 apply: a
@@ -393,6 +417,9 @@ impl CxlPool {
     ) {
         let class = self.classify(line_addr);
         self.meters[port.0].write_bytes[class.index()] += LINE;
+        // Timeline-binned at visibility time — the instant the line is on
+        // the wire toward pool memory (posting time is not plumbed here).
+        self.note_xfer(visible_at, port, LINE);
         #[cfg(feature = "sanitize")]
         self.san.on_post_writeback(port, line_addr, visible_at);
         // Insert keeping `pending` sorted by visibility time so apply order
@@ -428,6 +455,7 @@ impl CxlPool {
         self.san.on_dma_read(port, addr, out.len() as u64, now);
         let class = self.classify(addr);
         self.meters[port.0].read_bytes[class.index()] += out.len() as u64;
+        self.note_xfer(now, port, out.len() as u64);
         let base = addr as usize;
         out.copy_from_slice(&self.mem[base..base + out.len()]);
     }
@@ -441,6 +469,7 @@ impl CxlPool {
         self.san.on_dma_write(port, addr, data.len() as u64);
         let class = self.classify(addr);
         self.meters[port.0].write_bytes[class.index()] += data.len() as u64;
+        self.note_xfer(now, port, data.len() as u64);
         let base = addr as usize;
         self.mem[base..base + data.len()].copy_from_slice(data);
     }

@@ -1,0 +1,340 @@
+//! Log-linear histogram with introspectable buckets.
+//!
+//! Same geometry as `oasis_sim::hist::Histogram` (each power-of-two
+//! magnitude split into 64 linear sub-buckets, relative error < 1.6 %), but
+//! built for export: bucket indices are stable `u32`s, non-zero buckets can
+//! be enumerated for snapshots, and a histogram can be reconstituted from a
+//! sparse bucket list so snapshot merging is exact — merging two snapshots
+//! gives byte-identical results to recording the union of their values.
+
+pub const SUB_BITS: u32 = 6;
+pub const SUB_BUCKETS: u64 = 1 << SUB_BITS; // 64 linear sub-buckets per magnitude
+pub const ROWS: u32 = 64 - SUB_BITS + 1; // rows 0..=58 cover the full u64 range
+pub const BUCKETS: usize = (ROWS as usize) * SUB_BUCKETS as usize;
+
+/// Bucket index for a value. Total order preserving: `a <= b` implies
+/// `index_of(a) <= index_of(b)`.
+#[inline]
+pub fn index_of(value: u64) -> u32 {
+    if value < SUB_BUCKETS {
+        return value as u32;
+    }
+    let magnitude = 63 - value.leading_zeros(); // >= SUB_BITS here
+    let row = magnitude - SUB_BITS + 1;
+    // value in [2^m, 2^(m+1)) shifted right by row lands in
+    // [SUB_BUCKETS/2, SUB_BUCKETS): the top half of the row.
+    let sub = (value >> row) as u32 & (SUB_BUCKETS as u32 - 1);
+    row * SUB_BUCKETS as u32 + sub
+}
+
+/// Smallest value that lands in bucket `index`.
+pub fn bucket_low(index: u32) -> u64 {
+    let row = index / SUB_BUCKETS as u32;
+    let sub = (index % SUB_BUCKETS as u32) as u64;
+    if row == 0 {
+        sub
+    } else {
+        sub << row
+    }
+}
+
+/// Largest value that lands in bucket `index`.
+pub fn bucket_high(index: u32) -> u64 {
+    let row = index / SUB_BUCKETS as u32;
+    if row == 0 {
+        bucket_low(index)
+    } else {
+        bucket_low(index) + ((1u64 << row) - 1)
+    }
+}
+
+/// Representative (upper-edge midpoint) value for a bucket index — the
+/// value quantile queries report. Identical to the substrate histogram's
+/// `value_of` so figures that moved from `oasis_sim::hist::Histogram` to
+/// snapshot-sourced numbers print the same bytes.
+pub fn bucket_value(index: u32) -> u64 {
+    let row = index / SUB_BUCKETS as u32;
+    let sub = (index % SUB_BUCKETS as u32) as u64;
+    if row == 0 {
+        return sub;
+    }
+    let shift = row; // row = magnitude - SUB_BITS + 1
+    let base = sub << shift;
+    // midpoint of the bucket's covered range
+    base + (1u64 << (shift - 1))
+}
+
+/// Dense-counted, sparsely-exported histogram of `u64` values (nanoseconds
+/// or bytes throughout the workspace).
+#[derive(Clone)]
+pub struct ObsHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Default for ObsHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObsHistogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        ObsHistogram {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record a value `n` times.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[index_of(value) as usize] += n;
+        self.total += n;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += value as u128 * n as u128;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Value at quantile `q` in `[0, 1]`, clamped to recorded min/max.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(
+            q,
+            self.total,
+            self.min(),
+            self.max,
+            self.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, &c)| (i as u32, c)),
+        )
+    }
+
+    /// Shorthand for percentiles: `percentile(99.9)`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.value_at_quantile(p / 100.0)
+    }
+
+    /// Import a substrate histogram. The bucket geometry is identical by
+    /// construction (`matches_substrate_histogram_quantiles` guards this),
+    /// so the copy is lossless: counts, total, min, max, and sum all carry
+    /// over exactly.
+    pub fn from_sim(h: &oasis_sim::hist::Histogram) -> Self {
+        let mut out = ObsHistogram::new();
+        for (idx, c) in h.nonzero_buckets() {
+            out.counts[idx as usize] = c;
+        }
+        out.total = h.count();
+        out.min = if h.is_empty() { u64::MAX } else { h.min() };
+        out.max = h.max();
+        out.sum = h.sum();
+        out
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &ObsHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// Non-zero `(bucket index, count)` pairs in ascending index order —
+    /// the sparse form snapshots carry.
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+}
+
+/// Quantile evaluation over a sorted sparse bucket iterator — shared by the
+/// live histogram and by [`crate::snapshot::HistEntry`] so a number read
+/// from a snapshot equals the number the live histogram would report.
+pub fn quantile_from_buckets(
+    q: f64,
+    total: u64,
+    min: u64,
+    max: u64,
+    buckets: impl Iterator<Item = (u32, u64)>,
+) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (idx, c) in buckets {
+        seen += c;
+        if seen >= rank {
+            return bucket_value(idx).clamp(min, max);
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        // The first 64 values map 1:1.
+        for v in 0..SUB_BUCKETS {
+            assert_eq!(index_of(v) as u64, v);
+            assert_eq!(bucket_low(v as u32), v);
+            assert_eq!(bucket_high(v as u32), v);
+        }
+        // Every power of two >= 64 starts a fresh half-row: its bucket's low
+        // edge is the value itself, and the value one below lands in a
+        // strictly lower bucket whose high edge abuts it exactly.
+        for mag in SUB_BITS..63 {
+            let v = 1u64 << mag;
+            let idx = index_of(v);
+            assert_eq!(bucket_low(idx), v, "low edge of 2^{mag}");
+            let below = index_of(v - 1);
+            assert!(below < idx, "2^{mag}-1 in a lower bucket");
+            assert_eq!(bucket_high(below), v - 1, "high edge abuts 2^{mag}");
+        }
+    }
+
+    #[test]
+    fn live_buckets_tile_u64_without_gaps() {
+        // Values >= 64 land only in the top half of each row (sub 32..=63);
+        // walking those *live* buckets in order must tile the value space
+        // with no gap and no overlap.
+        let live: Vec<u32> = (0..SUB_BUCKETS as u32)
+            .chain((1..12).flat_map(|row| {
+                (SUB_BUCKETS as u32 / 2..SUB_BUCKETS as u32)
+                    .map(move |sub| row * SUB_BUCKETS as u32 + sub)
+            }))
+            .collect();
+        for w in live.windows(2) {
+            assert_eq!(
+                bucket_high(w[0]) + 1,
+                bucket_low(w[1]),
+                "gap/overlap between buckets {} and {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn index_is_monotone_and_self_consistent() {
+        let mut vals = vec![0u64, 1, 63, 64, 65, 127, 128, 1000, 4096, 1 << 20];
+        for e in 6..40 {
+            vals.push((1u64 << e) - 1);
+            vals.push(1u64 << e);
+            vals.push((1u64 << e) + 1);
+        }
+        vals.sort_unstable();
+        for w in vals.windows(2) {
+            assert!(index_of(w[0]) <= index_of(w[1]));
+        }
+        for &v in &vals {
+            let idx = index_of(v);
+            assert!(bucket_low(idx) <= v && v <= bucket_high(idx), "v={v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for exp in 0..50u32 {
+            let v = 3u64 << exp;
+            let mut h = ObsHistogram::new();
+            h.record(v);
+            let got = h.percentile(50.0);
+            let err = (got as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 32.0, "v={v} got={got} err={err}");
+        }
+    }
+
+    #[test]
+    fn matches_substrate_histogram_quantiles() {
+        // The whole point of sharing geometry: any value stream gives the
+        // same quantiles as oasis_sim::hist::Histogram.
+        let mut ours = ObsHistogram::new();
+        let mut theirs = oasis_sim::hist::Histogram::new();
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            // xorshift; deterministic value stream
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let v = x % 5_000_000;
+            ours.record(v);
+            theirs.record(v);
+        }
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(ours.percentile(p), theirs.percentile(p), "p{p}");
+        }
+        assert_eq!(ours.min(), theirs.min());
+        assert_eq!(ours.max(), theirs.max());
+    }
+
+    #[test]
+    fn sparse_export_roundtrip() {
+        let mut h = ObsHistogram::new();
+        for v in [1u64, 1, 70, 5000, 123456, 123456, 123457] {
+            h.record(v);
+        }
+        let sparse = h.nonzero_buckets();
+        assert!(sparse.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: u64 = sparse.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, h.count());
+        let q = quantile_from_buckets(0.5, total, h.min(), h.max(), sparse.into_iter());
+        assert_eq!(q, h.value_at_quantile(0.5));
+    }
+}

@@ -1,0 +1,194 @@
+//! Binned sim-time accumulation series (utilization timelines).
+//!
+//! A `Timeline` answers "how many bytes crossed this link between t and
+//! t+bin?" with bounded memory: amounts are accumulated into fixed-width
+//! sim-time bins, stored sparsely. If a run outlives `MAX_BINS` bins the
+//! bin width doubles and existing bins are re-binned — a deterministic
+//! function of the recorded stream, so identical runs still export
+//! identical timelines.
+
+use oasis_sim::time::SimTime;
+
+/// Default bin width: 10 ms of sim time. Coarse enough that an hour-long
+/// sim stays small, fine enough to see a failover dip.
+pub const DEFAULT_BIN_NS: u64 = 10_000_000;
+
+/// Sparse cap before the bin width doubles.
+pub const MAX_BINS: usize = 4096;
+
+/// Sparse binned accumulator over sim time.
+#[derive(Clone)]
+pub struct Timeline {
+    bin_ns: u64,
+    /// `(bin index, accumulated amount)` in ascending index order.
+    bins: Vec<(u32, u64)>,
+}
+
+impl Default for Timeline {
+    fn default() -> Self {
+        Self::new(DEFAULT_BIN_NS)
+    }
+}
+
+impl Timeline {
+    /// Create an empty timeline with the given bin width in nanoseconds
+    /// (clamped to >= 1).
+    pub fn new(bin_ns: u64) -> Self {
+        Timeline {
+            bin_ns: bin_ns.max(1),
+            bins: Vec::new(),
+        }
+    }
+
+    /// Current bin width in nanoseconds.
+    pub fn bin_ns(&self) -> u64 {
+        self.bin_ns
+    }
+
+    /// Accumulate `amount` into the bin covering sim time `at`.
+    pub fn add(&mut self, at: SimTime, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        let idx = self.index_for(at.as_nanos());
+        // Recording sites see monotone sim time, so the common case is the
+        // last bin; fall back to search for merge/out-of-order use.
+        match self.bins.last_mut() {
+            Some(last) if last.0 == idx => last.1 += amount,
+            Some(last) if last.0 < idx => self.bins.push((idx, amount)),
+            _ => match self.bins.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.bins[pos].1 += amount,
+                Err(pos) => self.bins.insert(pos, (idx, amount)),
+            },
+        }
+        if self.bins.len() > MAX_BINS {
+            self.coarsen(self.bin_ns * 2);
+        }
+    }
+
+    #[inline]
+    fn index_for(&self, nanos: u64) -> u32 {
+        // A u64 nanosecond clock over >=1ns bins can exceed u32 bins only
+        // after ~49 days of 10ms bins; saturate rather than wrap.
+        (nanos / self.bin_ns).min(u32::MAX as u64) as u32
+    }
+
+    /// Widen bins to `new_bin_ns` (must be a multiple of the current width;
+    /// anything else re-bins by absolute time, still deterministic).
+    pub fn coarsen(&mut self, new_bin_ns: u64) {
+        let new_bin_ns = new_bin_ns.max(self.bin_ns);
+        if new_bin_ns == self.bin_ns {
+            return;
+        }
+        let old = std::mem::take(&mut self.bins);
+        let old_bin = self.bin_ns;
+        self.bin_ns = new_bin_ns;
+        for (idx, amount) in old {
+            let t = idx as u64 * old_bin;
+            let new_idx = self.index_for(t);
+            match self.bins.last_mut() {
+                Some(last) if last.0 == new_idx => last.1 += amount,
+                _ => self.bins.push((new_idx, amount)),
+            }
+        }
+    }
+
+    /// Total accumulated amount across all bins.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Sparse `(bin index, amount)` view in ascending index order.
+    pub fn bins(&self) -> &[(u32, u64)] {
+        &self.bins
+    }
+
+    /// Merge another timeline into this one. Differing bin widths coarsen
+    /// both sides to the wider one first.
+    pub fn merge(&mut self, other: &Timeline) {
+        let mut other = other.clone();
+        if other.bin_ns > self.bin_ns {
+            self.coarsen(other.bin_ns);
+        } else if self.bin_ns > other.bin_ns {
+            other.coarsen(self.bin_ns);
+        }
+        for &(idx, amount) in &other.bins {
+            match self.bins.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.bins[pos].1 += amount,
+                Err(pos) => self.bins.insert(pos, (idx, amount)),
+            }
+        }
+    }
+
+    /// Rebuild from a sparse export (used by snapshot merge).
+    pub fn from_bins(bin_ns: u64, bins: Vec<(u32, u64)>) -> Self {
+        let mut tl = Timeline::new(bin_ns);
+        tl.bins = bins;
+        tl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oasis_sim::time::SimTime;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn accumulates_into_bins() {
+        let mut tl = Timeline::new(DEFAULT_BIN_NS);
+        tl.add(t(1), 10);
+        tl.add(t(9), 5); // same 10ms bin
+        tl.add(t(25), 7); // bin 2
+        assert_eq!(tl.bins(), &[(0, 15), (2, 7)]);
+        assert_eq!(tl.total(), 22);
+    }
+
+    #[test]
+    fn out_of_order_adds_merge() {
+        let mut tl = Timeline::new(DEFAULT_BIN_NS);
+        tl.add(t(25), 7);
+        tl.add(t(1), 10);
+        tl.add(t(25), 1);
+        assert_eq!(tl.bins(), &[(0, 10), (2, 8)]);
+    }
+
+    #[test]
+    fn coarsen_preserves_total() {
+        let mut tl = Timeline::new(1_000_000); // 1ms bins
+        for ms in 0..100 {
+            tl.add(t(ms), ms);
+        }
+        let before = tl.total();
+        tl.coarsen(10_000_000);
+        assert_eq!(tl.total(), before);
+        assert_eq!(tl.bin_ns(), 10_000_000);
+        assert_eq!(tl.bins().len(), 10);
+    }
+
+    #[test]
+    fn cap_triggers_doubling() {
+        let mut tl = Timeline::new(1);
+        for i in 0..(MAX_BINS as u64 + 10) {
+            tl.add(SimTime::from_nanos(i * 2), 1);
+        }
+        assert!(tl.bin_ns() > 1, "bin width doubled under pressure");
+        assert_eq!(tl.total(), MAX_BINS as u64 + 10);
+        assert!(tl.bins().len() <= MAX_BINS + 1);
+    }
+
+    #[test]
+    fn merge_mismatched_widths() {
+        let mut a = Timeline::new(1_000_000);
+        a.add(t(3), 5);
+        let mut b = Timeline::new(10_000_000);
+        b.add(t(3), 7);
+        a.merge(&b);
+        assert_eq!(a.bin_ns(), 10_000_000);
+        assert_eq!(a.total(), 12);
+        assert_eq!(a.bins(), &[(0, 12)]);
+    }
+}

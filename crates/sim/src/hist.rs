@@ -111,6 +111,23 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Non-zero `(bucket index, count)` pairs in ascending index order.
+    /// Exposes the raw log-linear layout so `oasis-obs` — which uses the
+    /// identical bucket geometry — can import a substrate histogram
+    /// losslessly for snapshot export.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| (i as u32, c))
+    }
+
     /// Arithmetic mean of recorded values (0.0 if empty).
     pub fn mean(&self) -> f64 {
         if self.total == 0 {

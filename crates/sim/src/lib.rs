@@ -26,6 +26,7 @@ pub mod detmap;
 pub mod event;
 pub mod fault;
 pub mod hist;
+pub mod metrics;
 pub mod report;
 pub mod rng;
 pub mod sched;

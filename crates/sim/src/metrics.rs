@@ -1,0 +1,20 @@
+//! Metric name registry for `oasis-sim` (see `oasis-check`'s `metric-name`
+//! rule: every metric name literal in the workspace lives in its crate's
+//! `metrics.rs`, is `snake_case`, and carries the crate prefix).
+//!
+//! The scheduler's ambient stats are only *collected* behind the `obs`
+//! feature, but the names are registered unconditionally so downstream
+//! crates can reference the constants without feature gymnastics.
+
+/// Total actor dispatches across a run (tag 0).
+pub const SCHED_DISPATCHES: &str = "sim.sched_dispatches";
+/// Superseded heap entries filtered on pop (tag 0).
+pub const SCHED_STALE_SKIPS: &str = "sim.sched_stale_skips";
+/// Dispatch count per actor (tag = actor id).
+pub const SCHED_ACTOR_POLLS: &str = "sim.sched_actor_polls";
+/// Histogram: sim time between a wake being armed and its dispatch (tag 0).
+pub const SCHED_WAKE_TO_POLL_NS: &str = "sim.sched_wake_to_poll_ns";
+/// Idle-skip fast-forwards taken by the pod dispatch loop (tag 0).
+pub const SCHED_IDLE_SKIPS: &str = "sim.sched_idle_skips";
+/// Histogram: sim nanoseconds saved per idle-skip fast-forward (tag 0).
+pub const SCHED_IDLE_SKIP_NS: &str = "sim.sched_idle_skip_ns";

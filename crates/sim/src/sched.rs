@@ -62,6 +62,42 @@ impl StepCtx {
     }
 }
 
+/// Ambient scheduler telemetry, collected only with the `obs` feature on.
+///
+/// "Wake-to-poll" is the sim time between a wake being *armed* (the
+/// `wake()` call, an actor's own `WakeAt`, or registration) and the actor
+/// actually being dispatched — the notification-to-service delay for
+/// doorbell-style wakes, the poll period for self-scheduling loops.
+#[cfg(feature = "obs")]
+#[derive(Clone, Default)]
+pub struct SchedStats {
+    /// Total dispatches across the run.
+    pub dispatches: u64,
+    /// Superseded heap entries filtered on pop.
+    pub stale_skips: u64,
+    /// Dispatch count per actor id.
+    pub actor_polls: Vec<u64>,
+    /// Wake-to-poll latency distribution (nanoseconds).
+    pub wake_to_poll: crate::hist::Histogram,
+}
+
+#[cfg(feature = "obs")]
+impl SchedStats {
+    /// Fold another run's stats into this one (actor ids must line up,
+    /// which holds when the world registers actors in a fixed order).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.dispatches += other.dispatches;
+        self.stale_skips += other.stale_skips;
+        if self.actor_polls.len() < other.actor_polls.len() {
+            self.actor_polls.resize(other.actor_polls.len(), 0);
+        }
+        for (a, b) in self.actor_polls.iter_mut().zip(other.actor_polls.iter()) {
+            *a += b;
+        }
+        self.wake_to_poll.merge(&other.wake_to_poll);
+    }
+}
+
 /// Time-ordered actor scheduler.
 ///
 /// Dispatch is a callback so the scheduler itself has no opinion about what
@@ -76,6 +112,11 @@ pub struct Scheduler {
     /// wake-up without having to delete heap entries.
     pending: Vec<Option<SimTime>>,
     now: SimTime,
+    /// Sim time at which each actor's live pending entry was armed.
+    #[cfg(feature = "obs")]
+    wake_origin: Vec<SimTime>,
+    #[cfg(feature = "obs")]
+    stats: SchedStats,
 }
 
 impl Default for Scheduler {
@@ -91,8 +132,57 @@ impl Scheduler {
             queue: BinaryHeap::new(),
             pending: Vec::new(),
             now: SimTime::ZERO,
+            #[cfg(feature = "obs")]
+            wake_origin: Vec::new(),
+            #[cfg(feature = "obs")]
+            stats: SchedStats::default(),
         }
     }
+
+    /// Telemetry collected so far (per-actor polls, stale skips,
+    /// wake-to-poll latency).
+    #[cfg(feature = "obs")]
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn note_armed(&mut self, actor: usize) {
+        self.wake_origin[actor] = self.now;
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn note_armed(&mut self, _actor: usize) {}
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn note_dispatch(&mut self, actor: usize, at: SimTime) {
+        self.stats.dispatches += 1;
+        if self.stats.actor_polls.len() <= actor {
+            self.stats.actor_polls.resize(actor + 1, 0);
+        }
+        self.stats.actor_polls[actor] += 1;
+        let armed = self.wake_origin[actor];
+        self.stats
+            .wake_to_poll
+            .record(at.as_nanos().saturating_sub(armed.as_nanos()));
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn note_dispatch(&mut self, _actor: usize, _at: SimTime) {}
+
+    #[cfg(feature = "obs")]
+    #[inline]
+    fn note_stale_skip(&mut self) {
+        self.stats.stale_skips += 1;
+    }
+
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn note_stale_skip(&mut self) {}
 
     /// Current simulated time (the wake time of the most recently dispatched
     /// actor).
@@ -105,6 +195,8 @@ impl Scheduler {
     pub fn add_actor(&mut self, first_wake: SimTime) -> usize {
         let id = self.pending.len();
         self.pending.push(Some(first_wake));
+        #[cfg(feature = "obs")]
+        self.wake_origin.push(self.now);
         self.queue.push(Reverse((first_wake, id)));
         id
     }
@@ -113,6 +205,8 @@ impl Scheduler {
     pub fn add_idle_actor(&mut self) -> usize {
         let id = self.pending.len();
         self.pending.push(None);
+        #[cfg(feature = "obs")]
+        self.wake_origin.push(self.now);
         id
     }
 
@@ -125,6 +219,7 @@ impl Scheduler {
             Some(t) if t <= at => {} // already scheduled earlier
             _ => {
                 self.pending[actor] = Some(at);
+                self.note_armed(actor);
                 self.queue.push(Reverse((at, actor)));
             }
         }
@@ -168,10 +263,14 @@ impl Scheduler {
             // current pending time is live.
             match self.pending[actor] {
                 Some(t) if t == at => {}
-                _ => continue,
+                _ => {
+                    self.note_stale_skip();
+                    continue;
+                }
             }
             self.pending[actor] = None;
             self.now = at;
+            self.note_dispatch(actor, at);
             let mut ctx = StepCtx {
                 wakes: Vec::new(),
                 next_other: self
@@ -184,6 +283,7 @@ impl Scheduler {
                 StepOutcome::WakeAt(next) => {
                     let next = next.max(at);
                     self.pending[actor] = Some(next);
+                    self.note_armed(actor);
                     self.queue.push(Reverse((next, actor)));
                 }
                 StepOutcome::Idle | StepOutcome::Done => {}

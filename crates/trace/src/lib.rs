@@ -18,9 +18,12 @@
 //!   pool their NICs/SSDs, and measure how stranding falls with pod size.
 
 pub mod alloc_trace;
+pub mod metrics;
 pub mod packet_trace;
 pub mod stranding;
 
 pub use alloc_trace::{AllocTrace, HostCapacity, Instance, InstanceType};
 pub use packet_trace::{HostProfile, PacketTrace};
-pub use stranding::{stranding_by_pod_size, StrandingPoint};
+pub use stranding::{
+    export_stranding, stranding_by_pod_size, stranding_from_snapshot, StrandingPoint,
+};

@@ -1,0 +1,19 @@
+//! Metric name registry for `oasis-trace` (see `oasis-check`'s
+//! `metric-name` rule: every metric name literal in the workspace lives in
+//! its crate's `metrics.rs`, is `snake_case`, and carries the crate
+//! prefix).
+//!
+//! Stranding fractions are stored as parts-per-billion fixed point
+//! (snapshots are integer-only); at the figures' one-decimal percentage
+//! resolution the round trip is lossless. Tag = pod size.
+
+/// Fraction of NIC bandwidth stranded, in parts per billion.
+pub const STRANDED_NIC_PPB: &str = "trace.stranded_nic_ppb";
+/// Fraction of SSD capacity stranded, in parts per billion.
+pub const STRANDED_SSD_PPB: &str = "trace.stranded_ssd_ppb";
+/// Fraction of CPU cores stranded, in parts per billion.
+pub const STRANDED_CPU_PPB: &str = "trace.stranded_cpu_ppb";
+/// Fraction of memory stranded, in parts per billion.
+pub const STRANDED_MEM_PPB: &str = "trace.stranded_mem_ppb";
+/// Placement requests rejected.
+pub const PLACEMENT_REJECTED: &str = "trace.placement_rejected";

@@ -12,9 +12,16 @@
 //! ("27 % of NIC bandwidth, 33 % of SSD capacity ... are stranded on
 //! average").
 
+use oasis_obs::{MetricSink, MetricsSnapshot};
 use oasis_sim::time::SimDuration;
 
 use crate::alloc_trace::{AllocTrace, ArrivalStream};
+use crate::metrics;
+
+/// Fixed-point scale for stranding fractions in snapshots (parts per
+/// billion): snapshots carry only integers, and at the figures'
+/// one-decimal percentage resolution the round trip is lossless.
+pub const PPB: f64 = 1e9;
 
 /// Stranding at one pod size.
 #[derive(Clone, Copy, Debug)]
@@ -86,6 +93,35 @@ pub fn stranding_by_pod_size(
         .collect()
 }
 
+/// Export a stranding sweep into `sink` under the [`crate::metrics`]
+/// names, tagged by pod size.
+pub fn export_stranding(pts: &[StrandingPoint], sink: &mut MetricSink) {
+    for p in pts {
+        let t = p.pod_size as u32;
+        sink.set(metrics::STRANDED_NIC_PPB, t, (p.nic_stranded * PPB) as u64);
+        sink.set(metrics::STRANDED_SSD_PPB, t, (p.ssd_stranded * PPB) as u64);
+        sink.set(metrics::STRANDED_CPU_PPB, t, (p.cpu_stranded * PPB) as u64);
+        sink.set(metrics::STRANDED_MEM_PPB, t, (p.mem_stranded * PPB) as u64);
+        sink.set(metrics::PLACEMENT_REJECTED, t, p.rejected as u64);
+    }
+}
+
+/// Reconstruct the sweep from a snapshot (the path the figure binaries
+/// print from), ascending by pod size.
+pub fn stranding_from_snapshot(snap: &MetricsSnapshot) -> Vec<StrandingPoint> {
+    snap.counter_tags(metrics::STRANDED_NIC_PPB)
+        .into_iter()
+        .map(|(tag, nic)| StrandingPoint {
+            pod_size: tag as usize,
+            nic_stranded: nic as f64 / PPB,
+            ssd_stranded: snap.counter(metrics::STRANDED_SSD_PPB, tag) as f64 / PPB,
+            cpu_stranded: snap.counter(metrics::STRANDED_CPU_PPB, tag) as f64 / PPB,
+            mem_stranded: snap.counter(metrics::STRANDED_MEM_PPB, tag) as f64 / PPB,
+            rejected: snap.counter(metrics::PLACEMENT_REJECTED, tag) as usize,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,6 +167,24 @@ mod tests {
         assert!(p.cpu_stranded < 0.20, "cpu {}", p.cpu_stranded);
         assert!(p.cpu_stranded < p.nic_stranded);
         assert!(p.cpu_stranded < p.ssd_stranded);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_figure_resolution() {
+        let pts = sweep();
+        let mut sink = MetricSink::new();
+        export_stranding(&pts, &mut sink);
+        let back = stranding_from_snapshot(&sink.snapshot());
+        assert_eq!(back.len(), pts.len());
+        for (a, b) in pts.iter().zip(&back) {
+            assert_eq!(a.pod_size, b.pod_size);
+            assert_eq!(a.rejected, b.rejected);
+            // ppb fixed point: well inside the figures' 0.1% resolution.
+            assert!((a.nic_stranded - b.nic_stranded).abs() < 1e-8);
+            assert!((a.ssd_stranded - b.ssd_stranded).abs() < 1e-8);
+            assert!((a.cpu_stranded - b.cpu_stranded).abs() < 1e-8);
+            assert!((a.mem_stranded - b.mem_stranded).abs() < 1e-8);
+        }
     }
 
     #[test]
