@@ -56,6 +56,10 @@ pub struct AccelStats {
     pub swallowed: u64,
     /// Jobs completed with an injected compute error.
     pub compute_errors: u64,
+    /// Retire time of the latest job to finish on any lane. Benchmarks use
+    /// this as the exact end of a batch's device-side span, free of driver
+    /// polling-cadence quantization.
+    pub last_done_at: SimTime,
 }
 
 struct InFlight {
@@ -66,7 +70,10 @@ struct InFlight {
 /// The simulated pooled accelerator.
 pub struct AccelDevice {
     cfg: AccelConfig,
-    sq: VecDeque<AccelCommand>,
+    /// Submitted jobs with their arrival times. Jobs start retroactively at
+    /// `max(lane_free, arrival)`, so lanes never idle between driver polls
+    /// while work is queued.
+    sq: VecDeque<(SimTime, AccelCommand)>,
     in_flight: Vec<InFlight>,
     cq: VecDeque<InFlight>,
     channel_free: Vec<SimTime>,
@@ -133,13 +140,14 @@ impl AccelDevice {
         now < self.fault_timeout_until || now < self.fault_compute_error_until
     }
 
-    /// Submit a job. Returns `false` if the submission queue is full.
-    pub fn submit(&mut self, cmd: AccelCommand) -> bool {
+    /// Submit a job arriving at `now`. Returns `false` if the submission
+    /// queue is full.
+    pub fn submit(&mut self, now: SimTime, cmd: AccelCommand) -> bool {
         if self.sq.len() >= self.cfg.sq_depth {
             self.stats.sq_rejected += 1;
             return false;
         }
-        self.sq.push_back(cmd);
+        self.sq.push_back((now, cmd));
         true
     }
 
@@ -162,26 +170,38 @@ impl AccelDevice {
     }
 
     /// Execute queued jobs and retire finished ones up to `now`.
+    ///
+    /// Jobs start *retroactively*: a job that arrived at `arrival` starts
+    /// on the earliest lane at `max(lane_free, arrival)`, not at the poll
+    /// instant. Without this, every lane freed between two driver polls
+    /// sat idle until the next poll, so past ~4 hosts the polling cadence
+    /// — not lane parallelism — bounded throughput and aggregate
+    /// goodput *fell* as hosts were added.
     pub fn process(&mut self, now: SimTime, dma: &mut dyn DmaMemory) {
-        // Start jobs on free execution lanes.
-        while !self.sq.is_empty() {
-            let Some(ch) = (0..self.channel_free.len())
-                .filter(|&c| self.channel_free[c] <= now)
-                .min_by_key(|&c| self.channel_free[c])
+        // Start jobs in arrival order on free execution lanes.
+        while let Some(&(arrival, _)) = self.sq.front() {
+            // Earliest-free lane; ties resolve to the lowest index, same
+            // as the old free-lane filter, keeping the timeline
+            // deterministic.
+            let Some(ch) = (0..self.channel_free.len()).min_by_key(|&c| self.channel_free[c])
             else {
                 break;
             };
-            let Some(cmd) = self.sq.pop_front() else {
+            let start = self.channel_free[ch].max(arrival);
+            if start > now {
+                break;
+            }
+            let Some((_, cmd)) = self.sq.pop_front() else {
                 break;
             };
-            if now < self.fault_timeout_until {
+            if start < self.fault_timeout_until {
                 // Injected timeout: the job vanishes inside the device. No
                 // completion will ever be posted for this cid.
                 self.stats.swallowed += 1;
                 continue;
             }
             let mut status = self.validate(&cmd);
-            if status.is_ok() && now < self.fault_compute_error_until {
+            if status.is_ok() && start < self.fault_compute_error_until {
                 status = AccelStatus::ComputeError;
                 self.stats.compute_errors += 1;
             }
@@ -192,24 +212,25 @@ impl AccelDevice {
                 1_000 // errors complete fast
             };
             let dma_ns = dma.dma_latency_ns(MemRef::Pool(cmd.input_ptr));
-            let done_at = now + SimDuration::from_nanos(service + dma_ns);
+            let done_at = start + SimDuration::from_nanos(service + dma_ns);
             self.channel_free[ch] = done_at;
+            self.stats.last_done_at = self.stats.last_done_at.max(done_at);
 
             let mut result = 0u64;
             if status.is_ok() {
                 let mut input = vec![0u8; bytes as usize];
-                dma.dma_read(now, MemRef::Pool(cmd.input_ptr), &mut input);
+                dma.dma_read(start, MemRef::Pool(cmd.input_ptr), &mut input);
                 match cmd.op {
                     AccelOp::Checksum => {
                         result = fnv1a(&input);
-                        dma.dma_write(now, MemRef::Pool(cmd.output_ptr), &result.to_le_bytes());
+                        dma.dma_write(start, MemRef::Pool(cmd.output_ptr), &result.to_le_bytes());
                     }
                     AccelOp::Scale => {
                         let k = cmd.arg as u8;
                         for b in input.iter_mut() {
                             *b = b.wrapping_mul(k);
                         }
-                        dma.dma_write(now, MemRef::Pool(cmd.output_ptr), &input);
+                        dma.dma_write(start, MemRef::Pool(cmd.output_ptr), &input);
                     }
                 }
                 self.stats.jobs += 1;
@@ -299,7 +320,7 @@ mod tests {
         let mut dev = AccelDevice::new(AccelConfig::default());
         let mut mem = FlatMem { mem: vec![0; 8192] };
         mem.mem[..5].copy_from_slice(b"oasis");
-        dev.submit(job(1, AccelOp::Checksum, 0, 0, 4096, 5));
+        dev.submit(t(0), job(1, AccelOp::Checksum, 0, 0, 4096, 5));
         dev.process(t(0), &mut mem);
         dev.process(t(1_000_000), &mut mem);
         let comps = dev.poll_completions(t(1_000_000));
@@ -315,7 +336,7 @@ mod tests {
         let mut dev = AccelDevice::new(AccelConfig::default());
         let mut mem = FlatMem { mem: vec![0; 8192] };
         mem.mem[..4].copy_from_slice(&[1, 2, 3, 100]);
-        dev.submit(job(1, AccelOp::Scale, 3, 0, 4096, 4));
+        dev.submit(t(0), job(1, AccelOp::Scale, 3, 0, 4096, 4));
         dev.process(t(0), &mut mem);
         dev.process(t(1_000_000), &mut mem);
         assert!(dev.poll_completions(t(1_000_000))[0].status.is_ok());
@@ -328,7 +349,7 @@ mod tests {
         let mut mem = FlatMem {
             mem: vec![0; 1 << 17],
         };
-        dev.submit(job(1, AccelOp::Checksum, 0, 0, 65536, 65536));
+        dev.submit(t(0), job(1, AccelOp::Checksum, 0, 0, 65536, 65536));
         dev.process(t(0), &mut mem);
         // 20us setup + 64KiB/8GBps ~ 8.2us + 850ns dma ~ 29us.
         assert!(dev.poll_completions(t(25_000)).is_empty());
@@ -346,8 +367,8 @@ mod tests {
         let mut mem = FlatMem {
             mem: vec![0; 16384],
         };
-        dev.submit(job(1, AccelOp::Checksum, 0, 0, 64, 0));
-        dev.submit(job(2, AccelOp::Checksum, 0, 0, 64, 8192));
+        dev.submit(t(0), job(1, AccelOp::Checksum, 0, 0, 64, 0));
+        dev.submit(t(0), job(2, AccelOp::Checksum, 0, 0, 64, 8192));
         dev.process(t(0), &mut mem);
         dev.process(t(1_000_000), &mut mem);
         let comps = dev.poll_completions(t(1_000_000));
@@ -364,7 +385,7 @@ mod tests {
         let mut dev = AccelDevice::new(AccelConfig::default());
         let mut mem = FlatMem { mem: vec![0; 8192] };
         dev.set_failed(true);
-        dev.submit(job(1, AccelOp::Checksum, 0, 0, 4096, 64));
+        dev.submit(t(0), job(1, AccelOp::Checksum, 0, 0, 4096, 64));
         dev.process(t(0), &mut mem);
         dev.process(t(1_000_000), &mut mem);
         assert_eq!(
@@ -373,7 +394,7 @@ mod tests {
         );
         // Repair and retry.
         dev.set_failed(false);
-        dev.submit(job(2, AccelOp::Checksum, 0, 0, 4096, 64));
+        dev.submit(t(1_000_000), job(2, AccelOp::Checksum, 0, 0, 4096, 64));
         dev.process(t(1_000_000), &mut mem);
         dev.process(t(2_000_000), &mut mem);
         assert!(dev.poll_completions(t(2_000_000))[0].status.is_ok());
@@ -390,14 +411,10 @@ mod tests {
             mem: vec![0; 64 * 1024],
         };
         for i in 0..4 {
-            dev.submit(job(
-                i,
-                AccelOp::Checksum,
-                0,
-                (i as u64) * 4096,
-                60_000,
-                4096,
-            ));
+            dev.submit(
+                t(0),
+                job(i, AccelOp::Checksum, 0, (i as u64) * 4096, 60_000, 4096),
+            );
         }
         dev.process(t(0), &mut mem);
         // All four run concurrently: all complete by ~22us, not 4x that.
@@ -412,9 +429,9 @@ mod tests {
             ..Default::default()
         };
         let mut dev = AccelDevice::new(cfg);
-        assert!(dev.submit(job(0, AccelOp::Checksum, 0, 0, 64, 64)));
-        assert!(dev.submit(job(1, AccelOp::Checksum, 0, 0, 64, 64)));
-        assert!(!dev.submit(job(2, AccelOp::Checksum, 0, 0, 64, 64)));
+        assert!(dev.submit(t(0), job(0, AccelOp::Checksum, 0, 0, 64, 64)));
+        assert!(dev.submit(t(0), job(1, AccelOp::Checksum, 0, 0, 64, 64)));
+        assert!(!dev.submit(t(0), job(2, AccelOp::Checksum, 0, 0, 64, 64)));
         assert_eq!(dev.stats.sq_rejected, 1);
     }
 
@@ -424,7 +441,7 @@ mod tests {
         let mut mem = FlatMem { mem: vec![0; 8192] };
         dev.inject_timeout_until(t(1_000_000));
         assert!(dev.fault_window_open(t(0)));
-        dev.submit(job(1, AccelOp::Checksum, 0, 0, 4096, 64));
+        dev.submit(t(0), job(1, AccelOp::Checksum, 0, 0, 4096, 64));
         dev.process(t(0), &mut mem);
         assert_eq!(dev.in_flight(), 0, "swallowed, never started");
         dev.process(t(10_000_000), &mut mem);
@@ -432,7 +449,7 @@ mod tests {
         assert_eq!(dev.stats.swallowed, 1);
         // Past the window (a resubmission) the job completes normally.
         assert!(!dev.fault_window_open(t(2_000_000)));
-        dev.submit(job(1, AccelOp::Checksum, 0, 0, 4096, 64));
+        dev.submit(t(2_000_000), job(1, AccelOp::Checksum, 0, 0, 4096, 64));
         dev.process(t(2_000_000), &mut mem);
         dev.process(t(3_000_000), &mut mem);
         let comps = dev.poll_completions(t(3_000_000));
@@ -445,7 +462,7 @@ mod tests {
         let mut dev = AccelDevice::new(AccelConfig::default());
         let mut mem = FlatMem { mem: vec![0; 8192] };
         dev.inject_compute_errors_until(t(1_000_000));
-        dev.submit(job(1, AccelOp::Checksum, 0, 0, 4096, 64));
+        dev.submit(t(0), job(1, AccelOp::Checksum, 0, 0, 4096, 64));
         dev.process(t(0), &mut mem);
         dev.process(t(10_000_000), &mut mem);
         let comps = dev.poll_completions(t(10_000_000));
@@ -454,7 +471,7 @@ mod tests {
         // No output DMA happened.
         assert!(mem.mem[4096..4104].iter().all(|&b| b == 0));
         // Retry after the window succeeds.
-        dev.submit(job(2, AccelOp::Checksum, 0, 0, 4096, 64));
+        dev.submit(t(10_000_000), job(2, AccelOp::Checksum, 0, 0, 4096, 64));
         dev.process(t(10_000_000), &mut mem);
         dev.process(t(20_000_000), &mut mem);
         assert!(dev.poll_completions(t(20_000_000))[0].status.is_ok());

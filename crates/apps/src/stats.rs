@@ -2,18 +2,48 @@
 //!
 //! Endpoints live inside the pod as boxed trait objects; experiments need
 //! their measurements afterwards. Clients therefore write into a
-//! [`ClientStats`] behind an `Rc<RefCell<..>>` handle the experiment keeps.
-//! (The pod is single-threaded by construction, so `Rc` is appropriate.)
+//! [`ClientStats`] behind a shared [`StatsHandle`] the experiment keeps.
+//!
+//! The handle is an `Arc` over a [`StatsCell`] so pods can migrate between
+//! worker threads under the sharded runner (`oasis_sim::shard`). A pod is
+//! still single-threaded *at any instant* — only one shard worker owns it
+//! per window — so the inner lock is never contended; it exists to satisfy
+//! `Send`/`Sync`, not to synchronize. `StatsCell` keeps the `RefCell`
+//! vocabulary (`borrow`/`borrow_mut`) so recording sites read the same as
+//! they always have.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use oasis_sim::hist::Histogram;
 use oasis_sim::series::BinnedSeries;
 use oasis_sim::time::{SimDuration, SimTime};
 
 /// Shared handle to a client's measurements.
-pub type StatsHandle = Rc<RefCell<ClientStats>>;
+pub type StatsHandle = Arc<StatsCell>;
+
+/// Interior-mutable cell holding a client's stats; see the module docs for
+/// why this is a (never-contended) lock rather than a `RefCell`.
+#[derive(Debug, Default)]
+pub struct StatsCell(Mutex<ClientStats>);
+
+impl StatsCell {
+    /// Wrap freshly-zeroed stats.
+    pub fn new(stats: ClientStats) -> Self {
+        StatsCell(Mutex::new(stats))
+    }
+
+    /// Shared read access (uncontended by construction).
+    pub fn borrow(&self) -> MutexGuard<'_, ClientStats> {
+        // oasis-check: allow(no-panic) poisoning requires a panicked worker, which already aborts the run
+        self.0.lock().expect("stats cell poisoned")
+    }
+
+    /// Exclusive write access (uncontended by construction).
+    pub fn borrow_mut(&self) -> MutexGuard<'_, ClientStats> {
+        // oasis-check: allow(no-panic) poisoning requires a panicked worker, which already aborts the run
+        self.0.lock().expect("stats cell poisoned")
+    }
+}
 
 /// Everything a load-generating client records.
 #[derive(Debug)]
@@ -50,7 +80,7 @@ impl ClientStats {
 
     /// Create a shareable handle.
     pub fn handle() -> StatsHandle {
-        Rc::new(RefCell::new(ClientStats::new()))
+        Arc::new(StatsCell::new(ClientStats::new()))
     }
 
     /// Register a request; returns its sequence number.

@@ -15,14 +15,17 @@ use oasis_sim::time::{SimDuration, SimTime};
 
 use crate::stats::StatsHandle;
 
-/// Recognizes complete responses in the receive stream.
-pub trait ResponseFramer {
+/// Recognizes complete responses in the receive stream. `Send` because the
+/// owning endpoint migrates between shard worker threads
+/// (`oasis_sim::shard`) with its pod.
+pub trait ResponseFramer: Send {
     /// If `buf` starts with one complete response, return its length.
     fn complete(&mut self, buf: &[u8]) -> Option<usize>;
 }
 
-/// Builds request bytes for a sequence number.
-pub trait RequestBuilder {
+/// Builds request bytes for a sequence number. `Send` for the same reason
+/// as [`ResponseFramer`].
+pub trait RequestBuilder: Send {
     /// Serialize request `seq`.
     fn build(&mut self, seq: u64) -> Vec<u8>;
 }

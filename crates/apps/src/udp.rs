@@ -221,9 +221,11 @@ impl Endpoint for UdpClient {
     fn next_time(&self) -> SimTime {
         let mut t = if self.resolved() {
             if let Pacing::Closed { outstanding, count } = self.pacing {
-                let s = self.stats.borrow();
+                // One stats lock for both reads: `closed_in_flight` locks
+                // the cell itself, so it must not run under a held guard.
+                let sent = self.stats.borrow().sent;
                 let inflight = self.closed_in_flight();
-                if s.sent >= count {
+                if sent >= count {
                     if inflight == 0 {
                         SimTime::MAX
                     } else {
@@ -316,7 +318,13 @@ impl Endpoint for UdpClient {
                 self.abandoned += 1;
                 self.last_progress = now;
             }
-            while self.stats.borrow().sent < count && self.closed_in_flight() < outstanding {
+            loop {
+                // Read, then drop, the stats guard before `closed_in_flight`
+                // takes its own lock on the same cell.
+                let sent = self.stats.borrow().sent;
+                if sent >= count || self.closed_in_flight() >= outstanding {
+                    break;
+                }
                 let len = self.payload_len;
                 let mut payload = vec![0u8; len];
                 let seq = self.stats.borrow_mut().on_send(now);

@@ -54,7 +54,11 @@ fn build_pod(consumers: usize) -> (Pod, Vec<usize>) {
 }
 
 /// Push `JOBS_PER_HOST` jobs from every host, resubmitting on backpressure,
-/// and return the makespan: first submit to last completion.
+/// and return the makespan: first submit to last job retired by the device.
+/// The end of the span is the device's own retire timestamp
+/// (`AccelStats::last_done_at`), not the polling-tick boundary the
+/// completion was collected on, so the driver polling cadence never
+/// quantizes the measurement.
 fn run_batch(pod: &mut Pod, hosts: &[usize]) -> (SimDuration, usize) {
     let start = pod.now();
     let mut left: Vec<usize> = hosts.iter().map(|_| JOBS_PER_HOST).collect();
@@ -80,7 +84,7 @@ fn run_batch(pod: &mut Pod, hosts: &[usize]) -> (SimDuration, usize) {
                 .count();
         }
         if done == hosts.len() * JOBS_PER_HOST {
-            return (pod.now() - start, done);
+            return (pod.accels[0].stats.last_done_at - start, done);
         }
         assert!(
             pod.now() - start < SimDuration::from_millis(500),

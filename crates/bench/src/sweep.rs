@@ -9,9 +9,9 @@
 //! determinism comes from indexing results by job position, never by
 //! completion order.
 //!
-//! Simulation worlds themselves are not `Send` (pods hand out
-//! `Rc<RefCell<..>>` stats handles), so a job closure must build the world
-//! *inside* the worker and return only plain data (numbers, strings).
+//! Simulation worlds are `Send` (stats handles are `Arc`-backed), but a job
+//! closure should still build its world *inside* the worker and return only
+//! plain data (numbers, strings) — worlds are big, results are small.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -22,6 +22,11 @@
 //!   registry) live only in that crate's `src/metrics.rs`, where the
 //!   prefix must match the owning crate; everywhere else code must use
 //!   the registered const.
+//! - **thread-discipline**: no unscoped `thread::spawn` anywhere (worker
+//!   pools go through the vendored crossbeam scoped helper), and every
+//!   concurrency primitive constructed in a simulation crate (`Mutex`,
+//!   `Barrier`, `Atomic*`, scoped thread pools, …) carries a waiver naming
+//!   why it is coordination state — intra-shard hot paths stay lock-free.
 //!
 //! Test code is exempt: files under `tests/` and `benches/` are skipped
 //! where appropriate, and `#[cfg(test)]` blocks are excluded by brace
@@ -52,6 +57,7 @@ pub const RULES: &[&str] = &[
     "nondeterminism",
     "allow-comment",
     "metric-name",
+    "thread-discipline",
 ];
 
 /// One lint finding.
@@ -797,6 +803,85 @@ fn rule_metric_name(
     }
 }
 
+/// Construction sites of shared-state concurrency primitives. The rule
+/// audits state where it is *declared* (one waiver per primitive), not at
+/// every load/store — `Ordering::` traffic downstream of a waived atomic
+/// is already accounted for.
+const THREAD_STATE_PATTERNS: &[&str] = &[
+    "Mutex::new(",
+    "RwLock::new(",
+    "Condvar::new(",
+    "Barrier::new(",
+    "AtomicBool::new(",
+    "AtomicUsize::new(",
+    "AtomicIsize::new(",
+    "AtomicU8::new(",
+    "AtomicU16::new(",
+    "AtomicU32::new(",
+    "AtomicU64::new(",
+    "AtomicI8::new(",
+    "AtomicI16::new(",
+    "AtomicI32::new(",
+    "AtomicI64::new(",
+    "OnceLock::new(",
+    "mpsc::channel(",
+    "thread::scope(",
+];
+
+fn rule_thread_discipline(
+    ctx: &FileCtx,
+    lexed: &Lexed,
+    tests: &[(usize, usize)],
+    waivers: &Waivers,
+    out: &mut Vec<Finding>,
+) {
+    if ctx.kind != FileKind::Src || ctx.crate_name == "check" {
+        return;
+    }
+    // The shared-state half polices the deterministic substrate and the
+    // runtime crates built on it; harness crates (bench, apps, obs) may
+    // hold wall-clock-side state freely.
+    let policed = ctx.crate_name == "sim" || RUNTIME_CRATES.contains(&ctx.crate_name.as_str());
+    for (i, l) in lexed.masked.lines().enumerate() {
+        let line = i + 1;
+        if in_ranges(line, tests) {
+            continue;
+        }
+        // Catches `std::thread::spawn` and a bare `thread::spawn` import in
+        // every crate; the vendored scoped helper's `s.spawn(..)` does not
+        // match, which is exactly the discipline being enforced.
+        if l.contains("thread::spawn") {
+            push(
+                out,
+                ctx,
+                waivers,
+                line,
+                "thread-discipline",
+                "unscoped thread::spawn (use the vendored crossbeam scoped helper)".into(),
+            );
+        }
+        if !policed {
+            continue;
+        }
+        for &pat in THREAD_STATE_PATTERNS {
+            if l.contains(pat) {
+                push(
+                    out,
+                    ctx,
+                    waivers,
+                    line,
+                    "thread-discipline",
+                    format!(
+                        "{} in a simulation crate — waive as coordination state; \
+                         intra-shard hot paths stay lock-free",
+                        pat.trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+    }
+}
+
 fn rule_allow_comment(ctx: &FileCtx, lexed: &Lexed, waivers: &Waivers, out: &mut Vec<Finding>) {
     for (i, l) in lexed.masked.lines().enumerate() {
         let line = i + 1;
@@ -849,6 +934,7 @@ pub fn check_source(ctx: &FileCtx, src: &str) -> Vec<Finding> {
     rule_nondeterminism(ctx, &lexed, &tests, &waivers, &mut out);
     rule_allow_comment(ctx, &lexed, &waivers, &mut out);
     rule_metric_name(ctx, src, &lexed, &tests, &waivers, &mut out);
+    rule_thread_discipline(ctx, &lexed, &tests, &waivers, &mut out);
     out
 }
 
@@ -1066,6 +1152,43 @@ mod tests {
         // Registered name outside a const declaration.
         let loose = "pub fn x() -> &'static str { \"sim.sched_dispatches\" }\n";
         assert_eq!(rules_of(&reg("sim", loose)), ["metric-name"]);
+    }
+
+    #[test]
+    fn thread_spawn_flagged_everywhere_scoped_spawn_clean() {
+        // Unscoped spawn is a finding even outside the simulation crates.
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(
+            rules_of(&check_source(&src_ctx("apps"), src)),
+            ["thread-discipline"]
+        );
+        // The vendored scoped helper's spawn does not match.
+        let scoped = "fn g(s: &Scope) { s.spawn(|| {}); }\n";
+        assert!(check_source(&src_ctx("apps"), scoped).is_empty());
+        // Harness code may thread however it likes.
+        let ctx = FileCtx {
+            rel_path: "crates/bench/tests/t.rs".into(),
+            crate_name: "bench".into(),
+            kind: FileKind::Harness,
+        };
+        assert!(check_source(&ctx, src).is_empty());
+    }
+
+    #[test]
+    fn thread_state_policed_in_simulation_crates() {
+        let src = "fn f() { let m = Mutex::new(0); let c = AtomicUsize::new(0); }\n";
+        assert_eq!(
+            rules_of(&check_source(&src_ctx("sim"), src)),
+            ["thread-discipline", "thread-discipline"]
+        );
+        // Harness-side crates may hold wall-clock state.
+        assert!(check_source(&src_ctx("bench"), src).is_empty());
+        // A waiver with a reason covers the statement it precedes.
+        let waived = "fn f() {\n    // oasis-check: allow(thread-discipline) claim counter, once per round.\n    let c = AtomicUsize::new(0);\n}\n";
+        assert!(check_source(&src_ctx("sim"), waived).is_empty());
+        // Imports alone are not state.
+        let imports = "use std::sync::{Barrier, Mutex};\n";
+        assert!(check_source(&src_ctx("sim"), imports).is_empty());
     }
 
     #[test]

@@ -168,7 +168,7 @@ impl AccelBackend {
                     );
                     continue;
                 }
-                if dev.submit(cmd) {
+                if dev.submit(self.core.clock, cmd) {
                     self.stats.forwarded += 1;
                 } else {
                     // Bounce with an error so the frontend can retry.

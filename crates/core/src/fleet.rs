@@ -1,0 +1,227 @@
+//! Multi-pod fleets: pods as shards under conservative-window parallelism.
+//!
+//! Octopus-style deployments (PAPERS.md) connect many sparsely-linked pods:
+//! each pod's devices are pooled over CXL internally, and pods talk to each
+//! other only over Ethernet uplinks through the row fabric. That sparseness
+//! is exactly the structure the sharded runner (`oasis_sim::shard`)
+//! exploits: each pod is one shard with its own deterministic scheduler,
+//! and the minimum uplink latency (exposed by
+//! [`oasis_cxl::topology::FleetTopology`]) is the conservative lookahead
+//! bounding how far pods can advance between barriers.
+//!
+//! A frame leaving pod A for pod B egresses A's switch on an uplink port
+//! (standard L2: unknown destinations flood to the uplink, remote source
+//! MACs are learned from uplink ingress), crosses the link in
+//! `latency`, and enters B's switch on the peer uplink port. Because
+//! `latency >= lookahead`, the delivery always lands in a later window than
+//! the send — the runner's exchange is safe and deterministic.
+//!
+//! Pods in one fleet share an L2 domain over the uplinks, so each must be
+//! built with a distinct [`crate::pod::PodBuilder::site`] to keep NIC MACs
+//! and instance IPs fleet-unique; colliding MACs confuse switch learning
+//! exactly as they would on real hardware.
+
+use oasis_sim::shard::{self, Envelope, Outgoing, ShardError, ShardWorld, ShardedRunner};
+use oasis_sim::time::{SimDuration, SimTime};
+
+use crate::pod::{Pod, UplinkMsg};
+
+/// Where one pod-local uplink leads: the peer pod and the uplink index
+/// *within that peer* on which frames arrive.
+#[derive(Clone, Copy, Debug)]
+struct UplinkRoute {
+    dst_pod: usize,
+    dst_uplink: usize,
+    latency: SimDuration,
+}
+
+/// One pod plus its uplink routing table — the fleet's shard unit.
+pub struct PodShard {
+    /// The wrapped pod.
+    pub pod: Pod,
+    /// Route of each local uplink index.
+    routes: Vec<UplinkRoute>,
+}
+
+impl ShardWorld for PodShard {
+    type Msg = UplinkMsg;
+
+    fn next_time(&self) -> SimTime {
+        self.pod.next_activity()
+    }
+
+    fn run_window(
+        &mut self,
+        until: SimTime,
+        inbox: &mut Vec<Envelope<UplinkMsg>>,
+        outbox: &mut Vec<Outgoing<UplinkMsg>>,
+    ) -> u64 {
+        // Inbox is (at, src, seq)-sorted; the event queue is FIFO on ties,
+        // so arrival order on the pod's timeline is deterministic.
+        for env in inbox.drain(..) {
+            let (uplink, frame) = env.msg;
+            self.pod.inject_uplink_frame(env.at, uplink, frame);
+        }
+        let events = self.pod.run_local(until);
+        for (at, uplink, frame) in self.pod.uplink_out.drain(..) {
+            let r = self.routes[uplink];
+            outbox.push(Outgoing {
+                dst: r.dst_pod,
+                at: at + r.latency,
+                msg: (r.dst_uplink, frame),
+            });
+        }
+        events
+    }
+}
+
+/// A set of pods advanced in lockstep lookahead windows, in parallel when
+/// `OASIS_SHARD_THREADS` allows. Simulated output is byte-identical at any
+/// thread count.
+pub struct Fleet {
+    shards: Vec<PodShard>,
+    runner: Option<ShardedRunner<UplinkMsg>>,
+    threads: usize,
+    min_latency: Option<SimDuration>,
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fleet {
+    /// An empty fleet; worker threads come from `OASIS_SHARD_THREADS`.
+    pub fn new() -> Self {
+        Self::with_threads(shard::threads_from_env())
+    }
+
+    /// An empty fleet with an explicit worker thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Fleet {
+            shards: Vec::new(),
+            runner: None,
+            threads: threads.max(1),
+            min_latency: None,
+        }
+    }
+
+    /// Add a pod to the fleet. Returns its pod index. Pods must be added
+    /// (and connected) before the first `run`.
+    pub fn add_pod(&mut self, pod: Pod) -> usize {
+        assert!(self.runner.is_none(), "fleet topology is fixed after run");
+        self.shards.push(PodShard {
+            pod,
+            routes: Vec::new(),
+        });
+        self.shards.len() - 1
+    }
+
+    /// Number of pods.
+    pub fn pods(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shared access to a pod.
+    pub fn pod(&self, i: usize) -> &Pod {
+        &self.shards[i].pod
+    }
+
+    /// Exclusive access to a pod (instance/endpoint setup).
+    pub fn pod_mut(&mut self, i: usize) -> &mut Pod {
+        assert!(self.runner.is_none(), "fleet topology is fixed after run");
+        &mut self.shards[i].pod
+    }
+
+    /// Join pods `a` and `b` with a bidirectional uplink of the given
+    /// one-way latency. Allocates an uplink switch port on both pods.
+    pub fn connect(&mut self, a: usize, b: usize, latency: SimDuration) {
+        assert!(self.runner.is_none(), "fleet topology is fixed after run");
+        assert_ne!(a, b, "a pod cannot uplink to itself");
+        let ua = self.shards[a].pod.add_uplink();
+        let ub = self.shards[b].pod.add_uplink();
+        self.shards[a].routes.push(UplinkRoute {
+            dst_pod: b,
+            dst_uplink: ub,
+            latency,
+        });
+        self.shards[b].routes.push(UplinkRoute {
+            dst_pod: a,
+            dst_uplink: ua,
+            latency,
+        });
+        self.min_latency = Some(self.min_latency.map_or(latency, |m| m.min(latency)));
+    }
+
+    /// Join two pods per a topology-level link description.
+    pub fn connect_link(&mut self, link: &oasis_cxl::topology::CrossPodLink) {
+        self.connect(link.a, link.b, link.latency);
+    }
+
+    /// The conservative lookahead: the minimum uplink latency, or zero for
+    /// an unlinked multi-pod fleet (which `run` rejects as un-shardable).
+    pub fn lookahead(&self) -> SimDuration {
+        match self.min_latency {
+            Some(l) => l,
+            // No links at all: disconnected pods never interact, so any
+            // window length is safe; pick a horizon-spanning lookahead.
+            None => SimDuration::from_nanos(u64::MAX),
+        }
+    }
+
+    /// Advance every pod to `until` under the window protocol.
+    pub fn run(&mut self, until: SimTime) -> Result<(), ShardError> {
+        let mut runner = match self.runner.take() {
+            Some(r) => r,
+            None => ShardedRunner::new(self.shards.len(), self.lookahead(), self.threads),
+        };
+        let res = runner.run(&mut self.shards, until);
+        self.runner = Some(runner);
+        res?;
+        for s in &mut self.shards {
+            s.pod.finish_horizon(until);
+        }
+        Ok(())
+    }
+
+    /// Shard telemetry from the underlying runner, exported through the
+    /// `oasis-sim` metric registry names.
+    #[cfg(feature = "obs")]
+    pub fn export_shard_metrics(&self, sink: &mut oasis_obs::MetricSink) {
+        use oasis_sim::metrics as sm;
+        let Some(runner) = &self.runner else {
+            return;
+        };
+        let stats = runner.stats();
+        sink.set(sm::SHARD_WINDOWS, 0, stats.windows);
+        for (shard, &events) in stats.shard_events.iter().enumerate() {
+            if events != 0 {
+                sink.set(sm::SHARD_EVENTS, shard as u32, events);
+            }
+        }
+        sink.set(sm::SHARD_BARRIER_STALLS, 0, stats.barrier_stalls);
+        sink.set(sm::SHARD_MESSAGES, 0, stats.messages);
+        sink.merge_hist(
+            sm::SHARD_WINDOW_NS,
+            0,
+            &oasis_obs::ObsHistogram::from_sim(&stats.window_ns),
+        );
+    }
+
+    /// Fleet-wide metrics: each pod's canonical snapshot merged, plus —
+    /// with `obs` on — the shard-runner telemetry.
+    pub fn metrics_snapshot(&self) -> oasis_obs::MetricsSnapshot {
+        let mut merged = oasis_obs::MetricsSnapshot::default();
+        for s in &self.shards {
+            merged.merge(&s.pod.metrics_snapshot());
+        }
+        #[cfg(feature = "obs")]
+        {
+            let mut sink = oasis_obs::MetricSink::new();
+            self.export_shard_metrics(&mut sink);
+            merged.merge(&sink.snapshot());
+        }
+        merged
+    }
+}

@@ -61,13 +61,17 @@ pub trait TcpApp {
 }
 
 /// The application attached to an instance.
+///
+/// Apps are `Send` so whole pods can migrate between the sharded runner's
+/// worker threads (`oasis_sim::shard`); each pod is still driven by exactly
+/// one thread at a time.
 pub enum AppKind {
     /// No application (traffic sink).
     None,
     /// UDP server.
-    Udp(Box<dyn UdpApp>),
+    Udp(Box<dyn UdpApp + Send>),
     /// TCP server.
-    Tcp(Box<dyn TcpApp>),
+    Tcp(Box<dyn TcpApp + Send>),
 }
 
 struct TcpPeer {

@@ -30,6 +30,10 @@
 //!   Raft from `oasis-raft`.
 //! * [`pod`] — the pod runtime: wires hosts, cores, NICs, SSDs, switch,
 //!   instances, and client endpoints into one deterministic co-simulation.
+//! * [`fleet`] — multi-pod fleets joined by Ethernet uplinks; each pod runs
+//!   as one shard under `oasis_sim::shard`'s conservative-window runner,
+//!   in parallel when `OASIS_SHARD_THREADS` allows, with byte-identical
+//!   output at any thread count.
 //! * [`baseline`] — the Junction-style baseline (instance served by its
 //!   local NIC) used by the paper's overhead comparisons, with a
 //!   buffers-in-CXL variant for the Fig. 11 breakdown.
@@ -46,6 +50,7 @@ pub mod engine_accel;
 pub mod engine_net;
 pub mod engine_storage;
 pub mod error;
+pub mod fleet;
 pub mod instance;
 pub mod metrics;
 pub mod msg;
@@ -53,4 +58,5 @@ pub mod pod;
 pub mod tcp;
 
 pub use config::OasisConfig;
+pub use fleet::Fleet;
 pub use pod::{Pod, PodBuilder};

@@ -32,6 +32,7 @@ use oasis_sim::fault::{
     AccelFaultMode, FaultInjector, FaultKind, FaultPlan, PacketFaultState, SsdFaultMode,
 };
 use oasis_sim::sched::{Scheduler, StepCtx, StepOutcome};
+use oasis_sim::shard::{self, Envelope, Outgoing, ShardWorld, ShardedRunner};
 use oasis_sim::time::{SimDuration, SimTime};
 
 use oasis_storage::ssd::{Ssd, SsdConfig};
@@ -70,6 +71,9 @@ pub enum HostDriver {
 enum PortOwner {
     Nic(usize),
     Endpoint(usize),
+    /// Inter-pod uplink by index: frames egressing here leave the pod and
+    /// are relayed by the fleet layer (`crate::fleet`).
+    Uplink(usize),
 }
 
 enum PodEvent {
@@ -108,6 +112,9 @@ enum PodEvent {
     AccelTimeoutUntil(usize, SimTime),
     /// Open an accelerator compute-error window closing at the given time.
     AccelErrorsUntil(usize, SimTime),
+    /// A frame arrives from another pod on the given uplink: it enters the
+    /// local switch on the uplink's port, exactly as a wire delivery would.
+    UplinkFrame(usize, Frame),
 }
 
 /// A handle to one device engine, resolved against the pod's engine tables
@@ -282,8 +289,8 @@ pub struct Pod {
     pub instances: Vec<Instance>,
     /// The pod-wide allocator.
     pub allocator: PodAllocator,
-    /// Client endpoints.
-    pub endpoints: Vec<Box<dyn Endpoint>>,
+    /// Client endpoints (`Send` so pods can migrate between shard workers).
+    pub endpoints: Vec<Box<dyn Endpoint + Send>>,
     /// SSDs by id.
     pub ssds: Vec<Ssd>,
     /// Storage frontends, per host (Oasis hosts in pods with SSDs).
@@ -302,6 +309,17 @@ pub struct Pod {
     backend_of_nic: Vec<Option<usize>>,
     endpoint_port: Vec<usize>,
     port_owner: Vec<PortOwner>,
+    /// Site number (fleet-unique MAC/IP numbering base; see
+    /// [`PodBuilder::site`]).
+    site: u32,
+    /// Switch port of each inter-pod uplink.
+    uplink_port: Vec<usize>,
+    /// Frames that egressed on an uplink this window, awaiting relay by the
+    /// fleet layer: `(egress_time, uplink, frame)`.
+    pub(crate) uplink_out: Vec<(SimTime, usize, Frame)>,
+    /// Persistent sharded-execution driver for [`Pod::run`] (single shard);
+    /// carries the window cursor and pooled buffers across calls.
+    shard_runner: Option<ShardedRunner<UplinkMsg>>,
     pending: EventQueue<PodEvent>,
     ra: RegionAllocator,
     /// Per-instance TX-area region, kept so a host-failure reclaim can
@@ -314,11 +332,19 @@ pub struct Pod {
     obs: PodObs,
 }
 
+// Pods migrate between shard worker threads (`oasis_sim::shard`); keep any
+// non-`Send` regression a compile error rather than a runtime surprise.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Pod>();
+};
+
 /// Builds a [`Pod`]. Hosts and NICs are declared first; instances and
 /// endpoints are added to the built pod.
 pub struct PodBuilder {
     cfg: OasisConfig,
     pool_bytes: u64,
+    site: u32,
     /// (has_nic, baseline placement or None for Oasis).
     hosts: Vec<(bool, Option<BufferPlacement>)>,
     backup_nic_host: Option<usize>,
@@ -334,6 +360,7 @@ impl PodBuilder {
         PodBuilder {
             cfg,
             pool_bytes: 64 << 20,
+            site: 0,
             hosts: Vec::new(),
             backup_nic_host: None,
             ssds: Vec::new(),
@@ -344,6 +371,15 @@ impl PodBuilder {
     /// Override the pool size (default 64 MiB of simulated CXL memory).
     pub fn pool_bytes(mut self, bytes: u64) -> Self {
         self.pool_bytes = bytes;
+        self
+    }
+
+    /// Site number for multi-pod fleets ([`crate::fleet::Fleet`]). NIC MACs
+    /// and instance IPs are numbered within the site, so pods that share an
+    /// L2 domain over uplinks must use distinct sites (up to 255 instances
+    /// per site); a standalone pod can leave the default 0.
+    pub fn site(mut self, site: u32) -> Self {
+        self.site = site;
         self
     }
 
@@ -417,7 +453,7 @@ impl PodBuilder {
                 continue;
             }
             let nic_id = nics.len();
-            let mac = MacAddr::nic(nic_id as u64);
+            let mac = MacAddr::nic(((self.site as u64) << 16) | nic_id as u64);
             let nic = Nic::new(mac, NicConfig::default());
             let port = switch.add_port();
             port_owner.push(PortOwner::Nic(nic_id));
@@ -662,6 +698,10 @@ impl PodBuilder {
             backend_of_nic,
             endpoint_port: Vec::new(),
             port_owner,
+            site: self.site,
+            uplink_port: Vec::new(),
+            uplink_out: Vec::new(),
+            shard_runner: None,
             pending: EventQueue::new(),
             ra,
             inst_region: Vec::new(),
@@ -768,7 +808,7 @@ impl Pod {
         }
         let idx = self.instances.len();
         let id = idx as u32;
-        let ip = Ipv4Addr::instance(id + 1);
+        let ip = Ipv4Addr::instance((self.site << 8) | (id + 1));
         let mut inst = Instance::new(id, ip, host, app);
 
         match &self.drivers[host] {
@@ -825,13 +865,39 @@ impl Pod {
     }
 
     /// Attach a client endpoint to a new switch port. Returns its index.
-    pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint>) -> usize {
+    pub fn add_endpoint(&mut self, ep: Box<dyn Endpoint + Send>) -> usize {
         let port = self.switch.add_port();
         self.port_owner
             .push(PortOwner::Endpoint(self.endpoints.len()));
         self.endpoint_port.push(port);
         self.endpoints.push(ep);
         self.endpoints.len() - 1
+    }
+
+    /// Attach an inter-pod uplink to a new switch port. Returns the uplink
+    /// index. Frames the switch egresses here accumulate in the pod's
+    /// uplink-out buffer; the fleet layer (`crate::fleet`) relays them to
+    /// the peer pod with the uplink's latency. Standard L2 learning makes
+    /// routing work unmodified: remote MACs are learned from uplink ingress
+    /// traffic, unknown destinations flood to the uplink like any port.
+    pub fn add_uplink(&mut self) -> usize {
+        let port = self.switch.add_port();
+        self.port_owner
+            .push(PortOwner::Uplink(self.uplink_port.len()));
+        self.uplink_port.push(port);
+        self.uplink_port.len() - 1
+    }
+
+    /// Number of attached inter-pod uplinks.
+    pub fn uplinks(&self) -> usize {
+        self.uplink_port.len()
+    }
+
+    /// A frame from a peer pod arrives on `uplink` at `at` (simulated
+    /// time). It is queued on the pod's event timeline and enters the
+    /// switch when the clock reaches `at`.
+    pub fn inject_uplink_frame(&mut self, at: SimTime, uplink: usize, frame: Frame) {
+        self.pending.push(at, PodEvent::UplinkFrame(uplink, frame));
     }
 
     /// Schedule a NIC failure at `at` using the paper's §5.3 method:
@@ -1231,6 +1297,7 @@ impl Pod {
             match self.port_owner[port] {
                 PortOwner::Nic(n) => self.nics[n].deliver(at, f),
                 PortOwner::Endpoint(e) => self.endpoints[e].deliver(at, f),
+                PortOwner::Uplink(u) => self.uplink_out.push((at, u, f)),
             }
         }
     }
@@ -1303,10 +1370,104 @@ impl Pod {
                 // relays the operator's intent to the allocator.
                 self.allocator.migrate_instance(&mut self.pool, ip, nic);
             }
+            PodEvent::UplinkFrame(u, frame) => {
+                let port = self.uplink_port[u];
+                self.forward(at, port, frame);
+                self.wake_endpoints(map, ctx);
+            }
         }
     }
 
     /// Run the co-simulation until every component's clock reaches `until`.
+    ///
+    /// The pod is driven through the sharded runner (`oasis_sim::shard`) as
+    /// a single shard: one window spans the whole horizon and falls through
+    /// to [`Pod::run_local`], so the simulated timeline is byte-identical
+    /// at any `OASIS_SHARD_THREADS` setting. Multi-pod simulations shard at
+    /// pod granularity via [`crate::fleet::Fleet`], which shares this exact
+    /// window machinery.
+    pub fn run(&mut self, until: SimTime) {
+        let mut runner = self
+            .shard_runner
+            .take()
+            .unwrap_or_else(|| ShardedRunner::new(1, SimDuration::ZERO, shard_threads()));
+        // A single shard cannot produce `ZeroLookahead` (it needs > 1).
+        let _ = runner.run_seq(std::slice::from_mut(self), until);
+        self.shard_runner = Some(runner);
+        self.now = self.now.max(until);
+    }
+
+    /// Override the shard worker-thread count for this pod, replacing the
+    /// process-wide `OASIS_SHARD_THREADS` setting. The env read is cached
+    /// once per process, so tests comparing thread counts in-process use
+    /// this instead. Must be called before the first [`Pod::run`].
+    pub fn set_shard_threads(&mut self, threads: usize) {
+        assert!(
+            self.shard_runner.is_none(),
+            "set_shard_threads before the first run"
+        );
+        self.shard_runner = Some(ShardedRunner::new(1, SimDuration::ZERO, threads));
+    }
+
+    /// Bump the pod clock to the end of a horizon driven externally (by
+    /// [`crate::fleet::Fleet`]): a pod whose windows were all skipped as
+    /// idle still observed the full horizon.
+    pub(crate) fn finish_horizon(&mut self, until: SimTime) {
+        self.now = self.now.max(until);
+    }
+
+    /// Earliest simulated time any component wants to act: the minimum over
+    /// live engine clocks, the allocator, endpoints, and the event queue.
+    /// The sharded runner probes this to open windows at the next busy
+    /// instant (and to skip horizons with no work at all).
+    pub fn next_activity(&self) -> SimTime {
+        let mut t = self.pending.peek_time().unwrap_or(SimTime::MAX);
+        for (host, drv) in self.drivers.iter().enumerate() {
+            if self.dead_host[host] {
+                continue;
+            }
+            t = t.min(match drv {
+                HostDriver::Oasis(fe) => fe.core.clock,
+                HostDriver::Local(ld) => ld.core.clock,
+            });
+        }
+        for be in &self.backends {
+            if !self.dead_host[be.host] {
+                t = t.min(be.core.clock);
+            }
+        }
+        t = t.min(self.allocator.core.clock);
+        for ep in &self.endpoints {
+            t = t.min(ep.next_time());
+        }
+        for (host, fe) in self.storage_frontends.iter().enumerate() {
+            if let Some(fe) = fe {
+                if !self.dead_host[host] {
+                    t = t.min(fe.core.clock);
+                }
+            }
+        }
+        for be in &self.storage_backends {
+            if !self.dead_host[be.host] {
+                t = t.min(be.core.clock);
+            }
+        }
+        for (host, fe) in self.accel_frontends.iter().enumerate() {
+            if let Some(fe) = fe {
+                if !self.dead_host[host] {
+                    t = t.min(fe.core.clock);
+                }
+            }
+        }
+        for be in &self.accel_backends {
+            if !self.dead_host[be.host] {
+                t = t.min(be.core.clock);
+            }
+        }
+        t
+    }
+
+    /// One window of the co-simulation on this pod's own scheduler.
     ///
     /// Every component — device engines, the allocator, endpoints, the
     /// fault event queue — is registered as an actor on a fresh
@@ -1315,13 +1476,13 @@ impl Pod {
     /// order the legacy earliest-clock scan considered components in, so
     /// the timeline is byte-identical). Components with clocks at or past
     /// `until` simply re-arm without running, which a fresh registration
-    /// per call makes uniform.
-    pub fn run(&mut self, until: SimTime) {
+    /// per call makes uniform. Returns the number of actor dispatches.
+    pub(crate) fn run_local(&mut self, until: SimTime) -> u64 {
         // The legacy scan stepped components with clocks strictly below
         // `until`; the scheduler deadline is inclusive, so it sits 1 ns
         // earlier.
         let Some(deadline) = until.as_nanos().checked_sub(1).map(SimTime::from_nanos) else {
-            return;
+            return 0;
         };
         let mut sched = Scheduler::new();
         let mut kinds: Vec<ActorKind> = Vec::new();
@@ -1420,12 +1581,15 @@ impl Pod {
             accel_be_base,
         };
 
+        let mut dispatches: u64 = 0;
         sched.run_until_with(self, deadline, |pod, actor, at, ctx| {
+            dispatches += 1;
             pod.dispatch(&kinds, &map, actor, at, until, ctx)
         });
         #[cfg(feature = "obs")]
         self.obs.fold_sched(sched.stats());
         self.now = self.now.max(until);
+        dispatches
     }
 
     /// Dispatch one actor at its wake time.
@@ -1586,5 +1750,45 @@ impl Pod {
         }
         self.wake_endpoints(map, ctx);
         StepOutcome::WakeAt(next)
+    }
+}
+
+/// Payload relayed between pods over an uplink: `(destination uplink index,
+/// frame)`. The destination index is resolved by the fleet layer's routing
+/// table before the message is enqueued.
+pub type UplinkMsg = (usize, Frame);
+
+/// The process-wide `OASIS_SHARD_THREADS` setting, read once. Figure
+/// binaries and CI set the variable before launch, so a cached read keeps
+/// the per-`run` overhead at one atomic load.
+fn shard_threads() -> usize {
+    // oasis-check: allow(thread-discipline) write-once env cache, never mutated after init
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(shard::threads_from_env)
+}
+
+impl ShardWorld for Pod {
+    type Msg = UplinkMsg;
+
+    fn next_time(&self) -> SimTime {
+        self.next_activity()
+    }
+
+    /// One conservative window: absorb uplink arrivals onto the event
+    /// timeline, then run the pod's own scheduler to the window end. A bare
+    /// pod has no routing table, so uplink egress stays buffered in
+    /// `uplink_out`; the fleet layer's shard wrapper drains it into
+    /// `outbox` with per-link latencies.
+    fn run_window(
+        &mut self,
+        until: SimTime,
+        inbox: &mut Vec<Envelope<UplinkMsg>>,
+        _outbox: &mut Vec<Outgoing<UplinkMsg>>,
+    ) -> u64 {
+        for env in inbox.drain(..) {
+            let (uplink, frame) = env.msg;
+            self.inject_uplink_frame(env.at, uplink, frame);
+        }
+        self.run_local(until)
     }
 }

@@ -46,7 +46,7 @@ pub use pool::{CxlPool, LinkMeter, PortId, TrafficClass};
 pub use region::{Region, RegionAllocator};
 #[cfg(feature = "sanitize")]
 pub use sanitizer::{Report, ReportKind, Sanitizer, Severity};
-pub use topology::PodTopology;
+pub use topology::{CrossPodLink, FleetTopology, PodTopology};
 
 /// Cache-line size in bytes; everything in the pool is managed at this
 /// granularity.

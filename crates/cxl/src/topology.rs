@@ -6,6 +6,14 @@
 //! feasibility arithmetic the paper uses to argue that CXL bandwidth is
 //! sufficient for PCIe device pooling (Table 1 requirements vs. 64-lane
 //! platform bandwidth).
+//!
+//! Beyond a single pod, [`FleetTopology`] describes sparsely connected
+//! *fleets*: pods joined by Ethernet uplinks through the row fabric
+//! (Octopus-style). The minimum uplink latency is the conservative-window
+//! lookahead the sharded runner (`oasis_sim::shard`) uses to advance pods
+//! in parallel, so it is exposed here, next to the link model it belongs to.
+
+use oasis_sim::time::SimDuration;
 
 /// Per-lane CXL 2.0 / PCIe 5.0 bandwidth in each direction, bytes/second.
 pub const LANE_BW: f64 = 4e9;
@@ -54,6 +62,68 @@ impl PodTopology {
     /// (bytes/second, one direction)?
     pub fn link_sufficient_for(&self, demand_bytes_per_sec: f64) -> bool {
         self.host_link_bw() >= demand_bytes_per_sec
+    }
+}
+
+/// Default one-way latency of an inter-pod uplink: ToR → row fabric → ToR.
+/// Dominated by the two extra switch hops plus fiber; comfortably above any
+/// intra-pod timescale, which is what gives the sharded runner a usable
+/// lookahead window.
+pub const UPLINK_LATENCY: SimDuration = SimDuration::from_micros(2);
+
+/// A bidirectional inter-pod uplink between pods `a` and `b`.
+#[derive(Clone, Debug)]
+pub struct CrossPodLink {
+    /// First endpoint (pod index in the fleet).
+    pub a: usize,
+    /// Second endpoint.
+    pub b: usize,
+    /// One-way propagation + switching latency.
+    pub latency: SimDuration,
+}
+
+impl CrossPodLink {
+    /// A link with the default uplink latency.
+    pub fn new(a: usize, b: usize) -> Self {
+        CrossPodLink {
+            a,
+            b,
+            latency: UPLINK_LATENCY,
+        }
+    }
+}
+
+/// Static shape of a multi-pod fleet: pods plus the uplinks joining them.
+#[derive(Clone, Debug, Default)]
+pub struct FleetTopology {
+    /// Per-pod shapes.
+    pub pods: Vec<PodTopology>,
+    /// Inter-pod uplinks.
+    pub links: Vec<CrossPodLink>,
+}
+
+impl FleetTopology {
+    /// `n` identical pods joined in a ring (each pod uplinks to its
+    /// successor) — the sparse Octopus-style fleet shape.
+    pub fn ring(n: usize, pod: PodTopology, latency: SimDuration) -> Self {
+        FleetTopology {
+            pods: vec![pod; n],
+            // A 2-pod "ring" is one link, not two parallel ones.
+            links: (0..if n > 2 { n } else { n.saturating_sub(1) })
+                .map(|i| CrossPodLink {
+                    a: i,
+                    b: (i + 1) % n,
+                    latency,
+                })
+                .collect(),
+        }
+    }
+
+    /// The minimum cross-pod link latency — the conservative lookahead for
+    /// sharded execution. `None` for an unlinked (single-pod or fully
+    /// disconnected) fleet, where the lookahead is unbounded.
+    pub fn min_uplink_latency(&self) -> Option<SimDuration> {
+        self.links.iter().map(|l| l.latency).min()
     }
 }
 

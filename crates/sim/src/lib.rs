@@ -13,6 +13,8 @@
 //!   events,
 //! * [`sched::Scheduler`] — a cooperative actor scheduler generic over the
 //!   simulated "world",
+//! * [`shard::ShardedRunner`] — conservative time-window parallelism over N
+//!   schedulers with deterministic cross-shard message merge,
 //! * [`hist::Histogram`] — a log-linear latency histogram (HDR-style) for
 //!   percentile reporting,
 //! * [`series::BinnedSeries`] — fixed-width time bins for utilization
@@ -31,6 +33,7 @@ pub mod report;
 pub mod rng;
 pub mod sched;
 pub mod series;
+pub mod shard;
 pub mod time;
 
 pub use addrmap::AddrMap;
@@ -43,4 +46,5 @@ pub use hist::Histogram;
 pub use rng::SimRng;
 pub use sched::{Scheduler, StepCtx, StepOutcome};
 pub use series::BinnedSeries;
+pub use shard::{Envelope, Outgoing, ShardError, ShardWorld, ShardedRunner, SHARD_THREADS_ENV};
 pub use time::{SimDuration, SimTime};

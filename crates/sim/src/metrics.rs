@@ -18,3 +18,13 @@ pub const SCHED_WAKE_TO_POLL_NS: &str = "sim.sched_wake_to_poll_ns";
 pub const SCHED_IDLE_SKIPS: &str = "sim.sched_idle_skips";
 /// Histogram: sim nanoseconds saved per idle-skip fast-forward (tag 0).
 pub const SCHED_IDLE_SKIP_NS: &str = "sim.sched_idle_skip_ns";
+/// Window barriers crossed by a sharded run (tag 0).
+pub const SHARD_WINDOWS: &str = "sim.shard_windows";
+/// Events processed per shard under the sharded runner (tag = shard index).
+pub const SHARD_EVENTS: &str = "sim.shard_events";
+/// Shard-window visits that processed zero events (tag 0).
+pub const SHARD_BARRIER_STALLS: &str = "sim.shard_barrier_stalls";
+/// Cross-shard messages exchanged at window barriers (tag 0).
+pub const SHARD_MESSAGES: &str = "sim.shard_messages";
+/// Histogram: realized lookahead-window lengths in sim nanoseconds (tag 0).
+pub const SHARD_WINDOW_NS: &str = "sim.shard_window_ns";
