@@ -1,0 +1,191 @@
+//! The 10⁵-instance fleet replay: topology-aware placement at fleet scale.
+//!
+//! Replays a saturating arrival stream (≥100 000 instances) against a
+//! 64-pod ring fleet through the typed control-plane command API —
+//! `CreateInstance` / `ResizeInstance` / `KillInstance` flowing through the
+//! replicated fleet allocator — and reports per-pod stranding plus
+//! cross-pod spill traffic from one metrics snapshot. Arrivals are pinned
+//! round-robin to home pods (tenant affinity), so a pod whose pooled
+//! devices strand spills its chunky NIC/SSD requests to the nearest ring
+//! neighbor; the spill-byte counters integrate the leased bandwidth over
+//! each spilled instance's lifetime.
+//!
+//! Every simulated quantity in the snapshot is integer-valued and
+//! deterministic: the `--json` output is byte-identical at any
+//! `OASIS_SHARD_THREADS` setting (CI diffs 1 vs 8).
+//!
+//! Usage:
+//!   fleet_replay              replay; print the fleet report; refresh
+//!                             BENCH_fleet.json keeping any baseline
+//!   fleet_replay --baseline   also record this run's commands/wall-second
+//!                             as the committed baseline
+//!   fleet_replay --check      verify the replay shape (≥64 pods, ≥1e5
+//!                             instances, nonzero spill) and gate the
+//!                             throughput against BENCH_fleet.json
+//!   fleet_replay --json       print only the canonical metrics-snapshot
+//!                             JSON (the byte-identity surface)
+
+// oasis-check: allow-file(nondeterminism) this binary measures wall-clock
+// throughput of the replay; wall time feeds only the report and the bench
+// baseline, never any simulated byte (the --json surface is pure snapshot).
+use std::time::Instant;
+
+use oasis_bench::regress;
+use oasis_cxl::topology::{FleetTopology, PodTopology, UPLINK_LATENCY};
+use oasis_obs::MetricSink;
+use oasis_sim::report::Table;
+use oasis_sim::shard::threads_from_env;
+use oasis_sim::time::SimDuration;
+use oasis_trace::{
+    export_fleet_stranding, measure_fleet_stranding, metrics, AllocTrace, ArrivalStream, HomePolicy,
+};
+
+const PODS: usize = 64;
+const HOSTS_PER_POD: usize = 8;
+const HOURS: u64 = 14;
+const SEED: u64 = 2025;
+const RESIZE_EVERY: usize = 37;
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--baseline");
+    let check = std::env::args().any(|a| a == "--check");
+    let json_only = std::env::args().any(|a| a == "--json");
+
+    let hosts = PODS * HOSTS_PER_POD;
+    let stream = ArrivalStream::generate(hosts, SimDuration::from_secs(HOURS * 3600), SEED);
+    let topo = FleetTopology::ring(
+        PODS,
+        PodTopology::production(HOSTS_PER_POD, 0),
+        UPLINK_LATENCY,
+    );
+
+    let start = Instant::now();
+    let replay = AllocTrace::replay_fleet(&stream, &topo, HomePolicy::RoundRobin, RESIZE_EVERY)
+        .expect("the ring fleet topology is valid");
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let report = replay.state.report();
+    let stranding = measure_fleet_stranding(&replay);
+    // One snapshot carries both halves: the allocator's fleet counters
+    // (placements, spill traffic by home pod) and the per-pod stranding
+    // integrals (by device pod).
+    let mut sink = MetricSink::new();
+    replay.state.export_metrics(&mut sink);
+    export_fleet_stranding(&stranding, &mut sink);
+    let snap = sink.snapshot();
+
+    if json_only {
+        print!("{}", snap.to_json());
+        return;
+    }
+
+    // Control-plane commands the replay actually logged.
+    let commands = PODS as u64
+        + topo.links.len() as u64
+        + report.placed
+        + report.rejected
+        + report.killed
+        + replay.state.resizes;
+    let commands_per_sec = commands as f64 / wall_secs;
+
+    println!("== fleet_replay: {PODS} pods x {HOSTS_PER_POD} hosts, ring uplinks ==\n");
+    let mut t = Table::new(vec!["quantity", "value"]);
+    t.row(vec!["arrivals".into(), stream.arrivals.len().to_string()]);
+    t.row(vec!["placed".into(), report.placed.to_string()]);
+    t.row(vec!["rejected".into(), report.rejected.to_string()]);
+    t.row(vec!["resizes".into(), replay.state.resizes.to_string()]);
+    t.row(vec![
+        "spill placements".into(),
+        report.spill_placements.to_string(),
+    ]);
+    t.row(vec![
+        "cross-pod spill bytes".into(),
+        report.spill_bytes.to_string(),
+    ]);
+    let nic_ppb: Vec<u64> = stranding.iter().map(|p| p.nic_stranded_ppb).collect();
+    let mean = |v: &[u64]| v.iter().sum::<u64>() / v.len().max(1) as u64;
+    t.row(vec![
+        "mean pod NIC stranded".into(),
+        format!("{:.1}%", mean(&nic_ppb) as f64 / 1e7),
+    ]);
+    let ssd_ppb: Vec<u64> = stranding.iter().map(|p| p.ssd_stranded_ppb).collect();
+    t.row(vec![
+        "mean pod SSD stranded".into(),
+        format!("{:.1}%", mean(&ssd_ppb) as f64 / 1e7),
+    ]);
+    t.row(vec!["control-plane commands".into(), commands.to_string()]);
+    t.row(vec![
+        "commands / wall-second".into(),
+        format!(
+            "{:.0} ({} shard threads)",
+            commands_per_sec,
+            threads_from_env()
+        ),
+    ]);
+    println!("{}", t.render());
+
+    let prior = std::fs::read_to_string("BENCH_fleet.json").ok();
+    let prior_baseline = prior
+        .as_deref()
+        .and_then(|text| regress::read_json_number(text, "baseline_commands_per_sec"));
+
+    if check {
+        // Shape invariants from the issue before any perf comparison.
+        let mut ok = true;
+        let mut shape = |what: &str, pass: bool| {
+            println!("check {what} -> {}", if pass { "OK" } else { "FAIL" });
+            ok &= pass;
+        };
+        shape("fleet spans >= 64 pods", report.pods.len() >= 64);
+        shape(
+            "replay covers >= 1e5 instances",
+            stream.arrivals.len() >= 100_000,
+        );
+        shape("cross-pod spill traffic observed", report.spill_bytes > 0);
+        shape(
+            "per-pod stranding exported for every pod",
+            stranding.len() == PODS
+                && (0..PODS).all(|p| {
+                    snap.counter_tags(metrics::STRANDING_POD_NIC_PPB)
+                        .iter()
+                        .any(|&(tag, _)| tag as usize == p)
+                }),
+        );
+        let baseline = prior_baseline
+            .expect("--check needs a committed BENCH_fleet.json with a baseline_commands_per_sec");
+        ok &= regress::gate(
+            "fleet-replay commands/wall-second",
+            regress::handicapped(commands_per_sec),
+            baseline,
+        );
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
+    let baseline = if record_baseline {
+        Some(commands_per_sec)
+    } else {
+        prior_baseline
+    };
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"fleet_replay\",\n");
+    json.push_str(&format!("  \"pods\": {PODS},\n"));
+    json.push_str(&format!("  \"hosts_per_pod\": {HOSTS_PER_POD},\n"));
+    json.push_str(&format!("  \"arrivals\": {},\n", stream.arrivals.len()));
+    json.push_str(&format!("  \"placed\": {},\n", report.placed));
+    json.push_str(&format!("  \"rejected\": {},\n", report.rejected));
+    json.push_str(&format!(
+        "  \"spill_placements\": {},\n",
+        report.spill_placements
+    ));
+    json.push_str(&format!("  \"spill_bytes\": {},\n", report.spill_bytes));
+    json.push_str(&format!("  \"commands\": {commands},\n"));
+    json.push_str(&format!("  \"wall_seconds\": {wall_secs:.6},\n"));
+    json.push_str(&format!("  \"commands_per_sec\": {commands_per_sec:.1},\n"));
+    match baseline {
+        Some(b) => json.push_str(&format!("  \"baseline_commands_per_sec\": {b:.1}\n")),
+        None => json.push_str("  \"baseline_commands_per_sec\": null\n"),
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_fleet.json", &json).expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json");
+}

@@ -222,6 +222,201 @@ impl AllocCommand {
     }
 }
 
+/// Home-pod value meaning "place anywhere in the fleet".
+pub const ANY_POD: u32 = u32::MAX;
+
+/// A command applied to the replicated *fleet* allocator state.
+///
+/// This is the typed control-plane API: experiment harnesses and the
+/// trace replayer drive the fleet exclusively through these commands, and
+/// every state-changing command is appended to the fleet allocator's Raft
+/// log before it is applied. Timestamps are embedded in the commands (not
+/// taken from the applying replica) so replicas replaying the same log
+/// compute byte-identical spill-traffic accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetCommand {
+    /// Register pod `pod` (must arrive in index order) with its local
+    /// capacity summary.
+    RegisterPod {
+        /// Pod index (sequential).
+        pod: u32,
+        /// Hosts in the pod.
+        hosts: u32,
+        /// vCPUs per host.
+        vcpus_per_host: u32,
+        /// Memory per host in GB.
+        mem_gb_per_host: u32,
+        /// Pod-wide allocatable NIC bandwidth in Mbit/s (backup excluded).
+        nic_mbps: u64,
+        /// Pod-wide allocatable SSD capacity (GB in the synthetic
+        /// replay; a live pod registers whatever unit its SSDs lease in).
+        ssd_cap: u64,
+    },
+    /// Register a cross-pod uplink; spill order is recomputed from the
+    /// link set after every `AddLink`.
+    AddLink {
+        /// One endpoint pod.
+        a: u32,
+        /// Other endpoint pod.
+        b: u32,
+        /// One-way uplink latency in nanoseconds.
+        latency_ns: u64,
+    },
+    /// Place a new instance; its id is the number of `CreateInstance`
+    /// commands applied before it.
+    CreateInstance {
+        /// Simulation time of the request in nanoseconds.
+        at: u64,
+        /// vCPUs requested.
+        vcpus: u32,
+        /// Memory requested in GB.
+        mem_gb: u32,
+        /// SSD capacity requested (same unit the pods registered).
+        ssd: u32,
+        /// NIC bandwidth lease requested in Mbit/s.
+        nic_mbps: u32,
+        /// Pod whose hosts may run the instance, or [`ANY_POD`].
+        home_pod: u32,
+    },
+    /// Change a live instance's device leases (its host does not move).
+    ResizeInstance {
+        /// Simulation time of the request in nanoseconds.
+        at: u64,
+        /// Fleet instance id.
+        id: u64,
+        /// New NIC bandwidth lease in Mbit/s.
+        nic_mbps: u32,
+        /// New SSD capacity (same unit the pods registered).
+        ssd: u32,
+    },
+    /// Tear an instance down, releasing its host and device capacity and
+    /// closing its spill-traffic accounting.
+    KillInstance {
+        /// Simulation time of the teardown in nanoseconds.
+        at: u64,
+        /// Fleet instance id.
+        id: u64,
+    },
+    /// Read back the fleet-wide utilization report. Read-only: executed
+    /// against the current state without an entry in the Raft log.
+    QueryFleetState,
+}
+
+impl FleetCommand {
+    /// Serialize for the Raft log.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(32);
+        match self {
+            FleetCommand::RegisterPod {
+                pod,
+                hosts,
+                vcpus_per_host,
+                mem_gb_per_host,
+                nic_mbps,
+                ssd_cap,
+            } => {
+                b.push(1);
+                b.extend_from_slice(&pod.to_le_bytes());
+                b.extend_from_slice(&hosts.to_le_bytes());
+                b.extend_from_slice(&vcpus_per_host.to_le_bytes());
+                b.extend_from_slice(&mem_gb_per_host.to_le_bytes());
+                b.extend_from_slice(&nic_mbps.to_le_bytes());
+                b.extend_from_slice(&ssd_cap.to_le_bytes());
+            }
+            FleetCommand::AddLink {
+                a,
+                b: pb,
+                latency_ns,
+            } => {
+                b.push(2);
+                b.extend_from_slice(&a.to_le_bytes());
+                b.extend_from_slice(&pb.to_le_bytes());
+                b.extend_from_slice(&latency_ns.to_le_bytes());
+            }
+            FleetCommand::CreateInstance {
+                at,
+                vcpus,
+                mem_gb,
+                ssd,
+                nic_mbps,
+                home_pod,
+            } => {
+                b.push(3);
+                b.extend_from_slice(&at.to_le_bytes());
+                b.extend_from_slice(&vcpus.to_le_bytes());
+                b.extend_from_slice(&mem_gb.to_le_bytes());
+                b.extend_from_slice(&ssd.to_le_bytes());
+                b.extend_from_slice(&nic_mbps.to_le_bytes());
+                b.extend_from_slice(&home_pod.to_le_bytes());
+            }
+            FleetCommand::ResizeInstance {
+                at,
+                id,
+                nic_mbps,
+                ssd,
+            } => {
+                b.push(4);
+                b.extend_from_slice(&at.to_le_bytes());
+                b.extend_from_slice(&id.to_le_bytes());
+                b.extend_from_slice(&nic_mbps.to_le_bytes());
+                b.extend_from_slice(&ssd.to_le_bytes());
+            }
+            FleetCommand::KillInstance { at, id } => {
+                b.push(5);
+                b.extend_from_slice(&at.to_le_bytes());
+                b.extend_from_slice(&id.to_le_bytes());
+            }
+            FleetCommand::QueryFleetState => b.push(6),
+        }
+        b
+    }
+
+    /// Deserialize from the Raft log. `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<FleetCommand> {
+        let u32_at = |o: usize| -> Option<u32> {
+            Some(u32::from_le_bytes(b.get(o..o + 4)?.try_into().ok()?))
+        };
+        let u64_at = |o: usize| -> Option<u64> {
+            Some(u64::from_le_bytes(b.get(o..o + 8)?.try_into().ok()?))
+        };
+        match *b.first()? {
+            1 => Some(FleetCommand::RegisterPod {
+                pod: u32_at(1)?,
+                hosts: u32_at(5)?,
+                vcpus_per_host: u32_at(9)?,
+                mem_gb_per_host: u32_at(13)?,
+                nic_mbps: u64_at(17)?,
+                ssd_cap: u64_at(25)?,
+            }),
+            2 => Some(FleetCommand::AddLink {
+                a: u32_at(1)?,
+                b: u32_at(5)?,
+                latency_ns: u64_at(9)?,
+            }),
+            3 => Some(FleetCommand::CreateInstance {
+                at: u64_at(1)?,
+                vcpus: u32_at(9)?,
+                mem_gb: u32_at(13)?,
+                ssd: u32_at(17)?,
+                nic_mbps: u32_at(21)?,
+                home_pod: u32_at(25)?,
+            }),
+            4 => Some(FleetCommand::ResizeInstance {
+                at: u64_at(1)?,
+                id: u64_at(9)?,
+                nic_mbps: u32_at(17)?,
+                ssd: u32_at(21)?,
+            }),
+            5 => Some(FleetCommand::KillInstance {
+                at: u64_at(1)?,
+                id: u64_at(9)?,
+            }),
+            6 => Some(FleetCommand::QueryFleetState),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +469,62 @@ mod tests {
         assert!(AllocCommand::decode(&[]).is_none());
         assert!(AllocCommand::decode(&[99]).is_none());
         assert!(AllocCommand::decode(&[1, 0]).is_none());
+    }
+
+    #[test]
+    fn roundtrip_all_fleet_commands() {
+        let cmds = vec![
+            FleetCommand::RegisterPod {
+                pod: 63,
+                hosts: 8,
+                vcpus_per_host: 96,
+                mem_gb_per_host: 512,
+                nic_mbps: 700_000,
+                ssd_cap: 98_304,
+            },
+            FleetCommand::AddLink {
+                a: 0,
+                b: 63,
+                latency_ns: 2_000,
+            },
+            FleetCommand::CreateInstance {
+                at: u64::MAX / 3,
+                vcpus: 16,
+                mem_gb: 64,
+                ssd: 512,
+                nic_mbps: 10_000,
+                home_pod: ANY_POD,
+            },
+            FleetCommand::ResizeInstance {
+                at: 7,
+                id: 100_001,
+                nic_mbps: 45_000,
+                ssd: 2_048,
+            },
+            FleetCommand::KillInstance { at: 9, id: 100_001 },
+            FleetCommand::QueryFleetState,
+        ];
+        for c in cmds {
+            assert_eq!(FleetCommand::decode(&c.encode()), Some(c));
+        }
+    }
+
+    #[test]
+    fn malformed_fleet_rejected() {
+        assert!(FleetCommand::decode(&[]).is_none());
+        assert!(FleetCommand::decode(&[77]).is_none());
+        assert!(FleetCommand::decode(&[3, 1, 2]).is_none());
+        // Truncated RegisterPod: header plus only one u32.
+        let mut short = FleetCommand::RegisterPod {
+            pod: 0,
+            hosts: 1,
+            vcpus_per_host: 96,
+            mem_gb_per_host: 512,
+            nic_mbps: 1,
+            ssd_cap: 1,
+        }
+        .encode();
+        short.truncate(5);
+        assert!(FleetCommand::decode(&short).is_none());
     }
 }

@@ -1,0 +1,928 @@
+//! Fleet-scope allocation: topology-aware placement over many pods.
+//!
+//! The pod allocator ([`super::service`]) answers "which NIC / which SSD
+//! inside this pod"; this module answers the question above it: *which pod
+//! and host get the instance at all*, with device backends allowed to land
+//! on a different, reachable pod when the home pod's devices strand.
+//!
+//! The split mirrors the paper's §2.3 fleet argument. Each pod contributes
+//! a [`PodCapacity`] — the pod-local capacity layer, summarizing what the
+//! pod allocator could serve — and the [`FleetAllocator`] places against
+//! those summaries, consulting [`FleetTopology::spill_order`] (hop count,
+//! then uplink latency, then pod index — deterministically tie-broken) to
+//! pick the nearest neighbor pod whenever an instance's CPU/memory fit
+//! locally but its chunky device request does not.
+//!
+//! Every state-changing [`FleetCommand`] flows through a replicated Raft
+//! log, exactly like the pod allocator's [`super::command::AllocCommand`]
+//! stream: the state machine ([`FleetState::apply`]) is a pure function of
+//! the log, so replicas converge and [`FleetAllocator::consistent_with_log`]
+//! can re-derive the live state from the committed prefix. Command
+//! timestamps travel *in* the commands, never from the applying replica's
+//! clock, so cross-pod spill-traffic accounting is identical on every
+//! replica.
+
+use oasis_cxl::topology::{CrossPodLink, FleetTopology, PodTopology, SpillHop};
+use oasis_obs::MetricSink;
+use oasis_raft::{RaftConfig, RaftNode};
+use oasis_sim::time::{SimDuration, SimTime};
+
+use super::command::{FleetCommand, ANY_POD};
+use crate::error::FleetError;
+use crate::metrics;
+
+/// The pod-local capacity layer: what one pod can still serve, as seen by
+/// the fleet. CPU and memory are per-host (instances run on exactly one
+/// host); NIC bandwidth and SSD capacity are pod-wide, because inside a
+/// pod every device is reachable over CXL (§2.3).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PodCapacity {
+    /// vCPUs per host.
+    pub vcpus_per_host: u32,
+    /// Memory per host, GB.
+    pub mem_gb_per_host: u32,
+    /// vCPUs in use, per host.
+    pub host_vcpus_used: Vec<u32>,
+    /// Memory in use, per host (GB).
+    pub host_mem_used: Vec<u32>,
+    /// Pod-wide allocatable NIC bandwidth, Mbit/s (backup NICs excluded).
+    pub nic_mbps_cap: u64,
+    /// NIC bandwidth currently leased, Mbit/s.
+    pub nic_mbps_used: u64,
+    /// Pod-wide allocatable SSD capacity.
+    pub ssd_cap: u64,
+    /// SSD capacity currently leased.
+    pub ssd_used: u64,
+}
+
+impl PodCapacity {
+    /// Number of hosts in the pod.
+    pub fn hosts(&self) -> usize {
+        self.host_vcpus_used.len()
+    }
+
+    /// Can this pod's pooled devices absorb another `(nic_mbps, ssd)`
+    /// lease?
+    pub fn devices_fit(&self, nic_mbps: u64, ssd: u64) -> bool {
+        self.nic_mbps_used + nic_mbps <= self.nic_mbps_cap && self.ssd_used + ssd <= self.ssd_cap
+    }
+
+    /// Post-placement CPU/memory slack of `host` if it took the request,
+    /// or `None` if the request does not fit. The slack pair is the
+    /// best-fit key: smaller slack packs tighter.
+    fn host_slack(&self, host: usize, vcpus: u32, mem_gb: u32) -> Option<(u32, u32)> {
+        let vs = self
+            .vcpus_per_host
+            .checked_sub(self.host_vcpus_used[host].checked_add(vcpus)?)?;
+        let ms = self
+            .mem_gb_per_host
+            .checked_sub(self.host_mem_used[host].checked_add(mem_gb)?)?;
+        Some((vs, ms))
+    }
+}
+
+/// One live instance in the fleet state machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetInstance {
+    /// vCPUs held.
+    pub vcpus: u32,
+    /// Memory held, GB.
+    pub mem_gb: u32,
+    /// SSD capacity held.
+    pub ssd: u32,
+    /// NIC bandwidth held, Mbit/s.
+    pub nic_mbps: u32,
+    /// Pod whose host runs the instance.
+    pub pod: u32,
+    /// Host index within `pod`.
+    pub host: u32,
+    /// Pod serving the device backends (== `pod` unless spilled).
+    pub device_pod: u32,
+    /// When the current lease epoch started (command time, ns). Reset on
+    /// resize so spill traffic is integrated rate-by-rate.
+    pub placed_at: u64,
+}
+
+/// Per-pod utilization line in a [`FleetStateReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PodUtilization {
+    /// Pod index.
+    pub pod: usize,
+    /// Hosts in the pod.
+    pub hosts: usize,
+    /// vCPUs in use across the pod.
+    pub vcpus_used: u64,
+    /// vCPU capacity across the pod.
+    pub vcpus_cap: u64,
+    /// NIC bandwidth leased, Mbit/s.
+    pub nic_mbps_used: u64,
+    /// NIC bandwidth capacity, Mbit/s.
+    pub nic_mbps_cap: u64,
+    /// SSD capacity leased.
+    pub ssd_used: u64,
+    /// SSD capacity.
+    pub ssd_cap: u64,
+    /// Instances whose device backends this pod serves.
+    pub placements: u64,
+}
+
+/// Answer to [`FleetCommand::QueryFleetState`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStateReport {
+    /// Per-pod utilization.
+    pub pods: Vec<PodUtilization>,
+    /// Instances currently live.
+    pub live: u64,
+    /// `CreateInstance` commands that placed.
+    pub placed: u64,
+    /// `CreateInstance` commands that found no capacity.
+    pub rejected: u64,
+    /// Instances killed.
+    pub killed: u64,
+    /// Placements whose devices spilled to a neighbor pod.
+    pub spill_placements: u64,
+    /// Closed-out cross-pod spill traffic, bytes.
+    pub spill_bytes: u64,
+}
+
+/// Outcome of one applied (or read-only) fleet command.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetResponse {
+    /// The pod was registered.
+    PodRegistered {
+        /// Its index.
+        pod: usize,
+    },
+    /// The link was registered and spill orders recomputed.
+    LinkAdded,
+    /// The instance was placed.
+    Created {
+        /// Fleet instance id.
+        id: u64,
+        /// Pod whose host runs it.
+        pod: usize,
+        /// Host index within that pod.
+        host: usize,
+        /// Pod serving its devices (== `pod` unless spilled).
+        device_pod: usize,
+    },
+    /// No host in the home scope could take the instance.
+    Rejected,
+    /// The instance's device leases were changed in place.
+    Resized {
+        /// Fleet instance id.
+        id: u64,
+    },
+    /// The device pod could not absorb the new leases; nothing changed.
+    ResizeRejected {
+        /// Fleet instance id.
+        id: u64,
+    },
+    /// The instance was torn down.
+    Killed {
+        /// Fleet instance id.
+        id: u64,
+    },
+    /// The utilization report.
+    State(FleetStateReport),
+}
+
+/// Bytes a `nic_mbps` lease moves across an uplink over `[from, to]` ns.
+/// 1 Mbit/s × 1 ns = 1e6 / 1e9 bits = 1/8000 bytes; integer arithmetic so
+/// every replica computes the same value.
+fn cross_pod_bytes(nic_mbps: u32, from_ns: u64, to_ns: u64) -> u64 {
+    ((nic_mbps as u128) * (to_ns.saturating_sub(from_ns) as u128) / 8000) as u64
+}
+
+/// The replicated fleet state machine: a pure function of the
+/// [`FleetCommand`] log.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetState {
+    /// Pod-local capacity layers, by pod index.
+    pub pods: Vec<PodCapacity>,
+    /// Registered links as `(a, b, latency_ns)`.
+    links: Vec<(u32, u32, u64)>,
+    /// `spill[p]` = neighbor pods of `p` in spill preference order,
+    /// recomputed from the link set (via [`FleetTopology::spill_order`])
+    /// after every `AddLink`.
+    spill: Vec<Vec<SpillHop>>,
+    /// Instance slots by fleet id (`None` = rejected or killed).
+    pub instances: Vec<Option<FleetInstance>>,
+    /// Placements that succeeded.
+    pub placed: u64,
+    /// Placements that found no capacity.
+    pub rejected: u64,
+    /// Instances killed.
+    pub killed: u64,
+    /// Resizes that succeeded.
+    pub resizes: u64,
+    /// Resizes refused for lack of device capacity.
+    pub resize_rejections: u64,
+    /// Per *home* pod: placements whose devices spilled to a neighbor.
+    pub spill_placements: Vec<u64>,
+    /// Per *home* pod: closed-out cross-pod traffic, bytes.
+    pub spill_bytes: Vec<u64>,
+    /// Per *device* pod: placements it serves devices for.
+    pub pod_placements: Vec<u64>,
+}
+
+/// A pass-2 spill candidate: the `(hops, vcpu slack, mem slack)` ranking
+/// key and the `(pod, host, device_pod)` placement it ranks.
+type SpillCandidate = ((u32, u32, u32), (usize, usize, usize));
+
+impl FleetState {
+    /// The topology this state implies — pods plus registered uplinks —
+    /// which placement consults for spill ordering.
+    pub fn topology(&self) -> FleetTopology {
+        FleetTopology {
+            pods: self
+                .pods
+                .iter()
+                .map(|p| PodTopology::production(p.hosts(), 0))
+                .collect(),
+            links: self
+                .links
+                .iter()
+                .map(|&(a, b, ns)| CrossPodLink {
+                    a: a as usize,
+                    b: b as usize,
+                    latency: SimDuration::from_nanos(ns),
+                })
+                .collect(),
+        }
+    }
+
+    /// Is there already a link between `a` and `b` (either direction)?
+    pub fn has_link(&self, a: usize, b: usize) -> bool {
+        self.links.iter().any(|&(la, lb, _)| {
+            (la as usize, lb as usize) == (a, b) || (la as usize, lb as usize) == (b, a)
+        })
+    }
+
+    /// Is `id` a live instance?
+    pub fn is_live(&self, id: u64) -> bool {
+        matches!(self.instances.get(id as usize), Some(Some(_)))
+    }
+
+    fn recompute_spill(&mut self) {
+        let topo = self.topology();
+        self.spill = (0..self.pods.len()).map(|p| topo.spill_order(p)).collect();
+    }
+
+    /// Deterministic two-pass placement. Pass 1: a host whose *own* pod
+    /// can serve the devices, best-fit by `(vcpu slack, mem slack)` with
+    /// the first minimum winning — exactly the pod-scoped policy the trace
+    /// replayer always used. Pass 2 (only when pass 1 strands): a host
+    /// whose CPU/memory fit, with devices on the first pod in its home
+    /// pod's spill order that can serve them; candidates ranked by
+    /// `(hops, vcpu slack, mem slack)`, first minimum wins.
+    fn place(
+        &self,
+        vcpus: u32,
+        mem_gb: u32,
+        ssd: u32,
+        nic_mbps: u32,
+        home_pod: Option<usize>,
+    ) -> Option<(usize, usize, usize)> {
+        let in_scope = |p: usize| -> bool { home_pod.is_none_or(|hp| hp == p) };
+        let mut best: Option<((u32, u32), (usize, usize))> = None;
+        for (p, pc) in self.pods.iter().enumerate() {
+            if !in_scope(p) || !pc.devices_fit(nic_mbps as u64, ssd as u64) {
+                continue;
+            }
+            for h in 0..pc.hosts() {
+                if let Some(key) = pc.host_slack(h, vcpus, mem_gb) {
+                    if best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, (p, h)));
+                    }
+                }
+            }
+        }
+        if let Some((_, (p, h))) = best {
+            return Some((p, h, p));
+        }
+        // Pass 2: spill device backends to the nearest feasible neighbor.
+        let mut best: Option<SpillCandidate> = None;
+        for (p, pc) in self.pods.iter().enumerate() {
+            if !in_scope(p) {
+                continue;
+            }
+            let Some(hop) = self.spill[p]
+                .iter()
+                .find(|hop| self.pods[hop.pod].devices_fit(nic_mbps as u64, ssd as u64))
+            else {
+                continue;
+            };
+            for h in 0..pc.hosts() {
+                if let Some((vs, ms)) = pc.host_slack(h, vcpus, mem_gb) {
+                    let key = (hop.hops, vs, ms);
+                    if best.is_none_or(|(bk, _)| key < bk) {
+                        best = Some((key, (p, h, hop.pod)));
+                    }
+                }
+            }
+        }
+        best.map(|(_, placed)| placed)
+    }
+
+    /// Close out the spill-traffic epoch `[inst.placed_at, now]` for a
+    /// spilled instance.
+    fn flush_spill(&mut self, inst: &FleetInstance, now: u64) {
+        if inst.device_pod != inst.pod {
+            self.spill_bytes[inst.pod as usize] +=
+                cross_pod_bytes(inst.nic_mbps, inst.placed_at, now);
+        }
+    }
+
+    /// Apply a committed command. Infallible and deterministic: commands
+    /// are validated before they are proposed, and a malformed or stale
+    /// command (which a correct proposer never logs) degrades to a
+    /// `Rejected` outcome rather than diverging replicas.
+    pub fn apply(&mut self, cmd: &FleetCommand) -> FleetResponse {
+        match *cmd {
+            FleetCommand::RegisterPod {
+                pod: _,
+                hosts,
+                vcpus_per_host,
+                mem_gb_per_host,
+                nic_mbps,
+                ssd_cap,
+            } => {
+                self.pods.push(PodCapacity {
+                    vcpus_per_host,
+                    mem_gb_per_host,
+                    host_vcpus_used: vec![0; hosts as usize],
+                    host_mem_used: vec![0; hosts as usize],
+                    nic_mbps_cap: nic_mbps,
+                    nic_mbps_used: 0,
+                    ssd_cap,
+                    ssd_used: 0,
+                });
+                self.spill_placements.push(0);
+                self.spill_bytes.push(0);
+                self.pod_placements.push(0);
+                self.recompute_spill();
+                FleetResponse::PodRegistered {
+                    pod: self.pods.len() - 1,
+                }
+            }
+            FleetCommand::AddLink { a, b, latency_ns } => {
+                self.links.push((a, b, latency_ns));
+                self.recompute_spill();
+                FleetResponse::LinkAdded
+            }
+            FleetCommand::CreateInstance {
+                at,
+                vcpus,
+                mem_gb,
+                ssd,
+                nic_mbps,
+                home_pod,
+            } => {
+                let home = (home_pod != ANY_POD).then_some(home_pod as usize);
+                let id = self.instances.len() as u64;
+                match self.place(vcpus, mem_gb, ssd, nic_mbps, home) {
+                    Some((pod, host, device_pod)) => {
+                        let pc = &mut self.pods[pod];
+                        pc.host_vcpus_used[host] += vcpus;
+                        pc.host_mem_used[host] += mem_gb;
+                        let dc = &mut self.pods[device_pod];
+                        dc.nic_mbps_used += nic_mbps as u64;
+                        dc.ssd_used += ssd as u64;
+                        self.instances.push(Some(FleetInstance {
+                            vcpus,
+                            mem_gb,
+                            ssd,
+                            nic_mbps,
+                            pod: pod as u32,
+                            host: host as u32,
+                            device_pod: device_pod as u32,
+                            placed_at: at,
+                        }));
+                        self.placed += 1;
+                        self.pod_placements[device_pod] += 1;
+                        if device_pod != pod {
+                            self.spill_placements[pod] += 1;
+                        }
+                        FleetResponse::Created {
+                            id,
+                            pod,
+                            host,
+                            device_pod,
+                        }
+                    }
+                    None => {
+                        self.instances.push(None);
+                        self.rejected += 1;
+                        FleetResponse::Rejected
+                    }
+                }
+            }
+            FleetCommand::ResizeInstance {
+                at,
+                id,
+                nic_mbps,
+                ssd,
+            } => {
+                let Some(Some(inst)) = self.instances.get(id as usize).copied() else {
+                    return FleetResponse::Rejected;
+                };
+                let dp = inst.device_pod as usize;
+                let dc = &self.pods[dp];
+                let nic_ok =
+                    dc.nic_mbps_used - inst.nic_mbps as u64 + nic_mbps as u64 <= dc.nic_mbps_cap;
+                let ssd_ok = dc.ssd_used - inst.ssd as u64 + ssd as u64 <= dc.ssd_cap;
+                if !(nic_ok && ssd_ok) {
+                    self.resize_rejections += 1;
+                    return FleetResponse::ResizeRejected { id };
+                }
+                // Close the old-rate spill epoch before the rate changes.
+                self.flush_spill(&inst, at);
+                let dc = &mut self.pods[dp];
+                dc.nic_mbps_used = dc.nic_mbps_used - inst.nic_mbps as u64 + nic_mbps as u64;
+                dc.ssd_used = dc.ssd_used - inst.ssd as u64 + ssd as u64;
+                if let Some(Some(inst)) = self.instances.get_mut(id as usize) {
+                    inst.nic_mbps = nic_mbps;
+                    inst.ssd = ssd;
+                    inst.placed_at = at;
+                }
+                self.resizes += 1;
+                FleetResponse::Resized { id }
+            }
+            FleetCommand::KillInstance { at, id } => {
+                let Some(slot) = self.instances.get_mut(id as usize) else {
+                    return FleetResponse::Rejected;
+                };
+                let Some(inst) = slot.take() else {
+                    return FleetResponse::Rejected;
+                };
+                self.flush_spill(&inst, at);
+                let pc = &mut self.pods[inst.pod as usize];
+                pc.host_vcpus_used[inst.host as usize] -= inst.vcpus;
+                pc.host_mem_used[inst.host as usize] -= inst.mem_gb;
+                let dc = &mut self.pods[inst.device_pod as usize];
+                dc.nic_mbps_used -= inst.nic_mbps as u64;
+                dc.ssd_used -= inst.ssd as u64;
+                self.killed += 1;
+                FleetResponse::Killed { id }
+            }
+            FleetCommand::QueryFleetState => FleetResponse::State(self.report()),
+        }
+    }
+
+    /// The fleet-wide utilization report.
+    pub fn report(&self) -> FleetStateReport {
+        FleetStateReport {
+            pods: self
+                .pods
+                .iter()
+                .enumerate()
+                .map(|(p, pc)| PodUtilization {
+                    pod: p,
+                    hosts: pc.hosts(),
+                    vcpus_used: pc.host_vcpus_used.iter().map(|&v| v as u64).sum(),
+                    vcpus_cap: pc.hosts() as u64 * pc.vcpus_per_host as u64,
+                    nic_mbps_used: pc.nic_mbps_used,
+                    nic_mbps_cap: pc.nic_mbps_cap,
+                    ssd_used: pc.ssd_used,
+                    ssd_cap: pc.ssd_cap,
+                    placements: self.pod_placements[p],
+                })
+                .collect(),
+            live: self.instances.iter().flatten().count() as u64,
+            placed: self.placed,
+            rejected: self.rejected,
+            killed: self.killed,
+            spill_placements: self.spill_placements.iter().sum(),
+            spill_bytes: self.spill_bytes.iter().sum(),
+        }
+    }
+
+    /// Export the fleet counters through the `core.fleet_*` registry.
+    /// Spill placements/bytes are tagged by *home* pod, placements by
+    /// *device* pod; zero-valued tags are skipped, like the engine
+    /// exporters do.
+    pub fn export_metrics(&self, sink: &mut MetricSink) {
+        sink.set(metrics::FLEET_PODS, 0, self.pods.len() as u64);
+        sink.set(metrics::FLEET_LINKS, 0, self.links.len() as u64);
+        sink.set(metrics::FLEET_INSTANCES_PLACED, 0, self.placed);
+        sink.set(metrics::FLEET_PLACEMENTS_REJECTED, 0, self.rejected);
+        sink.set(metrics::FLEET_INSTANCES_KILLED, 0, self.killed);
+        sink.set(metrics::FLEET_RESIZES, 0, self.resizes);
+        sink.set(metrics::FLEET_RESIZES_REJECTED, 0, self.resize_rejections);
+        for (p, &v) in self.spill_placements.iter().enumerate() {
+            if v != 0 {
+                sink.set(metrics::FLEET_SPILL_PLACEMENTS, p as u32, v);
+            }
+        }
+        for (p, &v) in self.spill_bytes.iter().enumerate() {
+            if v != 0 {
+                sink.set(metrics::FLEET_SPILL_BYTES, p as u32, v);
+            }
+        }
+        for (p, &v) in self.pod_placements.iter().enumerate() {
+            if v != 0 {
+                sink.set(metrics::FLEET_POD_PLACEMENTS, p as u32, v);
+            }
+        }
+    }
+}
+
+/// The fleet-level allocator service: validates typed commands, runs them
+/// through a Raft log, and applies the committed prefix to a
+/// [`FleetState`]. Single-replica by default (commands commit
+/// immediately), with the multi-node convergence covered in
+/// [`super::replicated`].
+pub struct FleetAllocator {
+    /// The replicated state (readable for reports and tests).
+    pub state: FleetState,
+    raft: RaftNode,
+}
+
+impl Default for FleetAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FleetAllocator {
+    /// A fleet allocator backed by a single-replica Raft group.
+    pub fn new() -> Self {
+        let mut raft = RaftNode::new(0, vec![], RaftConfig::default(), 0xF1EE7);
+        // A single-node group elects itself on the first tick.
+        raft.tick(SimTime::from_millis(25));
+        assert!(raft.is_leader());
+        FleetAllocator {
+            state: FleetState::default(),
+            raft,
+        }
+    }
+
+    /// Execute one control-plane command at simulation time `now`:
+    /// validate it against the live state, append it to the log (reads are
+    /// not logged), apply everything committed, and return the outcome.
+    pub fn execute(
+        &mut self,
+        now: SimTime,
+        cmd: &FleetCommand,
+    ) -> Result<FleetResponse, FleetError> {
+        match *cmd {
+            FleetCommand::QueryFleetState => {
+                return Ok(FleetResponse::State(self.state.report()));
+            }
+            FleetCommand::RegisterPod { pod, .. } => {
+                if pod as usize != self.state.pods.len() {
+                    return Err(FleetError::NoSuchPod(pod as usize));
+                }
+            }
+            FleetCommand::AddLink { a, b, .. } => {
+                let (a, b) = (a as usize, b as usize);
+                if a == b {
+                    return Err(FleetError::SelfLink { pod: a });
+                }
+                for p in [a, b] {
+                    if p >= self.state.pods.len() {
+                        return Err(FleetError::NoSuchPod(p));
+                    }
+                }
+                if self.state.has_link(a, b) {
+                    return Err(FleetError::DuplicateLink {
+                        a: a.min(b),
+                        b: a.max(b),
+                    });
+                }
+            }
+            FleetCommand::CreateInstance { home_pod, .. } => {
+                if home_pod != ANY_POD && home_pod as usize >= self.state.pods.len() {
+                    return Err(FleetError::NoSuchPod(home_pod as usize));
+                }
+            }
+            FleetCommand::ResizeInstance { id, .. } | FleetCommand::KillInstance { id, .. } => {
+                if !self.state.is_live(id) {
+                    return Err(FleetError::NoSuchInstance(id));
+                }
+            }
+        }
+        self.raft
+            .propose(now, cmd.encode())
+            .ok_or(FleetError::NotLeader)?;
+        let mut last = FleetResponse::Rejected;
+        for (_, bytes) in self.raft.take_applied() {
+            if let Some(c) = FleetCommand::decode(&bytes) {
+                last = self.state.apply(&c);
+            }
+        }
+        Ok(last)
+    }
+
+    /// Replay the committed log prefix through a fresh state machine and
+    /// compare with the live state — the fleet-level "state is consistent
+    /// with the log" invariant.
+    pub fn consistent_with_log(&self) -> bool {
+        let mut replayed = FleetState::default();
+        let commit = self.raft.commit_index();
+        for entry in self.raft.log_entries().iter().take(commit as usize) {
+            if entry.command.is_empty() {
+                continue; // election no-op barrier
+            }
+            if let Some(cmd) = FleetCommand::decode(&entry.command) {
+                replayed.apply(&cmd);
+            }
+        }
+        replayed == self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn register(alloc: &mut FleetAllocator, hosts: u32) -> usize {
+        let pod = alloc.state.pods.len() as u32;
+        match alloc
+            .execute(
+                SimTime::ZERO,
+                &FleetCommand::RegisterPod {
+                    pod,
+                    hosts,
+                    vcpus_per_host: 96,
+                    mem_gb_per_host: 512,
+                    nic_mbps: hosts as u64 * 100_000,
+                    ssd_cap: hosts as u64 * 12_288,
+                },
+            )
+            .unwrap()
+        {
+            FleetResponse::PodRegistered { pod } => pod,
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn link(alloc: &mut FleetAllocator, a: u32, b: u32) {
+        alloc
+            .execute(
+                SimTime::ZERO,
+                &FleetCommand::AddLink {
+                    a,
+                    b,
+                    latency_ns: 2_000,
+                },
+            )
+            .unwrap();
+    }
+
+    fn create(alloc: &mut FleetAllocator, at: u64, nic_mbps: u32, ssd: u32) -> FleetResponse {
+        alloc
+            .execute(
+                SimTime::from_nanos(at),
+                &FleetCommand::CreateInstance {
+                    at,
+                    vcpus: 8,
+                    mem_gb: 32,
+                    ssd,
+                    nic_mbps,
+                    home_pod: ANY_POD,
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_topology_commands() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 2);
+        register(&mut alloc, 2);
+        let err = alloc.execute(
+            SimTime::ZERO,
+            &FleetCommand::RegisterPod {
+                pod: 7,
+                hosts: 1,
+                vcpus_per_host: 1,
+                mem_gb_per_host: 1,
+                nic_mbps: 1,
+                ssd_cap: 1,
+            },
+        );
+        assert_eq!(err, Err(FleetError::NoSuchPod(7)));
+        assert_eq!(
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::AddLink {
+                    a: 1,
+                    b: 1,
+                    latency_ns: 1
+                }
+            ),
+            Err(FleetError::SelfLink { pod: 1 })
+        );
+        assert_eq!(
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::AddLink {
+                    a: 0,
+                    b: 5,
+                    latency_ns: 1
+                }
+            ),
+            Err(FleetError::NoSuchPod(5))
+        );
+        link(&mut alloc, 0, 1);
+        assert_eq!(
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::AddLink {
+                    a: 1,
+                    b: 0,
+                    latency_ns: 9
+                }
+            ),
+            Err(FleetError::DuplicateLink { a: 0, b: 1 })
+        );
+        assert_eq!(
+            alloc.execute(SimTime::ZERO, &FleetCommand::KillInstance { at: 0, id: 3 }),
+            Err(FleetError::NoSuchInstance(3))
+        );
+    }
+
+    #[test]
+    fn local_placement_is_best_fit_first_minimum() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 3);
+        // Load host 1 so it has the least slack; the next create must
+        // best-fit onto it, not first-fit onto host 0.
+        alloc.state.pods[0].host_vcpus_used[1] = 80;
+        alloc.state.pods[0].host_mem_used[1] = 400;
+        match create(&mut alloc, 0, 1_000, 0) {
+            FleetResponse::Created {
+                pod,
+                host,
+                device_pod,
+                ..
+            } => {
+                assert_eq!((pod, host, device_pod), (0, 1, 0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strand_spills_devices_to_nearest_linked_pod() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 2);
+        register(&mut alloc, 2);
+        link(&mut alloc, 0, 1);
+        // Exhaust pod 0's NIC bandwidth; CPU/memory stay free.
+        alloc.state.pods[0].nic_mbps_used = alloc.state.pods[0].nic_mbps_cap;
+        // Also fill pod 1's hosts so only pod 0 can run the instance.
+        for h in 0..2 {
+            alloc.state.pods[1].host_vcpus_used[h] = 96;
+        }
+        let resp = create(&mut alloc, 10, 5_000, 100);
+        match resp {
+            FleetResponse::Created {
+                id,
+                pod,
+                device_pod,
+                ..
+            } => {
+                assert_eq!(pod, 0);
+                assert_eq!(device_pod, 1, "devices spill over the uplink");
+                assert_eq!(alloc.state.spill_placements[0], 1);
+                assert_eq!(alloc.state.spill_bytes[0], 0, "open epoch not yet flushed");
+                // Kill after 8 ms: 5_000 Mbit/s * 8e6 ns / 8000 = 5e6 B.
+                alloc
+                    .execute(
+                        SimTime::from_nanos(8_000_010),
+                        &FleetCommand::KillInstance { at: 8_000_010, id },
+                    )
+                    .unwrap();
+                assert_eq!(alloc.state.spill_bytes[0], 5_000_000);
+                assert_eq!(alloc.state.pods[1].nic_mbps_used, 0);
+                assert_eq!(alloc.state.pods[1].ssd_used, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_spill_without_links_and_rejection_is_counted() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        register(&mut alloc, 1);
+        alloc.state.pods[0].nic_mbps_used = alloc.state.pods[0].nic_mbps_cap;
+        alloc.state.pods[1].host_vcpus_used[0] = 96;
+        assert_eq!(create(&mut alloc, 0, 5_000, 0), FleetResponse::Rejected);
+        assert_eq!(alloc.state.rejected, 1);
+        assert_eq!(alloc.state.spill_placements, vec![0, 0]);
+    }
+
+    #[test]
+    fn resize_reprices_devices_and_rejects_over_capacity() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        let FleetResponse::Created { id, .. } = create(&mut alloc, 0, 10_000, 100) else {
+            panic!("create failed");
+        };
+        assert_eq!(
+            alloc
+                .execute(
+                    SimTime::from_nanos(5),
+                    &FleetCommand::ResizeInstance {
+                        at: 5,
+                        id,
+                        nic_mbps: 45_000,
+                        ssd: 500
+                    },
+                )
+                .unwrap(),
+            FleetResponse::Resized { id }
+        );
+        assert_eq!(alloc.state.pods[0].nic_mbps_used, 45_000);
+        assert_eq!(alloc.state.pods[0].ssd_used, 500);
+        assert_eq!(
+            alloc
+                .execute(
+                    SimTime::from_nanos(6),
+                    &FleetCommand::ResizeInstance {
+                        at: 6,
+                        id,
+                        nic_mbps: 200_000,
+                        ssd: 0
+                    },
+                )
+                .unwrap(),
+            FleetResponse::ResizeRejected { id }
+        );
+        assert_eq!(
+            alloc.state.pods[0].nic_mbps_used, 45_000,
+            "rejected resize is a no-op"
+        );
+        assert_eq!(alloc.state.resize_rejections, 1);
+    }
+
+    #[test]
+    fn query_reports_utilization_without_logging() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 2);
+        create(&mut alloc, 0, 10_000, 200);
+        let before = alloc.raft.log_entries().len();
+        let FleetResponse::State(report) = alloc
+            .execute(SimTime::ZERO, &FleetCommand::QueryFleetState)
+            .unwrap()
+        else {
+            panic!("expected a report");
+        };
+        assert_eq!(
+            alloc.raft.log_entries().len(),
+            before,
+            "reads are not logged"
+        );
+        assert_eq!(report.live, 1);
+        assert_eq!(report.placed, 1);
+        assert_eq!(report.pods[0].nic_mbps_used, 10_000);
+        assert_eq!(report.pods[0].vcpus_used, 8);
+    }
+
+    #[test]
+    fn state_stays_consistent_with_log() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 2);
+        register(&mut alloc, 2);
+        link(&mut alloc, 0, 1);
+        let mut live = Vec::new();
+        for i in 0..20u64 {
+            if let FleetResponse::Created { id, .. } = create(&mut alloc, i * 100, 20_000, 1_000) {
+                live.push(id);
+            }
+            if i % 3 == 2 {
+                if let Some(id) = live.first().copied() {
+                    live.remove(0);
+                    alloc
+                        .execute(
+                            SimTime::from_nanos(i * 100 + 1),
+                            &FleetCommand::KillInstance {
+                                at: i * 100 + 1,
+                                id,
+                            },
+                        )
+                        .unwrap();
+                }
+            }
+        }
+        assert!(alloc.state.placed > 0);
+        assert!(alloc.consistent_with_log());
+    }
+
+    #[test]
+    fn export_covers_all_fleet_counters() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        create(&mut alloc, 0, 10_000, 0);
+        let mut sink = MetricSink::new();
+        alloc.state.export_metrics(&mut sink);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counter(crate::metrics::FLEET_PODS, 0), 1);
+        assert_eq!(snap.counter(crate::metrics::FLEET_INSTANCES_PLACED, 0), 1);
+        assert_eq!(snap.counter(crate::metrics::FLEET_POD_PLACEMENTS, 0), 1);
+    }
+}

@@ -16,12 +16,22 @@
 //! * **Failure management**: `LinkFailed` reports — or missing telemetry,
 //!   which is how *host* failures are inferred — revoke the device's
 //!   leases and reroute affected instances to the pod's backup NIC.
+//!
+//! Above the pod sits the fleet layer ([`fleet`]): pods summarize their
+//! allocatable capacity ([`AllocState::capacity_summary`]) and a
+//! [`FleetAllocator`] places instances across pods, spilling device
+//! backends to topologically-near neighbors when local devices strand.
 
 pub mod command;
+pub mod fleet;
 pub mod replicated;
 pub mod service;
 
-pub use command::AllocCommand;
+pub use command::{AllocCommand, FleetCommand, ANY_POD};
+pub use fleet::{
+    FleetAllocator, FleetInstance, FleetResponse, FleetState, FleetStateReport, PodCapacity,
+    PodUtilization,
+};
 pub use service::{
     AllocState, InstanceInfo, NicInfo, PodAllocator, RebalancePolicy, SsdInfo, VolumeInfo,
 };

@@ -352,6 +352,27 @@ impl AllocState {
             .cloned()
             .collect()
     }
+
+    /// The pod-local capacity summary the fleet layer places against:
+    /// `(nic_mbps, ssd_blocks)` of allocatable capacity. The backup NIC is
+    /// excluded — it is reserved for failover (§3.3.3), not for leases —
+    /// and failed devices don't count.
+    pub fn capacity_summary(&self) -> (u64, u64) {
+        let nic_mbps = self
+            .nics
+            .iter()
+            .flatten()
+            .filter(|n| !n.backup && !n.failed)
+            .map(|n| n.capacity_mbps as u64)
+            .sum();
+        let ssd_blocks = self
+            .ssds
+            .iter()
+            .flatten()
+            .map(|s| s.capacity_blocks as u64)
+            .sum();
+        (nic_mbps, ssd_blocks)
+    }
 }
 
 /// Control-plane actor: owns the state machine (behind a Raft node), the

@@ -59,6 +59,86 @@ impl std::fmt::Display for PodError {
 
 impl std::error::Error for PodError {}
 
+/// Why a fleet control-plane operation could not complete.
+///
+/// Fleet-level failures are distinct from [`PodError`]: they concern pod
+/// membership, cross-pod links, and fleet-scoped instance ids rather than
+/// any single pod's devices. Placement *rejection* (no capacity anywhere)
+/// is not an error — it is a counted outcome of a `CreateInstance`
+/// command — so it does not appear here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FleetError {
+    /// Two pods were registered with the same `PodBuilder::site` value.
+    /// Sites feed the upper bits of every simulated MAC address, so a
+    /// collision silently corrupts uplink switch learning; it must be
+    /// rejected at `Fleet::add_pod` time.
+    DuplicateSite {
+        /// The colliding site id.
+        site: u32,
+        /// The already-registered pod that owns it.
+        pod: usize,
+    },
+    /// A pod cannot be linked to itself.
+    SelfLink {
+        /// The pod on both ends of the rejected link.
+        pod: usize,
+    },
+    /// The two pods are already connected (in either direction).
+    DuplicateLink {
+        /// Lower pod index of the existing link.
+        a: usize,
+        /// Higher pod index of the existing link.
+        b: usize,
+    },
+    /// The named pod does not exist in this fleet.
+    NoSuchPod(usize),
+    /// The named fleet instance id does not exist or was already killed.
+    NoSuchInstance(u64),
+    /// No pod in the requested scope can take the instance (the command
+    /// is still logged; this surfaces the rejection to a caller who asked
+    /// for a live launch).
+    NoCapacity,
+    /// `RegisterPod` / `AddLink` must arrive via `Fleet::add_pod` /
+    /// `Fleet::connect`, which wire the uplink switches alongside the
+    /// log; executing them directly would desync the data plane.
+    TopologyManaged,
+    /// The replicated allocator service refused the command (e.g. the
+    /// Raft leader is unavailable).
+    NotLeader,
+    /// A pod-local launch failed after fleet-level placement succeeded.
+    Pod(PodError),
+}
+
+impl From<PodError> for FleetError {
+    fn from(e: PodError) -> Self {
+        FleetError::Pod(e)
+    }
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::DuplicateSite { site, pod } => {
+                write!(f, "site {site} is already used by pod {pod}")
+            }
+            FleetError::SelfLink { pod } => write!(f, "pod {pod} cannot be linked to itself"),
+            FleetError::DuplicateLink { a, b } => {
+                write!(f, "pods {a} and {b} are already connected")
+            }
+            FleetError::NoSuchPod(p) => write!(f, "no pod {p} in this fleet"),
+            FleetError::NoSuchInstance(id) => write!(f, "no fleet instance {id}"),
+            FleetError::NoCapacity => write!(f, "no pod in scope can place the instance"),
+            FleetError::TopologyManaged => {
+                write!(f, "topology commands flow through add_pod/connect")
+            }
+            FleetError::NotLeader => write!(f, "allocator service is not the leader"),
+            FleetError::Pod(e) => write!(f, "pod error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,11 +19,23 @@
 //! Pods in one fleet share an L2 domain over the uplinks, so each must be
 //! built with a distinct [`crate::pod::PodBuilder::site`] to keep NIC MACs
 //! and instance IPs fleet-unique; colliding MACs confuse switch learning
-//! exactly as they would on real hardware.
+//! exactly as they would on real hardware — which is why [`Fleet::add_pod`]
+//! rejects a site collision with a typed [`FleetError`] instead of letting
+//! the corruption happen silently.
+//!
+//! The fleet also carries the control plane: every pod added registers its
+//! capacity with an embedded [`FleetAllocator`], links registered by
+//! [`Fleet::connect`] flow through the same replicated log, and
+//! [`Fleet::execute`] accepts the typed [`FleetCommand`] API
+//! (create/resize/kill/query) so experiments drive placement through
+//! commands instead of hard-coded setup.
 
 use oasis_sim::shard::{self, Envelope, Outgoing, ShardError, ShardWorld, ShardedRunner};
 use oasis_sim::time::{SimDuration, SimTime};
 
+use crate::allocator::{FleetAllocator, FleetCommand, FleetResponse, ANY_POD};
+use crate::error::FleetError;
+use crate::instance::AppKind;
 use crate::pod::{Pod, UplinkMsg};
 
 /// Where one pod-local uplink leads: the peer pod and the uplink index
@@ -83,6 +95,7 @@ pub struct Fleet {
     runner: Option<ShardedRunner<UplinkMsg>>,
     threads: usize,
     min_latency: Option<SimDuration>,
+    allocator: FleetAllocator,
 }
 
 impl Default for Fleet {
@@ -104,18 +117,49 @@ impl Fleet {
             runner: None,
             threads: threads.max(1),
             min_latency: None,
+            allocator: FleetAllocator::new(),
         }
     }
 
-    /// Add a pod to the fleet. Returns its pod index. Pods must be added
-    /// (and connected) before the first `run`.
-    pub fn add_pod(&mut self, pod: Pod) -> usize {
+    /// Default per-host vCPU capacity registered with the fleet allocator
+    /// (matches the §2.1 dual-socket host the traces assume).
+    pub const VCPUS_PER_HOST: u32 = 96;
+    /// Default per-host memory capacity in GB.
+    pub const MEM_GB_PER_HOST: u32 = 512;
+
+    /// Add a pod to the fleet and register its capacity with the fleet
+    /// allocator. Returns its pod index. Pods must be added (and
+    /// connected) before the first `run`.
+    ///
+    /// Rejects a [`crate::pod::PodBuilder::site`] collision: sites feed
+    /// the upper bits of every NIC MAC and instance IP, so two pods on the
+    /// same site would silently corrupt uplink switch learning.
+    pub fn add_pod(&mut self, pod: Pod) -> Result<usize, FleetError> {
         assert!(self.runner.is_none(), "fleet topology is fixed after run");
+        let site = pod.site();
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.pod.site() == site {
+                return Err(FleetError::DuplicateSite { site, pod: i });
+            }
+        }
+        let idx = self.shards.len();
+        let (nic_mbps, ssd_cap) = pod.allocator.state.capacity_summary();
+        self.allocator.execute(
+            SimTime::ZERO,
+            &FleetCommand::RegisterPod {
+                pod: idx as u32,
+                hosts: pod.hosts() as u32,
+                vcpus_per_host: Self::VCPUS_PER_HOST,
+                mem_gb_per_host: Self::MEM_GB_PER_HOST,
+                nic_mbps,
+                ssd_cap,
+            },
+        )?;
         self.shards.push(PodShard {
             pod,
             routes: Vec::new(),
         });
-        self.shards.len() - 1
+        Ok(idx)
     }
 
     /// Number of pods.
@@ -135,10 +179,20 @@ impl Fleet {
     }
 
     /// Join pods `a` and `b` with a bidirectional uplink of the given
-    /// one-way latency. Allocates an uplink switch port on both pods.
-    pub fn connect(&mut self, a: usize, b: usize, latency: SimDuration) {
+    /// one-way latency. Allocates an uplink switch port on both pods and
+    /// registers the link with the fleet allocator (updating spill
+    /// orders). Self-links, unknown pods, and duplicate links (in either
+    /// direction) are rejected with a typed error.
+    pub fn connect(&mut self, a: usize, b: usize, latency: SimDuration) -> Result<(), FleetError> {
         assert!(self.runner.is_none(), "fleet topology is fixed after run");
-        assert_ne!(a, b, "a pod cannot uplink to itself");
+        self.allocator.execute(
+            SimTime::ZERO,
+            &FleetCommand::AddLink {
+                a: a as u32,
+                b: b as u32,
+                latency_ns: latency.as_nanos(),
+            },
+        )?;
         let ua = self.shards[a].pod.add_uplink();
         let ub = self.shards[b].pod.add_uplink();
         self.shards[a].routes.push(UplinkRoute {
@@ -152,11 +206,117 @@ impl Fleet {
             latency,
         });
         self.min_latency = Some(self.min_latency.map_or(latency, |m| m.min(latency)));
+        Ok(())
     }
 
     /// Join two pods per a topology-level link description.
-    pub fn connect_link(&mut self, link: &oasis_cxl::topology::CrossPodLink) {
-        self.connect(link.a, link.b, link.latency);
+    pub fn connect_link(
+        &mut self,
+        link: &oasis_cxl::topology::CrossPodLink,
+    ) -> Result<(), FleetError> {
+        self.connect(link.a, link.b, link.latency)
+    }
+
+    /// The embedded fleet allocator (placement state, spill accounting,
+    /// log-consistency checks).
+    pub fn allocator(&self) -> &FleetAllocator {
+        &self.allocator
+    }
+
+    /// Execute a typed control-plane command against the fleet.
+    ///
+    /// `CreateInstance` / `ResizeInstance` / `KillInstance` /
+    /// `QueryFleetState` flow through the replicated fleet allocator; a
+    /// successful create additionally launches a live instance (with
+    /// [`AppKind::None`]) on the chosen pod and host, rolling the
+    /// placement back if the pod-local launch fails. Topology commands are
+    /// managed by [`Fleet::add_pod`] / [`Fleet::connect`] and rejected
+    /// here. Kills release fleet-level capacity; the pod runtime keeps the
+    /// instance's datapath wired (tearing that down mid-run is future
+    /// work), which matches how the replay measures stranding.
+    pub fn execute(
+        &mut self,
+        now: SimTime,
+        cmd: &FleetCommand,
+    ) -> Result<FleetResponse, FleetError> {
+        match *cmd {
+            FleetCommand::RegisterPod { .. } | FleetCommand::AddLink { .. } => {
+                Err(FleetError::TopologyManaged)
+            }
+            FleetCommand::CreateInstance { nic_mbps, .. } => {
+                assert!(self.runner.is_none(), "fleet topology is fixed after run");
+                let resp = self.allocator.execute(now, cmd)?;
+                let FleetResponse::Created { id, pod, host, .. } = resp else {
+                    return Ok(resp);
+                };
+                match self.shards[pod]
+                    .pod
+                    .try_launch_instance(host, AppKind::None, nic_mbps)
+                {
+                    Ok(_) => Ok(resp),
+                    Err(e) => {
+                        // Placement fit the capacity summary but the pod's
+                        // devices are too fragmented (e.g. no single NIC
+                        // has the lease spare): undo the reservation.
+                        self.allocator.execute(
+                            now,
+                            &FleetCommand::KillInstance {
+                                at: now.as_nanos(),
+                                id,
+                            },
+                        )?;
+                        Err(FleetError::Pod(e))
+                    }
+                }
+            }
+            _ => self.allocator.execute(now, cmd),
+        }
+    }
+
+    /// Place and launch a live instance through the control plane,
+    /// choosing pod and host via the fleet allocator. Placement rejection
+    /// surfaces as [`FleetError::NoCapacity`].
+    // The parameter list mirrors the CreateInstance wire fields one-for-one.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_instance(
+        &mut self,
+        now: SimTime,
+        app: AppKind,
+        vcpus: u32,
+        mem_gb: u32,
+        ssd: u32,
+        nic_mbps: u32,
+        home_pod: Option<usize>,
+    ) -> Result<(u64, usize, usize), FleetError> {
+        assert!(self.runner.is_none(), "fleet topology is fixed after run");
+        let cmd = FleetCommand::CreateInstance {
+            at: now.as_nanos(),
+            vcpus,
+            mem_gb,
+            ssd,
+            nic_mbps,
+            home_pod: home_pod.map_or(ANY_POD, |p| p as u32),
+        };
+        let resp = self.allocator.execute(now, &cmd)?;
+        let FleetResponse::Created { id, pod, host, .. } = resp else {
+            return Err(FleetError::NoCapacity);
+        };
+        match self.shards[pod]
+            .pod
+            .try_launch_instance(host, app, nic_mbps)
+        {
+            Ok(inst) => Ok((id, pod, inst)),
+            Err(e) => {
+                self.allocator.execute(
+                    now,
+                    &FleetCommand::KillInstance {
+                        at: now.as_nanos(),
+                        id,
+                    },
+                )?;
+                Err(FleetError::Pod(e))
+            }
+        }
     }
 
     /// The conservative lookahead: the minimum uplink latency, or zero for
@@ -209,12 +369,18 @@ impl Fleet {
         );
     }
 
-    /// Fleet-wide metrics: each pod's canonical snapshot merged, plus —
-    /// with `obs` on — the shard-runner telemetry.
+    /// Fleet-wide metrics: each pod's canonical snapshot merged with the
+    /// fleet allocator's `core.fleet_*` counters, plus — with `obs` on —
+    /// the shard-runner telemetry.
     pub fn metrics_snapshot(&self) -> oasis_obs::MetricsSnapshot {
         let mut merged = oasis_obs::MetricsSnapshot::default();
         for s in &self.shards {
             merged.merge(&s.pod.metrics_snapshot());
+        }
+        {
+            let mut sink = oasis_obs::MetricSink::new();
+            self.allocator.state.export_metrics(&mut sink);
+            merged.merge(&sink.snapshot());
         }
         #[cfg(feature = "obs")]
         {

@@ -141,3 +141,29 @@ pub const ACCEL_BE_REPLAYS_ANSWERED: &str = "core.accel_be_replays_answered";
 pub const ALLOC_REROUTES_SENT: &str = "core.alloc_reroutes_sent";
 /// Device failovers executed.
 pub const ALLOC_FAILOVERS: &str = "core.alloc_failovers";
+
+// ---------------------------------------------------------------------------
+// Fleet-level allocator — tag 0 for fleet-wide tallies; spill metrics are
+// tagged by *home* pod, placement counts by *device* pod.
+// ---------------------------------------------------------------------------
+
+/// Pods registered with the fleet allocator.
+pub const FLEET_PODS: &str = "core.fleet_pods";
+/// Cross-pod uplinks registered.
+pub const FLEET_LINKS: &str = "core.fleet_links";
+/// Instances placed (pass 1 or spill).
+pub const FLEET_INSTANCES_PLACED: &str = "core.fleet_instances_placed";
+/// Placements rejected for lack of capacity anywhere in scope.
+pub const FLEET_PLACEMENTS_REJECTED: &str = "core.fleet_placements_rejected";
+/// Instances killed.
+pub const FLEET_INSTANCES_KILLED: &str = "core.fleet_instances_killed";
+/// In-place lease resizes applied.
+pub const FLEET_RESIZES: &str = "core.fleet_resizes";
+/// Resizes refused for lack of device-pod capacity.
+pub const FLEET_RESIZES_REJECTED: &str = "core.fleet_resizes_rejected";
+/// Placements whose devices spilled to a neighbor pod — tag = home pod.
+pub const FLEET_SPILL_PLACEMENTS: &str = "core.fleet_spill_placements";
+/// Closed-out cross-pod spill traffic in bytes — tag = home pod.
+pub const FLEET_SPILL_BYTES: &str = "core.fleet_spill_bytes";
+/// Placements served, by device pod — tag = device pod.
+pub const FLEET_POD_PLACEMENTS: &str = "core.fleet_pod_placements";

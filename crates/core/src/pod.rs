@@ -718,6 +718,16 @@ impl Pod {
         self.now
     }
 
+    /// The pod's site number (fleet-unique MAC/IP numbering base).
+    pub fn site(&self) -> u32 {
+        self.site
+    }
+
+    /// Number of hosts in the pod.
+    pub fn hosts(&self) -> usize {
+        self.drivers.len()
+    }
+
     /// Export every component's telemetry as one canonical snapshot: each
     /// engine's [`DeviceEngine::on_metrics`] hook (host order, registration
     /// order within a host), the allocator's control-plane tallies, the

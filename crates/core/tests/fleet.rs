@@ -164,9 +164,11 @@ fn run_cross_pod(threads: usize) -> (Vec<u64>, String) {
 
     let insts: Vec<usize> = pods.iter().map(|(_, i)| *i).collect();
     for (pod, _) in pods {
-        fleet.add_pod(pod);
+        fleet.add_pod(pod).expect("distinct sites");
     }
-    fleet.connect(0, 1, oasis_cxl::topology::UPLINK_LATENCY);
+    fleet
+        .connect(0, 1, oasis_cxl::topology::UPLINK_LATENCY)
+        .expect("first uplink");
 
     fleet.run(SimTime::from_millis(4)).expect("fleet run");
 
@@ -204,8 +206,8 @@ fn disconnected_pods_run_independently() {
     // No uplinks: each pod serves only its local client; the fleet must
     // still run (unbounded lookahead) rather than erroring.
     let mut fleet = Fleet::new();
-    for _ in 0..2 {
-        let mut b = PodBuilder::new(OasisConfig::default());
+    for site in 0..2u32 {
+        let mut b = PodBuilder::new(OasisConfig::default()).site(site);
         let inst_host = b.add_host();
         let _nic_host = b.add_nic_host();
         let mut pod = b.build();
@@ -219,7 +221,7 @@ fn disconnected_pods_run_independently() {
             SimDuration::from_micros(40),
             10,
         )));
-        fleet.add_pod(pod);
+        fleet.add_pod(pod).expect("distinct sites");
     }
     fleet.run(SimTime::from_millis(2)).expect("fleet run");
     for p in 0..fleet.pods() {
@@ -231,12 +233,146 @@ fn disconnected_pods_run_independently() {
 #[test]
 fn zero_latency_uplink_is_a_deterministic_error() {
     let mut fleet = Fleet::new();
-    for _ in 0..2 {
-        let mut b = PodBuilder::new(OasisConfig::default());
+    for site in 0..2u32 {
+        let mut b = PodBuilder::new(OasisConfig::default()).site(site);
         b.add_nic_host();
-        fleet.add_pod(b.build());
+        fleet.add_pod(b.build()).expect("distinct sites");
     }
-    fleet.connect(0, 1, SimDuration::ZERO);
+    fleet
+        .connect(0, 1, SimDuration::ZERO)
+        .expect("connect itself accepts any latency");
     let err = fleet.run(SimTime::from_millis(1)).unwrap_err();
     assert!(err.to_string().contains("lookahead"), "got: {err}");
+}
+
+/// A minimal pod with one instance-capable host and one NIC host.
+fn small_pod(site: u32) -> oasis_core::pod::Pod {
+    let mut b = PodBuilder::new(OasisConfig::default()).site(site);
+    b.add_host();
+    b.add_nic_host();
+    b.build()
+}
+
+#[test]
+fn duplicate_site_is_a_typed_error() {
+    use oasis_core::error::FleetError;
+    let mut fleet = Fleet::new();
+    fleet.add_pod(small_pod(3)).expect("first pod");
+    match fleet.add_pod(small_pod(3)) {
+        Err(FleetError::DuplicateSite { site: 3, pod: 0 }) => {}
+        other => panic!("expected DuplicateSite, got {other:?}"),
+    }
+    // The rejected pod must not have been registered.
+    assert_eq!(fleet.pods(), 1);
+}
+
+#[test]
+fn self_and_duplicate_links_are_typed_errors() {
+    use oasis_core::error::FleetError;
+    let mut fleet = Fleet::new();
+    fleet.add_pod(small_pod(0)).unwrap();
+    fleet.add_pod(small_pod(1)).unwrap();
+    assert_eq!(
+        fleet.connect(0, 0, SimDuration::from_micros(2)),
+        Err(FleetError::SelfLink { pod: 0 })
+    );
+    assert_eq!(
+        fleet.connect(0, 7, SimDuration::from_micros(2)),
+        Err(FleetError::NoSuchPod(7))
+    );
+    fleet.connect(0, 1, SimDuration::from_micros(2)).unwrap();
+    // Either direction counts as the same link.
+    assert_eq!(
+        fleet.connect(1, 0, SimDuration::from_micros(5)),
+        Err(FleetError::DuplicateLink { a: 0, b: 1 })
+    );
+}
+
+#[test]
+fn control_plane_commands_drive_live_placement() {
+    use oasis_core::allocator::{FleetCommand, FleetResponse};
+    use oasis_core::error::FleetError;
+
+    let mut fleet = Fleet::new();
+    for site in 0..2u32 {
+        fleet.add_pod(small_pod(site)).unwrap();
+    }
+    fleet
+        .connect(0, 1, oasis_cxl::topology::UPLINK_LATENCY)
+        .unwrap();
+
+    // Topology commands may not bypass the wiring path.
+    assert_eq!(
+        fleet.execute(
+            SimTime::ZERO,
+            &FleetCommand::AddLink {
+                a: 0,
+                b: 1,
+                latency_ns: 1
+            }
+        ),
+        Err(FleetError::TopologyManaged)
+    );
+
+    // Create through the typed command API: the allocator picks the pod
+    // and host, and a live instance is launched there.
+    let (id, pod, inst) = fleet
+        .create_instance(
+            SimTime::ZERO,
+            AppKind::Udp(Box::new(Echo)),
+            8,
+            32,
+            0,
+            10_000,
+            None,
+        )
+        .expect("fleet has capacity");
+    assert!(pod < 2);
+    assert_eq!(fleet.pod(pod).instances[inst].stats.rx_frames, 0);
+
+    // Resize and query flow through the same replicated service.
+    let resized = fleet
+        .execute(
+            SimTime::from_micros(1),
+            &FleetCommand::ResizeInstance {
+                at: 1_000,
+                id,
+                nic_mbps: 20_000,
+                ssd: 0,
+            },
+        )
+        .unwrap();
+    assert_eq!(resized, FleetResponse::Resized { id });
+
+    let FleetResponse::State(report) = fleet
+        .execute(SimTime::from_micros(2), &FleetCommand::QueryFleetState)
+        .unwrap()
+    else {
+        panic!("expected a state report");
+    };
+    assert_eq!(report.live, 1);
+    assert_eq!(report.pods.len(), 2);
+    assert_eq!(report.pods[pod].nic_mbps_used, 20_000);
+
+    // Kill releases fleet capacity and the log stays consistent.
+    fleet
+        .execute(
+            SimTime::from_micros(3),
+            &FleetCommand::KillInstance { at: 3_000, id },
+        )
+        .unwrap();
+    assert_eq!(
+        fleet.execute(
+            SimTime::from_micros(4),
+            &FleetCommand::KillInstance { at: 4_000, id }
+        ),
+        Err(FleetError::NoSuchInstance(id))
+    );
+    assert!(fleet.allocator().consistent_with_log());
+
+    // The fleet snapshot carries the control-plane counters.
+    let snap = fleet.metrics_snapshot();
+    assert_eq!(snap.counter("core.fleet_pods", 0), 2);
+    assert_eq!(snap.counter("core.fleet_instances_placed", 0), 1);
+    assert_eq!(snap.counter("core.fleet_instances_killed", 0), 1);
 }

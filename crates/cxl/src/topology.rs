@@ -125,6 +125,85 @@ impl FleetTopology {
     pub fn min_uplink_latency(&self) -> Option<SimDuration> {
         self.links.iter().map(|l| l.latency).min()
     }
+
+    /// Pods adjacent to `pod`, with the one-way latency of the joining link
+    /// (both link directions count; parallel links keep the cheapest).
+    pub fn neighbors(&self, pod: usize) -> Vec<(usize, SimDuration)> {
+        let mut out: Vec<(usize, SimDuration)> = Vec::new();
+        for l in &self.links {
+            let peer = if l.a == pod {
+                l.b
+            } else if l.b == pod {
+                l.a
+            } else {
+                continue;
+            };
+            match out.iter_mut().find(|(p, _)| *p == peer) {
+                Some(e) => e.1 = e.1.min(l.latency),
+                None => out.push((peer, l.latency)),
+            }
+        }
+        out.sort_by_key(|&(p, _)| p);
+        out
+    }
+
+    /// The neighbor-pod spill order from `from`: every *other* reachable
+    /// pod, nearest first by `(uplink hop count, total path latency, pod
+    /// index)` — the deterministic tie-break the fleet allocator uses when
+    /// a pod's own devices strand. Unreachable pods are absent; a fleet
+    /// with no links spills nowhere.
+    pub fn spill_order(&self, from: usize) -> Vec<SpillHop> {
+        if from >= self.pods.len() {
+            return Vec::new();
+        }
+        // Lexicographic Dijkstra on (hops, latency): a fleet is a handful of
+        // pods, so the O(P^2) relaxation loop is simpler than a heap and
+        // trivially deterministic.
+        let n = self.pods.len();
+        let mut dist: Vec<Option<(u32, SimDuration)>> = vec![None; n];
+        let mut done = vec![false; n];
+        dist[from] = Some((0, SimDuration::ZERO));
+        while let Some(u) = (0..n)
+            .filter(|&i| !done[i] && dist[i].is_some())
+            .min_by_key(|&i| dist[i].map(|(h, l)| (h, l, i)))
+        {
+            done[u] = true;
+            let (hops, lat) = match dist[u] {
+                Some(d) => d,
+                None => break,
+            };
+            for (peer, link_lat) in self.neighbors(u) {
+                let cand = (hops + 1, lat + link_lat);
+                if dist[peer].is_none_or(|d| cand < d) {
+                    dist[peer] = Some(cand);
+                }
+            }
+        }
+        let mut order: Vec<SpillHop> = (0..n)
+            .filter(|&p| p != from)
+            .filter_map(|p| {
+                dist[p].map(|(hops, latency)| SpillHop {
+                    pod: p,
+                    hops,
+                    latency,
+                })
+            })
+            .collect();
+        order.sort_by_key(|h| (h.hops, h.latency, h.pod));
+        order
+    }
+}
+
+/// One entry in a pod's spill order: a reachable neighbor pod at a known
+/// uplink distance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpillHop {
+    /// The reachable pod.
+    pub pod: usize,
+    /// Uplink hops on the cheapest path.
+    pub hops: u32,
+    /// Total one-way latency along that path.
+    pub latency: SimDuration,
 }
 
 #[cfg(test)]
@@ -154,5 +233,164 @@ mod tests {
     fn link_bw_formula() {
         let pod = PodTopology::production(4, 0);
         assert!((pod.host_link_bw() - 64.0 * 4e9 * 0.92).abs() < 1.0);
+    }
+
+    #[test]
+    fn testbed_x8_insufficient_for_table1_pod() {
+        // Feasibility edge: the x8 testbed link carries one NIC but not the
+        // full Table 1 device complement; production x64 carries both.
+        let testbed = PodTopology::testbed(1 << 30);
+        let production = PodTopology::production(8, 1 << 30);
+        for demand in [26e9, 26e9 + 6.0 * 5e9] {
+            assert!(production.link_sufficient_for(demand));
+        }
+        assert!(testbed.link_sufficient_for(12.5e9));
+        assert!(!testbed.link_sufficient_for(26e9 + 6.0 * 5e9));
+    }
+
+    #[test]
+    fn ring_link_counts() {
+        let pod = PodTopology::production(2, 0);
+        // 1 pod: no links; 2 pods: one link (not two parallel); n: a cycle.
+        assert!(FleetTopology::ring(1, pod.clone(), UPLINK_LATENCY)
+            .links
+            .is_empty());
+        assert_eq!(
+            FleetTopology::ring(2, pod.clone(), UPLINK_LATENCY)
+                .links
+                .len(),
+            1
+        );
+        assert_eq!(FleetTopology::ring(5, pod, UPLINK_LATENCY).links.len(), 5);
+    }
+
+    #[test]
+    fn single_pod_fleet_has_unbounded_lookahead_and_no_spill() {
+        let topo = FleetTopology::ring(1, PodTopology::production(4, 0), UPLINK_LATENCY);
+        assert_eq!(topo.min_uplink_latency(), None);
+        assert!(topo.spill_order(0).is_empty());
+        assert!(topo.neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_pod_is_absent_from_spill_orders() {
+        // Pods 0-1 linked; pod 2 has no uplink at all.
+        let mut topo = FleetTopology::ring(2, PodTopology::production(4, 0), UPLINK_LATENCY);
+        topo.pods.push(PodTopology::production(4, 0));
+        let from0: Vec<usize> = topo.spill_order(0).iter().map(|h| h.pod).collect();
+        assert_eq!(from0, vec![1], "pod 2 is unreachable from pod 0");
+        assert!(topo.spill_order(2).is_empty(), "pod 2 spills nowhere");
+        // Lookahead still comes from the one real link.
+        assert_eq!(topo.min_uplink_latency(), Some(UPLINK_LATENCY));
+    }
+
+    #[test]
+    fn spill_order_breaks_hop_ties_by_latency_then_index() {
+        // Star: pod 0 links to 1, 2, 3 — all one hop, asymmetric latencies.
+        let pod = PodTopology::production(4, 0);
+        let topo = FleetTopology {
+            pods: vec![pod.clone(), pod.clone(), pod.clone(), pod],
+            links: vec![
+                CrossPodLink {
+                    a: 0,
+                    b: 1,
+                    latency: SimDuration::from_micros(9),
+                },
+                CrossPodLink {
+                    a: 0,
+                    b: 2,
+                    latency: SimDuration::from_micros(2),
+                },
+                CrossPodLink {
+                    a: 3,
+                    b: 0,
+                    latency: SimDuration::from_micros(2),
+                },
+            ],
+        };
+        let order: Vec<(usize, u32)> = topo
+            .spill_order(0)
+            .iter()
+            .map(|h| (h.pod, h.hops))
+            .collect();
+        // Latency beats index (2 and 3 before 1); index breaks the 2-vs-3 tie.
+        assert_eq!(order, vec![(2, 1), (3, 1), (1, 1)]);
+        assert_eq!(topo.min_uplink_latency(), Some(SimDuration::from_micros(2)));
+    }
+
+    #[test]
+    fn spill_order_prefers_fewer_hops_over_lower_latency() {
+        // 0-1-2 chain with cheap links, plus a direct but expensive 0-2
+        // link: 2 is one hop from 0 via the direct link, so hop count (the
+        // primary key) puts it at distance 1 even though the two-hop path
+        // is lower latency.
+        let pod = PodTopology::production(4, 0);
+        let topo = FleetTopology {
+            pods: vec![pod.clone(), pod.clone(), pod],
+            links: vec![
+                CrossPodLink {
+                    a: 0,
+                    b: 1,
+                    latency: SimDuration::from_micros(1),
+                },
+                CrossPodLink {
+                    a: 1,
+                    b: 2,
+                    latency: SimDuration::from_micros(1),
+                },
+                CrossPodLink {
+                    a: 0,
+                    b: 2,
+                    latency: SimDuration::from_micros(50),
+                },
+            ],
+        };
+        let order: Vec<(usize, u32)> = topo
+            .spill_order(0)
+            .iter()
+            .map(|h| (h.pod, h.hops))
+            .collect();
+        assert_eq!(order, vec![(1, 1), (2, 1)]);
+        let h2 = topo.spill_order(0)[1];
+        assert_eq!(
+            h2.latency,
+            SimDuration::from_micros(50),
+            "direct link wins on hops"
+        );
+    }
+
+    #[test]
+    fn parallel_links_keep_the_cheapest_latency() {
+        let pod = PodTopology::production(4, 0);
+        let topo = FleetTopology {
+            pods: vec![pod.clone(), pod],
+            links: vec![
+                CrossPodLink {
+                    a: 0,
+                    b: 1,
+                    latency: SimDuration::from_micros(7),
+                },
+                CrossPodLink {
+                    a: 1,
+                    b: 0,
+                    latency: SimDuration::from_micros(3),
+                },
+            ],
+        };
+        assert_eq!(topo.neighbors(0), vec![(1, SimDuration::from_micros(3))]);
+        assert_eq!(topo.spill_order(1)[0].latency, SimDuration::from_micros(3));
+    }
+
+    #[test]
+    fn ring_spill_order_is_symmetric_and_deterministic() {
+        let topo = FleetTopology::ring(8, PodTopology::production(4, 0), UPLINK_LATENCY);
+        let order = topo.spill_order(3);
+        assert_eq!(order.len(), 7, "every other pod is reachable on a ring");
+        // Immediate ring neighbors first (1 hop), lower index on ties.
+        assert_eq!((order[0].pod, order[0].hops), (2, 1));
+        assert_eq!((order[1].pod, order[1].hops), (4, 1));
+        // Farthest pod on an 8-ring is 4 hops away.
+        assert_eq!(order.last().map(|h| h.hops), Some(4));
+        assert_eq!(topo.spill_order(3), order, "stable across calls");
     }
 }

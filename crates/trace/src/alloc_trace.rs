@@ -15,7 +15,25 @@
 //! NIC/SSD request may be satisfied by *pod*-level capacity. Placement here
 //! therefore takes a pod size: CPU/memory must fit on the chosen host,
 //! NIC/SSD must fit in the host's pod.
+//!
+//! Placement is no longer hand-rolled here: every arrival and departure is
+//! replayed as a typed [`FleetCommand`] through `oasis-core`'s replicated
+//! [`FleetAllocator`] — the same control-plane path a live [`Fleet`] uses —
+//! so the trace study and the runtime share one placement policy.
+//! [`AllocTrace::place`] drives an *unlinked* fleet (one pod per
+//! `pod_size` hosts, no uplinks), which reduces exactly to the pod-scoped
+//! best-fit policy this module always implemented; [`AllocTrace::replay_fleet`]
+//! replays against a linked [`FleetTopology`], letting stranded device
+//! requests spill to the nearest neighbor pod.
+//!
+//! [`Fleet`]: oasis_core::fleet::Fleet
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use oasis_core::allocator::{FleetAllocator, FleetCommand, FleetResponse, FleetState, ANY_POD};
+use oasis_core::error::FleetError;
+use oasis_cxl::topology::{FleetTopology, PodTopology};
 use oasis_sim::rng::SimRng;
 use oasis_sim::time::{SimDuration, SimTime};
 
@@ -238,14 +256,56 @@ pub struct AllocTrace {
     pub duration: SimTime,
 }
 
-struct Load {
-    vcpus: u32,
-    mem_gb: u32,
+/// How a fleet replay picks the home-pod scope of each arrival.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HomePolicy {
+    /// Any pod may run the instance (the classic trace-study scope): the
+    /// allocator best-fits across the whole fleet, so devices only spill
+    /// when every CPU/memory-feasible host sits in a device-exhausted pod.
+    AnyPod,
+    /// Arrivals are pinned round-robin to a home pod (tenant affinity):
+    /// CPU/memory must fit in the home pod, and chunky device requests
+    /// spill to the nearest linked neighbor when the home pod strands.
+    RoundRobin,
 }
 
-struct PodLoad {
-    ssd_gb: u64,
-    nic_gbps: f64,
+/// One placed instance from a fleet replay, with full pod attribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FleetPlacement {
+    /// Index into the catalog.
+    pub type_idx: usize,
+    /// Arrival time.
+    pub start: SimTime,
+    /// Departure time.
+    pub end: SimTime,
+    /// Pod whose host runs the instance.
+    pub pod: usize,
+    /// Host index within `pod`.
+    pub host: usize,
+    /// Pod serving the device backends (== `pod` unless spilled).
+    pub device_pod: usize,
+}
+
+/// The result of replaying an [`ArrivalStream`] through the fleet
+/// control-plane command API.
+#[derive(Clone, Debug)]
+pub struct FleetReplay {
+    /// The catalog the type indices refer to.
+    pub catalog: Vec<InstanceType>,
+    /// Host capacity used during placement.
+    pub host_cap: HostCapacity,
+    /// Hosts per pod, by pod index.
+    pub pod_hosts: Vec<usize>,
+    /// Placed instances.
+    pub placements: Vec<FleetPlacement>,
+    /// Requests rejected (no feasible host in scope).
+    pub rejected: usize,
+    /// Trace horizon.
+    pub duration: SimTime,
+    /// Final allocator state machine: every instance has been killed at
+    /// its departure time, so the per-pod spill-traffic byte counters are
+    /// fully closed out and `state.report().live == 0`.
+    pub state: FleetState,
 }
 
 impl AllocTrace {
@@ -259,94 +319,170 @@ impl AllocTrace {
     /// CPU/memory must fit on the chosen host; SSD/NIC must fit within the
     /// host's pod (this is what Oasis pooling enables). Placement is
     /// best-fit by CPU slack, which is how device resources get stranded.
+    ///
+    /// Implemented as a fleet replay against an *unlinked* topology: with
+    /// no uplinks, spill is impossible and the fleet allocator's pass-1
+    /// policy — best-fit `(vcpu slack, mem slack)` over hosts whose own
+    /// pod can serve the devices, first minimum winning — is exactly this
+    /// function's historical behavior, instance for instance.
     pub fn place(stream: &ArrivalStream, hosts: usize, pod_size: usize) -> AllocTrace {
         assert!(pod_size >= 1);
-        let cap = HostCapacity::default();
-        let catalog = stream.catalog.clone();
         let pods = hosts.div_ceil(pod_size);
-        let mut host_load: Vec<Load> = (0..hosts)
-            .map(|_| Load {
-                vcpus: 0,
-                mem_gb: 0,
-            })
-            .collect();
-        let mut pod_load: Vec<PodLoad> = (0..pods)
-            .map(|_| PodLoad {
-                ssd_gb: 0,
-                nic_gbps: 0.0,
-            })
-            .collect();
-        let pod_of = |h: usize| h / pod_size;
-        let pod_hosts = |p: usize| {
-            let lo = p * pod_size;
-            let hi = ((p + 1) * pod_size).min(hosts);
-            hi - lo
-        };
-
-        // Departure queue sorted by time: (ends, host, type_idx).
-        let mut departures: Vec<(u64, usize, usize)> = Vec::new();
-        let mut instances = Vec::new();
-        let mut rejected = 0usize;
-
-        for arr in &stream.arrivals {
-            let now = arr.at;
-            departures.retain(|&(dt, host, ti)| {
-                if dt <= now {
-                    let ty = &catalog[ti];
-                    host_load[host].vcpus -= ty.vcpus;
-                    host_load[host].mem_gb -= ty.mem_gb;
-                    let p = pod_of(host);
-                    pod_load[p].ssd_gb -= ty.ssd_gb as u64;
-                    pod_load[p].nic_gbps -= ty.nic_gbps;
-                    false
-                } else {
-                    true
-                }
-            });
-            let ty = &catalog[arr.type_idx];
-            let fit = (0..hosts)
-                .filter(|&h| {
-                    let p = pod_of(h);
-                    let n = pod_hosts(p) as f64;
-                    host_load[h].vcpus + ty.vcpus <= cap.vcpus
-                        && host_load[h].mem_gb + ty.mem_gb <= cap.mem_gb
-                        && pod_load[p].ssd_gb + ty.ssd_gb as u64 <= (n * cap.ssd_gb as f64) as u64
-                        && pod_load[p].nic_gbps + ty.nic_gbps <= n * cap.nic_gbps
+        let topo = FleetTopology {
+            pods: (0..pods)
+                .map(|p| {
+                    let lo = p * pod_size;
+                    let hi = ((p + 1) * pod_size).min(hosts);
+                    PodTopology::production(hi - lo, 0)
                 })
-                .min_by_key(|&h| {
-                    (
-                        cap.vcpus - host_load[h].vcpus - ty.vcpus,
-                        cap.mem_gb - host_load[h].mem_gb - ty.mem_gb,
-                    )
-                });
-            match fit {
-                Some(h) => {
-                    host_load[h].vcpus += ty.vcpus;
-                    host_load[h].mem_gb += ty.mem_gb;
-                    let p = pod_of(h);
-                    pod_load[p].ssd_gb += ty.ssd_gb as u64;
-                    pod_load[p].nic_gbps += ty.nic_gbps;
-                    departures.push((arr.ends, h, arr.type_idx));
-                    instances.push(Instance {
-                        type_idx: arr.type_idx,
-                        start: SimTime::from_nanos(arr.at),
-                        end: SimTime::from_nanos(arr.ends),
-                        host: h,
-                    });
-                }
-                None => rejected += 1,
-            }
-        }
-
+                .collect(),
+            links: Vec::new(),
+        };
+        let replay = Self::replay_fleet(stream, &topo, HomePolicy::AnyPod, 0)
+            .expect("an unlinked fleet accepts every topology command");
         AllocTrace {
-            catalog,
-            host_cap: cap,
+            catalog: replay.catalog,
+            host_cap: replay.host_cap,
             hosts,
             pod_size,
-            instances,
+            instances: replay
+                .placements
+                .iter()
+                .map(|pl| Instance {
+                    type_idx: pl.type_idx,
+                    start: pl.start,
+                    end: pl.end,
+                    host: pl.pod * pod_size + pl.host,
+                })
+                .collect(),
+            rejected: replay.rejected,
+            duration: replay.duration,
+        }
+    }
+
+    /// Replay a stream through the fleet control-plane command API against
+    /// an arbitrary [`FleetTopology`]: every arrival becomes a
+    /// `CreateInstance`, every departure a `KillInstance` (issued before
+    /// any arrival at the same or a later time, matching the historical
+    /// free-then-place order), and every `resize_every`-th placement a
+    /// same-lease `ResizeInstance` renewal that exercises the resize path
+    /// without perturbing capacity. All remaining instances are killed at
+    /// their departure times after the last arrival, so cross-pod
+    /// spill-traffic accounting in the returned state is complete.
+    pub fn replay_fleet(
+        stream: &ArrivalStream,
+        topo: &FleetTopology,
+        policy: HomePolicy,
+        resize_every: usize,
+    ) -> Result<FleetReplay, FleetError> {
+        let cap = HostCapacity::default();
+        let nic_mbps_per_host = (cap.nic_gbps * 1000.0) as u64;
+        let mut alloc = FleetAllocator::new();
+        for (p, pod) in topo.pods.iter().enumerate() {
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::RegisterPod {
+                    pod: p as u32,
+                    hosts: pod.hosts as u32,
+                    vcpus_per_host: cap.vcpus,
+                    mem_gb_per_host: cap.mem_gb,
+                    nic_mbps: pod.hosts as u64 * nic_mbps_per_host,
+                    ssd_cap: pod.hosts as u64 * cap.ssd_gb as u64,
+                },
+            )?;
+        }
+        for l in &topo.links {
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::AddLink {
+                    a: l.a as u32,
+                    b: l.b as u32,
+                    latency_ns: l.latency.as_nanos(),
+                },
+            )?;
+        }
+
+        let npods = topo.pods.len().max(1);
+        // Pending departures as a min-heap of (ends, fleet id).
+        let mut departures: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut placements = Vec::new();
+        let mut rejected = 0usize;
+
+        for (i, arr) in stream.arrivals.iter().enumerate() {
+            let now = SimTime::from_nanos(arr.at);
+            while let Some(&Reverse((ends, id))) = departures.peek() {
+                if ends > arr.at {
+                    break;
+                }
+                departures.pop();
+                alloc.execute(now, &FleetCommand::KillInstance { at: ends, id })?;
+            }
+            let ty = &stream.catalog[arr.type_idx];
+            let nic_mbps = (ty.nic_gbps * 1000.0) as u32;
+            let home_pod = match policy {
+                HomePolicy::AnyPod => ANY_POD,
+                HomePolicy::RoundRobin => (i % npods) as u32,
+            };
+            let outcome = alloc.execute(
+                now,
+                &FleetCommand::CreateInstance {
+                    at: arr.at,
+                    vcpus: ty.vcpus,
+                    mem_gb: ty.mem_gb,
+                    ssd: ty.ssd_gb,
+                    nic_mbps,
+                    home_pod,
+                },
+            )?;
+            match outcome {
+                FleetResponse::Created {
+                    id,
+                    pod,
+                    host,
+                    device_pod,
+                } => {
+                    departures.push(Reverse((arr.ends, id)));
+                    placements.push(FleetPlacement {
+                        type_idx: arr.type_idx,
+                        start: now,
+                        end: SimTime::from_nanos(arr.ends),
+                        pod,
+                        host,
+                        device_pod,
+                    });
+                    if resize_every > 0 && (id + 1) % resize_every as u64 == 0 {
+                        alloc.execute(
+                            now,
+                            &FleetCommand::ResizeInstance {
+                                at: arr.at,
+                                id,
+                                nic_mbps,
+                                ssd: ty.ssd_gb,
+                            },
+                        )?;
+                    }
+                }
+                _ => rejected += 1,
+            }
+        }
+        // Close every remaining lease at its departure time so the spill
+        // byte counters cover each instance's full lifetime.
+        while let Some(Reverse((ends, id))) = departures.pop() {
+            alloc.execute(
+                SimTime::from_nanos(ends),
+                &FleetCommand::KillInstance { at: ends, id },
+            )?;
+        }
+
+        Ok(FleetReplay {
+            catalog: stream.catalog.clone(),
+            host_cap: cap,
+            pod_hosts: topo.pods.iter().map(|p| p.hosts).collect(),
+            placements,
             rejected,
             duration: SimTime::ZERO + stream.duration,
-        }
+            state: alloc.state.clone(),
+        })
     }
 
     /// Time-averaged allocated fraction of a resource across the whole
@@ -454,6 +590,65 @@ mod tests {
         let b = AllocTrace::generate(8, SimDuration::from_secs(3600), 9);
         assert_eq!(a.instances.len(), b.instances.len());
         assert_eq!(a.rejected, b.rejected);
+    }
+
+    #[test]
+    fn fleet_replay_closes_every_lease_and_renews() {
+        let topo = FleetTopology::ring(
+            4,
+            PodTopology::production(4, 0),
+            oasis_cxl::topology::UPLINK_LATENCY,
+        );
+        let r = AllocTrace::replay_fleet(&stream(), &topo, HomePolicy::RoundRobin, 16)
+            .expect("ring topology is valid");
+        let report = r.state.report();
+        assert_eq!(report.live, 0, "every instance killed at its departure");
+        assert_eq!(report.placed as usize, r.placements.len());
+        assert!(r.state.resizes > 0, "renewal resizes were exercised");
+        assert_eq!(
+            r.state.resize_rejections, 0,
+            "same-lease renewals always fit"
+        );
+    }
+
+    #[test]
+    fn pinned_homes_spill_over_links_but_not_without_them() {
+        let s = stream();
+        let pod = PodTopology::production(4, 0);
+        let unlinked = FleetTopology {
+            pods: vec![pod.clone(); 4],
+            links: Vec::new(),
+        };
+        let ring = FleetTopology::ring(4, pod, oasis_cxl::topology::UPLINK_LATENCY);
+        let a = AllocTrace::replay_fleet(&s, &unlinked, HomePolicy::RoundRobin, 0)
+            .expect("unlinked topology is valid");
+        let b = AllocTrace::replay_fleet(&s, &ring, HomePolicy::RoundRobin, 0)
+            .expect("ring topology is valid");
+        assert_eq!(a.state.report().spill_placements, 0);
+        assert_eq!(a.state.report().spill_bytes, 0);
+        assert!(
+            b.state.report().spill_placements > 0,
+            "saturated pinned homes must spill devices over the ring"
+        );
+        assert!(b.state.report().spill_bytes > 0);
+        // Spilled placements run on their home pod and are attributed there.
+        assert!(b.placements.iter().any(|p| p.device_pod != p.pod));
+    }
+
+    #[test]
+    fn fleet_replay_is_deterministic() {
+        let topo = FleetTopology::ring(
+            3,
+            PodTopology::production(5, 0),
+            oasis_cxl::topology::UPLINK_LATENCY,
+        );
+        let a = AllocTrace::replay_fleet(&stream(), &topo, HomePolicy::RoundRobin, 7)
+            .expect("ring topology is valid");
+        let b = AllocTrace::replay_fleet(&stream(), &topo, HomePolicy::RoundRobin, 7)
+            .expect("ring topology is valid");
+        assert_eq!(a.placements, b.placements);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.state, b.state);
     }
 
     #[test]

@@ -22,8 +22,13 @@ pub mod metrics;
 pub mod packet_trace;
 pub mod stranding;
 
-pub use alloc_trace::{AllocTrace, HostCapacity, Instance, InstanceType};
+pub use alloc_trace::{
+    AllocTrace, ArrivalStream, FleetPlacement, FleetReplay, HomePolicy, HostCapacity, Instance,
+    InstanceType,
+};
 pub use packet_trace::{HostProfile, PacketTrace};
 pub use stranding::{
-    export_stranding, stranding_by_pod_size, stranding_from_snapshot, StrandingPoint,
+    export_fleet_stranding, export_stranding, fleet_stranding_from_snapshot,
+    measure_fleet_stranding, stranding_by_pod_size, stranding_from_snapshot, PodStranding,
+    StrandingPoint,
 };

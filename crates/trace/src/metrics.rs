@@ -17,3 +17,14 @@ pub const STRANDED_CPU_PPB: &str = "trace.stranded_cpu_ppb";
 pub const STRANDED_MEM_PPB: &str = "trace.stranded_mem_ppb";
 /// Placement requests rejected.
 pub const PLACEMENT_REJECTED: &str = "trace.placement_rejected";
+
+/// Per-pod NIC bandwidth stranded during a fleet replay, parts per
+/// billion. Tag = pod index; attribution is by *device* pod, so spilled
+/// instances count against the pod that serves their devices.
+pub const STRANDING_POD_NIC_PPB: &str = "trace.stranding_pod_nic_ppb";
+/// Per-pod SSD capacity stranded during a fleet replay, parts per billion.
+/// Tag = pod index (device-pod attribution, like the NIC metric).
+pub const STRANDING_POD_SSD_PPB: &str = "trace.stranding_pod_ssd_ppb";
+/// Instances whose device backends each pod served during a fleet replay.
+/// Tag = pod index.
+pub const STRANDING_POD_PLACED: &str = "trace.stranding_pod_placed";
