@@ -32,15 +32,14 @@ impl StatsCell {
         StatsCell(Mutex::new(stats))
     }
 
-    /// Shared read access (uncontended by construction).
+    /// Shared read access (uncontended by construction). Poisoning
+    /// requires a panicked worker, which already aborts the run.
     pub fn borrow(&self) -> MutexGuard<'_, ClientStats> {
-        // oasis-check: allow(no-panic) poisoning requires a panicked worker, which already aborts the run
         self.0.lock().expect("stats cell poisoned")
     }
 
     /// Exclusive write access (uncontended by construction).
     pub fn borrow_mut(&self) -> MutexGuard<'_, ClientStats> {
-        // oasis-check: allow(no-panic) poisoning requires a panicked worker, which already aborts the run
         self.0.lock().expect("stats cell poisoned")
     }
 }

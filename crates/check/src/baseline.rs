@@ -1,0 +1,379 @@
+//! Ratchet baseline: findings aggregated per (file, rule), serialized as
+//! JSON, compared one-directionally.
+//!
+//! The committed `check_baseline.json` is the debt ledger: CI fails when
+//! any (file, rule) count *exceeds* its baseline entry (new debt), and
+//! also when a count drops below it without the baseline being refreshed
+//! (`--update-baseline`) — the ratchet may only tighten, and it tightens
+//! explicitly so a later regression back to the old count cannot hide.
+//!
+//! The parser below handles exactly the JSON this module writes (objects,
+//! arrays, strings with escapes, non-negative integers) — the crate stays
+//! dependency-free.
+
+use crate::Finding;
+use std::collections::BTreeMap;
+
+/// Findings aggregated per (file, rule).
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// (file, rule) → count, ordered for stable serialization.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// One ratchet violation.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Delta {
+    /// Workspace-relative file.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// Baseline count.
+    pub was: usize,
+    /// Current count.
+    pub now: usize,
+}
+
+/// Result of comparing current findings against the baseline.
+#[derive(Debug, Default)]
+pub struct RatchetReport {
+    /// Counts above baseline — new debt, always fatal.
+    pub regressions: Vec<Delta>,
+    /// Counts below baseline — requires `--update-baseline` to record.
+    pub improvements: Vec<Delta>,
+}
+
+impl RatchetReport {
+    /// Does this report demand a non-zero exit?
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty() && self.improvements.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Aggregate findings into a baseline.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.file.clone(), f.rule.to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Compare `current` findings against this baseline.
+    pub fn compare(&self, current: &Baseline) -> RatchetReport {
+        let mut report = RatchetReport::default();
+        let mut keys: Vec<&(String, String)> =
+            self.entries.keys().chain(current.entries.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        for key in keys {
+            let was = self.entries.get(key).copied().unwrap_or(0);
+            let now = current.entries.get(key).copied().unwrap_or(0);
+            let delta = Delta {
+                file: key.0.clone(),
+                rule: key.1.clone(),
+                was,
+                now,
+            };
+            if now > was {
+                report.regressions.push(delta);
+            } else if now < was {
+                report.improvements.push(delta);
+            }
+        }
+        report
+    }
+
+    /// Serialize to the committed JSON form (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"schema\": 1,\n  \"entries\": [");
+        for (i, ((file, rule), count)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{ \"file\": {}, \"rule\": {}, \"count\": {} }}",
+                json_string(file),
+                json_string(rule),
+                count
+            ));
+        }
+        if !self.entries.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parse the JSON form written by [`Baseline::to_json`].
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = JsonValue::parse(text)?;
+        let entries_val = value
+            .get("entries")
+            .ok_or_else(|| "baseline: missing \"entries\"".to_string())?;
+        let JsonValue::Array(items) = entries_val else {
+            return Err("baseline: \"entries\" is not an array".into());
+        };
+        let mut entries = BTreeMap::new();
+        for item in items {
+            let file = item
+                .get("file")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "baseline entry: missing \"file\"".to_string())?;
+            let rule = item
+                .get("rule")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| "baseline entry: missing \"rule\"".to_string())?;
+            let count = item
+                .get("count")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| "baseline entry: missing \"count\"".to_string())?;
+            entries.insert((file.to_string(), rule.to_string()), count as usize);
+        }
+        Ok(Baseline { entries })
+    }
+}
+
+/// Escape `s` as a JSON string (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The minimal JSON value model the baseline format needs.
+enum JsonValue {
+    /// Object.
+    Object(Vec<(String, JsonValue)>),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// String.
+    Str(String),
+    /// Non-negative integer (the only number shape we write).
+    Num(u64),
+}
+
+impl JsonValue {
+    fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn parse(text: &str) -> Result<JsonValue, String> {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        let v = Self::value(b, &mut i)?;
+        Self::ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("baseline: trailing data at byte {i}"));
+        }
+        Ok(v)
+    }
+
+    fn ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<JsonValue, String> {
+        Self::ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                let mut pairs = Vec::new();
+                loop {
+                    Self::ws(b, i);
+                    if b.get(*i) == Some(&b'}') {
+                        *i += 1;
+                        return Ok(JsonValue::Object(pairs));
+                    }
+                    let JsonValue::Str(key) = Self::value(b, i)? else {
+                        return Err("baseline: object key is not a string".into());
+                    };
+                    Self::ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("baseline: expected ':' at byte {i}"));
+                    }
+                    *i += 1;
+                    pairs.push((key, Self::value(b, i)?));
+                    Self::ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {}
+                        _ => return Err(format!("baseline: expected ',' or '}}' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                let mut items = Vec::new();
+                loop {
+                    Self::ws(b, i);
+                    if b.get(*i) == Some(&b']') {
+                        *i += 1;
+                        return Ok(JsonValue::Array(items));
+                    }
+                    items.push(Self::value(b, i)?);
+                    Self::ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {}
+                        _ => return Err(format!("baseline: expected ',' or ']' at byte {i}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *i += 1;
+                let mut s = String::new();
+                while let Some(&c) = b.get(*i) {
+                    match c {
+                        b'"' => {
+                            *i += 1;
+                            return Ok(JsonValue::Str(s));
+                        }
+                        b'\\' => {
+                            *i += 1;
+                            match b.get(*i) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'u') => {
+                                    let hex = text_slice(b, *i + 1, 4)?;
+                                    let code = u32::from_str_radix(hex, 16)
+                                        .map_err(|e| format!("baseline: bad \\u escape: {e}"))?;
+                                    s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                    *i += 4;
+                                }
+                                _ => return Err("baseline: bad escape".into()),
+                            }
+                            *i += 1;
+                        }
+                        _ => {
+                            s.push(c as char);
+                            *i += 1;
+                        }
+                    }
+                }
+                Err("baseline: unterminated string".into())
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = *i;
+                while *i < b.len() && b[*i].is_ascii_digit() {
+                    *i += 1;
+                }
+                let n: u64 = std::str::from_utf8(&b[start..*i])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| "baseline: bad number".to_string())?;
+                Ok(JsonValue::Num(n))
+            }
+            _ => Err(format!("baseline: unexpected byte at {i}")),
+        }
+    }
+}
+
+fn text_slice(b: &[u8], at: usize, len: usize) -> Result<&str, String> {
+    b.get(at..at + len)
+        .and_then(|s| std::str::from_utf8(s).ok())
+        .ok_or_else(|| "baseline: truncated escape".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &'static str) -> Finding {
+        Finding {
+            file: file.into(),
+            line: 1,
+            rule,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let findings = vec![
+            finding("crates/a/src/x.rs", "no-panic"),
+            finding("crates/a/src/x.rs", "no-panic"),
+            finding("crates/b/src/\"y\".rs", "metric-name"),
+        ];
+        let base = Baseline::from_findings(&findings);
+        let parsed = Baseline::parse(&base.to_json()).unwrap();
+        assert_eq!(base, parsed);
+        assert_eq!(
+            parsed.entries[&("crates/a/src/x.rs".into(), "no-panic".into())],
+            2
+        );
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let base = Baseline::from_findings(&[]);
+        assert_eq!(Baseline::parse(&base.to_json()).unwrap(), base);
+    }
+
+    #[test]
+    fn ratchet_directions() {
+        let base = Baseline::from_findings(&[
+            finding("a.rs", "no-panic"),
+            finding("a.rs", "no-panic"),
+            finding("b.rs", "metric-name"),
+        ]);
+        // One no-panic fixed, one brand-new rule fired in c.rs.
+        let current = Baseline::from_findings(&[
+            finding("a.rs", "no-panic"),
+            finding("b.rs", "metric-name"),
+            finding("c.rs", "float-determinism"),
+        ]);
+        let report = base.compare(&current);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].file, "c.rs");
+        assert_eq!(report.regressions[0].now, 1);
+        assert_eq!(report.improvements.len(), 1);
+        assert_eq!(report.improvements[0].file, "a.rs");
+        assert!(!report.is_clean());
+        assert!(base.compare(&base).is_clean());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"schema\": 1}").is_err());
+        assert!(Baseline::parse("{\"entries\": [{\"file\": \"x\"}]}").is_err());
+    }
+}

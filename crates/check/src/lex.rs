@@ -1,0 +1,389 @@
+//! Lexical pass: mask comments/strings, collect comment text per line.
+//!
+//! Everything structural (the token pass, the symbol graph, every rule)
+//! runs over the *masked* text this module produces, so patterns inside
+//! strings or comments can never trigger (or suppress) a rule. The inverse
+//! extraction — string literal *contents* with their lines — feeds the
+//! rules that police what literals say (metric names, cfg feature names,
+//! float format specs).
+
+use std::collections::BTreeMap;
+
+/// The source with every comment and string-literal character replaced by a
+/// space (newlines preserved), plus the comment text found on each line.
+pub struct Lexed {
+    /// Masked source, byte-for-byte the same shape as the input.
+    pub masked: String,
+    /// Comment text per 1-indexed line (concatenated if several).
+    pub comments: BTreeMap<usize, String>,
+}
+
+/// Mask comments and string/char literals out of `src`.
+pub fn lex(src: &str) -> Lexed {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut comments: BTreeMap<usize, String> = BTreeMap::new();
+    let mut st = St::Code;
+    let mut line = 1usize;
+    let mut i = 0usize;
+    let push_comment = |comments: &mut BTreeMap<usize, String>, line: usize, c: u8| {
+        comments.entry(line).or_default().push(c as char);
+    };
+    while i < b.len() {
+        let c = b[i];
+        let nl = c == b'\n';
+        match st {
+            St::Code => match c {
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    st = St::Line;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    st = St::Block(1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    st = St::Str;
+                    out.push(b' ');
+                }
+                b'r' | b'b'
+                    if {
+                        // r"...", r#"..."#, b"...", br#"..."# raw/byte strings.
+                        let mut j = i + 1;
+                        if c == b'b' && b.get(j) == Some(&b'r') {
+                            j += 1;
+                        }
+                        let mut h = 0u32;
+                        while b.get(j) == Some(&b'#') {
+                            h += 1;
+                            j += 1;
+                        }
+                        b.get(j) == Some(&b'"')
+                            && (c != b'b' || h > 0 || b[i + 1] == b'"' || b[i + 1] == b'r')
+                    } =>
+                {
+                    // Re-scan to find hash count and the opening quote.
+                    let mut j = i + 1;
+                    if c == b'b' && b.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut h = 0u32;
+                    while b.get(j) == Some(&b'#') {
+                        h += 1;
+                        j += 1;
+                    }
+                    // Emit the prefix as spaces, land on the quote.
+                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                    i = j + 1;
+                    st = if h > 0 || b[j] == b'"' {
+                        St::RawStr(h)
+                    } else {
+                        St::Code
+                    };
+                    continue;
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a literal is '\...' or 'x'
+                    // followed by a closing quote.
+                    let is_char = match b.get(i + 1) {
+                        Some(b'\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                        out.push(b' ');
+                    } else {
+                        out.push(c);
+                    }
+                }
+                _ => out.push(c),
+            },
+            St::Line => {
+                if nl {
+                    st = St::Code;
+                    out.push(c);
+                } else {
+                    push_comment(&mut comments, line, c);
+                    out.push(b' ');
+                }
+            }
+            St::Block(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::Block(depth + 1);
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if nl {
+                    out.push(c);
+                } else {
+                    push_comment(&mut comments, line, c);
+                    out.push(b' ');
+                }
+            }
+            St::Str => match c {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if b.get(i - 1) == Some(&b'\n') {
+                        line += 1;
+                    }
+                    continue;
+                }
+                b'"' => {
+                    st = St::Code;
+                    out.push(b' ');
+                }
+                _ => out.push(if nl { c } else { b' ' }),
+            },
+            St::RawStr(h) => {
+                if c == b'"' {
+                    let closes = (1..=h as usize).all(|k| b.get(i + k) == Some(&b'#'));
+                    if closes {
+                        out.extend(std::iter::repeat_n(b' ', h as usize + 1));
+                        i += 1 + h as usize;
+                        st = St::Code;
+                        continue;
+                    }
+                }
+                out.push(if nl { c } else { b' ' });
+            }
+            St::Char => match c {
+                b'\\' => {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                b'\'' => {
+                    st = St::Code;
+                    out.push(b' ');
+                }
+                _ => out.push(if nl { c } else { b' ' }),
+            },
+        }
+        if nl {
+            line += 1;
+        }
+        i += 1;
+    }
+    Lexed {
+        masked: String::from_utf8_lossy(&out).into_owned(),
+        comments,
+    }
+}
+
+/// Extract ordinary and raw string literal contents from `src` with their
+/// 1-indexed starting lines. The inverse concern of [`lex`]: comments are
+/// skipped, literal *contents* are kept. Escape sequences are passed
+/// through raw — a literal containing one can never look like a metric
+/// name or a feature name, which is all this feeds.
+pub fn string_literals(src: &str) -> Vec<(usize, String)> {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        Line,
+        Block(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let b = src.as_bytes();
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut cur = String::new();
+    let mut cur_line = 1usize;
+    let mut st = St::Code;
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => match c {
+                b'/' if b.get(i + 1) == Some(&b'/') => {
+                    st = St::Line;
+                    i += 2;
+                    continue;
+                }
+                b'/' if b.get(i + 1) == Some(&b'*') => {
+                    st = St::Block(1);
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    st = St::Str;
+                    cur.clear();
+                    cur_line = line;
+                }
+                b'r' | b'b' => {
+                    let mut j = i + 1;
+                    if c == b'b' && b.get(j) == Some(&b'r') {
+                        j += 1;
+                    }
+                    let mut h = 0u32;
+                    while b.get(j) == Some(&b'#') {
+                        h += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') && (c != b'b' || h > 0 || b[i + 1] != b'\'') {
+                        st = St::RawStr(h);
+                        cur.clear();
+                        cur_line = line;
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                b'\'' => {
+                    let is_char = match b.get(i + 1) {
+                        Some(b'\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&b'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        st = St::Char;
+                    }
+                }
+                _ => {}
+            },
+            St::Line => {
+                if c == b'\n' {
+                    st = St::Code;
+                }
+            }
+            St::Block(depth) => {
+                if c == b'*' && b.get(i + 1) == Some(&b'/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::Block(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == b'/' && b.get(i + 1) == Some(&b'*') {
+                    st = St::Block(depth + 1);
+                    i += 2;
+                    continue;
+                }
+            }
+            St::Str => match c {
+                b'\\' => {
+                    cur.push('\\');
+                    if let Some(&e) = b.get(i + 1) {
+                        cur.push(e as char);
+                        if e == b'\n' {
+                            line += 1;
+                        }
+                    }
+                    i += 2;
+                    continue;
+                }
+                b'"' => {
+                    out.push((cur_line, std::mem::take(&mut cur)));
+                    st = St::Code;
+                }
+                _ => cur.push(c as char),
+            },
+            St::RawStr(h) => {
+                if c == b'"' && (1..=h as usize).all(|k| b.get(i + k) == Some(&b'#')) {
+                    out.push((cur_line, std::mem::take(&mut cur)));
+                    i += 1 + h as usize;
+                    st = St::Code;
+                    continue;
+                }
+                cur.push(c as char);
+            }
+            St::Char => match c {
+                b'\\' => {
+                    i += 2;
+                    continue;
+                }
+                b'\'' => st = St::Code,
+                _ => {}
+            },
+        }
+        if c == b'\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// 1-indexed line ranges (inclusive) covered by `#[cfg(test)]` items,
+/// found by brace matching from each attribute.
+pub fn cfg_test_ranges(masked: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let bytes = masked.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
+        let start = search + pos;
+        search = start + 1;
+        let start_line = line_of(masked, start);
+        // Scan forward to the item's opening brace or terminating
+        // semicolon, skipping further attributes and the item header.
+        let mut j = start + "#[cfg(test)]".len();
+        let mut end_line = start_line;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => {
+                    let mut depth = 1usize;
+                    let mut k = j + 1;
+                    while k < bytes.len() && depth > 0 {
+                        match bytes[k] {
+                            b'{' => depth += 1,
+                            b'}' => depth -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    end_line = line_of(masked, k.saturating_sub(1));
+                    break;
+                }
+                b';' => {
+                    end_line = line_of(masked, j);
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        ranges.push((start_line, end_line));
+    }
+    ranges
+}
+
+/// 1-indexed line of the byte at `byte_pos`.
+pub fn line_of(s: &str, byte_pos: usize) -> usize {
+    s.as_bytes()[..byte_pos.min(s.len())]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// Is `line` inside any of the (inclusive) `ranges`?
+pub fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}

@@ -1,32 +1,51 @@
-//! Repo-wide invariant lint for the Oasis workspace.
+//! Repo-wide static analyzer for the Oasis workspace.
 //!
-//! A plain source walker (no syn, no external deps) that enforces the
-//! project's cross-cutting rules — the ones the compiler cannot:
+//! Three passes, no external deps:
+//!
+//! 1. **Lexical** ([`lex`]): comments and string/char literals are masked to
+//!    spaces (shape-preserving), comment text and string-literal contents
+//!    are kept on the side. Everything downstream runs over masked text, so
+//!    patterns inside strings or comments can never trigger (or suppress) a
+//!    rule.
+//! 2. **Token/symbol** ([`token`], [`symbols`]): the masked text becomes a
+//!    token stream, and a recursive item walk builds a per-file symbol
+//!    graph — fns with callee names, float sites, and cfg gates; enums with
+//!    ordered variants; consts; `impl Trait for Type` sites; struct fields.
+//! 3. **Rules** ([`rules`]): per-file families run over each file's masked
+//!    lines; workspace families run once over the whole symbol graph.
+//!
+//! The per-file rule families (see `oasis-check --explain <rule>` or
+//! [`registry::REGISTRY`]):
 //!
 //! - **no-panic**: no `unwrap()` / `expect()` / `panic!` family on runtime
-//!   paths (the pod, engine, channel, and memory-model crates). A crashed
-//!   driver must degrade, not abort the whole simulated pod.
+//!   paths (the pod, engine, channel, and memory-model crates).
 //! - **wire-assert**: every `impl WireDescriptor for T` is paired with an
-//!   `assert_wire_size!(T)` compile-time 64-byte layout assertion in the
-//!   same file.
-//! - **pool-escape**: no raw `CxlPool` byte access (`poke`/`peek`) outside
-//!   `oasis-cxl` — all runtime traffic goes through `HostCtx`, which is
-//!   what the coherence model (and its sanitizer) observes.
+//!   `assert_wire_size!(T)` compile-time 64-byte layout assertion.
+//! - **pool-escape**: no raw `CxlPool` byte access outside `oasis-cxl`.
 //! - **nondeterminism**: no wall-clock or randomly-seeded state in
-//!   simulation crates (`SystemTime::now`, `Instant::now`, `rand`,
-//!   std `HashMap`/`HashSet`) — experiments must be bit-reproducible.
-//! - **allow-comment**: every `#[allow(...)]` carries a justification
-//!   comment on the attribute line or directly above it.
-//! - **metric-name**: telemetry metric names (`"<crate>.<snake_case>"`
-//!   string literals whose first segment names a crate with a metric
-//!   registry) live only in that crate's `src/metrics.rs`, where the
-//!   prefix must match the owning crate; everywhere else code must use
-//!   the registered const.
-//! - **thread-discipline**: no unscoped `thread::spawn` anywhere (worker
-//!   pools go through the vendored crossbeam scoped helper), and every
-//!   concurrency primitive constructed in a simulation crate (`Mutex`,
-//!   `Barrier`, `Atomic*`, scoped thread pools, …) carries a waiver naming
-//!   why it is coordination state — intra-shard hot paths stay lock-free.
+//!   simulation crates — experiments must be bit-reproducible.
+//! - **allow-comment**: every `#[allow(...)]` carries a justification.
+//! - **metric-name**: metric-name literals live only in their crate's
+//!   `src/metrics.rs`, as `const` declarations.
+//! - **thread-discipline**: no unscoped `thread::spawn`; concurrency
+//!   primitives in simulation crates carry coordination-state waivers.
+//!
+//! The symbol-graph families, which need the whole workspace:
+//!
+//! - **float-determinism**: no f32/f64 arithmetic or formatting in — or
+//!   reachable from — replicated-state, metrics-snapshot, or
+//!   stranding-integral modules. Integer-only counters are the invariant
+//!   behind `consistent_with_log` and the figure byte-identity gates.
+//! - **schema-evolution**: `AllocCommand`/`FleetCommand` variant order and
+//!   the `WireDescriptor` impl set are pinned by the golden registry in
+//!   [`policy`]; drift without a version bump is an error.
+//! - **unchecked-epoch-arithmetic**: `+`/`*` on epoch/byte-integral
+//!   operands in allocator and stranding paths must be `checked_` /
+//!   `saturating_` or waived with the overflow bound.
+//! - **cfg-pairing**: private `#[cfg(feature = "obs"/"sanitize")]` fns pair
+//!   with their `#[cfg(not(...))]` inline stubs, and vice versa.
+//! - **stale-waiver**: a waiver that no longer suppresses anything is
+//!   itself an error.
 //!
 //! Test code is exempt: files under `tests/` and `benches/` are skipped
 //! where appropriate, and `#[cfg(test)]` blocks are excluded by brace
@@ -37,19 +56,31 @@
 //! // oasis-check: allow-file(nondeterminism) <reason> (whole file)
 //! ```
 //!
-//! A waiver without a reason is itself a finding.
+//! A waiver without a reason is itself a finding, and — on workspace runs,
+//! where every rule has had its chance to fire — so is a waiver that no
+//! longer suppresses anything.
+//!
+//! Findings feed a committed ratchet baseline (`check_baseline.json`, see
+//! [`baseline`]): CI fails on any count above baseline, and the baseline
+//! may only shrink (explicitly, via `--update-baseline`).
 
-use std::collections::BTreeMap;
+pub mod baseline;
+pub mod lex;
+pub mod policy;
+pub mod registry;
+mod rules;
+pub mod symbols;
+pub mod token;
+
+use std::cell::Cell;
 use std::path::{Path, PathBuf};
 
-/// Crates whose `src/` trees are runtime paths for the `no-panic` rule.
-const RUNTIME_CRATES: &[&str] = &["cxl", "channel", "core", "storage", "accel"];
+pub use lex::{cfg_test_ranges, lex, string_literals, Lexed};
 
-/// Crates that own a metric-name registry (`src/metrics.rs`). These are
-/// also the only legal first segments of a metric name.
-const METRIC_REGISTRY_CRATES: &[&str] = &["sim", "cxl", "channel", "core", "trace", "bench"];
+use symbols::FileSymbols;
 
-/// The rule identifiers accepted in waiver comments.
+/// The rule identifiers accepted in waiver comments, in display order.
+/// Kept in sync with [`registry::REGISTRY`] by a unit test.
 pub const RULES: &[&str] = &[
     "no-panic",
     "wire-assert",
@@ -58,6 +89,11 @@ pub const RULES: &[&str] = &[
     "allow-comment",
     "metric-name",
     "thread-discipline",
+    "float-determinism",
+    "schema-evolution",
+    "unchecked-epoch-arithmetic",
+    "cfg-pairing",
+    "stale-waiver",
 ];
 
 /// One lint finding.
@@ -103,412 +139,53 @@ pub struct FileCtx {
     pub kind: FileKind,
 }
 
-// ---------------------------------------------------------------------------
-// Lexical pass: mask comments/strings, collect comment text per line.
-// ---------------------------------------------------------------------------
-
-/// The source with every comment and string-literal character replaced by a
-/// space (newlines preserved), plus the comment text found on each line.
-/// All structural scanning happens on the masked text, so patterns inside
-/// strings or comments can never trigger (or suppress) a rule.
-pub struct Lexed {
-    /// Masked source, byte-for-byte the same shape as the input.
-    pub masked: String,
-    /// Comment text per 1-indexed line (concatenated if several).
-    pub comments: BTreeMap<usize, String>,
-}
-
-/// Mask comments and string/char literals out of `src`.
-pub fn lex(src: &str) -> Lexed {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Line,
-        Block(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let b = src.as_bytes();
-    let mut out: Vec<u8> = Vec::with_capacity(b.len());
-    let mut comments: BTreeMap<usize, String> = BTreeMap::new();
-    let mut st = St::Code;
-    let mut line = 1usize;
-    let mut i = 0usize;
-    let push_comment = |comments: &mut BTreeMap<usize, String>, line: usize, c: u8| {
-        comments.entry(line).or_default().push(c as char);
-    };
-    while i < b.len() {
-        let c = b[i];
-        let nl = c == b'\n';
-        match st {
-            St::Code => match c {
-                b'/' if b.get(i + 1) == Some(&b'/') => {
-                    st = St::Line;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    continue;
-                }
-                b'/' if b.get(i + 1) == Some(&b'*') => {
-                    st = St::Block(1);
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    continue;
-                }
-                b'"' => {
-                    st = St::Str;
-                    out.push(b' ');
-                }
-                b'r' | b'b'
-                    if {
-                        // r"...", r#"..."#, b"...", br#"..."# raw/byte strings.
-                        let mut j = i + 1;
-                        if c == b'b' && b.get(j) == Some(&b'r') {
-                            j += 1;
-                        }
-                        let mut h = 0u32;
-                        while b.get(j) == Some(&b'#') {
-                            h += 1;
-                            j += 1;
-                        }
-                        b.get(j) == Some(&b'"')
-                            && (c != b'b' || h > 0 || b[i + 1] == b'"' || b[i + 1] == b'r')
-                    } =>
-                {
-                    // Re-scan to find hash count and the opening quote.
-                    let mut j = i + 1;
-                    if c == b'b' && b.get(j) == Some(&b'r') {
-                        j += 1;
-                    }
-                    let mut h = 0u32;
-                    while b.get(j) == Some(&b'#') {
-                        h += 1;
-                        j += 1;
-                    }
-                    // Emit the prefix as spaces, land on the quote.
-                    out.extend(std::iter::repeat_n(b' ', j - i + 1));
-                    i = j + 1;
-                    st = if h > 0 || b[j] == b'"' {
-                        St::RawStr(h)
-                    } else {
-                        St::Code
-                    };
-                    continue;
-                }
-                b'\'' => {
-                    // Char literal vs lifetime: a literal is '\...' or 'x'
-                    // followed by a closing quote.
-                    let is_char = match b.get(i + 1) {
-                        Some(b'\\') => true,
-                        Some(_) => b.get(i + 2) == Some(&b'\''),
-                        None => false,
-                    };
-                    if is_char {
-                        st = St::Char;
-                        out.push(b' ');
-                    } else {
-                        out.push(c);
-                    }
-                }
-                _ => out.push(c),
-            },
-            St::Line => {
-                if nl {
-                    st = St::Code;
-                    out.push(c);
-                } else {
-                    push_comment(&mut comments, line, c);
-                    out.push(b' ');
-                }
-            }
-            St::Block(depth) => {
-                if c == b'*' && b.get(i + 1) == Some(&b'/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::Block(depth - 1)
-                    };
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    continue;
-                }
-                if c == b'/' && b.get(i + 1) == Some(&b'*') {
-                    st = St::Block(depth + 1);
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    continue;
-                }
-                if nl {
-                    out.push(c);
-                } else {
-                    push_comment(&mut comments, line, c);
-                    out.push(b' ');
-                }
-            }
-            St::Str => match c {
-                b'\\' => {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    if b.get(i - 1) == Some(&b'\n') {
-                        line += 1;
-                    }
-                    continue;
-                }
-                b'"' => {
-                    st = St::Code;
-                    out.push(b' ');
-                }
-                _ => out.push(if nl { c } else { b' ' }),
-            },
-            St::RawStr(h) => {
-                if c == b'"' {
-                    let closes = (1..=h as usize).all(|k| b.get(i + k) == Some(&b'#'));
-                    if closes {
-                        out.extend(std::iter::repeat_n(b' ', h as usize + 1));
-                        i += 1 + h as usize;
-                        st = St::Code;
-                        continue;
-                    }
-                }
-                out.push(if nl { c } else { b' ' });
-            }
-            St::Char => match c {
-                b'\\' => {
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                    continue;
-                }
-                b'\'' => {
-                    st = St::Code;
-                    out.push(b' ');
-                }
-                _ => out.push(if nl { c } else { b' ' }),
-            },
-        }
-        if nl {
-            line += 1;
-        }
-        i += 1;
-    }
-    Lexed {
-        masked: String::from_utf8_lossy(&out).into_owned(),
-        comments,
-    }
-}
-
-/// Extract ordinary and raw string literal contents from `src` with their
-/// 1-indexed starting lines. The inverse concern of [`lex`]: comments are
-/// skipped, literal *contents* are kept. Escape sequences are passed
-/// through raw — a literal containing one can never look like a metric
-/// name, which is all this feeds.
-pub fn string_literals(src: &str) -> Vec<(usize, String)> {
-    #[derive(PartialEq)]
-    enum St {
-        Code,
-        Line,
-        Block(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let b = src.as_bytes();
-    let mut out: Vec<(usize, String)> = Vec::new();
-    let mut cur = String::new();
-    let mut cur_line = 1usize;
-    let mut st = St::Code;
-    let mut line = 1usize;
-    let mut i = 0usize;
-    while i < b.len() {
-        let c = b[i];
-        match st {
-            St::Code => match c {
-                b'/' if b.get(i + 1) == Some(&b'/') => {
-                    st = St::Line;
-                    i += 2;
-                    continue;
-                }
-                b'/' if b.get(i + 1) == Some(&b'*') => {
-                    st = St::Block(1);
-                    i += 2;
-                    continue;
-                }
-                b'"' => {
-                    st = St::Str;
-                    cur.clear();
-                    cur_line = line;
-                }
-                b'r' | b'b' => {
-                    let mut j = i + 1;
-                    if c == b'b' && b.get(j) == Some(&b'r') {
-                        j += 1;
-                    }
-                    let mut h = 0u32;
-                    while b.get(j) == Some(&b'#') {
-                        h += 1;
-                        j += 1;
-                    }
-                    if b.get(j) == Some(&b'"') && (c != b'b' || h > 0 || b[i + 1] != b'\'') {
-                        st = St::RawStr(h);
-                        cur.clear();
-                        cur_line = line;
-                        i = j + 1;
-                        continue;
-                    }
-                }
-                b'\'' => {
-                    let is_char = match b.get(i + 1) {
-                        Some(b'\\') => true,
-                        Some(_) => b.get(i + 2) == Some(&b'\''),
-                        None => false,
-                    };
-                    if is_char {
-                        st = St::Char;
-                    }
-                }
-                _ => {}
-            },
-            St::Line => {
-                if c == b'\n' {
-                    st = St::Code;
-                }
-            }
-            St::Block(depth) => {
-                if c == b'*' && b.get(i + 1) == Some(&b'/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::Block(depth - 1)
-                    };
-                    i += 2;
-                    continue;
-                }
-                if c == b'/' && b.get(i + 1) == Some(&b'*') {
-                    st = St::Block(depth + 1);
-                    i += 2;
-                    continue;
-                }
-            }
-            St::Str => match c {
-                b'\\' => {
-                    cur.push('\\');
-                    if let Some(&e) = b.get(i + 1) {
-                        cur.push(e as char);
-                        if e == b'\n' {
-                            line += 1;
-                        }
-                    }
-                    i += 2;
-                    continue;
-                }
-                b'"' => {
-                    out.push((cur_line, std::mem::take(&mut cur)));
-                    st = St::Code;
-                }
-                _ => cur.push(c as char),
-            },
-            St::RawStr(h) => {
-                if c == b'"' && (1..=h as usize).all(|k| b.get(i + k) == Some(&b'#')) {
-                    out.push((cur_line, std::mem::take(&mut cur)));
-                    i += 1 + h as usize;
-                    st = St::Code;
-                    continue;
-                }
-                cur.push(c as char);
-            }
-            St::Char => match c {
-                b'\\' => {
-                    i += 2;
-                    continue;
-                }
-                b'\'' => st = St::Code,
-                _ => {}
-            },
-        }
-        if c == b'\n' {
-            line += 1;
-        }
-        i += 1;
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Structural helpers on the masked text.
-// ---------------------------------------------------------------------------
-
-/// 1-indexed line ranges (inclusive) covered by `#[cfg(test)]` items,
-/// found by brace matching from each attribute.
-pub fn cfg_test_ranges(masked: &str) -> Vec<(usize, usize)> {
-    let mut ranges = Vec::new();
-    let bytes = masked.as_bytes();
-    let mut search = 0usize;
-    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
-        let start = search + pos;
-        search = start + 1;
-        let start_line = line_of(masked, start);
-        // Scan forward to the item's opening brace or terminating
-        // semicolon, skipping further attributes and the item header.
-        let mut j = start + "#[cfg(test)]".len();
-        let mut end_line = start_line;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'{' => {
-                    let mut depth = 1usize;
-                    let mut k = j + 1;
-                    while k < bytes.len() && depth > 0 {
-                        match bytes[k] {
-                            b'{' => depth += 1,
-                            b'}' => depth -= 1,
-                            _ => {}
-                        }
-                        k += 1;
-                    }
-                    end_line = line_of(masked, k.saturating_sub(1));
-                    break;
-                }
-                b';' => {
-                    end_line = line_of(masked, j);
-                    break;
-                }
-                _ => j += 1,
-            }
-        }
-        ranges.push((start_line, end_line));
-    }
-    ranges
-}
-
-fn line_of(s: &str, byte_pos: usize) -> usize {
-    s.as_bytes()[..byte_pos.min(s.len())]
-        .iter()
-        .filter(|&&c| c == b'\n')
-        .count()
-        + 1
-}
-
-fn in_ranges(line: usize, ranges: &[(usize, usize)]) -> bool {
-    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+/// One parsed waiver with its liveness mark. `used` flips when the waiver
+/// actually suppresses a finding; on workspace runs an unused waiver is a
+/// `stale-waiver` finding.
+struct Waiver {
+    /// Rule being waived.
+    rule: &'static str,
+    /// Line of the waiver comment.
+    line: usize,
+    /// First covered line (== `line` for file-wide).
+    first: usize,
+    /// Last covered line (`usize::MAX` for file-wide).
+    last: usize,
+    /// Whole-file scope?
+    file_wide: bool,
+    /// Did this waiver suppress at least one finding?
+    used: Cell<bool>,
 }
 
 /// Parsed waivers for one file.
 #[derive(Default)]
 pub struct Waivers {
-    /// Rules waived for the entire file.
-    file_wide: Vec<&'static str>,
-    /// (rule, first_line, last_line) spans waived by inline comments.
-    spans: Vec<(&'static str, usize, usize)>,
+    /// Every parsed waiver, in file order.
+    entries: Vec<Waiver>,
     /// Malformed waivers (missing reason / unknown rule) become findings.
-    bad: Vec<(usize, String)>,
+    pub(crate) bad: Vec<(usize, String)>,
 }
 
 impl Waivers {
-    /// Is `rule` waived on `line`?
+    /// Is `rule` waived on `line`? Marks every matching waiver as live.
     pub fn waived(&self, rule: &str, line: usize) -> bool {
-        self.file_wide.contains(&rule)
-            || self
-                .spans
-                .iter()
-                .any(|&(r, a, b)| r == rule && line >= a && line <= b)
+        let mut hit = false;
+        for w in &self.entries {
+            if w.rule == rule && (w.file_wide || (line >= w.first && line <= w.last)) {
+                w.used.set(true);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Waivers that never suppressed a finding: (line, rule, file_wide).
+    pub(crate) fn stale(&self) -> Vec<(usize, &'static str, bool)> {
+        self.entries
+            .iter()
+            .filter(|w| !w.used.get())
+            .map(|w| (w.line, w.rule, w.file_wide))
+            .collect()
     }
 }
 
@@ -551,7 +228,14 @@ pub fn parse_waivers(lex: &Lexed) -> Waivers {
             continue;
         }
         if file_wide {
-            w.file_wide.push(rule);
+            w.entries.push(Waiver {
+                rule,
+                line,
+                first: line,
+                last: usize::MAX,
+                file_wide: true,
+                used: Cell::new(false),
+            });
             continue;
         }
         // Scope: this line through the end of the next statement.
@@ -562,389 +246,120 @@ pub fn parse_waivers(lex: &Lexed) -> Waivers {
                 break;
             }
         }
-        w.spans.push((rule, line, last));
+        w.entries.push(Waiver {
+            rule,
+            line,
+            first: line,
+            last,
+            file_wide: false,
+            used: Cell::new(false),
+        });
     }
     w
 }
 
-// ---------------------------------------------------------------------------
-// Rules.
-// ---------------------------------------------------------------------------
+/// One file, fully analyzed through the lexical, token, and symbol passes —
+/// the unit the workspace rules consume.
+pub struct AnalyzedFile {
+    /// File context.
+    pub ctx: FileCtx,
+    /// Raw source.
+    pub src: String,
+    /// Masked source + comments.
+    pub lexed: Lexed,
+    /// `#[cfg(test)]` line ranges.
+    pub tests: Vec<(usize, usize)>,
+    /// String literal contents with lines.
+    pub literals: Vec<(usize, String)>,
+    /// The symbol graph for this file.
+    pub symbols: FileSymbols,
+    /// Parsed waivers (with liveness marks).
+    pub waivers: Waivers,
+}
 
-fn push(
-    out: &mut Vec<Finding>,
-    ctx: &FileCtx,
-    waivers: &Waivers,
-    line: usize,
-    rule: &'static str,
-    message: String,
-) {
-    if !waivers.waived(rule, line) {
+impl AnalyzedFile {
+    /// Run every pass over one file's source.
+    pub fn analyze(ctx: FileCtx, src: String) -> AnalyzedFile {
+        let lexed = lex(&src);
+        let tests = cfg_test_ranges(&lexed.masked);
+        let literals = string_literals(&src);
+        let symbols = symbols::extract(&lexed, &tests, &literals);
+        let waivers = parse_waivers(&lexed);
+        AnalyzedFile {
+            ctx,
+            src,
+            lexed,
+            tests,
+            literals,
+            symbols,
+            waivers,
+        }
+    }
+}
+
+fn run_file_rules(f: &AnalyzedFile, out: &mut Vec<Finding>) {
+    for &(line, ref msg) in &f.waivers.bad {
         out.push(Finding {
-            file: ctx.rel_path.clone(),
-            line,
-            rule,
-            message,
-        });
-    }
-}
-
-/// Patterns whose presence on a runtime line is a `no-panic` finding.
-const PANIC_PATTERNS: &[(&str, &str)] = &[
-    (".unwrap()", "unwrap() on a runtime path"),
-    (".expect(", "expect() on a runtime path"),
-    ("panic!(", "panic! on a runtime path"),
-    ("unreachable!(", "unreachable! on a runtime path"),
-    ("todo!(", "todo! on a runtime path"),
-    ("unimplemented!(", "unimplemented! on a runtime path"),
-];
-
-fn rule_no_panic(
-    ctx: &FileCtx,
-    lexed: &Lexed,
-    tests: &[(usize, usize)],
-    waivers: &Waivers,
-    out: &mut Vec<Finding>,
-) {
-    if ctx.kind != FileKind::Src || !RUNTIME_CRATES.contains(&ctx.crate_name.as_str()) {
-        return;
-    }
-    for (i, l) in lexed.masked.lines().enumerate() {
-        let line = i + 1;
-        if in_ranges(line, tests) {
-            continue;
-        }
-        for &(pat, msg) in PANIC_PATTERNS {
-            // The trailing `(` in each pattern keeps `.expect(` from
-            // matching `.expect_err(`.
-            if l.contains(pat) {
-                push(out, ctx, waivers, line, "no-panic", msg.to_string());
-            }
-        }
-    }
-}
-
-fn rule_wire_assert(ctx: &FileCtx, lexed: &Lexed, waivers: &Waivers, out: &mut Vec<Finding>) {
-    let masked = &lexed.masked;
-    let mut search = 0usize;
-    while let Some(pos) = masked[search..].find("impl WireDescriptor for ") {
-        let start = search + pos + "impl WireDescriptor for ".len();
-        search = start;
-        let ty: String = masked[start..]
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == ':')
-            .collect();
-        if ty.is_empty() {
-            continue;
-        }
-        let needle = format!("assert_wire_size!({ty})");
-        if !masked.contains(&needle) {
-            push(
-                out,
-                ctx,
-                waivers,
-                line_of(masked, start),
-                "wire-assert",
-                format!("impl WireDescriptor for {ty} lacks {needle}"),
-            );
-        }
-    }
-}
-
-fn rule_pool_escape(
-    ctx: &FileCtx,
-    lexed: &Lexed,
-    tests: &[(usize, usize)],
-    waivers: &Waivers,
-    out: &mut Vec<Finding>,
-) {
-    if ctx.kind != FileKind::Src || ctx.crate_name == "cxl" || ctx.crate_name == "check" {
-        return;
-    }
-    for (i, l) in lexed.masked.lines().enumerate() {
-        let line = i + 1;
-        if in_ranges(line, tests) {
-            continue;
-        }
-        // `poke` exists only on CxlPool; `peek` is common (heaps), so it is
-        // only flagged on a receiver literally named `pool`.
-        if l.contains(".poke(") || l.contains("pool.peek(") {
-            push(
-                out,
-                ctx,
-                waivers,
-                line,
-                "pool-escape",
-                "raw CxlPool byte access outside oasis-cxl (use HostCtx)".into(),
-            );
-        }
-    }
-}
-
-/// Nondeterminism sources forbidden in simulation code.
-const NONDET_PATTERNS: &[(&str, &str)] = &[
-    ("SystemTime::now", "wall-clock time in simulation code"),
-    ("Instant::now", "wall-clock time in simulation code"),
-    ("thread_rng", "OS-seeded randomness in simulation code"),
-    ("rand::", "external randomness in simulation code"),
-    ("HashMap::new", "randomly-seeded std HashMap (use DetMap)"),
-    ("HashSet::new", "randomly-seeded std HashSet (use DetSet)"),
-    (
-        "collections::HashMap",
-        "randomly-seeded std HashMap (use DetMap)",
-    ),
-    (
-        "collections::HashSet",
-        "randomly-seeded std HashSet (use DetSet)",
-    ),
-];
-
-fn rule_nondeterminism(
-    ctx: &FileCtx,
-    lexed: &Lexed,
-    tests: &[(usize, usize)],
-    waivers: &Waivers,
-    out: &mut Vec<Finding>,
-) {
-    if ctx.kind != FileKind::Src {
-        return;
-    }
-    for (i, l) in lexed.masked.lines().enumerate() {
-        let line = i + 1;
-        if in_ranges(line, tests) {
-            continue;
-        }
-        for &(pat, msg) in NONDET_PATTERNS {
-            if l.contains(pat) {
-                push(out, ctx, waivers, line, "nondeterminism", msg.to_string());
-            }
-        }
-    }
-}
-
-/// Does `s` have the shape of a metric name: two or more non-empty
-/// `snake_case` segments joined by dots?
-fn is_metric_shaped(s: &str) -> bool {
-    let segs: Vec<&str> = s.split('.').collect();
-    segs.len() >= 2
-        && segs.iter().all(|seg| {
-            !seg.is_empty()
-                && seg
-                    .chars()
-                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
-        })
-}
-
-fn rule_metric_name(
-    ctx: &FileCtx,
-    src: &str,
-    lexed: &Lexed,
-    tests: &[(usize, usize)],
-    waivers: &Waivers,
-    out: &mut Vec<Finding>,
-) {
-    // Harness code reads snapshots through registered consts too, but only
-    // src trees are policed; the check crate's own fixtures are exempt.
-    if ctx.kind != FileKind::Src || ctx.crate_name == "check" {
-        return;
-    }
-    let is_registry = ctx.rel_path.ends_with("src/metrics.rs");
-    let masked_lines: Vec<&str> = lexed.masked.lines().collect();
-    for (line, lit) in string_literals(src) {
-        if !is_metric_shaped(&lit) {
-            continue;
-        }
-        let prefix = lit.split('.').next().unwrap_or("");
-        if !METRIC_REGISTRY_CRATES.contains(&prefix) {
-            continue;
-        }
-        if in_ranges(line, tests) {
-            continue;
-        }
-        if !is_registry {
-            push(
-                out,
-                ctx,
-                waivers,
-                line,
-                "metric-name",
-                format!("metric name \"{lit}\" outside metrics.rs — use the registered const"),
-            );
-            continue;
-        }
-        if prefix != ctx.crate_name {
-            push(
-                out,
-                ctx,
-                waivers,
-                line,
-                "metric-name",
-                format!(
-                    "metric \"{lit}\" registered in crate '{}' but prefixed '{prefix}.'",
-                    ctx.crate_name
-                ),
-            );
-        }
-        // Registry entries must be const declarations, so every user can
-        // name them; the declaration and literal share a line.
-        let declared = masked_lines
-            .get(line - 1)
-            .is_some_and(|l| l.contains("const "));
-        if !declared {
-            push(
-                out,
-                ctx,
-                waivers,
-                line,
-                "metric-name",
-                format!("metric \"{lit}\" in metrics.rs is not a `const` declaration"),
-            );
-        }
-    }
-}
-
-/// Construction sites of shared-state concurrency primitives. The rule
-/// audits state where it is *declared* (one waiver per primitive), not at
-/// every load/store — `Ordering::` traffic downstream of a waived atomic
-/// is already accounted for.
-const THREAD_STATE_PATTERNS: &[&str] = &[
-    "Mutex::new(",
-    "RwLock::new(",
-    "Condvar::new(",
-    "Barrier::new(",
-    "AtomicBool::new(",
-    "AtomicUsize::new(",
-    "AtomicIsize::new(",
-    "AtomicU8::new(",
-    "AtomicU16::new(",
-    "AtomicU32::new(",
-    "AtomicU64::new(",
-    "AtomicI8::new(",
-    "AtomicI16::new(",
-    "AtomicI32::new(",
-    "AtomicI64::new(",
-    "OnceLock::new(",
-    "mpsc::channel(",
-    "thread::scope(",
-];
-
-fn rule_thread_discipline(
-    ctx: &FileCtx,
-    lexed: &Lexed,
-    tests: &[(usize, usize)],
-    waivers: &Waivers,
-    out: &mut Vec<Finding>,
-) {
-    if ctx.kind != FileKind::Src || ctx.crate_name == "check" {
-        return;
-    }
-    // The shared-state half polices the deterministic substrate and the
-    // runtime crates built on it; harness crates (bench, apps, obs) may
-    // hold wall-clock-side state freely.
-    let policed = ctx.crate_name == "sim" || RUNTIME_CRATES.contains(&ctx.crate_name.as_str());
-    for (i, l) in lexed.masked.lines().enumerate() {
-        let line = i + 1;
-        if in_ranges(line, tests) {
-            continue;
-        }
-        // Catches `std::thread::spawn` and a bare `thread::spawn` import in
-        // every crate; the vendored scoped helper's `s.spawn(..)` does not
-        // match, which is exactly the discipline being enforced.
-        if l.contains("thread::spawn") {
-            push(
-                out,
-                ctx,
-                waivers,
-                line,
-                "thread-discipline",
-                "unscoped thread::spawn (use the vendored crossbeam scoped helper)".into(),
-            );
-        }
-        if !policed {
-            continue;
-        }
-        for &pat in THREAD_STATE_PATTERNS {
-            if l.contains(pat) {
-                push(
-                    out,
-                    ctx,
-                    waivers,
-                    line,
-                    "thread-discipline",
-                    format!(
-                        "{} in a simulation crate — waive as coordination state; \
-                         intra-shard hot paths stay lock-free",
-                        pat.trim_end_matches('(')
-                    ),
-                );
-            }
-        }
-    }
-}
-
-fn rule_allow_comment(ctx: &FileCtx, lexed: &Lexed, waivers: &Waivers, out: &mut Vec<Finding>) {
-    for (i, l) in lexed.masked.lines().enumerate() {
-        let line = i + 1;
-        if !(l.contains("#[allow(") || l.contains("#![allow(")) {
-            continue;
-        }
-        let justified = lexed
-            .comments
-            .get(&line)
-            .is_some_and(|c| !c.trim().is_empty())
-            || line > 1
-                && lexed
-                    .comments
-                    .get(&(line - 1))
-                    .is_some_and(|c| !c.trim().is_empty());
-        if !justified {
-            push(
-                out,
-                ctx,
-                waivers,
-                line,
-                "allow-comment",
-                "#[allow(...)] without a justification comment on or above it".into(),
-            );
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Entry points.
-// ---------------------------------------------------------------------------
-
-/// Run every rule over one file's source.
-pub fn check_source(ctx: &FileCtx, src: &str) -> Vec<Finding> {
-    let lexed = lex(src);
-    let tests = cfg_test_ranges(&lexed.masked);
-    let waivers = parse_waivers(&lexed);
-    let mut out = Vec::new();
-    for &(line, ref msg) in &waivers.bad {
-        out.push(Finding {
-            file: ctx.rel_path.clone(),
+            file: f.ctx.rel_path.clone(),
             line,
             rule: "allow-comment",
             message: msg.clone(),
         });
     }
-    rule_no_panic(ctx, &lexed, &tests, &waivers, &mut out);
-    rule_wire_assert(ctx, &lexed, &waivers, &mut out);
-    rule_pool_escape(ctx, &lexed, &tests, &waivers, &mut out);
-    rule_nondeterminism(ctx, &lexed, &tests, &waivers, &mut out);
-    rule_allow_comment(ctx, &lexed, &waivers, &mut out);
-    rule_metric_name(ctx, src, &lexed, &tests, &waivers, &mut out);
-    rule_thread_discipline(ctx, &lexed, &tests, &waivers, &mut out);
+    rules::rule_no_panic(&f.ctx, &f.lexed, &f.tests, &f.waivers, out);
+    rules::rule_wire_assert(&f.ctx, &f.lexed, &f.waivers, out);
+    rules::rule_pool_escape(&f.ctx, &f.lexed, &f.tests, &f.waivers, out);
+    rules::rule_nondeterminism(&f.ctx, &f.lexed, &f.tests, &f.waivers, out);
+    rules::rule_allow_comment(&f.ctx, &f.lexed, &f.waivers, out);
+    rules::rule_metric_name(&f.ctx, &f.src, &f.lexed, &f.tests, &f.waivers, out);
+    rules::rule_thread_discipline(&f.ctx, &f.lexed, &f.tests, &f.waivers, out);
+}
+
+/// Run the per-file rules over one file's source.
+///
+/// This is the single-file entry point: the symbol-graph families
+/// (`float-determinism`, `schema-evolution`, `unchecked-epoch-arithmetic`,
+/// `cfg-pairing`, `stale-waiver`) need the whole analyzed set and only run
+/// through [`analyze_files`] / [`check_workspace`].
+pub fn check_source(ctx: &FileCtx, src: &str) -> Vec<Finding> {
+    let f = AnalyzedFile::analyze(ctx.clone(), src.to_string());
+    let mut out = Vec::new();
+    run_file_rules(&f, &mut out);
     out
 }
 
-/// Walk `root/crates` and lint every `.rs` file. Paths are visited in
+/// Run every rule — per-file and symbol-graph — over an in-memory set of
+/// files. This is what [`check_workspace`] uses, and what the red-path
+/// integration tests drive with seeded violations. Findings are sorted by
+/// (file, line, rule).
+pub fn analyze_files(inputs: Vec<(FileCtx, String)>) -> Vec<Finding> {
+    let files: Vec<AnalyzedFile> = inputs
+        .into_iter()
+        .map(|(ctx, src)| AnalyzedFile::analyze(ctx, src))
+        .collect();
+    let mut out = Vec::new();
+    for f in &files {
+        run_file_rules(f, &mut out);
+    }
+    rules::rule_float_determinism(&files, &mut out);
+    rules::rule_schema_evolution(&files, &mut out);
+    rules::rule_epoch_arithmetic(&files, &mut out);
+    rules::rule_cfg_pairing(&files, &mut out);
+    // Last: every other rule has had its chance to mark waivers live.
+    rules::rule_stale_waiver(&files, &mut out);
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    out
+}
+
+/// Walk `root/crates` and analyze every `.rs` file. Paths are visited in
 /// sorted order so output is stable.
 pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let mut files: Vec<PathBuf> = Vec::new();
     collect_rs(&root.join("crates"), &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
+    let mut inputs: Vec<(FileCtx, String)> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -965,10 +380,9 @@ pub fn check_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             crate_name: krate.to_string(),
             kind,
         };
-        let src = std::fs::read_to_string(&path)?;
-        findings.extend(check_source(&ctx, &src));
+        inputs.push((ctx, std::fs::read_to_string(&path)?));
     }
-    Ok(findings)
+    Ok(analyze_files(inputs))
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -1108,13 +522,13 @@ mod tests {
 
     #[test]
     fn metric_name_shape() {
-        assert!(is_metric_shaped("sim.sched_dispatches"));
-        assert!(is_metric_shaped("core.storage_fe_service_ns"));
-        assert!(!is_metric_shaped("nodots"));
-        assert!(!is_metric_shaped("Mixed.case"));
-        assert!(!is_metric_shaped("sim..double"));
-        assert!(!is_metric_shaped("trailing.dot."));
-        assert!(!is_metric_shaped("has-dash.x"));
+        assert!(rules::is_metric_shaped("sim.sched_dispatches"));
+        assert!(rules::is_metric_shaped("core.storage_fe_service_ns"));
+        assert!(!rules::is_metric_shaped("nodots"));
+        assert!(!rules::is_metric_shaped("Mixed.case"));
+        assert!(!rules::is_metric_shaped("sim..double"));
+        assert!(!rules::is_metric_shaped("trailing.dot."));
+        assert!(!rules::is_metric_shaped("has-dash.x"));
     }
 
     #[test]
@@ -1202,5 +616,154 @@ mod tests {
         assert!(check_source(&src_ctx("sim"), ok).is_empty());
         let trailing = "#[allow(dead_code)] // kept for the harness\nfn f() {}\n";
         assert!(check_source(&src_ctx("sim"), trailing).is_empty());
+    }
+
+    // -- symbol-graph families ------------------------------------------
+
+    fn one(krate: &str, path: &str, src: &str) -> Vec<Finding> {
+        analyze_files(vec![(
+            FileCtx {
+                rel_path: path.to_string(),
+                crate_name: krate.into(),
+                kind: FileKind::Src,
+            },
+            src.to_string(),
+        )])
+    }
+
+    #[test]
+    fn float_direct_site_in_policed_file() {
+        let f = one(
+            "core",
+            "crates/core/src/allocator/thing.rs",
+            "fn apply(&mut self, used: u64, cap: u64) { self.load = used as f64 / cap as f64; }\n",
+        );
+        assert!(
+            f.iter().any(|x| x.rule == "float-determinism"),
+            "{f:?}"
+        );
+        // The same code outside a policed path is clean.
+        let f = one(
+            "core",
+            "crates/core/src/pod.rs",
+            "fn apply(&mut self, used: u64, cap: u64) { self.load = used as f64 / cap as f64; }\n",
+        );
+        assert!(f.iter().all(|x| x.rule != "float-determinism"), "{f:?}");
+    }
+
+    #[test]
+    fn float_reachability_across_files() {
+        let policed = (
+            FileCtx {
+                rel_path: "crates/core/src/allocator/svc.rs".into(),
+                crate_name: "core".into(),
+                kind: FileKind::Src,
+            },
+            "pub fn apply_cmd(x: u64) -> u64 { score_host(x) }\n".to_string(),
+        );
+        let helper = (
+            FileCtx {
+                rel_path: "crates/core/src/pod.rs".into(),
+                crate_name: "core".into(),
+                kind: FileKind::Src,
+            },
+            "pub fn score_host(x: u64) -> u64 { (x as f64 * 1.5) as u64 }\n".to_string(),
+        );
+        let f = analyze_files(vec![policed.clone(), helper]);
+        let hit: Vec<&Finding> = f.iter().filter(|x| x.rule == "float-determinism").collect();
+        assert_eq!(hit.len(), 1, "{f:?}");
+        assert!(hit[0].message.contains("score_host"), "{}", hit[0].message);
+        assert!(hit[0].file.ends_with("svc.rs"));
+        // A waiver at the helper's float site silences all callers.
+        let waived_helper = (
+            FileCtx {
+                rel_path: "crates/core/src/pod.rs".into(),
+                crate_name: "core".into(),
+                kind: FileKind::Src,
+            },
+            "pub fn score_host(x: u64) -> u64 {\n    // oasis-check: allow(float-determinism) display-only ranking, never persisted.\n    (x as f64 * 1.5) as u64\n}\n"
+                .to_string(),
+        );
+        let f = analyze_files(vec![policed, waived_helper]);
+        assert!(f.iter().all(|x| x.rule != "float-determinism"), "{f:?}");
+    }
+
+    #[test]
+    fn schema_evolution_pins_variant_order() {
+        let good = "pub const ALLOC_SCHEMA_VERSION: u32 = 1;\npub const FLEET_SCHEMA_VERSION: u32 = 1;\npub enum AllocCommand { RegisterNic, Assign, Unassign, MarkFailed, MarkRepaired, RegisterSsd, AssignVolume, ReleaseVolumes, MarkHostFailed, MarkHostRestarted, RegisterAccel }\npub enum FleetCommand { RegisterPod, AddLink, CreateInstance, ResizeInstance, KillInstance, QueryFleetState }\n";
+        let f = one("core", "crates/core/src/allocator/command.rs", good);
+        assert!(f.iter().all(|x| x.rule != "schema-evolution"), "{f:?}");
+        // Reordering two variants without touching the version: finding.
+        let reordered = good.replace(
+            "RegisterNic, Assign,",
+            "Assign, RegisterNic,",
+        );
+        let f = one("core", "crates/core/src/allocator/command.rs", &reordered);
+        assert!(f.iter().any(|x| x.rule == "schema-evolution"), "{f:?}");
+        // Dropping the version const: finding.
+        let no_const = good.replace("pub const ALLOC_SCHEMA_VERSION: u32 = 1;\n", "");
+        let f = one("core", "crates/core/src/allocator/command.rs", &no_const);
+        assert!(f.iter().any(|x| x.rule == "schema-evolution"
+            && x.message.contains("ALLOC_SCHEMA_VERSION")));
+    }
+
+    #[test]
+    fn schema_evolution_pins_wire_impl_set() {
+        let f = one(
+            "core",
+            "crates/core/src/other.rs",
+            "impl WireDescriptor for BrandNewMsg { fn x(&self) {} }\nassert_wire_size!(BrandNewMsg);\n",
+        );
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "schema-evolution" && x.message.contains("BrandNewMsg")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_arithmetic_checked_and_waived() {
+        let bad = "fn tick(&mut self, dt: u64) { self.nic_acc += nic * dt; }\n";
+        let f = one("trace", "crates/trace/src/stranding.rs", bad);
+        assert!(
+            f.iter().any(|x| x.rule == "unchecked-epoch-arithmetic"),
+            "{f:?}"
+        );
+        let good = "fn tick(&mut self, dt: u64) { self.nic_acc = self.nic_acc.saturating_add(nic * dt); }\n";
+        let f = one("trace", "crates/trace/src/stranding.rs", good);
+        assert!(f.iter().all(|x| x.rule != "unchecked-epoch-arithmetic"), "{f:?}");
+        // Outside policed paths the same line is fine.
+        let f = one("sim", "crates/sim/src/clock.rs", bad);
+        assert!(f.iter().all(|x| x.rule != "unchecked-epoch-arithmetic"));
+    }
+
+    #[test]
+    fn cfg_pairing_requires_stub() {
+        let unpaired = "#[cfg(feature = \"obs\")]\nfn note_x(&mut self) { self.n += 1; }\n";
+        let f = one("sim", "crates/sim/src/sched.rs", unpaired);
+        assert!(f.iter().any(|x| x.rule == "cfg-pairing"), "{f:?}");
+        let paired = format!(
+            "{unpaired}#[cfg(not(feature = \"obs\"))]\n#[inline(always)]\nfn note_x(&mut self) {{}}\n"
+        );
+        let f = one("sim", "crates/sim/src/sched.rs", &paired);
+        assert!(f.iter().all(|x| x.rule != "cfg-pairing"), "{f:?}");
+        // Pub gated fns are caller-gated by convention: exempt.
+        let pub_gated = "#[cfg(feature = \"obs\")]\npub fn stats(&self) -> u64 { self.n }\n";
+        let f = one("sim", "crates/sim/src/sched.rs", pub_gated);
+        assert!(f.iter().all(|x| x.rule != "cfg-pairing"), "{f:?}");
+    }
+
+    #[test]
+    fn stale_waiver_detected_live_waiver_kept() {
+        // Live: the waiver suppresses a real finding.
+        let live = "fn f() {\n    // oasis-check: allow(no-panic) boot-time contract.\n    x.unwrap();\n}\n";
+        let f = one("core", "crates/core/src/x.rs", live);
+        assert!(f.is_empty(), "{f:?}");
+        // Stale: nothing to suppress.
+        let stale = "fn f() {\n    // oasis-check: allow(no-panic) boot-time contract.\n    let y = 1;\n}\n";
+        let f = one("core", "crates/core/src/x.rs", stale);
+        assert_eq!(rules_of(&f), ["stale-waiver"], "{f:?}");
+        // check_source (single-file mode) never reports stale waivers.
+        assert!(check_source(&src_ctx("core"), stale).is_empty());
     }
 }

@@ -2,6 +2,16 @@
 
 use oasis_net::addr::Ipv4Addr;
 
+/// Wire-schema version of [`AllocCommand`]. Variant order assigns the
+/// discriminant bytes, so appending, reordering, or renaming a variant is
+/// a schema change: bump this, update the golden registry in
+/// `crates/check/src/policy.rs`, and re-pin the golden-bytes test.
+pub const ALLOC_SCHEMA_VERSION: u32 = 1;
+
+/// Wire-schema version of [`FleetCommand`]; same contract as
+/// [`ALLOC_SCHEMA_VERSION`].
+pub const FLEET_SCHEMA_VERSION: u32 = 1;
+
 /// A command applied to the replicated allocator state.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AllocCommand {

@@ -64,7 +64,8 @@ impl PodCapacity {
     /// Can this pod's pooled devices absorb another `(nic_mbps, ssd)`
     /// lease?
     pub fn devices_fit(&self, nic_mbps: u64, ssd: u64) -> bool {
-        self.nic_mbps_used + nic_mbps <= self.nic_mbps_cap && self.ssd_used + ssd <= self.ssd_cap
+        self.nic_mbps_used.saturating_add(nic_mbps) <= self.nic_mbps_cap
+            && self.ssd_used.saturating_add(ssd) <= self.ssd_cap
     }
 
     /// Post-placement CPU/memory slack of `host` if it took the request,
@@ -329,8 +330,8 @@ impl FleetState {
     /// spilled instance.
     fn flush_spill(&mut self, inst: &FleetInstance, now: u64) {
         if inst.device_pod != inst.pod {
-            self.spill_bytes[inst.pod as usize] +=
-                cross_pod_bytes(inst.nic_mbps, inst.placed_at, now);
+            let b = &mut self.spill_bytes[inst.pod as usize];
+            *b = b.saturating_add(cross_pod_bytes(inst.nic_mbps, inst.placed_at, now));
         }
     }
 
@@ -387,8 +388,8 @@ impl FleetState {
                         pc.host_vcpus_used[host] += vcpus;
                         pc.host_mem_used[host] += mem_gb;
                         let dc = &mut self.pods[device_pod];
-                        dc.nic_mbps_used += nic_mbps as u64;
-                        dc.ssd_used += ssd as u64;
+                        dc.nic_mbps_used = dc.nic_mbps_used.saturating_add(nic_mbps as u64);
+                        dc.ssd_used = dc.ssd_used.saturating_add(ssd as u64);
                         self.instances.push(Some(FleetInstance {
                             vcpus,
                             mem_gb,
@@ -429,9 +430,11 @@ impl FleetState {
                 };
                 let dp = inst.device_pod as usize;
                 let dc = &self.pods[dp];
-                let nic_ok =
-                    dc.nic_mbps_used - inst.nic_mbps as u64 + nic_mbps as u64 <= dc.nic_mbps_cap;
-                let ssd_ok = dc.ssd_used - inst.ssd as u64 + ssd as u64 <= dc.ssd_cap;
+                let nic_ok = (dc.nic_mbps_used - inst.nic_mbps as u64)
+                    .saturating_add(nic_mbps as u64)
+                    <= dc.nic_mbps_cap;
+                let ssd_ok =
+                    (dc.ssd_used - inst.ssd as u64).saturating_add(ssd as u64) <= dc.ssd_cap;
                 if !(nic_ok && ssd_ok) {
                     self.resize_rejections += 1;
                     return FleetResponse::ResizeRejected { id };
@@ -439,8 +442,9 @@ impl FleetState {
                 // Close the old-rate spill epoch before the rate changes.
                 self.flush_spill(&inst, at);
                 let dc = &mut self.pods[dp];
-                dc.nic_mbps_used = dc.nic_mbps_used - inst.nic_mbps as u64 + nic_mbps as u64;
-                dc.ssd_used = dc.ssd_used - inst.ssd as u64 + ssd as u64;
+                dc.nic_mbps_used =
+                    (dc.nic_mbps_used - inst.nic_mbps as u64).saturating_add(nic_mbps as u64);
+                dc.ssd_used = (dc.ssd_used - inst.ssd as u64).saturating_add(ssd as u64);
                 if let Some(Some(inst)) = self.instances.get_mut(id as usize) {
                     inst.nic_mbps = nic_mbps;
                     inst.ssd = ssd;
@@ -910,6 +914,74 @@ mod tests {
             }
         }
         assert!(alloc.state.placed > 0);
+        assert!(alloc.consistent_with_log());
+    }
+
+    #[test]
+    fn compensating_kill_restores_state_and_stays_consistent_with_log() {
+        // A create immediately undone by its kill is the control plane's
+        // compensation idiom (the trace replayer leans on it for failed
+        // placements). The kill must release every resource the create
+        // took — including spilled device capacity on the *neighbor* pod —
+        // and a log replay must reproduce the exact post-compensation
+        // state, spill accounting included.
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        register(&mut alloc, 1);
+        link(&mut alloc, 0, 1);
+        // Saturate pod 0's NIC so the next create spills to pod 1.
+        let base = match create(&mut alloc, 0, 90_000, 0) {
+            FleetResponse::Created { id, .. } => id,
+            other => panic!("unexpected {other:?}"),
+        };
+        let home_create = |alloc: &mut FleetAllocator, at: u64| {
+            alloc
+                .execute(
+                    SimTime::from_nanos(at),
+                    &FleetCommand::CreateInstance {
+                        at,
+                        vcpus: 8,
+                        mem_gb: 32,
+                        ssd: 0,
+                        nic_mbps: 20_000,
+                        home_pod: 0,
+                    },
+                )
+                .unwrap()
+        };
+        let (spilled_id, pod, device_pod) = match home_create(&mut alloc, 10) {
+            FleetResponse::Created { id, pod, device_pod, .. } => (id, pod, device_pod),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_ne!(pod, device_pod, "the second lease must spill");
+        let before_nic: Vec<u64> = alloc.state.pods.iter().map(|p| p.nic_mbps_used).collect();
+
+        // Compensate.
+        alloc
+            .execute(
+                SimTime::from_nanos(1_000),
+                &FleetCommand::KillInstance {
+                    at: 1_000,
+                    id: spilled_id,
+                },
+            )
+            .unwrap();
+        let after_nic: Vec<u64> = alloc.state.pods.iter().map(|p| p.nic_mbps_used).collect();
+        assert_eq!(after_nic[device_pod as usize], before_nic[device_pod as usize] - 20_000);
+        assert!(
+            alloc.state.spill_bytes[pod as usize] > 0,
+            "the spilled lease's traffic epoch was closed into its home pod"
+        );
+        assert!(alloc.consistent_with_log());
+
+        // The compensated capacity is genuinely reusable: the same lease
+        // fits again and lands on the same neighbor.
+        match home_create(&mut alloc, 2_000) {
+            FleetResponse::Created { device_pod: dp, .. } => assert_eq!(dp, device_pod),
+            other => panic!("unexpected {other:?}"),
+        }
+        // And the original instance was untouched throughout.
+        assert!(alloc.state.is_live(base));
         assert!(alloc.consistent_with_log());
     }
 

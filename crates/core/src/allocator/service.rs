@@ -130,13 +130,14 @@ impl AllocState {
                 // Release any previous assignment first.
                 self.release(ip);
                 if let Some(Some(n)) = self.nics.get_mut(nic as usize) {
-                    n.allocated_mbps += lease_mbps;
+                    n.allocated_mbps = n.allocated_mbps.saturating_add(lease_mbps);
                 }
                 self.instances.push(InstanceInfo {
                     ip,
                     host,
                     nic,
                     lease_mbps,
+                    // oasis-check: allow(unchecked-epoch-arithmetic) SimTime + SimDuration saturates by construction
                     lease_expiry: now + lease_ttl,
                 });
             }
@@ -257,7 +258,7 @@ impl AllocState {
     pub fn pick_nic(&self, host: u32, lease_mbps: u32) -> Option<u32> {
         let usable = |id: usize, n: &NicInfo, local: bool| {
             !n.failed
-                && n.allocated_mbps + lease_mbps <= n.capacity_mbps
+                && n.allocated_mbps.saturating_add(lease_mbps) <= n.capacity_mbps
                 && (!n.backup || (local && n.host == host))
                 && id < u32::MAX as usize
         };
@@ -419,6 +420,7 @@ pub struct PodAllocator {
 #[derive(Clone, Debug)]
 pub struct RebalancePolicy {
     /// Hot/cold load ratio that triggers a migration.
+    // oasis-check: allow(float-determinism) local trigger knob compared against telemetry; never enters replicated state
     pub ratio: f64,
     /// Minimum hot-NIC load (bytes per telemetry window) before the policy
     /// acts at all.
@@ -430,6 +432,7 @@ pub struct RebalancePolicy {
 
 impl RebalancePolicy {
     /// Policy with the given trigger ratio and cooldown.
+    // oasis-check: allow(float-determinism) constructor for the local trigger knob above
     pub fn new(ratio: f64, min_load_bytes: u64, cooldown: SimDuration) -> Self {
         RebalancePolicy {
             ratio,
@@ -605,6 +608,7 @@ impl PodAllocator {
         let dead: Vec<(u32, SimTime)> = self
             .last_heartbeat
             .iter()
+            // oasis-check: allow(unchecked-epoch-arithmetic) SimTime + SimDuration saturates by construction
             .filter(|&&(h, last)| now > last + deadline && !self.state.failed_hosts.contains(&h))
             .map(|&(h, last)| (h, last))
             .collect();
@@ -766,6 +770,7 @@ impl PodAllocator {
                         // Telemetry renews the leases of instances served
                         // by this device (§3.5).
                         for inst in self.state.instances.iter_mut().filter(|i| i.nic == nic) {
+                            // oasis-check: allow(unchecked-epoch-arithmetic) SimTime + SimDuration saturates by construction
                             inst.lease_expiry = now + ttl;
                         }
                     }
@@ -809,6 +814,7 @@ impl PodAllocator {
                     usable.iter().max_by_key(|&&(_, l)| l),
                     usable.iter().min_by_key(|&&(_, l)| l),
                 ) {
+                    // oasis-check: allow(float-determinism) trigger compare on local telemetry; migration itself goes through the log
                     if hot != cold
                         && hot_load >= policy.min_load_bytes
                         && hot_load as f64 > policy.ratio * (cold_load.max(1)) as f64
@@ -826,7 +832,10 @@ impl PodAllocator {
                                 .nics
                                 .get(cold as usize)
                                 .and_then(|n| n.as_ref())
-                                .map(|n| n.allocated_mbps + inst.lease_mbps <= n.capacity_mbps)
+                                .map(|n| {
+                                    n.allocated_mbps.saturating_add(inst.lease_mbps)
+                                        <= n.capacity_mbps
+                                })
                                 .unwrap_or(false);
                             if cold_ok {
                                 self.migrate_instance(pool, inst.ip, cold);

@@ -242,9 +242,12 @@ impl PodObs {
 
     #[cfg(feature = "obs")]
     #[inline]
-    fn fold_sched(&mut self, stats: &oasis_sim::sched::SchedStats) {
-        self.sched.merge(stats);
+    fn fold_sched(&mut self, sched: &oasis_sim::sched::Scheduler) {
+        self.sched.merge(sched.stats());
     }
+    #[cfg(not(feature = "obs"))]
+    #[inline(always)]
+    fn fold_sched(&mut self, _sched: &oasis_sim::sched::Scheduler) {}
 
     /// Export the collected ambient stats (no-op with `obs` off: the
     /// corresponding snapshot entries simply do not exist).
@@ -1596,8 +1599,7 @@ impl Pod {
             dispatches += 1;
             pod.dispatch(&kinds, &map, actor, at, until, ctx)
         });
-        #[cfg(feature = "obs")]
-        self.obs.fold_sched(sched.stats());
+        self.obs.fold_sched(&sched);
         self.now = self.now.max(until);
         dispatches
     }

@@ -1,0 +1,155 @@
+//! Golden bytes for the replicated command schemas.
+//!
+//! The hand-rolled encoders assign discriminant bytes in variant order, so
+//! enum shape *is* the wire format: a reordered variant silently changes
+//! every log entry after it. Three things pin the schema together and must
+//! move together (DESIGN.md §14):
+//!
+//! 1. these golden byte strings,
+//! 2. the `ALLOC_SCHEMA_VERSION` / `FLEET_SCHEMA_VERSION` consts, and
+//! 3. the `ENUM_GOLDENS` registry in `oasis-check`, whose
+//!    `schema-evolution` rule fails the build when the enum declaration
+//!    drifts from the registry without a version bump.
+
+use oasis_core::allocator::command::{ALLOC_SCHEMA_VERSION, FLEET_SCHEMA_VERSION};
+use oasis_core::allocator::{AllocCommand, FleetCommand, ANY_POD};
+use oasis_net::addr::Ipv4Addr;
+
+#[test]
+fn schema_versions_are_pinned() {
+    // Bumping either const is a deliberate act: refresh the goldens below
+    // and the `ENUM_GOLDENS` registry in the same commit.
+    assert_eq!(ALLOC_SCHEMA_VERSION, 1);
+    assert_eq!(FLEET_SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn alloc_command_golden_bytes() {
+    let ip = Ipv4Addr([10, 0, 0, 7]);
+    let cases: Vec<(AllocCommand, Vec<u8>)> = vec![
+        (
+            AllocCommand::RegisterNic {
+                nic: 1,
+                host: 2,
+                capacity_mbps: 100_000,
+                backup: true,
+            },
+            vec![1, 1, 0, 0, 0, 2, 0, 0, 0, 160, 134, 1, 0, 1],
+        ),
+        (
+            AllocCommand::Assign {
+                ip,
+                host: 2,
+                nic: 1,
+                lease_mbps: 8_000,
+            },
+            vec![2, 10, 0, 0, 7, 2, 0, 0, 0, 1, 0, 0, 0, 64, 31, 0, 0],
+        ),
+        (AllocCommand::Unassign { ip }, vec![3, 10, 0, 0, 7]),
+        (AllocCommand::MarkFailed { nic: 9 }, vec![4, 9, 0, 0, 0]),
+        (AllocCommand::MarkRepaired { nic: 9 }, vec![5, 9, 0, 0, 0]),
+        (
+            AllocCommand::RegisterSsd {
+                ssd: 3,
+                host: 2,
+                capacity_blocks: 512,
+            },
+            vec![6, 3, 0, 0, 0, 2, 0, 0, 0, 0, 2, 0, 0],
+        ),
+        (
+            AllocCommand::AssignVolume {
+                ip,
+                ssd: 3,
+                base_block: 256,
+                blocks: 64,
+            },
+            vec![7, 10, 0, 0, 7, 3, 0, 0, 0, 0, 1, 0, 0, 64, 0, 0, 0],
+        ),
+        (AllocCommand::ReleaseVolumes { ip }, vec![8, 10, 0, 0, 7]),
+        (AllocCommand::MarkHostFailed { host: 5 }, vec![9, 5, 0, 0, 0]),
+        (
+            AllocCommand::MarkHostRestarted { host: 5 },
+            vec![10, 5, 0, 0, 0],
+        ),
+        (
+            AllocCommand::RegisterAccel { accel: 4, host: 2 },
+            vec![11, 4, 0, 0, 0, 2, 0, 0, 0],
+        ),
+    ];
+    for (cmd, golden) in cases {
+        let bytes = cmd.encode();
+        assert_eq!(bytes, golden, "{cmd:?} drifted from its golden encoding");
+        assert_eq!(
+            AllocCommand::decode(&bytes),
+            Some(cmd),
+            "golden bytes no longer decode"
+        );
+    }
+}
+
+#[test]
+fn fleet_command_golden_bytes() {
+    let cases: Vec<(FleetCommand, Vec<u8>)> = vec![
+        (
+            FleetCommand::RegisterPod {
+                pod: 0,
+                hosts: 4,
+                vcpus_per_host: 96,
+                mem_gb_per_host: 512,
+                nic_mbps: 400_000,
+                ssd_cap: 49_152,
+            },
+            vec![
+                1, 0, 0, 0, 0, 4, 0, 0, 0, 96, 0, 0, 0, 0, 2, 0, 0, 128, 26, 6, 0, 0, 0, 0, 0, 0,
+                192, 0, 0, 0, 0, 0, 0,
+            ],
+        ),
+        (
+            FleetCommand::AddLink {
+                a: 0,
+                b: 1,
+                latency_ns: 600,
+            },
+            vec![2, 0, 0, 0, 0, 1, 0, 0, 0, 88, 2, 0, 0, 0, 0, 0, 0],
+        ),
+        (
+            FleetCommand::CreateInstance {
+                at: 1_000,
+                vcpus: 8,
+                mem_gb: 32,
+                ssd: 200,
+                nic_mbps: 16_000,
+                home_pod: ANY_POD,
+            },
+            vec![
+                3, 232, 3, 0, 0, 0, 0, 0, 0, 8, 0, 0, 0, 32, 0, 0, 0, 200, 0, 0, 0, 128, 62, 0, 0,
+                255, 255, 255, 255,
+            ],
+        ),
+        (
+            FleetCommand::ResizeInstance {
+                at: 2_000,
+                id: 7,
+                nic_mbps: 24_000,
+                ssd: 400,
+            },
+            vec![
+                4, 208, 7, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 192, 93, 0, 0, 144, 1, 0, 0,
+            ],
+        ),
+        (
+            FleetCommand::KillInstance { at: 3_000, id: 7 },
+            vec![5, 184, 11, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0],
+        ),
+        (FleetCommand::QueryFleetState, vec![6]),
+    ];
+    for (cmd, golden) in cases {
+        let bytes = cmd.encode();
+        assert_eq!(bytes, golden, "{cmd:?} drifted from its golden encoding");
+        assert_eq!(
+            FleetCommand::decode(&bytes),
+            Some(cmd),
+            "golden bytes no longer decode"
+        );
+    }
+}

@@ -382,6 +382,44 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_ring_ties_resolve_by_pod_index_at_every_hop() {
+        // On a symmetric ring every link has the same latency, so within a
+        // hop-count tier latency is also tied and only the pod index can
+        // break the tie: the full (hops, latency, pod) key is exercised at
+        // every tier, from every vantage pod.
+        let n = 6;
+        let topo = FleetTopology::ring(n, PodTopology::production(4, 0), UPLINK_LATENCY);
+        for from in 0..n {
+            let order = topo.spill_order(from);
+            assert_eq!(order.len(), n - 1);
+            for hop in &order {
+                // Cheapest-path latency is exactly hops x the uniform
+                // uplink latency.
+                assert_eq!(hop.latency, UPLINK_LATENCY * hop.hops as u64);
+            }
+            // Tiers come out in ascending hop count, and inside each tier
+            // (two pods everywhere except the antipode) ascending index.
+            for pair in order.windows(2) {
+                assert!(
+                    (pair[0].hops, pair[0].latency, pair[0].pod)
+                        < (pair[1].hops, pair[1].latency, pair[1].pod),
+                    "from {from}: {pair:?} out of order"
+                );
+            }
+            let one_hop: Vec<usize> = order
+                .iter()
+                .filter(|h| h.hops == 1)
+                .map(|h| h.pod)
+                .collect();
+            let mut expected = vec![(from + n - 1) % n, (from + 1) % n];
+            expected.sort_unstable();
+            assert_eq!(one_hop, expected, "from {from}");
+            // The antipode is alone in the last tier.
+            assert_eq!(order.last().map(|h| h.pod), Some((from + n / 2) % n));
+        }
+    }
+
+    #[test]
     fn ring_spill_order_is_symmetric_and_deterministic() {
         let topo = FleetTopology::ring(8, PodTopology::production(4, 0), UPLINK_LATENCY);
         let order = topo.spill_order(3);

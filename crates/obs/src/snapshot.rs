@@ -40,6 +40,7 @@ pub struct HistEntry {
 impl HistEntry {
     /// Value at quantile `q` in `[0, 1]` — same answer the live
     /// [`crate::ObsHistogram`] would give.
+    // oasis-check: allow(float-determinism) read-side presentation over a frozen snapshot; nothing flows back into state
     pub fn value_at_quantile(&self, q: f64) -> u64 {
         quantile_from_buckets(
             q,
@@ -51,7 +52,9 @@ impl HistEntry {
     }
 
     /// Percentile shorthand: `percentile(99.0)`.
+    // oasis-check: allow(float-determinism) read-side presentation over a frozen snapshot; nothing flows back into state
     pub fn percentile(&self, p: f64) -> u64 {
+        // oasis-check: allow(float-determinism) same presentation path; the divisor only rescales the argument
         self.value_at_quantile(p / 100.0)
     }
 

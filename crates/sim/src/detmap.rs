@@ -5,9 +5,6 @@
 //! nondeterministic. All simulator state uses these fixed-seed FxHash-style
 //! containers instead, so that every run of an experiment is bit-identical.
 
-// oasis-check: allow-file(nondeterminism) this module is the deterministic
-// wrapper itself: the std containers are re-exported with a fixed-seed
-// hasher, which is exactly what removes the nondeterminism.
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

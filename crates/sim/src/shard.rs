@@ -346,7 +346,6 @@ impl<M> ShardedRunner<M> {
         // touched a constant number of times per window round — they never
         // appear on the intra-shard hot path, which runs lock-free over the
         // shard's own scheduler.
-        // oasis-check: allow(thread-discipline) per-window slot handoff, not the intra-shard hot path
         let slots: Vec<Mutex<Slot<W, M>>> = worlds
             .iter_mut()
             .enumerate()

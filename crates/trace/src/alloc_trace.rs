@@ -54,6 +54,17 @@ pub struct InstanceType {
     pub weight: f64,
 }
 
+impl InstanceType {
+    /// NIC allocation in integer Mbit/s — the form every control-plane
+    /// command and integer integral consumes. The float multiply happens
+    /// exactly here, once, on catalog constants, so downstream arithmetic
+    /// is integer-only.
+    pub fn nic_mbps(&self) -> u64 {
+        // oasis-check: allow(float-determinism) catalog constants convert to fixed point at this single boundary
+        (self.nic_gbps * 1000.0) as u64
+    }
+}
+
 /// A catalog resembling public-cloud offerings. Most demand is
 /// compute/memory bound; storage- and network-optimized SKUs make chunky
 /// device requests that fragment per-host capacity.
@@ -130,6 +141,14 @@ pub struct HostCapacity {
     pub ssd_gb: u32,
     /// NIC bandwidth, Gbit/s.
     pub nic_gbps: f64,
+}
+
+impl HostCapacity {
+    /// Host NIC capacity in integer Mbit/s (see [`InstanceType::nic_mbps`]).
+    pub fn nic_mbps(&self) -> u64 {
+        // oasis-check: allow(float-determinism) capacity constants convert to fixed point at this single boundary
+        (self.nic_gbps * 1000.0) as u64
+    }
 }
 
 impl Default for HostCapacity {
@@ -376,7 +395,7 @@ impl AllocTrace {
         resize_every: usize,
     ) -> Result<FleetReplay, FleetError> {
         let cap = HostCapacity::default();
-        let nic_mbps_per_host = (cap.nic_gbps * 1000.0) as u64;
+        let nic_mbps_per_host = cap.nic_mbps();
         let mut alloc = FleetAllocator::new();
         for (p, pod) in topo.pods.iter().enumerate() {
             alloc.execute(
@@ -418,7 +437,7 @@ impl AllocTrace {
                 alloc.execute(now, &FleetCommand::KillInstance { at: ends, id })?;
             }
             let ty = &stream.catalog[arr.type_idx];
-            let nic_mbps = (ty.nic_gbps * 1000.0) as u32;
+            let nic_mbps = ty.nic_mbps() as u32;
             let home_pod = match policy {
                 HomePolicy::AnyPod => ANY_POD,
                 HomePolicy::RoundRobin => (i % npods) as u32,

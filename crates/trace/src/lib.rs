@@ -21,6 +21,7 @@ pub mod alloc_trace;
 pub mod metrics;
 pub mod packet_trace;
 pub mod stranding;
+pub mod stranding_sweep;
 
 pub use alloc_trace::{
     AllocTrace, ArrivalStream, FleetPlacement, FleetReplay, HomePolicy, HostCapacity, Instance,
