@@ -64,7 +64,9 @@ pub enum AccelStatus {
 }
 
 impl AccelStatus {
-    fn to_byte(self) -> u8 {
+    /// Status byte as it appears in an encoded completion (also used by
+    /// the snapshot layer to serialize completion caches).
+    pub fn to_byte(self) -> u8 {
         match self {
             AccelStatus::Success => 0x00,
             AccelStatus::InvalidField => 0x02,
@@ -74,7 +76,9 @@ impl AccelStatus {
         }
     }
 
-    fn from_byte(b: u8) -> AccelStatus {
+    /// Inverse of [`AccelStatus::to_byte`]; unknown bytes degrade to
+    /// [`AccelStatus::DeviceFailure`].
+    pub fn from_byte(b: u8) -> AccelStatus {
         match b {
             0x00 => AccelStatus::Success,
             0x02 => AccelStatus::InvalidField,

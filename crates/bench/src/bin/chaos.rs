@@ -68,6 +68,20 @@ fn main() {
     );
     println!("}}");
 
+    // CI forensics: when OASIS_CHAOS_ARTIFACT_DIR is set, write each
+    // seed's rendered report plus the failing-seed list there, so a red
+    // job can upload the exact reproducers (`chaos <seed>` replays one).
+    if let Ok(dir) = std::env::var("OASIS_CHAOS_ARTIFACT_DIR") {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir).expect("create chaos artifact dir");
+        for r in &reports {
+            std::fs::write(dir.join(format!("seed-{}.log", r.seed)), r.render())
+                .expect("write seed report");
+        }
+        let list: String = failed.iter().map(|s| format!("{s}\n")).collect();
+        std::fs::write(dir.join("failing-seeds.txt"), list).expect("write failing-seed list");
+    }
+
     if !failed.is_empty() {
         eprintln!("\nFAILED seeds: {failed:?}");
         std::process::exit(1);

@@ -24,6 +24,14 @@
 //!                             throughput against BENCH_fleet.json
 //!   fleet_replay --json       print only the canonical metrics-snapshot
 //!                             JSON (the byte-identity surface)
+//!   fleet_replay --checkpoint <file>
+//!                             replay to the stream midpoint, serialize the
+//!                             paused run into <file>, and exit
+//!   fleet_replay --resume <file>
+//!                             resume a checkpointed run and finish it; all
+//!                             other flags apply to the completed run (CI
+//!                             diffs the resumed --json against the
+//!                             uninterrupted one byte for byte)
 
 // oasis-check: allow-file(nondeterminism) this binary measures wall-clock
 // throughput of the replay; wall time feeds only the report and the bench
@@ -37,7 +45,8 @@ use oasis_sim::report::Table;
 use oasis_sim::shard::threads_from_env;
 use oasis_sim::time::SimDuration;
 use oasis_trace::{
-    export_fleet_stranding, measure_fleet_stranding, metrics, AllocTrace, ArrivalStream, HomePolicy,
+    export_fleet_stranding, measure_fleet_stranding, metrics, AllocTrace, ArrivalStream,
+    HomePolicy, ReplaySession,
 };
 
 const PODS: usize = 64;
@@ -45,6 +54,14 @@ const HOSTS_PER_POD: usize = 8;
 const HOURS: u64 = 14;
 const SEED: u64 = 2025;
 const RESIZE_EVERY: usize = 37;
+
+/// The value following `flag`, if present.
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 fn main() {
     let record_baseline = std::env::args().any(|a| a == "--baseline");
@@ -59,9 +76,30 @@ fn main() {
         UPLINK_LATENCY,
     );
 
+    if let Some(path) = arg_value("--checkpoint") {
+        let mut session = ReplaySession::new(&stream, &topo, HomePolicy::RoundRobin, RESIZE_EVERY)
+            .expect("the ring fleet topology is valid");
+        let epoch = stream.duration.as_nanos() / 2;
+        session
+            .run_to_epoch(epoch)
+            .expect("the first half of the stream replays");
+        std::fs::write(&path, session.checkpoint()).expect("write checkpoint file");
+        println!("checkpointed at epoch {epoch} ns -> {path}");
+        return;
+    }
+
     let start = Instant::now();
-    let replay = AllocTrace::replay_fleet(&stream, &topo, HomePolicy::RoundRobin, RESIZE_EVERY)
-        .expect("the ring fleet topology is valid");
+    let replay = match arg_value("--resume") {
+        Some(path) => {
+            let bytes = std::fs::read(&path).expect("read checkpoint file");
+            ReplaySession::resume(&stream, &topo, HomePolicy::RoundRobin, RESIZE_EVERY, &bytes)
+                .expect("checkpoint matches this workload")
+                .finish()
+                .expect("the second half of the stream replays")
+        }
+        None => AllocTrace::replay_fleet(&stream, &topo, HomePolicy::RoundRobin, RESIZE_EVERY)
+            .expect("the ring fleet topology is valid"),
+    };
     let wall_secs = start.elapsed().as_secs_f64();
 
     let report = replay.state.report();

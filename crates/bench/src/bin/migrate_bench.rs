@@ -1,0 +1,189 @@
+//! migrate_bench: live migration over the CXL pool vs over the NIC.
+//!
+//! ISSUE 10's transfer-path figure. For every SKU in the allocation-trace
+//! catalog, both pre-copy paths are modeled with the same
+//! [`PrecopyModel`] the fleet runtime uses: the CXL path moves dirty
+//! state through pooled memory at the pool fabric's bandwidth, while the
+//! NIC path shares the source NIC's line rate with the instance's own
+//! lease. The figure reports pre-copy rounds, bytes moved, the
+//! stop-and-copy pause (the instance-visible freeze), and end-to-end
+//! transfer time — all integer sim-time quantities, byte-identical on
+//! every run.
+//!
+//! A second section drives one real migration per path through a live
+//! two-pod [`Fleet`]'s raft-logged command API, so the
+//! `core.fleet_migration_*` metrics surface is exercised exactly as a
+//! production run would see it.
+//!
+//! Output: the rendered tables plus `BENCH_migrate.json` (the committed
+//! figure artifact; README quotes its headline numbers).
+
+use oasis_core::allocator::{PrecopyModel, TransferPath};
+use oasis_core::config::OasisConfig;
+use oasis_core::fleet::Fleet;
+use oasis_core::instance::AppKind;
+use oasis_core::metrics as m;
+use oasis_core::pod::PodBuilder;
+use oasis_sim::report::Table;
+use oasis_sim::time::SimTime;
+use oasis_trace::alloc_trace::azure_like_catalog;
+
+/// Nanoseconds rendered as milliseconds for the tables and JSON.
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Mebibytes for the tables.
+fn mib(bytes: u64) -> u64 {
+    bytes >> 20
+}
+
+/// A two-pod fleet (one instance host + one NIC host per pod) and one
+/// migration of a gp-large-shaped instance over `path`; returns the
+/// canonical metrics snapshot of the committed migration.
+fn live_migration(path: TransferPath) -> oasis_obs::MetricsSnapshot {
+    let mut fleet = Fleet::new();
+    for site in 0..2u32 {
+        let mut b = PodBuilder::new(OasisConfig::default()).site(site);
+        b.add_host();
+        b.add_nic_host();
+        fleet.add_pod(b.build()).expect("distinct sites");
+    }
+    fleet
+        .connect(0, 1, oasis_cxl::topology::UPLINK_LATENCY)
+        .expect("first uplink");
+    let (id, _, _) = fleet
+        .create_instance(SimTime::ZERO, AppKind::None, 16, 64, 0, 8_000, Some(0))
+        .expect("pod 0 has capacity");
+    fleet
+        .migrate_instance(SimTime::from_micros(1), id, 1, path)
+        .expect("migration commits");
+    fleet.metrics_snapshot()
+}
+
+fn main() {
+    let model = PrecopyModel::default();
+    let catalog = azure_like_catalog();
+
+    println!("== migrate_bench: pre-copy over the CXL pool vs over the NIC ==\n");
+    println!(
+        "model: cxl {} Gbit/s, nic line {} Gbit/s (minus lease), dirty {} Gbit/s per vCPU,\n\
+         stop-and-copy threshold {} MiB, round budget {}\n",
+        model.cxl_mbps / 1000,
+        model.nic_line_mbps / 1000,
+        model.dirty_mbps_per_vcpu / 1000,
+        model.stop_copy_threshold_bytes >> 20,
+        model.max_rounds
+    );
+
+    let mut t = Table::new(vec![
+        "sku",
+        "state",
+        "cxl rounds",
+        "cxl pause ms",
+        "cxl total ms",
+        "nic rounds",
+        "nic pause ms",
+        "nic total ms",
+    ]);
+    let mut rows = Vec::new();
+    for ty in &catalog {
+        let lease = ty.nic_mbps() as u32;
+        let cxl = model.run(TransferPath::Cxl, ty.vcpus, ty.mem_gb, lease);
+        let nic = model.run(TransferPath::Nic, ty.vcpus, ty.mem_gb, lease);
+        t.row(vec![
+            ty.name.to_string(),
+            format!("{} GiB", ty.mem_gb),
+            cxl.rounds.to_string(),
+            format!("{:.2}", ms(cxl.pause_ns)),
+            format!("{:.2}", ms(cxl.total_ns)),
+            nic.rounds.to_string(),
+            format!("{:.2}", ms(nic.pause_ns)),
+            format!("{:.2}", ms(nic.total_ns)),
+        ]);
+        rows.push((ty, lease, cxl, nic));
+    }
+    println!("{}", t.render());
+
+    let cxl_total: u64 = rows.iter().map(|(_, _, c, _)| c.total_ns).sum();
+    let nic_total: u64 = rows.iter().map(|(_, _, _, n)| n.total_ns).sum();
+    let cxl_pause: u64 = rows.iter().map(|(_, _, c, _)| c.pause_ns).sum();
+    let nic_pause: u64 = rows.iter().map(|(_, _, _, n)| n.pause_ns).sum();
+    println!(
+        "catalog aggregate: cxl {:.1} ms total / {:.2} ms paused, nic {:.1} ms total / {:.2} ms paused\n",
+        ms(cxl_total),
+        ms(cxl_pause),
+        ms(nic_total),
+        ms(nic_pause)
+    );
+
+    // One real migration per path through a live fleet's command API.
+    let cxl_snap = live_migration(TransferPath::Cxl);
+    let nic_snap = live_migration(TransferPath::Nic);
+    let mut t = Table::new(vec!["metric", "cxl (tag 0)", "nic (tag 1)"]);
+    for (label, name) in [
+        ("pre-copy rounds", m::FLEET_MIGRATION_ROUNDS),
+        ("bytes moved", m::FLEET_MIGRATION_BYTES),
+        ("stop-and-copy pause ns", m::FLEET_MIGRATION_PAUSE_NS),
+    ] {
+        t.row(vec![
+            label.to_string(),
+            cxl_snap.counter(name, 0).to_string(),
+            nic_snap.counter(name, 1).to_string(),
+        ]);
+    }
+    println!("live two-pod fleet, gp-large instance, committed migrations:\n");
+    println!("{}", t.render());
+    assert_eq!(cxl_snap.counter(m::FLEET_MIGRATIONS_COMMITTED, 0), 1);
+    assert_eq!(nic_snap.counter(m::FLEET_MIGRATIONS_COMMITTED, 0), 1);
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"migrate_bench\",\n");
+    json.push_str(
+        "  \"description\": \"Live-migration pre-copy over the CXL pool vs over the NIC: \
+         per-SKU rounds, bytes, stop-and-copy pause, and end-to-end transfer time from the \
+         fleet runtime's PrecopyModel (all integer sim-time; byte-identical on every run)\",\n",
+    );
+    json.push_str(&format!(
+        "  \"model\": {{ \"cxl_mbps\": {}, \"nic_line_mbps\": {}, \"dirty_mbps_per_vcpu\": {}, \
+         \"stop_copy_threshold_mib\": {}, \"max_rounds\": {} }},\n",
+        model.cxl_mbps,
+        model.nic_line_mbps,
+        model.dirty_mbps_per_vcpu,
+        model.stop_copy_threshold_bytes >> 20,
+        model.max_rounds
+    ));
+    json.push_str("  \"skus\": [\n");
+    for (i, (ty, lease, cxl, nic)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"vcpus\": {}, \"mem_gb\": {}, \"lease_mbps\": {}, \
+             \"cxl\": {{ \"rounds\": {}, \"moved_mib\": {}, \"pause_ms\": {:.3}, \"total_ms\": {:.3} }}, \
+             \"nic\": {{ \"rounds\": {}, \"moved_mib\": {}, \"pause_ms\": {:.3}, \"total_ms\": {:.3} }} }}{}\n",
+            ty.name,
+            ty.vcpus,
+            ty.mem_gb,
+            lease,
+            cxl.rounds,
+            mib(cxl.bytes_moved),
+            ms(cxl.pause_ns),
+            ms(cxl.total_ns),
+            nic.rounds,
+            mib(nic.bytes_moved),
+            ms(nic.pause_ns),
+            ms(nic.total_ns),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"catalog_cxl_total_ms\": {:.3},\n  \"catalog_cxl_pause_ms\": {:.3},\n\
+         \"catalog_nic_total_ms\": {:.3},\n  \"catalog_nic_pause_ms\": {:.3}\n",
+        ms(cxl_total),
+        ms(cxl_pause),
+        ms(nic_total),
+        ms(nic_pause)
+    ));
+    json.push_str("}\n");
+    std::fs::write("BENCH_migrate.json", &json).expect("write BENCH_migrate.json");
+    println!("wrote BENCH_migrate.json");
+}

@@ -18,8 +18,20 @@
 //! 5. **Bounded failover windows** — host-failure detection latency stays
 //!    within the heartbeat deadline plus scheduling slack, and the pod
 //!    serves traffic again after the last fault (probe liveness).
+//! 7. **Migration exactly-once** (ISSUE 10) — a seeded storm of live
+//!    migrations against the replicated fleet state machine, where every
+//!    open ticket is resolved by a crash-recovery outcome drawn from the
+//!    same seed: commit, rollback, or a host crash mid-copy whose
+//!    recovery retries the finishing command. After every command the
+//!    capacity books must equal what the instance table plus open
+//!    tickets derive (an instance's resources are held on exactly the
+//!    pods the protocol says — never leaked on both sides, never
+//!    dropped), and a duplicate `FinishMigration` delivery must degrade
+//!    to a `Rejected` no-op that leaves the state byte-identical.
 //!
-//! Everything is keyed off one seed, so a violation reproduces exactly.
+//! (Invariant 6 is the coherence sanitizer, compiled in with
+//! `--features sanitize`.) Everything is keyed off one seed, so a
+//! violation reproduces exactly.
 
 use std::fmt::Write as _;
 
@@ -27,11 +39,16 @@ use oasis_sim::detmap::DetMap;
 
 use oasis_apps::stats::ClientStats;
 use oasis_apps::udp::{EchoServer, Pacing, UdpClient};
+use oasis_core::allocator::{
+    FleetAllocator, FleetCommand, FleetResponse, FleetState, TransferPath,
+};
 use oasis_core::config::OasisConfig;
 use oasis_core::instance::AppKind;
 use oasis_core::pod::PodBuilder;
+use oasis_core::snapshot::{SnapshotWriter, Snapshottable};
 use oasis_sim::fault::{FaultKind, FaultMix, FaultPlan};
 use oasis_sim::time::{SimDuration, SimTime};
+use oasis_sim::SimRng;
 use oasis_storage::ssd::SsdConfig;
 use oasis_storage::BLOCK_SIZE;
 
@@ -62,6 +79,8 @@ pub struct ChaosReport {
     pub storage_replays_answered: u64,
     /// Probe-phase echo traffic (sent, received) — liveness after recovery.
     pub probe: (u64, u64),
+    /// Migration-storm tallies as `(started, committed, rolled back)`.
+    pub migrations: (u64, u64, u64),
 }
 
 impl ChaosReport {
@@ -107,6 +126,12 @@ impl ChaosReport {
             .unwrap();
         }
         writeln!(out, "  probe: {}/{} echoed", self.probe.1, self.probe.0).unwrap();
+        writeln!(
+            out,
+            "  migrations: {} started, {} committed, {} rolled back (exactly-once audit)",
+            self.migrations.0, self.migrations.1, self.migrations.2
+        )
+        .unwrap();
         if self.passed() {
             writeln!(out, "  PASS").unwrap();
         } else {
@@ -126,6 +151,235 @@ fn pattern(tag: u8) -> Vec<u8> {
 enum Io {
     Write { lba: u64, tag: u8 },
     Read { lba: u64 },
+}
+
+/// The fleet state's canonical snapshot bytes — two states are equal for
+/// the exactly-once audit iff their checkpoints are byte-identical.
+fn fleet_state_bytes(st: &FleetState) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    st.snapshot_state(&mut w);
+    w.finish()
+}
+
+/// Recompute every pod's capacity books from first principles — the live
+/// instance table plus the open migration tickets — and compare against
+/// the incrementally maintained books. This is the "never both, never
+/// neither" check: an instance holds CPU/memory on exactly its source host
+/// plus (while a ticket is open) the ticket's reserved target host, and
+/// device leases on exactly its device pod plus the ticket's target pod.
+fn audit_migration_books(st: &FleetState) -> Option<String> {
+    let mut vcpus: Vec<Vec<u32>> = st.pods.iter().map(|p| vec![0; p.hosts()]).collect();
+    let mut mem: Vec<Vec<u32>> = st.pods.iter().map(|p| vec![0; p.hosts()]).collect();
+    let mut nic: Vec<u64> = vec![0; st.pods.len()];
+    let mut ssd: Vec<u64> = vec![0; st.pods.len()];
+    for (id, slot) in st.instances.iter().enumerate() {
+        let Some(inst) = slot else { continue };
+        vcpus[inst.pod as usize][inst.host as usize] += inst.vcpus;
+        mem[inst.pod as usize][inst.host as usize] += inst.mem_gb;
+        nic[inst.device_pod as usize] += inst.nic_mbps as u64;
+        ssd[inst.device_pod as usize] += inst.ssd as u64;
+        if let Some(t) = st.migration(id as u64) {
+            vcpus[t.dst_pod as usize][t.dst_host as usize] += inst.vcpus;
+            mem[t.dst_pod as usize][t.dst_host as usize] += inst.mem_gb;
+            nic[t.dst_pod as usize] += inst.nic_mbps as u64;
+            ssd[t.dst_pod as usize] += inst.ssd as u64;
+        }
+    }
+    for (p, pc) in st.pods.iter().enumerate() {
+        if pc.host_vcpus_used != vcpus[p] || pc.host_mem_used != mem[p] {
+            return Some(format!(
+                "pod {p} CPU/mem books diverged: have {:?}/{:?}, derived {:?}/{:?}",
+                pc.host_vcpus_used, pc.host_mem_used, vcpus[p], mem[p]
+            ));
+        }
+        if pc.nic_mbps_used != nic[p] || pc.ssd_used != ssd[p] {
+            return Some(format!(
+                "pod {p} device books diverged: have nic {} ssd {}, derived nic {} ssd {}",
+                pc.nic_mbps_used, pc.ssd_used, nic[p], ssd[p]
+            ));
+        }
+    }
+    None
+}
+
+/// Invariant 7: a seeded storm of live migrations against the replicated
+/// fleet state machine, auditing that every migration is exactly-once.
+///
+/// Each round opens a ticket through the validated command API and then
+/// resolves it with a crash-recovery outcome drawn from the seed:
+///
+/// * commit (the copy finished; the instance lands on the target),
+/// * rollback (the copy was abandoned; the source keeps the instance), or
+/// * **host crash mid-copy**: recovery decides the outcome once, and the
+///   restarted driver then *re-delivers the identical `FinishMigration`*.
+///   The duplicate must degrade to a `Rejected` no-op that leaves the
+///   state byte-identical — completing on the target *and* rolling back
+///   on the source would double-release, which the books audit catches.
+///
+/// After every command the capacity books are recomputed from the
+/// instance table plus open tickets, and at the end the state must still
+/// replay from the committed raft log. Returns
+/// `(started, committed, aborted)`.
+fn migration_storm(seed: u64, violations: &mut Vec<String>) -> (u64, u64, u64) {
+    let mut alloc = FleetAllocator::new();
+    let hosts = 4u32;
+    for pod in 0..2u32 {
+        let resp = alloc.execute(
+            SimTime::ZERO,
+            &FleetCommand::RegisterPod {
+                pod,
+                hosts,
+                vcpus_per_host: 96,
+                mem_gb_per_host: 512,
+                nic_mbps: hosts as u64 * 100_000,
+                ssd_cap: hosts as u64 * 12_288,
+            },
+        );
+        assert!(resp.is_ok(), "pod registration cannot fail on a fresh log");
+    }
+    alloc
+        .execute(
+            SimTime::ZERO,
+            &FleetCommand::AddLink {
+                a: 0,
+                b: 1,
+                latency_ns: 1_000,
+            },
+        )
+        .expect("first uplink");
+
+    // A population of instances spread across both pods; leases are small
+    // enough that either pod can always host a migrating twin.
+    let mut ids: Vec<u64> = Vec::new();
+    for i in 0..8u32 {
+        match alloc.execute(
+            SimTime::from_micros(i as u64),
+            &FleetCommand::CreateInstance {
+                at: i as u64 * 1_000,
+                vcpus: 8 + (i % 3) * 4,
+                mem_gb: 32,
+                ssd: 1_024,
+                nic_mbps: 10_000,
+                home_pod: i % 2,
+            },
+        ) {
+            Ok(FleetResponse::Created { id, .. }) => ids.push(id),
+            other => panic!("seed population must place: {other:?}"),
+        }
+    }
+
+    let mut rng = SimRng::new(seed ^ 0x4D16_7A7E);
+    let mut at = 1_000_000u64; // command-time ns, strictly increasing
+    for round in 0..24u64 {
+        at += 1_000 + rng.range_u64(0, 5_000);
+        let id = ids[rng.range_usize(0, ids.len())];
+        let Some(Some(inst)) = alloc.state.instances.get(id as usize).copied() else {
+            continue;
+        };
+        let dst_pod = 1 - inst.pod; // always migrate to the other pod
+        let path = if rng.chance(0.5) {
+            TransferPath::Cxl
+        } else {
+            TransferPath::Nic
+        };
+        let open = FleetCommand::MigrateInstance {
+            at,
+            id,
+            dst_pod,
+            path,
+        };
+        if alloc.execute(SimTime::from_nanos(at), &open).is_err() {
+            continue; // target momentarily full — not a fault, try next round
+        }
+        if let Some(v) = audit_migration_books(&alloc.state) {
+            violations.push(format!("migration round {round} (ticket open): {v}"));
+        }
+
+        at += 1_000 + rng.range_u64(0, 5_000);
+        let scenario = rng.range_u64(0, 3);
+        // Scenario 2 is the host crash mid-copy: recovery still decides a
+        // single outcome (whatever the log's FinishMigration says), and
+        // the restarted driver re-delivers that same command afterwards.
+        let commit = match scenario {
+            0 => true,
+            1 => false,
+            _ => rng.chance(0.5),
+        };
+        let finish = FleetCommand::FinishMigration { at, id, commit };
+        match alloc.execute(SimTime::from_nanos(at), &finish) {
+            Ok(FleetResponse::MigrationFinished { committed, .. }) if committed == commit => {}
+            other => violations.push(format!(
+                "migration round {round}: finish({commit}) answered {other:?}"
+            )),
+        }
+        if scenario == 2 {
+            let before = fleet_state_bytes(&alloc.state);
+            let dup = alloc.state.apply(&finish);
+            if dup != FleetResponse::Rejected {
+                violations.push(format!(
+                    "migration round {round}: duplicate finish answered {dup:?}, want Rejected"
+                ));
+            }
+            if fleet_state_bytes(&alloc.state) != before {
+                violations.push(format!(
+                    "migration round {round}: duplicate finish mutated the fleet state"
+                ));
+            }
+        }
+        if let Some(v) = audit_migration_books(&alloc.state) {
+            violations.push(format!("migration round {round} (ticket closed): {v}"));
+        }
+    }
+
+    // One migration interrupted by a kill: the racing KillInstance must
+    // release both sides (source resources and the target reservation).
+    let id = ids[rng.range_usize(0, ids.len())];
+    if let Some(Some(inst)) = alloc.state.instances.get(id as usize).copied() {
+        at += 1_000;
+        let open = FleetCommand::MigrateInstance {
+            at,
+            id,
+            dst_pod: 1 - inst.pod,
+            path: TransferPath::Cxl,
+        };
+        if alloc.execute(SimTime::from_nanos(at), &open).is_ok() {
+            at += 1_000;
+            alloc
+                .execute(
+                    SimTime::from_nanos(at),
+                    &FleetCommand::KillInstance { at, id },
+                )
+                .expect("a live instance can always be killed");
+            if alloc.state.migration(id).is_some() {
+                violations.push("migration ticket survived a racing kill".into());
+            }
+            if let Some(v) = audit_migration_books(&alloc.state) {
+                violations.push(format!("migration (kill racing copy): {v}"));
+            }
+        }
+    }
+
+    if !alloc.state.migrations.is_empty() {
+        violations.push(format!(
+            "migration tickets leaked open: {:?}",
+            alloc.state.migrations
+        ));
+    }
+    let st = &alloc.state;
+    if st.migrations_started != st.migrations_committed + st.migrations_aborted {
+        violations.push(format!(
+            "migration counters unbalanced: {} started != {} committed + {} aborted",
+            st.migrations_started, st.migrations_committed, st.migrations_aborted
+        ));
+    }
+    if !alloc.consistent_with_log() {
+        violations.push("fleet state diverged from the raft log after the migration storm".into());
+    }
+    (
+        st.migrations_started,
+        st.migrations_committed,
+        st.migrations_aborted,
+    )
 }
 
 /// Run one seeded chaos schedule to completion and audit the invariants.
@@ -382,6 +636,11 @@ pub fn run_chaos_sharded(seed: u64, threads: Option<usize>) -> (ChaosReport, Str
         }
     }
 
+    // 7. Migration exactly-once: the seeded storm against the fleet state
+    // machine, with crash-retry duplicate deliveries and a books audit
+    // after every command.
+    let migrations = migration_storm(seed, &mut violations);
+
     // Storage accounting comes out of the pod's canonical metrics snapshot
     // rather than poking engine fields directly, so the chaos report prints
     // the same numbers the observability exporter would.
@@ -398,6 +657,7 @@ pub fn run_chaos_sharded(seed: u64, threads: Option<usize>) -> (ChaosReport, Str
         storage_retry_exhausted: snap.counter(m::STORAGE_FE_RETRY_EXHAUSTED, h0 as u32),
         storage_replays_answered: snap.counter(m::STORAGE_BE_REPLAYS_ANSWERED, 0),
         probe,
+        migrations,
     };
     (report, snap.to_json())
 }

@@ -78,6 +78,21 @@ impl RetryState {
         );
         self.deadline = now + self.wait;
     }
+
+    /// Decompose into `(attempts, deadline, current wait)` for snapshot
+    /// serialization; [`RetryState::from_parts`] inverts it exactly.
+    pub fn to_parts(&self) -> (u32, SimTime, SimDuration) {
+        (self.attempts, self.deadline, self.wait)
+    }
+
+    /// Rebuild from [`RetryState::to_parts`] output (snapshot restore).
+    pub fn from_parts(attempts: u32, deadline: SimTime, wait: SimDuration) -> Self {
+        RetryState {
+            attempts,
+            deadline,
+            wait,
+        }
+    }
 }
 
 /// A sliding dedup window over `u16` sequence numbers (NVMe-style command
@@ -151,9 +166,39 @@ impl SeqWindow {
         self.order.len()
     }
 
+    /// The window's fixed capacity (set at construction).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// True if nothing has been recorded yet.
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()
+    }
+
+    /// Decompose into `(capacity, remembered ids oldest-first, dup_hits)`
+    /// for snapshot serialization; [`SeqWindow::from_parts`] inverts it.
+    /// The presence bitmap is derived state and is rebuilt on restore.
+    pub fn to_parts(&self) -> (usize, Vec<u16>, u64) {
+        (
+            self.capacity,
+            self.order.iter().copied().collect(),
+            self.dup_hits,
+        )
+    }
+
+    /// Rebuild from [`SeqWindow::to_parts`] output (snapshot restore).
+    /// Ids beyond `capacity` are ignored; duplicates collapse, preserving
+    /// the window's invariant that every remembered id is present once.
+    pub fn from_parts(capacity: usize, order: &[u16], dup_hits: u64) -> Self {
+        let mut w = SeqWindow::new(capacity.max(1));
+        for &seq in order.iter().take(w.capacity) {
+            w.insert(seq);
+        }
+        // `insert` above counted any malformed duplicates; the lifetime
+        // tally is authoritative from the snapshot.
+        w.dup_hits = dup_hits;
+        w
     }
 }
 
@@ -222,6 +267,39 @@ mod tests {
         assert_eq!(w.insert_evicting(6), (true, None));
         assert_eq!(w.insert_evicting(7), (true, Some(5)));
         assert_eq!(w.insert_evicting(8), (true, Some(6)));
+    }
+
+    #[test]
+    fn retry_state_parts_roundtrip() {
+        let policy = RetryPolicy {
+            timeout: SimDuration::from_micros(50),
+            backoff: 3,
+            max_attempts: 5,
+        };
+        let mut st = RetryState::armed(&policy, SimTime::from_millis(2));
+        st.rearm(&policy, st.deadline);
+        let (attempts, deadline, wait) = st.to_parts();
+        let mut back = RetryState::from_parts(attempts, deadline, wait);
+        assert_eq!(back.attempts, st.attempts);
+        assert_eq!(back.deadline, st.deadline);
+        // The private wait survives: the next rearm backs off identically.
+        back.rearm(&policy, back.deadline);
+        st.rearm(&policy, st.deadline);
+        assert_eq!(back.deadline, st.deadline);
+    }
+
+    #[test]
+    fn seq_window_parts_roundtrip() {
+        let mut w = SeqWindow::new(4);
+        for seq in [9u16, 65_535, 0, 9, 3] {
+            w.insert(seq);
+        }
+        assert_eq!(w.dup_hits, 1);
+        let (cap, order, dups) = w.to_parts();
+        let back = SeqWindow::from_parts(cap, &order, dups);
+        assert_eq!(back.to_parts(), (cap, order, dups));
+        assert!(back.contains(65_535));
+        assert!(!back.contains(7));
     }
 
     #[test]

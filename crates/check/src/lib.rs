@@ -347,9 +347,7 @@ pub fn analyze_files(inputs: Vec<(FileCtx, String)>) -> Vec<Finding> {
     rules::rule_cfg_pairing(&files, &mut out);
     // Last: every other rule has had its chance to mark waivers live.
     rules::rule_stale_waiver(&files, &mut out);
-    out.sort_by(|a, b| {
-        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
-    });
+    out.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
     out
 }
 
@@ -638,10 +636,7 @@ mod tests {
             "crates/core/src/allocator/thing.rs",
             "fn apply(&mut self, used: u64, cap: u64) { self.load = used as f64 / cap as f64; }\n",
         );
-        assert!(
-            f.iter().any(|x| x.rule == "float-determinism"),
-            "{f:?}"
-        );
+        assert!(f.iter().any(|x| x.rule == "float-determinism"), "{f:?}");
         // The same code outside a policed path is clean.
         let f = one(
             "core",
@@ -690,21 +685,19 @@ mod tests {
 
     #[test]
     fn schema_evolution_pins_variant_order() {
-        let good = "pub const ALLOC_SCHEMA_VERSION: u32 = 1;\npub const FLEET_SCHEMA_VERSION: u32 = 1;\npub enum AllocCommand { RegisterNic, Assign, Unassign, MarkFailed, MarkRepaired, RegisterSsd, AssignVolume, ReleaseVolumes, MarkHostFailed, MarkHostRestarted, RegisterAccel }\npub enum FleetCommand { RegisterPod, AddLink, CreateInstance, ResizeInstance, KillInstance, QueryFleetState }\n";
+        let good = "pub const ALLOC_SCHEMA_VERSION: u32 = 1;\npub const FLEET_SCHEMA_VERSION: u32 = 2;\npub enum AllocCommand { RegisterNic, Assign, Unassign, MarkFailed, MarkRepaired, RegisterSsd, AssignVolume, ReleaseVolumes, MarkHostFailed, MarkHostRestarted, RegisterAccel }\npub enum FleetCommand { RegisterPod, AddLink, CreateInstance, ResizeInstance, KillInstance, QueryFleetState, MigrateInstance, FinishMigration }\npub enum TransferPath { Cxl, Nic }\n";
         let f = one("core", "crates/core/src/allocator/command.rs", good);
         assert!(f.iter().all(|x| x.rule != "schema-evolution"), "{f:?}");
         // Reordering two variants without touching the version: finding.
-        let reordered = good.replace(
-            "RegisterNic, Assign,",
-            "Assign, RegisterNic,",
-        );
+        let reordered = good.replace("RegisterNic, Assign,", "Assign, RegisterNic,");
         let f = one("core", "crates/core/src/allocator/command.rs", &reordered);
         assert!(f.iter().any(|x| x.rule == "schema-evolution"), "{f:?}");
         // Dropping the version const: finding.
         let no_const = good.replace("pub const ALLOC_SCHEMA_VERSION: u32 = 1;\n", "");
         let f = one("core", "crates/core/src/allocator/command.rs", &no_const);
-        assert!(f.iter().any(|x| x.rule == "schema-evolution"
-            && x.message.contains("ALLOC_SCHEMA_VERSION")));
+        assert!(f
+            .iter()
+            .any(|x| x.rule == "schema-evolution" && x.message.contains("ALLOC_SCHEMA_VERSION")));
     }
 
     #[test]
@@ -731,7 +724,10 @@ mod tests {
         );
         let good = "fn tick(&mut self, dt: u64) { self.nic_acc = self.nic_acc.saturating_add(nic * dt); }\n";
         let f = one("trace", "crates/trace/src/stranding.rs", good);
-        assert!(f.iter().all(|x| x.rule != "unchecked-epoch-arithmetic"), "{f:?}");
+        assert!(
+            f.iter().all(|x| x.rule != "unchecked-epoch-arithmetic"),
+            "{f:?}"
+        );
         // Outside policed paths the same line is fine.
         let f = one("sim", "crates/sim/src/clock.rs", bad);
         assert!(f.iter().all(|x| x.rule != "unchecked-epoch-arithmetic"));

@@ -94,7 +94,11 @@ fn main() -> ExitCode {
 
     if opts.list_rules {
         for r in registry::REGISTRY {
-            println!("{:28} {}", r.id, r.summary.split_whitespace().collect::<Vec<_>>().join(" "));
+            println!(
+                "{:28} {}",
+                r.id,
+                r.summary.split_whitespace().collect::<Vec<_>>().join(" ")
+            );
         }
         return ExitCode::SUCCESS;
     }
@@ -105,7 +109,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             None => {
-                eprintln!("oasis-check: unknown rule '{rule}'. Rules: {}", RULES.join(", "));
+                eprintln!(
+                    "oasis-check: unknown rule '{rule}'. Rules: {}",
+                    RULES.join(", ")
+                );
                 return ExitCode::from(2);
             }
         }

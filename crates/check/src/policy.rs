@@ -55,11 +55,58 @@ pub fn policed(rel_path: &str, fragments: &[&str]) -> bool {
 /// graph — resolving `new` or `len` across the workspace would connect
 /// everything to everything.
 pub const CALL_IGNORE: &[&str] = &[
-    "new", "default", "clone", "len", "is_empty", "get", "get_mut", "insert", "remove", "push",
-    "pop", "iter", "iter_mut", "next", "fmt", "from", "into", "as_ref", "as_mut", "drain",
-    "clear", "contains", "contains_key", "extend", "sort", "min", "max", "abs", "take", "write",
-    "read", "send", "recv", "tick", "apply", "encode", "decode", "eq", "cmp", "hash", "drop",
-    "index", "reset", "init", "run", "start", "stop", "name", "id", "kind", "value", "set",
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "iter",
+    "iter_mut",
+    "next",
+    "fmt",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "drain",
+    "clear",
+    "contains",
+    "contains_key",
+    "extend",
+    "sort",
+    "min",
+    "max",
+    "abs",
+    "take",
+    "write",
+    "read",
+    "send",
+    "recv",
+    "tick",
+    "apply",
+    "encode",
+    "decode",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "index",
+    "reset",
+    "init",
+    "run",
+    "start",
+    "stop",
+    "name",
+    "id",
+    "kind",
+    "value",
+    "set",
 ];
 
 /// One pinned enum schema: the file that declares it, its variant names in
@@ -103,7 +150,7 @@ pub const ENUM_GOLDENS: &[EnumGolden] = &[
         file: "core/src/allocator/command.rs",
         enum_name: "FleetCommand",
         version_const: "FLEET_SCHEMA_VERSION",
-        version: "1",
+        version: "2",
         variants: &[
             "RegisterPod",
             "AddLink",
@@ -111,7 +158,27 @@ pub const ENUM_GOLDENS: &[EnumGolden] = &[
             "ResizeInstance",
             "KillInstance",
             "QueryFleetState",
+            "MigrateInstance",
+            "FinishMigration",
         ],
+    },
+    // TransferPath rides inside MigrateInstance's wire encoding, so its
+    // variant order is pinned to the same fleet schema version.
+    EnumGolden {
+        file: "core/src/allocator/command.rs",
+        enum_name: "TransferPath",
+        version_const: "FLEET_SCHEMA_VERSION",
+        version: "2",
+        variants: &["Cxl", "Nic"],
+    },
+    // Snapshot container: section tags are assigned in variant order, so
+    // the enum's shape is the on-disk checkpoint format (DESIGN.md §15).
+    EnumGolden {
+        file: "core/src/snapshot.rs",
+        enum_name: "SnapshotSection",
+        version_const: "SNAPSHOT_SCHEMA_VERSION",
+        version: "2",
+        variants: &["Meta", "Engine", "FleetState", "ReplayCursor"],
     },
 ];
 
@@ -138,17 +205,39 @@ mod tests {
     fn policed_matching() {
         assert!(policed("crates/core/src/allocator/fleet.rs", FLOAT_POLICED));
         assert!(policed("crates/trace/src/stranding.rs", FLOAT_POLICED));
-        assert!(!policed("crates/trace/src/stranding_sweep.rs", FLOAT_POLICED));
+        assert!(!policed(
+            "crates/trace/src/stranding_sweep.rs",
+            FLOAT_POLICED
+        ));
         assert!(!policed("crates/core/src/pod.rs", FLOAT_POLICED));
-        assert!(policed("crates/core/src/allocator/service.rs", EPOCH_POLICED));
+        assert!(policed(
+            "crates/core/src/allocator/service.rs",
+            EPOCH_POLICED
+        ));
     }
 
     #[test]
     fn epoch_ident_shapes() {
-        for n in ["from_ns", "nic_acc", "spill_bytes", "frac_ppb", "at", "dt", "epoch_of"] {
+        for n in [
+            "from_ns",
+            "nic_acc",
+            "spill_bytes",
+            "frac_ppb",
+            "at",
+            "dt",
+            "epoch_of",
+        ] {
             assert!(is_epoch_ident(n), "{n}");
         }
-        for n in ["pod", "hosts", "vcpus", "ip", "nic", "from_le_bytes", "to_be_bytes"] {
+        for n in [
+            "pod",
+            "hosts",
+            "vcpus",
+            "ip",
+            "nic",
+            "from_le_bytes",
+            "to_be_bytes",
+        ] {
             assert!(!is_epoch_ident(n), "{n}");
         }
     }

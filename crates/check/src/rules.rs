@@ -733,7 +733,9 @@ pub(crate) fn rule_epoch_arithmetic(files: &[AnalyzedFile], out: &mut Vec<Findin
                 continue;
             }
             let text = masked_lines.get(line - 1).copied().unwrap_or("");
-            if text.contains("checked_") || text.contains("saturating_") || text.contains("wrapping_")
+            if text.contains("checked_")
+                || text.contains("saturating_")
+                || text.contains("wrapping_")
             {
                 continue;
             }
@@ -766,7 +768,9 @@ pub(crate) fn rule_cfg_pairing(files: &[AnalyzedFile], out: &mut Vec<Finding>) {
             let Some(gate) = &fun.gate else {
                 continue;
             };
-            if fun.in_tests || fun.is_pub || !policy::PAIRED_FEATURES.contains(&gate.feature.as_str())
+            if fun.in_tests
+                || fun.is_pub
+                || !policy::PAIRED_FEATURES.contains(&gate.feature.as_str())
             {
                 continue;
             }
@@ -807,7 +811,11 @@ pub(crate) fn rule_stale_waiver(files: &[AnalyzedFile], out: &mut Vec<Finding>) 
             continue;
         }
         for (line, rule, file_wide) in f.waivers.stale() {
-            let scope = if file_wide { "file-wide waiver" } else { "waiver" };
+            let scope = if file_wide {
+                "file-wide waiver"
+            } else {
+                "waiver"
+            };
             out.push(Finding {
                 file: f.ctx.rel_path.clone(),
                 line,

@@ -133,7 +133,11 @@ const CALL_KEYWORDS: &[&str] = &[
 /// Extract symbols from one file. `tests` are the `#[cfg(test)]` line
 /// ranges from the lexical pass; `literals` the (line, content) string
 /// literals from the raw source (feature names live in them).
-pub fn extract(lexed: &Lexed, tests: &[(usize, usize)], literals: &[(usize, String)]) -> FileSymbols {
+pub fn extract(
+    lexed: &Lexed,
+    tests: &[(usize, usize)],
+    literals: &[(usize, String)],
+) -> FileSymbols {
     let toks = tokenize(&lexed.masked);
     let mut out = FileSymbols::default();
     let mut w = Walker {
@@ -272,7 +276,9 @@ impl<'a> Walker<'a> {
                     gate = None;
                     is_pub = false;
                 }
-                Tok::Ident(k) if matches!(k.as_str(), "unsafe" | "extern" | "async" | "default") => {
+                Tok::Ident(k)
+                    if matches!(k.as_str(), "unsafe" | "extern" | "async" | "default") =>
+                {
                     i += 1; // modifier; keep pending attrs/visibility
                 }
                 _ => {
@@ -599,10 +605,8 @@ mod tests {
 
     #[test]
     fn fn_calls_and_floats() {
-        let s = sym(
-            "pub fn a(x: u64) -> u64 { helper(x) + other::thing(x) }\n\
-             fn b(r: f64) { let y = 1.5 * r; fmt(\"{:.1}\", y); }\n",
-        );
+        let s = sym("pub fn a(x: u64) -> u64 { helper(x) + other::thing(x) }\n\
+             fn b(r: f64) { let y = 1.5 * r; fmt(\"{:.1}\", y); }\n");
         assert_eq!(s.fns.len(), 2);
         assert!(s.fns[0].is_pub && !s.fns[1].is_pub);
         assert_eq!(s.fns[0].calls, vec!["helper", "thing"]);
@@ -624,11 +628,9 @@ mod tests {
 
     #[test]
     fn cfg_gates_attach_to_fns() {
-        let s = sym(
-            "#[cfg(feature = \"obs\")]\nfn real() { x(); }\n\
+        let s = sym("#[cfg(feature = \"obs\")]\nfn real() { x(); }\n\
              #[cfg(not(feature = \"obs\"))]\n#[inline(always)]\nfn real() {}\n\
-             fn ungated() {}\n",
-        );
+             fn ungated() {}\n");
         assert_eq!(s.fns.len(), 3);
         assert_eq!(
             s.fns[0].gate,
@@ -649,11 +651,9 @@ mod tests {
 
     #[test]
     fn consts_and_impls() {
-        let s = sym(
-            "pub const SCHEMA_V: u64 = 3;\n\
+        let s = sym("pub const SCHEMA_V: u64 = 3;\n\
              impl WireDescriptor for crate::msg::NetMsg { fn wire(&self) {} }\n\
-             impl Plain { fn m(&self) { q(); } }\n",
-        );
+             impl Plain { fn m(&self) { q(); } }\n");
         assert_eq!(s.consts[0].name, "SCHEMA_V");
         assert_eq!(s.consts[0].value.as_deref(), Some("3"));
         assert_eq!(s.impls[0].trait_name.as_deref(), Some("WireDescriptor"));
@@ -667,10 +667,8 @@ mod tests {
 
     #[test]
     fn struct_float_fields_and_test_marking() {
-        let s = sym(
-            "struct P { ratio: f64, n: u64 }\n\
-             #[cfg(test)]\nmod tests {\n    fn t() { let x = 0.5; }\n}\n",
-        );
+        let s = sym("struct P { ratio: f64, n: u64 }\n\
+             #[cfg(test)]\nmod tests {\n    fn t() { let x = 0.5; }\n}\n");
         assert_eq!(s.structs[0].floats.len(), 1);
         let t = s.fns.iter().find(|f| f.name == "t").unwrap();
         assert!(t.in_tests);

@@ -9,8 +9,45 @@ use oasis_net::addr::Ipv4Addr;
 pub const ALLOC_SCHEMA_VERSION: u32 = 1;
 
 /// Wire-schema version of [`FleetCommand`]; same contract as
-/// [`ALLOC_SCHEMA_VERSION`].
-pub const FLEET_SCHEMA_VERSION: u32 = 1;
+/// [`ALLOC_SCHEMA_VERSION`]. v2 appended `MigrateInstance` and
+/// `FinishMigration` (ISSUE 10 live migration).
+pub const FLEET_SCHEMA_VERSION: u32 = 2;
+
+/// How a live migration moves instance state to the target pod.
+///
+/// Variant order assigns the wire bytes inside [`FleetCommand`], so this
+/// enum is golden-pinned alongside it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferPath {
+    /// Pre-copy through the shared CXL pool: the source writes dirty state
+    /// into pooled memory the target maps directly (§3.2's fabric reused
+    /// as a migration channel).
+    Cxl,
+    /// Pre-copy over the NIC datapath, TCP-style, consuming the source
+    /// instance's leased bandwidth.
+    Nic,
+}
+
+impl TransferPath {
+    /// Wire byte (also the `oasis-obs` tag the migration metrics carry).
+    pub fn to_byte(self) -> u8 {
+        match self {
+            TransferPath::Cxl => 0,
+            TransferPath::Nic => 1,
+        }
+    }
+
+    /// Inverse of [`to_byte`](Self::to_byte). `None` on unknown bytes —
+    /// a migration command with an unknown path must be rejected, never
+    /// guessed.
+    pub fn from_byte(b: u8) -> Option<TransferPath> {
+        match b {
+            0 => Some(TransferPath::Cxl),
+            1 => Some(TransferPath::Nic),
+            _ => None,
+        }
+    }
+}
 
 /// A command applied to the replicated allocator state.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -310,6 +347,32 @@ pub enum FleetCommand {
     /// Read back the fleet-wide utilization report. Read-only: executed
     /// against the current state without an entry in the Raft log.
     QueryFleetState,
+    /// Begin a live migration: reserve capacity for `id` on `dst_pod` and
+    /// open a migration ticket. The instance keeps running on its source
+    /// host while pre-copy rounds drain dirty state over `path`; the
+    /// migration ends with a [`FinishMigration`](Self::FinishMigration).
+    MigrateInstance {
+        /// Simulation time of the request in nanoseconds.
+        at: u64,
+        /// Fleet instance id.
+        id: u64,
+        /// Target pod.
+        dst_pod: u32,
+        /// Transfer path for the pre-copy stream.
+        path: TransferPath,
+    },
+    /// Close a migration ticket. `commit = true` lands the instance on the
+    /// target (source capacity released); `commit = false` rolls back,
+    /// releasing the target reservation while the instance keeps running
+    /// on the source — the compensating half of exactly-once migration.
+    FinishMigration {
+        /// Simulation time of the decision in nanoseconds.
+        at: u64,
+        /// Fleet instance id.
+        id: u64,
+        /// Commit (land on target) vs abort (stay on source).
+        commit: bool,
+    },
 }
 
 impl FleetCommand {
@@ -377,6 +440,24 @@ impl FleetCommand {
                 b.extend_from_slice(&id.to_le_bytes());
             }
             FleetCommand::QueryFleetState => b.push(6),
+            FleetCommand::MigrateInstance {
+                at,
+                id,
+                dst_pod,
+                path,
+            } => {
+                b.push(7);
+                b.extend_from_slice(&at.to_le_bytes());
+                b.extend_from_slice(&id.to_le_bytes());
+                b.extend_from_slice(&dst_pod.to_le_bytes());
+                b.push(path.to_byte());
+            }
+            FleetCommand::FinishMigration { at, id, commit } => {
+                b.push(8);
+                b.extend_from_slice(&at.to_le_bytes());
+                b.extend_from_slice(&id.to_le_bytes());
+                b.push(*commit as u8);
+            }
         }
         b
     }
@@ -422,6 +503,17 @@ impl FleetCommand {
                 id: u64_at(9)?,
             }),
             6 => Some(FleetCommand::QueryFleetState),
+            7 => Some(FleetCommand::MigrateInstance {
+                at: u64_at(1)?,
+                id: u64_at(9)?,
+                dst_pod: u32_at(17)?,
+                path: TransferPath::from_byte(*b.get(21)?)?,
+            }),
+            8 => Some(FleetCommand::FinishMigration {
+                at: u64_at(1)?,
+                id: u64_at(9)?,
+                commit: *b.get(17)? != 0,
+            }),
             _ => None,
         }
     }
@@ -513,10 +605,46 @@ mod tests {
             },
             FleetCommand::KillInstance { at: 9, id: 100_001 },
             FleetCommand::QueryFleetState,
+            FleetCommand::MigrateInstance {
+                at: 11,
+                id: 42,
+                dst_pod: 63,
+                path: TransferPath::Cxl,
+            },
+            FleetCommand::MigrateInstance {
+                at: 12,
+                id: 43,
+                dst_pod: 0,
+                path: TransferPath::Nic,
+            },
+            FleetCommand::FinishMigration {
+                at: 13,
+                id: 42,
+                commit: true,
+            },
+            FleetCommand::FinishMigration {
+                at: 14,
+                id: 43,
+                commit: false,
+            },
         ];
         for c in cmds {
             assert_eq!(FleetCommand::decode(&c.encode()), Some(c));
         }
+    }
+
+    #[test]
+    fn unknown_transfer_path_rejected() {
+        let mut bytes = FleetCommand::MigrateInstance {
+            at: 1,
+            id: 2,
+            dst_pod: 3,
+            path: TransferPath::Nic,
+        }
+        .encode();
+        *bytes.last_mut().unwrap() = 9;
+        assert!(FleetCommand::decode(&bytes).is_none());
+        assert!(TransferPath::from_byte(2).is_none());
     }
 
     #[test]

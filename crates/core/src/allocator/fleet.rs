@@ -27,9 +27,10 @@ use oasis_obs::MetricSink;
 use oasis_raft::{RaftConfig, RaftNode};
 use oasis_sim::time::{SimDuration, SimTime};
 
-use super::command::{FleetCommand, ANY_POD};
+use super::command::{FleetCommand, TransferPath, ANY_POD};
 use crate::error::FleetError;
 use crate::metrics;
+use crate::snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, Snapshottable};
 
 /// The pod-local capacity layer: what one pod can still serve, as seen by
 /// the fleet. CPU and memory are per-host (instances run on exactly one
@@ -102,6 +103,24 @@ pub struct FleetInstance {
     /// When the current lease epoch started (command time, ns). Reset on
     /// resize so spill traffic is integrated rate-by-rate.
     pub placed_at: u64,
+}
+
+/// An open migration ticket: the target-side reservation made by
+/// `MigrateInstance` and released by exactly one `FinishMigration` (or a
+/// `KillInstance` racing the migration). While the ticket is open the
+/// instance's resources are held on *both* pods, which is what makes
+/// commit and rollback both safe: neither side's capacity can be given
+/// away mid-copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationTicket {
+    /// Target pod.
+    pub dst_pod: u32,
+    /// Reserved host index within the target pod.
+    pub dst_host: u32,
+    /// Transfer path of the pre-copy stream.
+    pub path: TransferPath,
+    /// When the ticket opened (command time, ns).
+    pub opened_at: u64,
 }
 
 /// Per-pod utilization line in a [`FleetStateReport`].
@@ -184,6 +203,24 @@ pub enum FleetResponse {
         /// Fleet instance id.
         id: u64,
     },
+    /// A migration ticket was opened; the instance's resources are now
+    /// reserved on the target pod while it keeps running on the source.
+    MigrationStarted {
+        /// Fleet instance id.
+        id: u64,
+        /// Target pod.
+        dst_pod: usize,
+        /// Reserved host within the target pod.
+        dst_host: usize,
+    },
+    /// The migration ticket closed: `committed` tells whether the
+    /// instance landed on the target or rolled back to the source.
+    MigrationFinished {
+        /// Fleet instance id.
+        id: u64,
+        /// Committed (target) vs aborted (source).
+        committed: bool,
+    },
     /// The utilization report.
     State(FleetStateReport),
 }
@@ -225,6 +262,15 @@ pub struct FleetState {
     pub spill_bytes: Vec<u64>,
     /// Per *device* pod: placements it serves devices for.
     pub pod_placements: Vec<u64>,
+    /// Open migration tickets, sorted by instance id (a sorted `Vec`
+    /// keeps `Eq` and iteration deterministic).
+    pub migrations: Vec<(u64, MigrationTicket)>,
+    /// Migration tickets opened.
+    pub migrations_started: u64,
+    /// Migrations committed onto their target pod.
+    pub migrations_committed: u64,
+    /// Migrations rolled back onto their source pod.
+    pub migrations_aborted: u64,
 }
 
 /// A pass-2 spill candidate: the `(hops, vcpu slack, mem slack)` ranking
@@ -263,6 +309,47 @@ impl FleetState {
     /// Is `id` a live instance?
     pub fn is_live(&self, id: u64) -> bool {
         matches!(self.instances.get(id as usize), Some(Some(_)))
+    }
+
+    /// The open migration ticket for `id`, if any.
+    pub fn migration(&self, id: u64) -> Option<&MigrationTicket> {
+        self.migrations
+            .iter()
+            .find(|&&(mid, _)| mid == id)
+            .map(|(_, t)| t)
+    }
+
+    /// The host a migration of `inst` to `dst_pod` would reserve (best-fit
+    /// by post-reservation slack), or `None` when the pod cannot take the
+    /// instance's CPU/memory/devices — or is the pod it already runs on.
+    /// Shared by command validation and [`apply`](Self::apply), so the
+    /// two cannot disagree about feasibility.
+    fn migration_fit(&self, inst: &FleetInstance, dst_pod: usize) -> Option<usize> {
+        if dst_pod == inst.pod as usize || dst_pod >= self.pods.len() {
+            return None;
+        }
+        let pc = &self.pods[dst_pod];
+        if !pc.devices_fit(inst.nic_mbps as u64, inst.ssd as u64) {
+            return None;
+        }
+        let mut best: Option<((u32, u32), usize)> = None;
+        for h in 0..pc.hosts() {
+            if let Some(key) = pc.host_slack(h, inst.vcpus, inst.mem_gb) {
+                if best.is_none_or(|(bk, _)| key < bk) {
+                    best = Some((key, h));
+                }
+            }
+        }
+        best.map(|(_, h)| h)
+    }
+
+    /// Release the target-side reservation held by an open ticket.
+    fn release_ticket(&mut self, inst: &FleetInstance, ticket: &MigrationTicket) {
+        let pc = &mut self.pods[ticket.dst_pod as usize];
+        pc.host_vcpus_used[ticket.dst_host as usize] -= inst.vcpus;
+        pc.host_mem_used[ticket.dst_host as usize] -= inst.mem_gb;
+        pc.nic_mbps_used -= inst.nic_mbps as u64;
+        pc.ssd_used -= inst.ssd as u64;
     }
 
     fn recompute_spill(&mut self) {
@@ -428,6 +515,12 @@ impl FleetState {
                 let Some(Some(inst)) = self.instances.get(id as usize).copied() else {
                     return FleetResponse::Rejected;
                 };
+                if self.migration(id).is_some() {
+                    // The ticket's target reservation was sized for the
+                    // current leases; repricing mid-copy would desync it.
+                    self.resize_rejections += 1;
+                    return FleetResponse::ResizeRejected { id };
+                }
                 let dp = inst.device_pod as usize;
                 let dc = &self.pods[dp];
                 let nic_ok = (dc.nic_mbps_used - inst.nic_mbps as u64)
@@ -467,8 +560,91 @@ impl FleetState {
                 let dc = &mut self.pods[inst.device_pod as usize];
                 dc.nic_mbps_used -= inst.nic_mbps as u64;
                 dc.ssd_used -= inst.ssd as u64;
+                // A kill racing an open migration also rolls back the
+                // target reservation — nothing may leak on either side.
+                if let Some(pos) = self.migrations.iter().position(|&(mid, _)| mid == id) {
+                    let (_, ticket) = self.migrations.remove(pos);
+                    self.release_ticket(&inst, &ticket);
+                    self.migrations_aborted += 1;
+                }
                 self.killed += 1;
                 FleetResponse::Killed { id }
+            }
+            FleetCommand::MigrateInstance {
+                at,
+                id,
+                dst_pod,
+                path,
+            } => {
+                let Some(Some(inst)) = self.instances.get(id as usize).copied() else {
+                    return FleetResponse::Rejected;
+                };
+                if self.migration(id).is_some() {
+                    return FleetResponse::Rejected;
+                }
+                let Some(dst_host) = self.migration_fit(&inst, dst_pod as usize) else {
+                    return FleetResponse::Rejected;
+                };
+                let pc = &mut self.pods[dst_pod as usize];
+                pc.host_vcpus_used[dst_host] += inst.vcpus;
+                pc.host_mem_used[dst_host] += inst.mem_gb;
+                pc.nic_mbps_used = pc.nic_mbps_used.saturating_add(inst.nic_mbps as u64);
+                pc.ssd_used = pc.ssd_used.saturating_add(inst.ssd as u64);
+                let ticket = MigrationTicket {
+                    dst_pod,
+                    dst_host: dst_host as u32,
+                    path,
+                    opened_at: at,
+                };
+                let pos = self.migrations.partition_point(|&(mid, _)| mid < id);
+                self.migrations.insert(pos, (id, ticket));
+                self.migrations_started += 1;
+                FleetResponse::MigrationStarted {
+                    id,
+                    dst_pod: dst_pod as usize,
+                    dst_host,
+                }
+            }
+            FleetCommand::FinishMigration { at, id, commit } => {
+                // Exactly-once: the ticket is removed before anything is
+                // released, so a replayed FinishMigration finds no ticket
+                // and degrades to Rejected instead of double-releasing.
+                let Some(pos) = self.migrations.iter().position(|&(mid, _)| mid == id) else {
+                    return FleetResponse::Rejected;
+                };
+                let (_, ticket) = self.migrations.remove(pos);
+                let Some(Some(inst)) = self.instances.get(id as usize).copied() else {
+                    return FleetResponse::Rejected;
+                };
+                if commit {
+                    // Land on the target: close the source's spill epoch,
+                    // release every source-side resource, re-home.
+                    self.flush_spill(&inst, at);
+                    let sp = &mut self.pods[inst.pod as usize];
+                    sp.host_vcpus_used[inst.host as usize] -= inst.vcpus;
+                    sp.host_mem_used[inst.host as usize] -= inst.mem_gb;
+                    let sd = &mut self.pods[inst.device_pod as usize];
+                    sd.nic_mbps_used -= inst.nic_mbps as u64;
+                    sd.ssd_used -= inst.ssd as u64;
+                    if let Some(Some(i)) = self.instances.get_mut(id as usize) {
+                        i.pod = ticket.dst_pod;
+                        i.host = ticket.dst_host;
+                        i.device_pod = ticket.dst_pod;
+                        i.placed_at = at;
+                    }
+                    self.pod_placements[ticket.dst_pod as usize] += 1;
+                    self.migrations_committed += 1;
+                } else {
+                    // Roll back: drop the target reservation; the source
+                    // side never changed, so the instance just keeps
+                    // running where it was.
+                    self.release_ticket(&inst, &ticket);
+                    self.migrations_aborted += 1;
+                }
+                FleetResponse::MigrationFinished {
+                    id,
+                    committed: commit,
+                }
             }
             FleetCommand::QueryFleetState => FleetResponse::State(self.report()),
         }
@@ -529,6 +705,201 @@ impl FleetState {
                 sink.set(metrics::FLEET_POD_PLACEMENTS, p as u32, v);
             }
         }
+        // Zero-valued migration tallies are skipped so runs that never
+        // migrate keep their exports (and figure JSON) byte-identical.
+        for (name, v) in [
+            (metrics::FLEET_MIGRATIONS_STARTED, self.migrations_started),
+            (
+                metrics::FLEET_MIGRATIONS_COMMITTED,
+                self.migrations_committed,
+            ),
+            (metrics::FLEET_MIGRATIONS_ABORTED, self.migrations_aborted),
+        ] {
+            if v != 0 {
+                sink.set(name, 0, v);
+            }
+        }
+    }
+}
+
+impl Snapshottable for FleetState {
+    /// Byte-stable by construction: every collection is written in its
+    /// (deterministic) storage order; `spill` is derived from the link
+    /// set and recomputed on restore instead of being serialized.
+    fn snapshot_state(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.pods.len() as u64);
+        for pc in &self.pods {
+            w.put_u32(pc.vcpus_per_host);
+            w.put_u32(pc.mem_gb_per_host);
+            w.put_u64(pc.host_vcpus_used.len() as u64);
+            for &v in &pc.host_vcpus_used {
+                w.put_u32(v);
+            }
+            for &m in &pc.host_mem_used {
+                w.put_u32(m);
+            }
+            w.put_u64(pc.nic_mbps_cap);
+            w.put_u64(pc.nic_mbps_used);
+            w.put_u64(pc.ssd_cap);
+            w.put_u64(pc.ssd_used);
+        }
+        w.put_u64(self.links.len() as u64);
+        for &(a, b, ns) in &self.links {
+            w.put_u32(a);
+            w.put_u32(b);
+            w.put_u64(ns);
+        }
+        w.put_u64(self.instances.len() as u64);
+        for slot in &self.instances {
+            w.put_bool(slot.is_some());
+            if let Some(i) = slot {
+                w.put_u32(i.vcpus);
+                w.put_u32(i.mem_gb);
+                w.put_u32(i.ssd);
+                w.put_u32(i.nic_mbps);
+                w.put_u32(i.pod);
+                w.put_u32(i.host);
+                w.put_u32(i.device_pod);
+                w.put_u64(i.placed_at);
+            }
+        }
+        for v in [
+            self.placed,
+            self.rejected,
+            self.killed,
+            self.resizes,
+            self.resize_rejections,
+        ] {
+            w.put_u64(v);
+        }
+        for table in [
+            &self.spill_placements,
+            &self.spill_bytes,
+            &self.pod_placements,
+        ] {
+            w.put_u64(table.len() as u64);
+            for &v in table.iter() {
+                w.put_u64(v);
+            }
+        }
+        w.put_u64(self.migrations.len() as u64);
+        for &(id, t) in &self.migrations {
+            w.put_u64(id);
+            w.put_u32(t.dst_pod);
+            w.put_u32(t.dst_host);
+            w.put_u8(t.path.to_byte());
+            w.put_u64(t.opened_at);
+        }
+        for v in [
+            self.migrations_started,
+            self.migrations_committed,
+            self.migrations_aborted,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        let n = r.count("fleet pod count")?;
+        let mut pods = Vec::with_capacity(n);
+        for _ in 0..n {
+            let vcpus_per_host = r.u32("fleet pod vcpus/host")?;
+            let mem_gb_per_host = r.u32("fleet pod mem/host")?;
+            let hosts = r.count("fleet pod host count")?;
+            let mut host_vcpus_used = Vec::with_capacity(hosts);
+            for _ in 0..hosts {
+                host_vcpus_used.push(r.u32("fleet pod host vcpus")?);
+            }
+            let mut host_mem_used = Vec::with_capacity(hosts);
+            for _ in 0..hosts {
+                host_mem_used.push(r.u32("fleet pod host mem")?);
+            }
+            pods.push(PodCapacity {
+                vcpus_per_host,
+                mem_gb_per_host,
+                host_vcpus_used,
+                host_mem_used,
+                nic_mbps_cap: r.u64("fleet pod nic cap")?,
+                nic_mbps_used: r.u64("fleet pod nic used")?,
+                ssd_cap: r.u64("fleet pod ssd cap")?,
+                ssd_used: r.u64("fleet pod ssd used")?,
+            });
+        }
+        self.pods = pods;
+        let n = r.count("fleet link count")?;
+        let mut links = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = r.u32("fleet link a")?;
+            let b = r.u32("fleet link b")?;
+            let ns = r.u64("fleet link latency")?;
+            links.push((a, b, ns));
+        }
+        self.links = links;
+        let n = r.count("fleet instance count")?;
+        let mut instances = Vec::with_capacity(n);
+        for _ in 0..n {
+            instances.push(if r.bool("fleet instance present")? {
+                Some(FleetInstance {
+                    vcpus: r.u32("fleet instance vcpus")?,
+                    mem_gb: r.u32("fleet instance mem")?,
+                    ssd: r.u32("fleet instance ssd")?,
+                    nic_mbps: r.u32("fleet instance nic")?,
+                    pod: r.u32("fleet instance pod")?,
+                    host: r.u32("fleet instance host")?,
+                    device_pod: r.u32("fleet instance device pod")?,
+                    placed_at: r.u64("fleet instance placed_at")?,
+                })
+            } else {
+                None
+            });
+        }
+        self.instances = instances;
+        self.placed = r.u64("fleet placed")?;
+        self.rejected = r.u64("fleet rejected")?;
+        self.killed = r.u64("fleet killed")?;
+        self.resizes = r.u64("fleet resizes")?;
+        self.resize_rejections = r.u64("fleet resize rejections")?;
+        let mut tables: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for table in tables.iter_mut() {
+            let n = r.u64("fleet table length")?;
+            for _ in 0..n {
+                table.push(r.u64("fleet table entry")?);
+            }
+        }
+        let [spill_placements, spill_bytes, pod_placements] = tables;
+        self.spill_placements = spill_placements;
+        self.spill_bytes = spill_bytes;
+        self.pod_placements = pod_placements;
+        let n = r.count("fleet migration count")?;
+        let mut migrations = Vec::with_capacity(n);
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let id = r.u64("fleet migration id")?;
+            if prev.is_some_and(|p| p >= id) {
+                return Err(SnapshotError::Corrupt("fleet migration order"));
+            }
+            prev = Some(id);
+            let dst_pod = r.u32("fleet migration dst pod")?;
+            let dst_host = r.u32("fleet migration dst host")?;
+            let path = TransferPath::from_byte(r.u8("fleet migration path")?)
+                .ok_or(SnapshotError::Corrupt("fleet migration path"))?;
+            let opened_at = r.u64("fleet migration opened_at")?;
+            migrations.push((
+                id,
+                MigrationTicket {
+                    dst_pod,
+                    dst_host,
+                    path,
+                    opened_at,
+                },
+            ));
+        }
+        self.migrations = migrations;
+        self.migrations_started = r.u64("fleet migrations started")?;
+        self.migrations_committed = r.u64("fleet migrations committed")?;
+        self.migrations_aborted = r.u64("fleet migrations aborted")?;
+        self.recompute_spill();
+        Ok(())
     }
 }
 
@@ -541,6 +912,11 @@ pub struct FleetAllocator {
     /// The replicated state (readable for reports and tests).
     pub state: FleetState,
     raft: RaftNode,
+    /// Compaction point: the state a restored checkpoint started from.
+    /// [`consistent_with_log`](Self::consistent_with_log) replays the log
+    /// on top of this base, so the invariant keeps holding across
+    /// checkpoint/resume even though the pre-checkpoint log is gone.
+    base: FleetState,
 }
 
 impl Default for FleetAllocator {
@@ -559,7 +935,23 @@ impl FleetAllocator {
         FleetAllocator {
             state: FleetState::default(),
             raft,
+            base: FleetState::default(),
         }
+    }
+
+    /// Write the applied state into `w` as a checkpoint (log-compaction
+    /// point).
+    pub fn checkpoint(&self, w: &mut SnapshotWriter) {
+        self.state.snapshot_state(w);
+    }
+
+    /// Install a checkpoint written by [`checkpoint`](Self::checkpoint):
+    /// the restored state becomes both the live state and the replay base.
+    /// Only meaningful on a freshly created allocator (empty log).
+    pub fn restore(&mut self, r: &mut SnapshotReader<'_>) -> Result<(), SnapshotError> {
+        self.state.restore_state(r)?;
+        self.base = self.state.clone();
+        Ok(())
     }
 
     /// Execute one control-plane command at simulation time `now`:
@@ -601,9 +993,42 @@ impl FleetAllocator {
                     return Err(FleetError::NoSuchPod(home_pod as usize));
                 }
             }
-            FleetCommand::ResizeInstance { id, .. } | FleetCommand::KillInstance { id, .. } => {
+            FleetCommand::ResizeInstance { id, .. } => {
                 if !self.state.is_live(id) {
                     return Err(FleetError::NoSuchInstance(id));
+                }
+                if self.state.migration(id).is_some() {
+                    return Err(FleetError::MigrationInProgress(id));
+                }
+            }
+            FleetCommand::KillInstance { id, .. } => {
+                if !self.state.is_live(id) {
+                    return Err(FleetError::NoSuchInstance(id));
+                }
+            }
+            FleetCommand::MigrateInstance { id, dst_pod, .. } => {
+                let Some(Some(inst)) = self.state.instances.get(id as usize).copied() else {
+                    return Err(FleetError::NoSuchInstance(id));
+                };
+                if dst_pod as usize >= self.state.pods.len() {
+                    return Err(FleetError::NoSuchPod(dst_pod as usize));
+                }
+                if self.state.migration(id).is_some() {
+                    return Err(FleetError::MigrationInProgress(id));
+                }
+                if self.state.migration_fit(&inst, dst_pod as usize).is_none() {
+                    return Err(FleetError::MigrationInfeasible {
+                        id,
+                        dst_pod: dst_pod as usize,
+                    });
+                }
+            }
+            FleetCommand::FinishMigration { id, .. } => {
+                if !self.state.is_live(id) {
+                    return Err(FleetError::NoSuchInstance(id));
+                }
+                if self.state.migration(id).is_none() {
+                    return Err(FleetError::NotMigrating(id));
                 }
             }
         }
@@ -619,11 +1044,12 @@ impl FleetAllocator {
         Ok(last)
     }
 
-    /// Replay the committed log prefix through a fresh state machine and
-    /// compare with the live state — the fleet-level "state is consistent
-    /// with the log" invariant.
+    /// Replay the committed log prefix on top of the compaction base
+    /// (empty unless a checkpoint was restored) and compare with the live
+    /// state — the fleet-level "state is consistent with the log"
+    /// invariant.
     pub fn consistent_with_log(&self) -> bool {
-        let mut replayed = FleetState::default();
+        let mut replayed = self.base.clone();
         let commit = self.raft.commit_index();
         for entry in self.raft.log_entries().iter().take(commit as usize) {
             if entry.command.is_empty() {
@@ -950,7 +1376,12 @@ mod tests {
                 .unwrap()
         };
         let (spilled_id, pod, device_pod) = match home_create(&mut alloc, 10) {
-            FleetResponse::Created { id, pod, device_pod, .. } => (id, pod, device_pod),
+            FleetResponse::Created {
+                id,
+                pod,
+                device_pod,
+                ..
+            } => (id, pod, device_pod),
             other => panic!("unexpected {other:?}"),
         };
         assert_ne!(pod, device_pod, "the second lease must spill");
@@ -967,9 +1398,9 @@ mod tests {
             )
             .unwrap();
         let after_nic: Vec<u64> = alloc.state.pods.iter().map(|p| p.nic_mbps_used).collect();
-        assert_eq!(after_nic[device_pod as usize], before_nic[device_pod as usize] - 20_000);
+        assert_eq!(after_nic[device_pod], before_nic[device_pod] - 20_000);
         assert!(
-            alloc.state.spill_bytes[pod as usize] > 0,
+            alloc.state.spill_bytes[pod] > 0,
             "the spilled lease's traffic epoch was closed into its home pod"
         );
         assert!(alloc.consistent_with_log());
@@ -983,6 +1414,338 @@ mod tests {
         // And the original instance was untouched throughout.
         assert!(alloc.state.is_live(base));
         assert!(alloc.consistent_with_log());
+    }
+
+    fn migrate(alloc: &mut FleetAllocator, at: u64, id: u64, dst: u32) -> FleetResponse {
+        alloc
+            .execute(
+                SimTime::from_nanos(at),
+                &FleetCommand::MigrateInstance {
+                    at,
+                    id,
+                    dst_pod: dst,
+                    path: TransferPath::Cxl,
+                },
+            )
+            .unwrap()
+    }
+
+    fn finish(alloc: &mut FleetAllocator, at: u64, id: u64, commit: bool) -> FleetResponse {
+        alloc
+            .execute(
+                SimTime::from_nanos(at),
+                &FleetCommand::FinishMigration { at, id, commit },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn migration_commit_rehomes_and_releases_source() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 2);
+        register(&mut alloc, 2);
+        link(&mut alloc, 0, 1);
+        let FleetResponse::Created { id, pod, .. } = create(&mut alloc, 0, 20_000, 500) else {
+            panic!("create failed");
+        };
+        assert_eq!(pod, 0);
+        let FleetResponse::MigrationStarted {
+            dst_pod, dst_host, ..
+        } = migrate(&mut alloc, 100, id, 1)
+        else {
+            panic!("migrate refused");
+        };
+        assert_eq!(dst_pod, 1);
+        // While the ticket is open, both pods hold the resources.
+        assert_eq!(alloc.state.pods[0].nic_mbps_used, 20_000);
+        assert_eq!(alloc.state.pods[1].nic_mbps_used, 20_000);
+        assert_eq!(
+            finish(&mut alloc, 8_000_100, id, true),
+            FleetResponse::MigrationFinished {
+                id,
+                committed: true
+            }
+        );
+        let inst = alloc.state.instances[id as usize].unwrap();
+        assert_eq!(
+            (inst.pod, inst.host, inst.device_pod),
+            (1, dst_host as u32, 1)
+        );
+        assert_eq!(alloc.state.pods[0].nic_mbps_used, 0, "source released");
+        assert_eq!(alloc.state.pods[0].host_vcpus_used, vec![0, 0]);
+        assert_eq!(alloc.state.pods[1].nic_mbps_used, 20_000);
+        assert_eq!(alloc.state.migrations, vec![]);
+        assert_eq!(alloc.state.migrations_committed, 1);
+        assert!(alloc.consistent_with_log());
+    }
+
+    #[test]
+    fn migration_abort_rolls_back_target_only() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        register(&mut alloc, 1);
+        link(&mut alloc, 0, 1);
+        let FleetResponse::Created { id, .. } = create(&mut alloc, 0, 30_000, 0) else {
+            panic!("create failed");
+        };
+        migrate(&mut alloc, 50, id, 1);
+        assert_eq!(
+            finish(&mut alloc, 60, id, false),
+            FleetResponse::MigrationFinished {
+                id,
+                committed: false
+            }
+        );
+        let inst = alloc.state.instances[id as usize].unwrap();
+        assert_eq!(inst.pod, 0, "instance stays on the source");
+        assert_eq!(alloc.state.pods[1].nic_mbps_used, 0, "target rolled back");
+        assert_eq!(alloc.state.pods[1].host_vcpus_used, vec![0]);
+        assert_eq!(alloc.state.migrations_aborted, 1);
+        assert!(alloc.consistent_with_log());
+    }
+
+    #[test]
+    fn migration_is_exactly_once() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        register(&mut alloc, 1);
+        link(&mut alloc, 0, 1);
+        let FleetResponse::Created { id, .. } = create(&mut alloc, 0, 10_000, 0) else {
+            panic!("create failed");
+        };
+        // Double-start is refused while the ticket is open.
+        migrate(&mut alloc, 10, id, 1);
+        assert_eq!(
+            alloc.execute(
+                SimTime::from_nanos(11),
+                &FleetCommand::MigrateInstance {
+                    at: 11,
+                    id,
+                    dst_pod: 1,
+                    path: TransferPath::Nic,
+                }
+            ),
+            Err(FleetError::MigrationInProgress(id))
+        );
+        // Resize is refused mid-copy.
+        assert_eq!(
+            alloc.execute(
+                SimTime::from_nanos(12),
+                &FleetCommand::ResizeInstance {
+                    at: 12,
+                    id,
+                    nic_mbps: 5_000,
+                    ssd: 0
+                }
+            ),
+            Err(FleetError::MigrationInProgress(id))
+        );
+        finish(&mut alloc, 20, id, true);
+        // Double-finish finds no ticket.
+        assert_eq!(
+            alloc.execute(
+                SimTime::from_nanos(21),
+                &FleetCommand::FinishMigration {
+                    at: 21,
+                    id,
+                    commit: false
+                }
+            ),
+            Err(FleetError::NotMigrating(id))
+        );
+        // And the state machine itself rejects a replayed finish: apply
+        // it directly, bypassing validation, like a replica replaying a
+        // duplicated log suffix would.
+        let before = alloc.state.clone();
+        let resp = alloc.state.apply(&FleetCommand::FinishMigration {
+            at: 22,
+            id,
+            commit: true,
+        });
+        assert_eq!(resp, FleetResponse::Rejected);
+        assert_eq!(alloc.state, before, "replayed finish is a no-op");
+    }
+
+    #[test]
+    fn kill_during_migration_releases_both_sides() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        register(&mut alloc, 1);
+        link(&mut alloc, 0, 1);
+        let FleetResponse::Created { id, .. } = create(&mut alloc, 0, 10_000, 200) else {
+            panic!("create failed");
+        };
+        migrate(&mut alloc, 10, id, 1);
+        alloc
+            .execute(
+                SimTime::from_nanos(20),
+                &FleetCommand::KillInstance { at: 20, id },
+            )
+            .unwrap();
+        for p in 0..2 {
+            assert_eq!(alloc.state.pods[p].nic_mbps_used, 0, "pod {p}");
+            assert_eq!(alloc.state.pods[p].ssd_used, 0, "pod {p}");
+            assert_eq!(alloc.state.pods[p].host_vcpus_used, vec![0], "pod {p}");
+        }
+        assert_eq!(alloc.state.migrations, vec![]);
+        assert!(alloc.consistent_with_log());
+    }
+
+    #[test]
+    fn migration_validation_errors() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        register(&mut alloc, 1);
+        let FleetResponse::Created { id, .. } = create(&mut alloc, 0, 10_000, 0) else {
+            panic!("create failed");
+        };
+        assert_eq!(
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::MigrateInstance {
+                    at: 0,
+                    id: 99,
+                    dst_pod: 1,
+                    path: TransferPath::Cxl
+                }
+            ),
+            Err(FleetError::NoSuchInstance(99))
+        );
+        assert_eq!(
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::MigrateInstance {
+                    at: 0,
+                    id,
+                    dst_pod: 7,
+                    path: TransferPath::Cxl
+                }
+            ),
+            Err(FleetError::NoSuchPod(7))
+        );
+        // Migrating onto the pod it already runs on is infeasible.
+        assert_eq!(
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::MigrateInstance {
+                    at: 0,
+                    id,
+                    dst_pod: 0,
+                    path: TransferPath::Cxl
+                }
+            ),
+            Err(FleetError::MigrationInfeasible { id, dst_pod: 0 })
+        );
+        // A saturated target is infeasible too.
+        alloc.state.pods[1].nic_mbps_used = alloc.state.pods[1].nic_mbps_cap;
+        assert_eq!(
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::MigrateInstance {
+                    at: 0,
+                    id,
+                    dst_pod: 1,
+                    path: TransferPath::Cxl
+                }
+            ),
+            Err(FleetError::MigrationInfeasible { id, dst_pod: 1 })
+        );
+        assert_eq!(
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::FinishMigration {
+                    at: 0,
+                    id,
+                    commit: true
+                }
+            ),
+            Err(FleetError::NotMigrating(id))
+        );
+    }
+
+    #[test]
+    fn fleet_state_snapshot_roundtrips() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 2);
+        register(&mut alloc, 2);
+        link(&mut alloc, 0, 1);
+        let FleetResponse::Created { id, .. } = create(&mut alloc, 0, 20_000, 500) else {
+            panic!("create failed");
+        };
+        create(&mut alloc, 10, 15_000, 0);
+        migrate(&mut alloc, 100, id, 1);
+
+        let mut w = SnapshotWriter::new();
+        alloc.state.snapshot_state(&mut w);
+        let bytes = w.finish();
+
+        let mut restored = FleetState::default();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        restored.restore_state(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(restored, alloc.state);
+
+        // Byte stability: re-snapshot reproduces identical bytes.
+        let mut w2 = SnapshotWriter::new();
+        restored.snapshot_state(&mut w2);
+        assert_eq!(w2.finish(), bytes);
+
+        // The restored state keeps functioning: the open ticket commits.
+        let resp = restored.apply(&FleetCommand::FinishMigration {
+            at: 200,
+            id,
+            commit: true,
+        });
+        assert_eq!(
+            resp,
+            FleetResponse::MigrationFinished {
+                id,
+                committed: true
+            }
+        );
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_log() {
+        let mut src = FleetAllocator::new();
+        register(&mut src, 2);
+        let FleetResponse::Created { id, .. } = create(&mut src, 0, 10_000, 100) else {
+            panic!("create failed");
+        };
+        let mut w = SnapshotWriter::new();
+        src.checkpoint(&mut w);
+        let bytes = w.finish();
+
+        // Resume into a fresh allocator (empty log) and keep operating:
+        // consistent_with_log must hold because the base carries the
+        // pre-checkpoint history.
+        let mut resumed = FleetAllocator::new();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        resumed.restore(&mut r).unwrap();
+        assert_eq!(resumed.state, src.state);
+        assert!(resumed.consistent_with_log());
+        resumed
+            .execute(
+                SimTime::from_nanos(1_000),
+                &FleetCommand::KillInstance { at: 1_000, id },
+            )
+            .unwrap();
+        assert!(resumed.consistent_with_log());
+        assert_eq!(resumed.state.killed, 1);
+    }
+
+    #[test]
+    fn corrupt_fleet_snapshot_is_a_typed_error() {
+        let mut alloc = FleetAllocator::new();
+        register(&mut alloc, 1);
+        let mut w = SnapshotWriter::new();
+        alloc.state.snapshot_state(&mut w);
+        let mut bytes = w.finish();
+        // Flip the migration-path byte region by truncating mid-stream.
+        bytes.truncate(bytes.len() - 4);
+        let mut restored = FleetState::default();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        assert!(restored.restore_state(&mut r).is_err());
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Integer pre-copy model for live migration (ISSUE 10).
+//!
+//! The fleet command layer ([`super::fleet`]) decides *whether* an
+//! instance migrates; this module models *how long* the transfer takes
+//! over the two available paths:
+//!
+//! * **CXL** — the source writes dirty state into pooled memory the
+//!   target maps directly. The path is short (no NIC serialization, no
+//!   switch hop) and its bandwidth is the pool fabric's, far above any
+//!   single NIC lease.
+//! * **NIC** — classic TCP-style pre-copy over the datapath. The stream
+//!   shares the source NIC's line rate with the instance's own traffic,
+//!   so the usable bandwidth is the line rate minus the lease.
+//!
+//! Both paths run the same iterative pre-copy loop: round 1 moves the
+//! full instance state, each later round moves what was dirtied while the
+//! previous round was copying, and the loop exits into stop-and-copy when
+//! the remainder fits under the pause threshold (or the round budget is
+//! exhausted — a dirty rate above the path bandwidth never converges).
+//!
+//! Everything is integer arithmetic on `u128` intermediates: the model
+//! runs inside the replicated command layer, so every replica — and every
+//! re-run of `migrate_bench` — must compute byte-identical outcomes.
+
+use super::command::TransferPath;
+
+/// Result of one modeled migration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationOutcome {
+    /// Transfer path used.
+    pub path: TransferPath,
+    /// Pre-copy rounds run (1 = the initial full copy, no iteration).
+    pub rounds: u32,
+    /// Bytes moved across all rounds plus stop-and-copy.
+    pub bytes_moved: u64,
+    /// Stop-and-copy pause (instance frozen), sim-time nanoseconds.
+    pub pause_ns: u64,
+    /// End-to-end transfer time including the pause, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// The pre-copy timing model. All rates are Mbit/s so they compose with
+/// the lease units the allocator already uses; 1 Mbit/s moves exactly
+/// 1/8000 byte per nanosecond, which keeps every conversion integral.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrecopyModel {
+    /// CXL-path bandwidth, Mbit/s (the pool fabric; §2.1's ~64 GB/s).
+    pub cxl_mbps: u64,
+    /// NIC line rate, Mbit/s (the stream gets line rate minus lease).
+    pub nic_line_mbps: u64,
+    /// State dirtied per vCPU while the instance runs, Mbit/s.
+    pub dirty_mbps_per_vcpu: u64,
+    /// Remainder below which the loop stops and copies, bytes.
+    pub stop_copy_threshold_bytes: u64,
+    /// Pre-copy round budget; the loop force-exits into stop-and-copy
+    /// when a high dirty rate would otherwise iterate forever.
+    pub max_rounds: u32,
+}
+
+impl Default for PrecopyModel {
+    fn default() -> Self {
+        PrecopyModel {
+            cxl_mbps: 512_000,
+            nic_line_mbps: 100_000,
+            dirty_mbps_per_vcpu: 2_000,
+            stop_copy_threshold_bytes: 64 << 20,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// Nanoseconds to move `bytes` at `mbps` (1 Mbit/s = 1/8000 B/ns).
+fn transfer_ns(bytes: u64, mbps: u64) -> u64 {
+    let scaled = (bytes as u128).saturating_mul(8000);
+    (scaled / (mbps.max(1) as u128)) as u64
+}
+
+/// Bytes dirtied while a copy lasting `ns` runs at `dirty_mbps`.
+fn dirtied_bytes(ns: u64, dirty_mbps: u64) -> u64 {
+    let scaled = (ns as u128).saturating_mul(dirty_mbps as u128);
+    (scaled / 8000) as u64
+}
+
+impl PrecopyModel {
+    /// Usable stream bandwidth for `path`, given the migrating instance's
+    /// NIC lease (its own traffic keeps flowing during pre-copy).
+    pub fn bandwidth_mbps(&self, path: TransferPath, lease_mbps: u32) -> u64 {
+        match path {
+            TransferPath::Cxl => self.cxl_mbps,
+            TransferPath::Nic => self
+                .nic_line_mbps
+                .saturating_sub(lease_mbps as u64)
+                .max(1_000),
+        }
+    }
+
+    /// Model one migration of an instance with `vcpus`, `mem_gb` of
+    /// state, and a `lease_mbps` NIC lease over `path`.
+    pub fn run(
+        &self,
+        path: TransferPath,
+        vcpus: u32,
+        mem_gb: u32,
+        lease_mbps: u32,
+    ) -> MigrationOutcome {
+        let bw_mbps = self.bandwidth_mbps(path, lease_mbps);
+        let dirty_mbps = (vcpus as u64).saturating_mul(self.dirty_mbps_per_vcpu);
+        let state_bytes = (mem_gb as u64).saturating_mul(1 << 30);
+        let mut remaining = state_bytes.max(1);
+        let mut rounds = 0u32;
+        let mut bytes_moved = 0u64;
+        let mut total_ns = 0u64;
+        while rounds < self.max_rounds {
+            rounds = rounds.saturating_add(1);
+            let round_ns = transfer_ns(remaining, bw_mbps);
+            bytes_moved = bytes_moved.saturating_add(remaining);
+            total_ns = total_ns.saturating_add(round_ns);
+            remaining = dirtied_bytes(round_ns, dirty_mbps);
+            if remaining <= self.stop_copy_threshold_bytes {
+                break;
+            }
+        }
+        // Stop-and-copy: freeze the instance and move the remainder.
+        let pause_ns = transfer_ns(remaining, bw_mbps);
+        bytes_moved = bytes_moved.saturating_add(remaining);
+        total_ns = total_ns.saturating_add(pause_ns);
+        MigrationOutcome {
+            path,
+            rounds,
+            bytes_moved,
+            pause_ns,
+            total_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cxl_converges_faster_than_nic() {
+        let m = PrecopyModel::default();
+        let cxl = m.run(TransferPath::Cxl, 16, 64, 25_000);
+        let nic = m.run(TransferPath::Nic, 16, 64, 25_000);
+        assert!(cxl.total_ns < nic.total_ns, "{cxl:?} vs {nic:?}");
+        assert!(cxl.pause_ns < nic.pause_ns);
+        assert!(cxl.rounds <= nic.rounds);
+        assert!(cxl.bytes_moved >= 64 << 30, "moves at least the state");
+    }
+
+    #[test]
+    fn hot_instance_hits_the_round_budget() {
+        let m = PrecopyModel::default();
+        // 96 vCPUs dirty 192 Gbit/s — above the NIC path's ~90 Gbit/s —
+        // so the loop cannot converge and must force stop-and-copy at
+        // the round cap, while the CXL path still converges early.
+        let out = m.run(TransferPath::Nic, 96, 32, 10_000);
+        assert_eq!(out.rounds, m.max_rounds);
+        assert!(out.pause_ns > 0);
+        let cxl = m.run(TransferPath::Cxl, 96, 32, 10_000);
+        assert!(cxl.rounds < m.max_rounds);
+    }
+
+    #[test]
+    fn idle_instance_migrates_in_one_round() {
+        let m = PrecopyModel::default();
+        let out = m.run(TransferPath::Cxl, 0, 8, 1_000);
+        assert_eq!(out.rounds, 1);
+        assert_eq!(out.pause_ns, 0, "nothing dirtied, nothing to freeze for");
+        assert_eq!(out.bytes_moved, 8 << 30);
+    }
+
+    #[test]
+    fn nic_path_never_divides_by_zero() {
+        let m = PrecopyModel::default();
+        // Lease above line rate clamps to the 1 Gbit/s floor.
+        let out = m.run(TransferPath::Nic, 4, 1, u32::MAX);
+        assert!(out.total_ns > 0);
+        assert_eq!(m.bandwidth_mbps(TransferPath::Nic, u32::MAX), 1_000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = PrecopyModel::default();
+        let a = m.run(TransferPath::Nic, 8, 16, 20_000);
+        let b = m.run(TransferPath::Nic, 8, 16, 20_000);
+        assert_eq!(a, b);
+    }
+}

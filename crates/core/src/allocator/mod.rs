@@ -24,14 +24,16 @@
 
 pub mod command;
 pub mod fleet;
+pub mod migrate;
 pub mod replicated;
 pub mod service;
 
-pub use command::{AllocCommand, FleetCommand, ANY_POD};
+pub use command::{AllocCommand, FleetCommand, TransferPath, ANY_POD};
 pub use fleet::{
-    FleetAllocator, FleetInstance, FleetResponse, FleetState, FleetStateReport, PodCapacity,
-    PodUtilization,
+    FleetAllocator, FleetInstance, FleetResponse, FleetState, FleetStateReport, MigrationTicket,
+    PodCapacity, PodUtilization,
 };
+pub use migrate::{MigrationOutcome, PrecopyModel};
 pub use service::{
     AllocState, InstanceInfo, NicInfo, PodAllocator, RebalancePolicy, SsdInfo, VolumeInfo,
 };

@@ -893,6 +893,217 @@ impl PodAllocator {
     }
 }
 
+impl crate::snapshot::Snapshottable for PodAllocator {
+    /// Serializes the full lease ledger ([`AllocState`]) plus the failure
+    /// detector's working set. The Raft node itself is *not* serialized:
+    /// the pod runtime runs a single-replica group where every command
+    /// commits immediately, so the applied state machine is authoritative
+    /// and the restored node starts from an empty (already-compacted) log.
+    fn snapshot_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.core.clock.as_nanos());
+        let s = &self.state;
+        w.put_u64(s.nics.len() as u64);
+        for slot in &s.nics {
+            w.put_bool(slot.is_some());
+            if let Some(n) = slot {
+                w.put_u32(n.host);
+                w.put_u32(n.capacity_mbps);
+                w.put_u32(n.allocated_mbps);
+                w.put_bool(n.backup);
+                w.put_bool(n.failed);
+                w.put_u64(n.last_telemetry.as_nanos());
+                w.put_u64(n.recent_load_bytes);
+            }
+        }
+        w.put_u64(s.instances.len() as u64);
+        for i in &s.instances {
+            w.put_u32(u32::from_le_bytes(i.ip.0));
+            w.put_u32(i.host);
+            w.put_u32(i.nic);
+            w.put_u32(i.lease_mbps);
+            w.put_u64(i.lease_expiry.as_nanos());
+        }
+        w.put_u64(s.ssds.len() as u64);
+        for slot in &s.ssds {
+            w.put_bool(slot.is_some());
+            if let Some(d) = slot {
+                w.put_u32(d.host);
+                w.put_u32(d.capacity_blocks);
+                w.put_u32(d.next_block);
+                w.put_u32(d.allocated_blocks);
+            }
+        }
+        w.put_u64(s.accels.len() as u64);
+        for slot in &s.accels {
+            w.put_bool(slot.is_some());
+            if let Some(a) = slot {
+                w.put_u32(a.host);
+            }
+        }
+        w.put_u64(s.volumes.len() as u64);
+        for v in &s.volumes {
+            w.put_u32(u32::from_le_bytes(v.ip.0));
+            w.put_u32(v.ssd);
+            w.put_u32(v.base_block);
+            w.put_u32(v.blocks);
+        }
+        w.put_u64(s.failed_hosts.len() as u64);
+        for &h in &s.failed_hosts {
+            w.put_u32(h);
+        }
+        w.put_u64(self.reroutes_sent);
+        w.put_u64(self.failovers);
+        w.put_u64(self.rebalance_migrations);
+        w.put_u64(self.last_heartbeat.len() as u64);
+        for &(host, at) in &self.last_heartbeat {
+            w.put_u32(host);
+            w.put_u64(at.as_nanos());
+        }
+        w.put_u64(self.newly_failed_hosts.len() as u64);
+        for &h in &self.newly_failed_hosts {
+            w.put_u32(h);
+        }
+        w.put_u64(self.newly_restarted_hosts.len() as u64);
+        for &h in &self.newly_restarted_hosts {
+            w.put_u32(h);
+        }
+        w.put_u64(self.host_failure_detections.len() as u64);
+        for &(host, since, at) in &self.host_failure_detections {
+            w.put_u32(host);
+            w.put_u64(since.as_nanos());
+            w.put_u64(at.as_nanos());
+        }
+        // Rebalance policy: knobs are construction-time config; only the
+        // cooldown cursor mutates.
+        w.put_bool(self.rebalance.is_some());
+        if let Some(p) = &self.rebalance {
+            w.put_u64(p.last_migration.as_nanos());
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        self.core.clock = SimTime(r.u64("alloc clock")?);
+        let n = r.count("alloc nic count")?;
+        let mut nics = Vec::with_capacity(n);
+        for _ in 0..n {
+            nics.push(if r.bool("alloc nic present")? {
+                Some(NicInfo {
+                    host: r.u32("alloc nic host")?,
+                    capacity_mbps: r.u32("alloc nic capacity")?,
+                    allocated_mbps: r.u32("alloc nic allocated")?,
+                    backup: r.bool("alloc nic backup")?,
+                    failed: r.bool("alloc nic failed")?,
+                    last_telemetry: SimTime(r.u64("alloc nic telemetry")?),
+                    recent_load_bytes: r.u64("alloc nic load")?,
+                })
+            } else {
+                None
+            });
+        }
+        self.state.nics = nics;
+        let n = r.count("alloc instance count")?;
+        let mut instances = Vec::with_capacity(n);
+        for _ in 0..n {
+            instances.push(InstanceInfo {
+                ip: Ipv4Addr(r.u32("alloc instance ip")?.to_le_bytes()),
+                host: r.u32("alloc instance host")?,
+                nic: r.u32("alloc instance nic")?,
+                lease_mbps: r.u32("alloc instance lease")?,
+                lease_expiry: SimTime(r.u64("alloc instance expiry")?),
+            });
+        }
+        self.state.instances = instances;
+        let n = r.count("alloc ssd count")?;
+        let mut ssds = Vec::with_capacity(n);
+        for _ in 0..n {
+            ssds.push(if r.bool("alloc ssd present")? {
+                Some(SsdInfo {
+                    host: r.u32("alloc ssd host")?,
+                    capacity_blocks: r.u32("alloc ssd capacity")?,
+                    next_block: r.u32("alloc ssd next")?,
+                    allocated_blocks: r.u32("alloc ssd allocated")?,
+                })
+            } else {
+                None
+            });
+        }
+        self.state.ssds = ssds;
+        let n = r.count("alloc accel count")?;
+        let mut accels = Vec::with_capacity(n);
+        for _ in 0..n {
+            accels.push(if r.bool("alloc accel present")? {
+                Some(AccelInfo {
+                    host: r.u32("alloc accel host")?,
+                })
+            } else {
+                None
+            });
+        }
+        self.state.accels = accels;
+        let n = r.count("alloc volume count")?;
+        let mut volumes = Vec::with_capacity(n);
+        for _ in 0..n {
+            volumes.push(VolumeInfo {
+                ip: Ipv4Addr(r.u32("alloc volume ip")?.to_le_bytes()),
+                ssd: r.u32("alloc volume ssd")?,
+                base_block: r.u32("alloc volume base")?,
+                blocks: r.u32("alloc volume blocks")?,
+            });
+        }
+        self.state.volumes = volumes;
+        let n = r.count("alloc failed-host count")?;
+        let mut failed_hosts = Vec::with_capacity(n);
+        for _ in 0..n {
+            failed_hosts.push(r.u32("alloc failed host")?);
+        }
+        self.state.failed_hosts = failed_hosts;
+        self.reroutes_sent = r.u64("alloc reroutes")?;
+        self.failovers = r.u64("alloc failovers")?;
+        self.rebalance_migrations = r.u64("alloc rebalance migrations")?;
+        let n = r.count("alloc heartbeat count")?;
+        let mut last_heartbeat = Vec::with_capacity(n);
+        for _ in 0..n {
+            let host = r.u32("alloc heartbeat host")?;
+            let at = SimTime(r.u64("alloc heartbeat time")?);
+            last_heartbeat.push((host, at));
+        }
+        self.last_heartbeat = last_heartbeat;
+        let n = r.count("alloc newly-failed count")?;
+        let mut newly_failed = Vec::with_capacity(n);
+        for _ in 0..n {
+            newly_failed.push(r.u32("alloc newly-failed host")?);
+        }
+        self.newly_failed_hosts = newly_failed;
+        let n = r.count("alloc newly-restarted count")?;
+        let mut newly_restarted = Vec::with_capacity(n);
+        for _ in 0..n {
+            newly_restarted.push(r.u32("alloc newly-restarted host")?);
+        }
+        self.newly_restarted_hosts = newly_restarted;
+        let n = r.count("alloc detection count")?;
+        let mut detections = Vec::with_capacity(n);
+        for _ in 0..n {
+            let host = r.u32("alloc detection host")?;
+            let since = SimTime(r.u64("alloc detection since")?);
+            let at = SimTime(r.u64("alloc detection at")?);
+            detections.push((host, since, at));
+        }
+        self.host_failure_detections = detections;
+        let has_policy = r.bool("alloc rebalance present")?;
+        if has_policy != self.rebalance.is_some() {
+            return Err(SnapshotError::Corrupt("alloc rebalance presence"));
+        }
+        if let Some(p) = &mut self.rebalance {
+            p.last_migration = SimTime(r.u64("alloc rebalance cursor")?);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

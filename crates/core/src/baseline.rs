@@ -23,6 +23,7 @@ use oasis_sim::time::SimTime;
 use crate::config::{BufferPlacement, OasisConfig};
 use crate::datapath::BufferArea;
 use crate::instance::Instance;
+use crate::snapshot::Snapshottable;
 
 /// Baseline driver counters.
 #[derive(Clone, Debug, Default)]
@@ -389,5 +390,85 @@ impl LocalDriver {
     /// once (the batched form of `quanta` empty [`Self::step`] calls).
     pub fn skip_idle(&mut self, quanta: u64) {
         self.core.advance(quanta * self.cfg.driver_loop_ns);
+    }
+}
+
+impl Snapshottable for LocalDriver {
+    /// The baseline carries both roles in one driver: clock, counters, the
+    /// instance table (identity-checked on restore), cookie maps sorted by
+    /// cookie, and both buffer-area free lists.
+    fn snapshot_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.core.clock.as_nanos());
+        let s = &self.stats;
+        for v in [s.tx_packets, s.tx_drops, s.rx_packets, s.rx_unknown] {
+            w.put_u64(v);
+        }
+        w.put_u64(self.next_cookie);
+        w.put_u64(self.insts.len() as u64);
+        for i in &self.insts {
+            w.put_u64(i.inst_idx as u64);
+            w.put_u32(u32::from_le_bytes(i.ip.0));
+        }
+        let mut cookies: Vec<u64> = self.tx_inflight.keys().copied().collect();
+        cookies.sort_unstable();
+        w.put_u64(cookies.len() as u64);
+        for c in cookies {
+            if let Some(&buf) = self.tx_inflight.get(&c) {
+                w.put_u64(c);
+                w.put_u64(buf);
+            }
+        }
+        let mut cookies: Vec<u64> = self.rx_posted.keys().copied().collect();
+        cookies.sort_unstable();
+        w.put_u64(cookies.len() as u64);
+        for c in cookies {
+            if let Some(&buf) = self.rx_posted.get(&c) {
+                w.put_u64(c);
+                w.put_u64(buf);
+            }
+        }
+        self.tx_area.snapshot_state(w);
+        self.rx_area.snapshot_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        self.core.clock = SimTime(r.u64("baseline clock")?);
+        self.stats.tx_packets = r.u64("baseline tx_packets")?;
+        self.stats.tx_drops = r.u64("baseline tx_drops")?;
+        self.stats.rx_packets = r.u64("baseline rx_packets")?;
+        self.stats.rx_unknown = r.u64("baseline rx_unknown")?;
+        self.next_cookie = r.u64("baseline next cookie")?;
+        let n = r.u64("baseline instance count")?;
+        if n != self.insts.len() as u64 {
+            return Err(SnapshotError::Corrupt("baseline instance count"));
+        }
+        for i in &self.insts {
+            let idx = r.u64("baseline instance idx")?;
+            let ip = Ipv4Addr(r.u32("baseline instance ip")?.to_le_bytes());
+            if idx != i.inst_idx as u64 || ip != i.ip {
+                return Err(SnapshotError::Corrupt("baseline instance identity"));
+            }
+        }
+        let n = r.u64("baseline tx-inflight count")?;
+        self.tx_inflight.clear();
+        for _ in 0..n {
+            let cookie = r.u64("baseline tx-inflight cookie")?;
+            let buf = r.u64("baseline tx-inflight buf")?;
+            self.tx_inflight.insert(cookie, buf);
+        }
+        let n = r.u64("baseline rx-posted count")?;
+        self.rx_posted.clear();
+        for _ in 0..n {
+            let cookie = r.u64("baseline rx-posted cookie")?;
+            let buf = r.u64("baseline rx-posted buf")?;
+            self.rx_posted.insert(cookie, buf);
+        }
+        self.tx_area.restore_state(r)?;
+        self.rx_area.restore_state(r)?;
+        Ok(())
     }
 }

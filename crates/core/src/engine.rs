@@ -173,7 +173,13 @@ pub struct EngineWorld<'a> {
 /// * [`on_fault`](Self::on_fault) is invoked *after* the pod has dropped
 ///   the core's cache and bumped its clock, so recovery work (e.g. command
 ///   replay) executes at the post-fault clock.
-pub trait DeviceEngine {
+///
+/// Every engine is also [`Snapshottable`](crate::snapshot::Snapshottable):
+/// its logical state (clock, counters, queues, in-flight descriptors,
+/// retry/dedup sequence state) serializes byte-stably, which is what makes
+/// pod checkpoints and instance migration (DESIGN.md §15) possible without
+/// per-engine special cases.
+pub trait DeviceEngine: crate::snapshot::Snapshottable {
     /// The host this core polls on.
     fn host(&self) -> usize;
     /// The polling core's memory context.

@@ -5,9 +5,11 @@ use oasis_channel::{Receiver, Sender, SeqWindow};
 use oasis_cxl::dma::{DmaMemory, MemRef};
 use oasis_cxl::{CxlPool, HostCtx};
 use oasis_sim::detmap::DetMap;
+use oasis_sim::time::SimTime;
 
 use crate::config::OasisConfig;
 use crate::engine::{DeviceEngine, EngineBackend, EngineWorld};
+use crate::snapshot::Snapshottable;
 
 struct PoolDma<'a> {
     pool: &'a mut CxlPool,
@@ -221,6 +223,88 @@ impl AccelBackend {
         for link in &mut self.links {
             link.from.publish_consumed(&mut self.core, pool);
         }
+    }
+}
+
+impl Snapshottable for AccelBackend {
+    /// Mirrors the storage backend: per-link dedup window (eviction-ordered
+    /// id list) and completion cache `(status, result)`, sorted by command
+    /// id for byte stability.
+    fn snapshot_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.core.clock.as_nanos());
+        let s = &self.stats;
+        for v in [s.forwarded, s.sq_full, s.completions, s.replays_answered] {
+            w.put_u64(v);
+        }
+        w.put_u64(self.links.len() as u64);
+        for link in &self.links {
+            w.put_u64(link.fe_host as u64);
+            let (capacity, order, dup_hits) = link.seen.to_parts();
+            w.put_u64(capacity as u64);
+            w.put_u64(order.len() as u64);
+            for seq in order {
+                w.put_u16(seq);
+            }
+            w.put_u64(dup_hits);
+            let mut cids: Vec<u16> = link.done.keys().copied().collect();
+            cids.sort_unstable();
+            w.put_u64(cids.len() as u64);
+            for cid in cids {
+                if let Some(&(status, result)) = link.done.get(&cid) {
+                    w.put_u16(cid);
+                    w.put_u8(status.to_byte());
+                    w.put_u64(result);
+                }
+            }
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        self.core.clock = SimTime(r.u64("accel-be clock")?);
+        self.stats.forwarded = r.u64("accel-be forwarded")?;
+        self.stats.sq_full = r.u64("accel-be sq_full")?;
+        self.stats.completions = r.u64("accel-be completions")?;
+        self.stats.replays_answered = r.u64("accel-be replays_answered")?;
+        let n = r.u64("accel-be link count")?;
+        if n != self.links.len() as u64 {
+            return Err(SnapshotError::Corrupt("accel-be link count"));
+        }
+        for link in self.links.iter_mut() {
+            let fe_host = r.u64("accel-be link fe")?;
+            if fe_host != link.fe_host as u64 {
+                return Err(SnapshotError::Corrupt("accel-be link identity"));
+            }
+            let capacity = r.u64("accel-be dedup capacity")? as usize;
+            // The window capacity is construction-time config: it must
+            // match the identically built target, which also bounds the
+            // allocations below against a corrupted length field.
+            if capacity != link.seen.capacity() {
+                return Err(SnapshotError::Corrupt("accel-be dedup capacity"));
+            }
+            let order_len = r.u64("accel-be dedup length")?;
+            if capacity == 0 || order_len > capacity as u64 {
+                return Err(SnapshotError::Corrupt("accel-be dedup length"));
+            }
+            let mut order = Vec::with_capacity(order_len as usize);
+            for _ in 0..order_len {
+                order.push(r.u16("accel-be dedup id")?);
+            }
+            let dup_hits = r.u64("accel-be dedup hits")?;
+            link.seen = SeqWindow::from_parts(capacity, &order, dup_hits);
+            let done_len = r.u64("accel-be cache count")?;
+            link.done.clear();
+            for _ in 0..done_len {
+                let cid = r.u16("accel-be cache cid")?;
+                let status = AccelStatus::from_byte(r.u8("accel-be cache status")?);
+                let result = r.u64("accel-be cache result")?;
+                link.done.insert(cid, (status, result));
+            }
+        }
+        Ok(())
     }
 }
 

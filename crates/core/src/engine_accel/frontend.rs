@@ -5,10 +5,12 @@ use oasis_accel::{AccelCommand, AccelCompletion, AccelOp, AccelStatus};
 use oasis_channel::{Receiver, RetryPolicy, RetryState, Sender};
 use oasis_cxl::{lines_covering, CxlPool, HostCtx};
 use oasis_sim::detmap::DetMap;
+use oasis_sim::time::{SimDuration, SimTime};
 
 use crate::config::OasisConfig;
 use crate::datapath::BufferArea;
 use crate::engine::{DeviceEngine, EngineFault, EngineFrontend, EngineWorld};
+use crate::snapshot::Snapshottable;
 
 /// A completed offload job returned to the caller.
 #[derive(Clone, Debug)]
@@ -361,6 +363,128 @@ impl AccelFrontend {
     /// Jobs still in flight.
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+}
+
+impl Snapshottable for AccelFrontend {
+    /// Same layout discipline as the storage frontend: in-flight jobs as
+    /// their full 64 B wire descriptor plus routing/retry state (buffer
+    /// pointers and output size are derived and rebuilt on restore), the
+    /// completed-job queue, then the data-area free list. The `issued` slot
+    /// is written unconditionally so the byte format is feature-independent.
+    fn snapshot_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.core.clock.as_nanos());
+        let s = &self.stats;
+        for v in [
+            s.submitted,
+            s.completed,
+            s.errors,
+            s.refused,
+            s.retries,
+            s.retry_exhausted,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u16(self.next_cid);
+        let mut cids: Vec<u16> = self.pending.keys().copied().collect();
+        cids.sort_unstable();
+        w.put_u64(cids.len() as u64);
+        for cid in cids {
+            if let Some(p) = self.pending.get(&cid) {
+                w.put_u16(cid);
+                w.put_bytes(&p.cmd.encode());
+                w.put_u64(p.dev as u64);
+                let (attempts, deadline, wait) = p.retry.to_parts();
+                w.put_u32(attempts);
+                w.put_u64(deadline.as_nanos());
+                w.put_u64(wait.as_nanos());
+                #[cfg(feature = "obs")]
+                w.put_u64(p.issued.as_nanos());
+                #[cfg(not(feature = "obs"))]
+                w.put_u64(0);
+            }
+        }
+        w.put_u64(self.done.len() as u64);
+        for res in &self.done {
+            w.put_u16(res.cid);
+            w.put_u8(res.status.to_byte());
+            w.put_u64(res.result);
+            match &res.output {
+                Some(output) => {
+                    w.put_bool(true);
+                    w.put_bytes(output);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        self.data_area.snapshot_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        self.core.clock = SimTime(r.u64("accel-fe clock")?);
+        self.stats.submitted = r.u64("accel-fe submitted")?;
+        self.stats.completed = r.u64("accel-fe completed")?;
+        self.stats.errors = r.u64("accel-fe errors")?;
+        self.stats.refused = r.u64("accel-fe refused")?;
+        self.stats.retries = r.u64("accel-fe retries")?;
+        self.stats.retry_exhausted = r.u64("accel-fe retry_exhausted")?;
+        self.next_cid = r.u16("accel-fe next cid")?;
+        let n = r.u64("accel-fe pending count")?;
+        self.pending.clear();
+        for _ in 0..n {
+            let cid = r.u16("accel-fe pending cid")?;
+            let blob = r.bytes("accel-fe pending cmd")?;
+            let arr: [u8; 64] = blob
+                .try_into()
+                .map_err(|_| SnapshotError::Corrupt("accel-fe pending cmd"))?;
+            let cmd =
+                AccelCommand::decode(&arr).ok_or(SnapshotError::Corrupt("accel-fe pending cmd"))?;
+            if cmd.cid != cid {
+                return Err(SnapshotError::Corrupt("accel-fe pending cid"));
+            }
+            let dev = r.u64("accel-fe pending dev")? as usize;
+            let attempts = r.u32("accel-fe pending attempts")?;
+            let deadline = SimTime(r.u64("accel-fe pending deadline")?);
+            let wait = SimDuration::from_nanos(r.u64("accel-fe pending wait")?);
+            let _issued_ns = r.u64("accel-fe pending issued")?;
+            self.pending.insert(
+                cid,
+                PendingJob {
+                    in_buf: cmd.input_ptr,
+                    out_buf: cmd.output_ptr,
+                    out_bytes: Self::output_bytes(cmd.op, cmd.input_len),
+                    dev,
+                    cmd,
+                    retry: RetryState::from_parts(attempts, deadline, wait),
+                    #[cfg(feature = "obs")]
+                    issued: SimTime(_issued_ns),
+                },
+            );
+        }
+        let n = r.u64("accel-fe done count")?;
+        self.done.clear();
+        for _ in 0..n {
+            let cid = r.u16("accel-fe done cid")?;
+            let status = AccelStatus::from_byte(r.u8("accel-fe done status")?);
+            let result = r.u64("accel-fe done result")?;
+            let output = if r.bool("accel-fe done output flag")? {
+                Some(r.bytes("accel-fe done output")?.to_vec())
+            } else {
+                None
+            };
+            self.done.push(JobResult {
+                cid,
+                status,
+                result,
+                output,
+            });
+        }
+        self.data_area.restore_state(r)?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@ use oasis_sim::time::SimTime;
 use crate::config::OasisConfig;
 use crate::datapath::BufferArea;
 use crate::msg::{NetMsg, NetOp};
+use crate::snapshot::Snapshottable;
 
 use super::POLL_BATCH;
 
@@ -409,5 +410,106 @@ impl BackendDriver {
             let link = &mut self.links[li];
             let _ = link.to.try_send(&mut self.core, pool, &msg.encode());
         }
+    }
+}
+
+impl Snapshottable for BackendDriver {
+    /// Serialized per-NIC state: clock and timers, counters, the flow
+    /// registration table, in-flight TX / posted RX cookie maps (sorted by
+    /// cookie — `DetMap` iteration order is not the byte order), and the RX
+    /// free list.
+    fn snapshot_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.core.clock.as_nanos());
+        w.put_u64(self.next_link_check.as_nanos());
+        w.put_u64(self.next_telemetry.as_nanos());
+        let s = &self.stats;
+        for v in [
+            s.tx_posted,
+            s.tx_drop_full,
+            s.rx_forwarded,
+            s.rx_tag_miss,
+            s.rx_unknown,
+            s.rx_drop_channel,
+            s.failures_reported,
+            s.telemetry_sent,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_bool(self.link_failure_reported);
+        w.put_u64(self.bytes_at_last_telemetry);
+        w.put_u64(self.next_cookie);
+        w.put_u64(self.registrations.len() as u64);
+        for reg in &self.registrations {
+            w.put_u32(u32::from_le_bytes(reg.ip.0));
+            w.put_u32(reg.tag);
+            w.put_u64(reg.fe_host as u64);
+        }
+        let mut cookies: Vec<u64> = self.tx_inflight.keys().copied().collect();
+        cookies.sort_unstable();
+        w.put_u64(cookies.len() as u64);
+        for c in cookies {
+            if let Some(&(ptr, ip, fe_host)) = self.tx_inflight.get(&c) {
+                w.put_u64(c);
+                w.put_u64(ptr);
+                w.put_u32(u32::from_le_bytes(ip.0));
+                w.put_u64(fe_host as u64);
+            }
+        }
+        let mut cookies: Vec<u64> = self.rx_posted.keys().copied().collect();
+        cookies.sort_unstable();
+        w.put_u64(cookies.len() as u64);
+        for c in cookies {
+            if let Some(&buf) = self.rx_posted.get(&c) {
+                w.put_u64(c);
+                w.put_u64(buf);
+            }
+        }
+        self.rx_area.snapshot_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        self.core.clock = SimTime(r.u64("net-be clock")?);
+        self.next_link_check = SimTime(r.u64("net-be link-check timer")?);
+        self.next_telemetry = SimTime(r.u64("net-be telemetry timer")?);
+        self.stats.tx_posted = r.u64("net-be tx_posted")?;
+        self.stats.tx_drop_full = r.u64("net-be tx_drop_full")?;
+        self.stats.rx_forwarded = r.u64("net-be rx_forwarded")?;
+        self.stats.rx_tag_miss = r.u64("net-be rx_tag_miss")?;
+        self.stats.rx_unknown = r.u64("net-be rx_unknown")?;
+        self.stats.rx_drop_channel = r.u64("net-be rx_drop_channel")?;
+        self.stats.failures_reported = r.u64("net-be failures_reported")?;
+        self.stats.telemetry_sent = r.u64("net-be telemetry_sent")?;
+        self.link_failure_reported = r.bool("net-be failure latch")?;
+        self.bytes_at_last_telemetry = r.u64("net-be telemetry bytes")?;
+        self.next_cookie = r.u64("net-be next cookie")?;
+        let n = r.u64("net-be registration count")?;
+        self.registrations.clear();
+        for _ in 0..n {
+            let ip = Ipv4Addr(r.u32("net-be registration ip")?.to_le_bytes());
+            let tag = r.u32("net-be registration tag")?;
+            let fe_host = r.u64("net-be registration fe")? as usize;
+            self.registrations.push(Registration { ip, tag, fe_host });
+        }
+        let n = r.u64("net-be tx-inflight count")?;
+        self.tx_inflight.clear();
+        for _ in 0..n {
+            let cookie = r.u64("net-be tx-inflight cookie")?;
+            let ptr = r.u64("net-be tx-inflight buf")?;
+            let ip = Ipv4Addr(r.u32("net-be tx-inflight ip")?.to_le_bytes());
+            let fe_host = r.u64("net-be tx-inflight fe")? as usize;
+            self.tx_inflight.insert(cookie, (ptr, ip, fe_host));
+        }
+        let n = r.u64("net-be rx-posted count")?;
+        self.rx_posted.clear();
+        for _ in 0..n {
+            let cookie = r.u64("net-be rx-posted cookie")?;
+            let buf = r.u64("net-be rx-posted buf")?;
+            self.rx_posted.insert(cookie, buf);
+        }
+        self.rx_area.restore_state(r)?;
+        Ok(())
     }
 }

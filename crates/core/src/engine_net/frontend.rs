@@ -10,6 +10,7 @@ use crate::config::OasisConfig;
 use crate::datapath::BufferArea;
 use crate::instance::Instance;
 use crate::msg::{NetMsg, NetOp};
+use crate::snapshot::Snapshottable;
 
 use super::POLL_BATCH;
 
@@ -499,5 +500,115 @@ impl FrontendDriver {
     /// Poll-loop period estimate for pacing harnesses.
     pub fn poll_period(&self) -> SimDuration {
         SimDuration::from_nanos(self.cfg.driver_loop_ns.max(1))
+    }
+}
+
+impl Snapshottable for FrontendDriver {
+    /// Logical state only: clock, timers, counters, per-instance NIC
+    /// assignment / migration / policer state, and TX free lists. Links and
+    /// channel endpoints are topology, rebuilt by the pod builder. Policer
+    /// floats are serialized via `to_bits` (this path is outside the
+    /// float-determinism policed set; the bits round-trip exactly).
+    fn snapshot_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.core.clock.as_nanos());
+        w.put_u64(self.next_heartbeat.as_nanos());
+        let s = &self.stats;
+        for v in [
+            s.tx_packets,
+            s.tx_drop_nobuf,
+            s.tx_drop_channel,
+            s.tx_policed,
+            s.rx_packets,
+            s.rx_unknown,
+            s.reroutes,
+            s.migrations,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u64(self.insts.len() as u64);
+        for i in &self.insts {
+            w.put_u64(i.inst_idx as u64);
+            w.put_u32(u32::from_le_bytes(i.ip.0));
+            w.put_u64(i.serving_nic as u64);
+            match i.backup_nic {
+                Some(nic) => {
+                    w.put_bool(true);
+                    w.put_u64(nic as u64);
+                }
+                None => w.put_bool(false),
+            }
+            match i.migrating_from {
+                Some((old, deadline)) => {
+                    w.put_bool(true);
+                    w.put_u64(old as u64);
+                    w.put_u64(deadline.as_nanos());
+                }
+                None => w.put_bool(false),
+            }
+            match &i.policer {
+                Some(p) => {
+                    w.put_bool(true);
+                    w.put_u64(p.rate_bytes_per_sec.to_bits());
+                    w.put_u64(p.burst_bytes.to_bits());
+                    w.put_u64(p.tokens.to_bits());
+                    w.put_u64(p.last_refill.as_nanos());
+                }
+                None => w.put_bool(false),
+            }
+            i.tx_area.snapshot_state(w);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        self.core.clock = SimTime(r.u64("net-fe clock")?);
+        self.next_heartbeat = SimTime(r.u64("net-fe heartbeat timer")?);
+        self.stats.tx_packets = r.u64("net-fe tx_packets")?;
+        self.stats.tx_drop_nobuf = r.u64("net-fe tx_drop_nobuf")?;
+        self.stats.tx_drop_channel = r.u64("net-fe tx_drop_channel")?;
+        self.stats.tx_policed = r.u64("net-fe tx_policed")?;
+        self.stats.rx_packets = r.u64("net-fe rx_packets")?;
+        self.stats.rx_unknown = r.u64("net-fe rx_unknown")?;
+        self.stats.reroutes = r.u64("net-fe reroutes")?;
+        self.stats.migrations = r.u64("net-fe migrations")?;
+        let n = r.u64("net-fe instance count")?;
+        if n != self.insts.len() as u64 {
+            return Err(SnapshotError::Corrupt("net-fe instance count"));
+        }
+        for i in self.insts.iter_mut() {
+            let idx = r.u64("net-fe instance idx")?;
+            let ip = Ipv4Addr(r.u32("net-fe instance ip")?.to_le_bytes());
+            if idx != i.inst_idx as u64 || ip != i.ip {
+                return Err(SnapshotError::Corrupt("net-fe instance identity"));
+            }
+            i.serving_nic = r.u64("net-fe serving nic")? as usize;
+            i.backup_nic = if r.bool("net-fe backup flag")? {
+                Some(r.u64("net-fe backup nic")? as usize)
+            } else {
+                None
+            };
+            i.migrating_from = if r.bool("net-fe migrating flag")? {
+                let old = r.u64("net-fe migrating old nic")? as usize;
+                let deadline = SimTime(r.u64("net-fe migrating deadline")?);
+                Some((old, deadline))
+            } else {
+                None
+            };
+            i.policer = if r.bool("net-fe policer flag")? {
+                Some(TokenBucket {
+                    rate_bytes_per_sec: f64::from_bits(r.u64("net-fe policer rate")?),
+                    burst_bytes: f64::from_bits(r.u64("net-fe policer burst")?),
+                    tokens: f64::from_bits(r.u64("net-fe policer tokens")?),
+                    last_refill: SimTime(r.u64("net-fe policer refill")?),
+                })
+            } else {
+                None
+            };
+            i.tx_area.restore_state(r)?;
+        }
+        Ok(())
     }
 }

@@ -4,10 +4,12 @@ use oasis_channel::{Receiver, Sender, SeqWindow};
 use oasis_cxl::dma::{DmaMemory, MemRef};
 use oasis_cxl::{CxlPool, HostCtx};
 use oasis_sim::detmap::DetMap;
+use oasis_sim::time::SimTime;
 use oasis_storage::command::{NvmeCommand, NvmeCompletion, NvmeStatus};
 use oasis_storage::ssd::Ssd;
 
 use crate::config::OasisConfig;
+use crate::snapshot::Snapshottable;
 
 struct PoolDma<'a> {
     pool: &'a mut CxlPool,
@@ -223,5 +225,85 @@ impl StorageBackend {
         for link in &mut self.links {
             link.from.publish_consumed(&mut self.core, pool);
         }
+    }
+}
+
+impl Snapshottable for StorageBackend {
+    /// The exactly-once substrate serializes per frontend link: the dedup
+    /// window (as its eviction-ordered id list) and the completion cache
+    /// answering replays, sorted by command id for byte stability.
+    fn snapshot_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.core.clock.as_nanos());
+        let s = &self.stats;
+        for v in [s.forwarded, s.sq_full, s.completions, s.replays_answered] {
+            w.put_u64(v);
+        }
+        w.put_u64(self.links.len() as u64);
+        for link in &self.links {
+            w.put_u64(link.fe_host as u64);
+            let (capacity, order, dup_hits) = link.seen.to_parts();
+            w.put_u64(capacity as u64);
+            w.put_u64(order.len() as u64);
+            for seq in order {
+                w.put_u16(seq);
+            }
+            w.put_u64(dup_hits);
+            let mut cids: Vec<u16> = link.done.keys().copied().collect();
+            cids.sort_unstable();
+            w.put_u64(cids.len() as u64);
+            for cid in cids {
+                if let Some(status) = link.done.get(&cid) {
+                    w.put_u16(cid);
+                    w.put_u8(status.to_byte());
+                }
+            }
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        self.core.clock = SimTime(r.u64("storage-be clock")?);
+        self.stats.forwarded = r.u64("storage-be forwarded")?;
+        self.stats.sq_full = r.u64("storage-be sq_full")?;
+        self.stats.completions = r.u64("storage-be completions")?;
+        self.stats.replays_answered = r.u64("storage-be replays_answered")?;
+        let n = r.u64("storage-be link count")?;
+        if n != self.links.len() as u64 {
+            return Err(SnapshotError::Corrupt("storage-be link count"));
+        }
+        for link in self.links.iter_mut() {
+            let fe_host = r.u64("storage-be link fe")?;
+            if fe_host != link.fe_host as u64 {
+                return Err(SnapshotError::Corrupt("storage-be link identity"));
+            }
+            let capacity = r.u64("storage-be dedup capacity")? as usize;
+            // The window capacity is construction-time config: it must
+            // match the identically built target, which also bounds the
+            // allocations below against a corrupted length field.
+            if capacity != link.seen.capacity() {
+                return Err(SnapshotError::Corrupt("storage-be dedup capacity"));
+            }
+            let order_len = r.u64("storage-be dedup length")?;
+            if capacity == 0 || order_len > capacity as u64 {
+                return Err(SnapshotError::Corrupt("storage-be dedup length"));
+            }
+            let mut order = Vec::with_capacity(order_len as usize);
+            for _ in 0..order_len {
+                order.push(r.u16("storage-be dedup id")?);
+            }
+            let dup_hits = r.u64("storage-be dedup hits")?;
+            link.seen = SeqWindow::from_parts(capacity, &order, dup_hits);
+            let done_len = r.u64("storage-be cache count")?;
+            link.done.clear();
+            for _ in 0..done_len {
+                let cid = r.u16("storage-be cache cid")?;
+                let status = NvmeStatus::from_byte(r.u8("storage-be cache status")?);
+                link.done.insert(cid, status);
+            }
+        }
+        Ok(())
     }
 }

@@ -4,11 +4,13 @@
 use oasis_channel::{Receiver, RetryPolicy, RetryState, Sender};
 use oasis_cxl::{lines_covering, CxlPool, HostCtx};
 use oasis_sim::detmap::DetMap;
+use oasis_sim::time::{SimDuration, SimTime};
 use oasis_storage::command::{NvmeCommand, NvmeCompletion, NvmeOpcode, NvmeStatus};
 use oasis_storage::BLOCK_SIZE;
 
 use crate::config::OasisConfig;
 use crate::datapath::BufferArea;
+use crate::snapshot::Snapshottable;
 
 /// A completed block I/O returned to the caller.
 #[derive(Clone, Debug)]
@@ -407,5 +409,121 @@ impl StorageFrontend {
     #[cfg(feature = "obs")]
     pub fn service_hist(&self) -> &oasis_obs::ObsHistogram {
         &self.service_ns
+    }
+}
+
+impl Snapshottable for StorageFrontend {
+    /// In-flight commands serialize as their full 64 B wire descriptor plus
+    /// routing and retry state; `op`/`buf`/`bytes` are derived fields and
+    /// rebuilt from the descriptor on restore. The `issued` timestamp slot
+    /// is written unconditionally (zero without the `obs` feature) so the
+    /// byte format is feature-independent. The service histogram is a pure
+    /// observer and is excluded.
+    fn snapshot_state(&self, w: &mut crate::snapshot::SnapshotWriter) {
+        w.put_u64(self.core.clock.as_nanos());
+        let s = &self.stats;
+        for v in [
+            s.submitted,
+            s.completed,
+            s.errors,
+            s.refused,
+            s.retries,
+            s.retry_exhausted,
+        ] {
+            w.put_u64(v);
+        }
+        w.put_u16(self.next_cid);
+        let mut cids: Vec<u16> = self.pending.keys().copied().collect();
+        cids.sort_unstable();
+        w.put_u64(cids.len() as u64);
+        for cid in cids {
+            if let Some(p) = self.pending.get(&cid) {
+                w.put_u16(cid);
+                w.put_bytes(&p.cmd.encode());
+                w.put_u64(p.ssd as u64);
+                let (attempts, deadline, wait) = p.retry.to_parts();
+                w.put_u32(attempts);
+                w.put_u64(deadline.as_nanos());
+                w.put_u64(wait.as_nanos());
+                #[cfg(feature = "obs")]
+                w.put_u64(p.issued.as_nanos());
+                #[cfg(not(feature = "obs"))]
+                w.put_u64(0);
+            }
+        }
+        w.put_u64(self.done.len() as u64);
+        for res in &self.done {
+            w.put_u16(res.cid);
+            w.put_u8(res.status.to_byte());
+            match &res.data {
+                Some(data) => {
+                    w.put_bool(true);
+                    w.put_bytes(data);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        self.data_area.snapshot_state(w);
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut crate::snapshot::SnapshotReader<'_>,
+    ) -> Result<(), crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        self.core.clock = SimTime(r.u64("storage-fe clock")?);
+        self.stats.submitted = r.u64("storage-fe submitted")?;
+        self.stats.completed = r.u64("storage-fe completed")?;
+        self.stats.errors = r.u64("storage-fe errors")?;
+        self.stats.refused = r.u64("storage-fe refused")?;
+        self.stats.retries = r.u64("storage-fe retries")?;
+        self.stats.retry_exhausted = r.u64("storage-fe retry_exhausted")?;
+        self.next_cid = r.u16("storage-fe next cid")?;
+        let n = r.u64("storage-fe pending count")?;
+        self.pending.clear();
+        for _ in 0..n {
+            let cid = r.u16("storage-fe pending cid")?;
+            let blob = r.bytes("storage-fe pending cmd")?;
+            let arr: [u8; 64] = blob
+                .try_into()
+                .map_err(|_| SnapshotError::Corrupt("storage-fe pending cmd"))?;
+            let cmd = NvmeCommand::decode(&arr)
+                .ok_or(SnapshotError::Corrupt("storage-fe pending cmd"))?;
+            if cmd.cid != cid {
+                return Err(SnapshotError::Corrupt("storage-fe pending cid"));
+            }
+            let ssd = r.u64("storage-fe pending ssd")? as usize;
+            let attempts = r.u32("storage-fe pending attempts")?;
+            let deadline = SimTime(r.u64("storage-fe pending deadline")?);
+            let wait = SimDuration::from_nanos(r.u64("storage-fe pending wait")?);
+            let _issued_ns = r.u64("storage-fe pending issued")?;
+            self.pending.insert(
+                cid,
+                PendingIo {
+                    op: cmd.opcode,
+                    buf: cmd.data_ptr,
+                    bytes: cmd.nlb as u64 * BLOCK_SIZE,
+                    ssd,
+                    cmd,
+                    retry: RetryState::from_parts(attempts, deadline, wait),
+                    #[cfg(feature = "obs")]
+                    issued: SimTime(_issued_ns),
+                },
+            );
+        }
+        let n = r.u64("storage-fe done count")?;
+        self.done.clear();
+        for _ in 0..n {
+            let cid = r.u16("storage-fe done cid")?;
+            let status = NvmeStatus::from_byte(r.u8("storage-fe done status")?);
+            let data = if r.bool("storage-fe done data flag")? {
+                Some(r.bytes("storage-fe done data")?.to_vec())
+            } else {
+                None
+            };
+            self.done.push(IoResult { cid, status, data });
+        }
+        self.data_area.restore_state(r)?;
+        Ok(())
     }
 }

@@ -105,6 +105,20 @@ pub enum FleetError {
     /// The replicated allocator service refused the command (e.g. the
     /// Raft leader is unavailable).
     NotLeader,
+    /// The instance already has an open migration ticket; a second
+    /// migration (or a resize) must wait for `FinishMigration`.
+    MigrationInProgress(u64),
+    /// `FinishMigration` addressed an instance with no open ticket —
+    /// the exactly-once guard against double commit/rollback.
+    NotMigrating(u64),
+    /// The requested target pod cannot reserve the instance's resources
+    /// (or is the pod the instance already runs on).
+    MigrationInfeasible {
+        /// Fleet instance id.
+        id: u64,
+        /// The rejected target pod.
+        dst_pod: usize,
+    },
     /// A pod-local launch failed after fleet-level placement succeeded.
     Pod(PodError),
 }
@@ -132,6 +146,15 @@ impl std::fmt::Display for FleetError {
                 write!(f, "topology commands flow through add_pod/connect")
             }
             FleetError::NotLeader => write!(f, "allocator service is not the leader"),
+            FleetError::MigrationInProgress(id) => {
+                write!(f, "instance {id} already has an open migration ticket")
+            }
+            FleetError::NotMigrating(id) => {
+                write!(f, "instance {id} has no open migration ticket")
+            }
+            FleetError::MigrationInfeasible { id, dst_pod } => {
+                write!(f, "pod {dst_pod} cannot reserve instance {id}'s resources")
+            }
             FleetError::Pod(e) => write!(f, "pod error: {e}"),
         }
     }

@@ -33,7 +33,10 @@
 use oasis_sim::shard::{self, Envelope, Outgoing, ShardError, ShardWorld, ShardedRunner};
 use oasis_sim::time::{SimDuration, SimTime};
 
-use crate::allocator::{FleetAllocator, FleetCommand, FleetResponse, ANY_POD};
+use crate::allocator::{
+    FleetAllocator, FleetCommand, FleetResponse, MigrationOutcome, PrecopyModel, TransferPath,
+    ANY_POD,
+};
 use crate::error::FleetError;
 use crate::instance::AppKind;
 use crate::pod::{Pod, UplinkMsg};
@@ -96,6 +99,14 @@ pub struct Fleet {
     threads: usize,
     min_latency: Option<SimDuration>,
     allocator: FleetAllocator,
+    /// Pre-copy timing model for live migrations (tunable before the
+    /// first migration; `migrate_bench` sweeps it).
+    pub precopy: PrecopyModel,
+    // Per-transfer-path migration tallies, indexed by the path's wire
+    // byte (0 = CXL, 1 = NIC); exported through `metrics_snapshot`.
+    migration_rounds: [u64; 2],
+    migration_bytes: [u64; 2],
+    migration_pause: [u64; 2],
 }
 
 impl Default for Fleet {
@@ -118,6 +129,10 @@ impl Fleet {
             threads: threads.max(1),
             min_latency: None,
             allocator: FleetAllocator::new(),
+            precopy: PrecopyModel::default(),
+            migration_rounds: [0; 2],
+            migration_bytes: [0; 2],
+            migration_pause: [0; 2],
         }
     }
 
@@ -234,6 +249,13 @@ impl Fleet {
     /// here. Kills release fleet-level capacity; the pod runtime keeps the
     /// instance's datapath wired (tearing that down mid-run is future
     /// work), which matches how the replay measures stranding.
+    ///
+    /// `MigrateInstance` runs the full driver
+    /// ([`Fleet::migrate_instance`]): ticket, modeled pre-copy, target
+    /// launch, and the finishing command — commit on success,
+    /// compensating abort on a target-side launch failure. A raw
+    /// `FinishMigration` passes through to the allocator untouched so
+    /// replay and chaos harnesses can drive the two phases separately.
     pub fn execute(
         &mut self,
         now: SimTime,
@@ -269,7 +291,115 @@ impl Fleet {
                     }
                 }
             }
+            FleetCommand::MigrateInstance {
+                id, dst_pod, path, ..
+            } => {
+                self.migrate_instance(now, id, dst_pod as usize, path)?;
+                Ok(FleetResponse::MigrationFinished {
+                    id,
+                    committed: true,
+                })
+            }
             _ => self.allocator.execute(now, cmd),
+        }
+    }
+
+    /// Live-migrate instance `id` to `dst_pod` over `path`, end to end:
+    ///
+    /// 1. **Validate → propose → apply** `MigrateInstance` through the
+    ///    raft-logged command API, opening a [`MigrationTicket`] that
+    ///    reserves the target-side capacity (source capacity stays held —
+    ///    the dual hold is what makes both outcomes safe).
+    /// 2. **Pre-copy** the instance state over the chosen path with the
+    ///    fleet's [`PrecopyModel`], accumulating the per-path
+    ///    `core.fleet_migration_*` transfer tallies.
+    /// 3. **Land** the instance on the reserved target host
+    ///    ([`Pod::try_launch_instance`], [`AppKind::None`] — migrated
+    ///    instances re-attach their app out of band, like created ones).
+    /// 4. **Finish** at `now + total_ns` of modeled sim-time:
+    ///    `FinishMigration { commit: true }` on success, or — if the
+    ///    target pod's devices turn out too fragmented for the lease —
+    ///    the compensating `FinishMigration { commit: false }`, which
+    ///    releases only the target reservation and leaves the source
+    ///    serving, exactly like `CreateInstance`'s kill-on-launch-failure
+    ///    rollback.
+    ///
+    /// Returns the modeled [`MigrationOutcome`] (rounds, bytes, pause) on
+    /// commit. The source pod keeps the old datapath wired, matching how
+    /// kills behave in the runtime.
+    ///
+    /// [`MigrationTicket`]: crate::allocator::MigrationTicket
+    pub fn migrate_instance(
+        &mut self,
+        now: SimTime,
+        id: u64,
+        dst_pod: usize,
+        path: TransferPath,
+    ) -> Result<MigrationOutcome, FleetError> {
+        assert!(self.runner.is_none(), "fleet topology is fixed after run");
+        let inst = self
+            .allocator
+            .state
+            .instances
+            .get(id as usize)
+            .copied()
+            .flatten()
+            .ok_or(FleetError::NoSuchInstance(id))?;
+        let resp = self.allocator.execute(
+            now,
+            &FleetCommand::MigrateInstance {
+                at: now.as_nanos(),
+                id,
+                dst_pod: dst_pod as u32,
+                path,
+            },
+        )?;
+        let FleetResponse::MigrationStarted {
+            dst_pod, dst_host, ..
+        } = resp
+        else {
+            // The replicated apply is stricter than `execute`'s validation
+            // only if state changed between the two — impossible with a
+            // single replica, but degrade to the typed error regardless.
+            return Err(FleetError::MigrationInfeasible { id, dst_pod });
+        };
+        let outcome = self
+            .precopy
+            .run(path, inst.vcpus, inst.mem_gb, inst.nic_mbps);
+        let tag = path.to_byte() as usize;
+        self.migration_rounds[tag] =
+            self.migration_rounds[tag].saturating_add(outcome.rounds as u64);
+        self.migration_bytes[tag] = self.migration_bytes[tag].saturating_add(outcome.bytes_moved);
+        self.migration_pause[tag] = self.migration_pause[tag].saturating_add(outcome.pause_ns);
+        let done = now + SimDuration::from_nanos(outcome.total_ns);
+        match self.shards[dst_pod]
+            .pod
+            .try_launch_instance(dst_host, AppKind::None, inst.nic_mbps)
+        {
+            Ok(_) => {
+                self.allocator.execute(
+                    done,
+                    &FleetCommand::FinishMigration {
+                        at: done.as_nanos(),
+                        id,
+                        commit: true,
+                    },
+                )?;
+                Ok(outcome)
+            }
+            Err(e) => {
+                // Compensating rollback: release the target reservation;
+                // the source never stopped holding its resources.
+                self.allocator.execute(
+                    done,
+                    &FleetCommand::FinishMigration {
+                        at: done.as_nanos(),
+                        id,
+                        commit: false,
+                    },
+                )?;
+                Err(FleetError::Pod(e))
+            }
         }
     }
 
@@ -380,6 +510,29 @@ impl Fleet {
         {
             let mut sink = oasis_obs::MetricSink::new();
             self.allocator.state.export_metrics(&mut sink);
+            for tag in 0..2u32 {
+                let i = tag as usize;
+                for (name, v) in [
+                    (
+                        crate::metrics::FLEET_MIGRATION_ROUNDS,
+                        self.migration_rounds[i],
+                    ),
+                    (
+                        crate::metrics::FLEET_MIGRATION_BYTES,
+                        self.migration_bytes[i],
+                    ),
+                    (
+                        crate::metrics::FLEET_MIGRATION_PAUSE_NS,
+                        self.migration_pause[i],
+                    ),
+                ] {
+                    // Skipping zero keeps no-migration runs byte-identical
+                    // with exports from before migration existed.
+                    if v != 0 {
+                        sink.set(name, tag, v);
+                    }
+                }
+            }
             merged.merge(&sink.snapshot());
         }
         #[cfg(feature = "obs")]

@@ -28,6 +28,9 @@
 //! * [`allocator`] — the pod-wide allocator (§3.5): leases, 100 ms
 //!   telemetry, local-first placement, failure management; replicable with
 //!   Raft from `oasis-raft`.
+//! * [`snapshot`] — schema-versioned, byte-stable serialization of engine
+//!   and allocator state (DESIGN.md §15): the substrate for
+//!   checkpoint/resume and live migration over the pool.
 //! * [`pod`] — the pod runtime: wires hosts, cores, NICs, SSDs, switch,
 //!   instances, and client endpoints into one deterministic co-simulation.
 //! * [`fleet`] — multi-pod fleets joined by Ethernet uplinks; each pod runs
@@ -55,8 +58,10 @@ pub mod instance;
 pub mod metrics;
 pub mod msg;
 pub mod pod;
+pub mod snapshot;
 pub mod tcp;
 
 pub use config::OasisConfig;
 pub use fleet::Fleet;
 pub use pod::{Pod, PodBuilder};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter, Snapshottable};

@@ -167,3 +167,23 @@ pub const FLEET_SPILL_PLACEMENTS: &str = "core.fleet_spill_placements";
 pub const FLEET_SPILL_BYTES: &str = "core.fleet_spill_bytes";
 /// Placements served, by device pod — tag = device pod.
 pub const FLEET_POD_PLACEMENTS: &str = "core.fleet_pod_placements";
+
+// ---------------------------------------------------------------------------
+// Live migration (ISSUE 10) — fleet tallies use tag 0; per-migration
+// transfer metrics are tagged by the transfer path's wire byte
+// (`TransferPath::to_byte`: 0 = CXL, 1 = NIC).
+// ---------------------------------------------------------------------------
+
+/// Migration tickets opened (target capacity reserved).
+pub const FLEET_MIGRATIONS_STARTED: &str = "core.fleet_migrations_started";
+/// Migrations committed (instance landed on the target pod).
+pub const FLEET_MIGRATIONS_COMMITTED: &str = "core.fleet_migrations_committed";
+/// Migrations rolled back (target reservation released, source kept).
+pub const FLEET_MIGRATIONS_ABORTED: &str = "core.fleet_migrations_aborted";
+/// Pre-copy rounds run across all migrations — tag = transfer path.
+pub const FLEET_MIGRATION_ROUNDS: &str = "core.fleet_migration_rounds";
+/// Bytes moved by pre-copy and stop-and-copy — tag = transfer path.
+pub const FLEET_MIGRATION_BYTES: &str = "core.fleet_migration_bytes";
+/// Accumulated stop-and-copy pause in sim-time nanoseconds — tag =
+/// transfer path.
+pub const FLEET_MIGRATION_PAUSE_NS: &str = "core.fleet_migration_pause_ns";

@@ -47,6 +47,9 @@ use crate::engine_net::{BackendDriver, FrontendDriver};
 use crate::engine_storage::{alloc_storage_channel, StorageBackend, StorageFrontend};
 use crate::error::PodError;
 use crate::instance::{AppKind, Instance};
+use crate::snapshot::{
+    SnapshotError, SnapshotReader, SnapshotSection, SnapshotWriter, Snapshottable,
+};
 
 /// An external client attached directly to a switch port (load generators,
 /// echo clients, trace replayers — implemented in `oasis-apps`).
@@ -1762,6 +1765,125 @@ impl Pod {
         }
         self.wake_endpoints(map, ctx);
         StepOutcome::WakeAt(next)
+    }
+}
+
+impl Pod {
+    /// Every snapshot-bearing component in canonical order: the allocator,
+    /// then per-host drivers, net backends, storage frontends, storage
+    /// backends, accel frontends, accel backends. [`Pod::snapshot`] and
+    /// [`Pod::restore`] both walk this order, so the two stay in lockstep
+    /// by construction.
+    fn snapshot_parts(&self) -> Vec<&dyn Snapshottable> {
+        let mut v: Vec<&dyn Snapshottable> = vec![&self.allocator];
+        for d in &self.drivers {
+            match d {
+                HostDriver::Oasis(fe) => v.push(fe),
+                HostDriver::Local(ld) => v.push(ld),
+            }
+        }
+        for be in &self.backends {
+            v.push(be);
+        }
+        for fe in self.storage_frontends.iter().flatten() {
+            v.push(fe);
+        }
+        for be in &self.storage_backends {
+            v.push(be);
+        }
+        for fe in self.accel_frontends.iter().flatten() {
+            v.push(fe);
+        }
+        for be in &self.accel_backends {
+            v.push(be);
+        }
+        v
+    }
+
+    /// Mutable view of the same components, in the same order.
+    fn snapshot_parts_mut(&mut self) -> Vec<&mut dyn Snapshottable> {
+        let mut v: Vec<&mut dyn Snapshottable> = vec![&mut self.allocator];
+        for d in &mut self.drivers {
+            match d {
+                HostDriver::Oasis(fe) => v.push(fe),
+                HostDriver::Local(ld) => v.push(ld),
+            }
+        }
+        for be in &mut self.backends {
+            v.push(be);
+        }
+        for fe in self.storage_frontends.iter_mut().flatten() {
+            v.push(fe);
+        }
+        for be in &mut self.storage_backends {
+            v.push(be);
+        }
+        for fe in self.accel_frontends.iter_mut().flatten() {
+            v.push(fe);
+        }
+        for be in &mut self.accel_backends {
+            v.push(be);
+        }
+        v
+    }
+
+    /// Serialize the pod's logical state into a schema-versioned snapshot:
+    /// a `Meta` section (sim-time, crashed-host set, component count)
+    /// followed by one `Engine` section per [`Snapshottable`] component in
+    /// canonical order (allocator first, then every device engine).
+    ///
+    /// Channel ring contents, NIC/SSD/accel device queues, and endpoint
+    /// state are *topology*, not snapshot state: checkpoints are taken at
+    /// quiesce points (between [`Pod::run`] windows, after in-flight
+    /// traffic drains) and restored into a pod built from the same
+    /// configuration, exactly like `fleet_replay --checkpoint/--resume`.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.begin_section(SnapshotSection::Meta);
+        w.put_u64(self.now.as_nanos());
+        w.put_u64(self.dead_host.len() as u64);
+        for &dead in &self.dead_host {
+            w.put_bool(dead);
+        }
+        let parts = self.snapshot_parts();
+        w.put_u64(parts.len() as u64);
+        w.end_section();
+        for part in parts {
+            w.begin_section(SnapshotSection::Engine);
+            part.snapshot_state(&mut w);
+            w.end_section();
+        }
+        w.finish()
+    }
+
+    /// Restore a snapshot produced by [`Pod::snapshot`] on an identically
+    /// built pod. On any error the pod is left partially restored and must
+    /// be discarded; the snapshot bytes themselves are never modified.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapshotReader::open(bytes)?;
+        let mut meta = r.section(SnapshotSection::Meta)?;
+        let now = SimTime(meta.u64("pod sim-time")?);
+        let hosts = meta.u64("pod host count")?;
+        if hosts != self.dead_host.len() as u64 {
+            return Err(SnapshotError::Corrupt("pod host count"));
+        }
+        let mut dead_host = Vec::with_capacity(hosts as usize);
+        for _ in 0..hosts {
+            dead_host.push(meta.bool("pod dead-host flag")?);
+        }
+        let parts_expected = meta.u64("pod component count")?;
+        self.now = now;
+        self.dead_host = dead_host;
+        let mut restored = 0u64;
+        for part in self.snapshot_parts_mut() {
+            let mut er = r.section(SnapshotSection::Engine)?;
+            part.restore_state(&mut er)?;
+            restored += 1;
+        }
+        if restored != parts_expected {
+            return Err(SnapshotError::Corrupt("pod component count"));
+        }
+        Ok(())
     }
 }
 

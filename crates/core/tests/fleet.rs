@@ -376,3 +376,94 @@ fn control_plane_commands_drive_live_placement() {
     assert_eq!(snap.counter("core.fleet_instances_placed", 0), 1);
     assert_eq!(snap.counter("core.fleet_instances_killed", 0), 1);
 }
+
+#[test]
+fn live_migration_commits_over_the_cxl_path() {
+    use oasis_core::allocator::TransferPath;
+
+    let mut fleet = Fleet::new();
+    for site in 0..2u32 {
+        fleet.add_pod(small_pod(site)).unwrap();
+    }
+    fleet
+        .connect(0, 1, oasis_cxl::topology::UPLINK_LATENCY)
+        .unwrap();
+    let (id, src_pod, _) = fleet
+        .create_instance(SimTime::ZERO, AppKind::None, 8, 32, 0, 10_000, Some(0))
+        .expect("pod 0 has capacity");
+    assert_eq!(src_pod, 0);
+
+    let outcome = fleet
+        .migrate_instance(SimTime::from_micros(5), id, 1, TransferPath::Cxl)
+        .expect("migration commits");
+    assert!(outcome.rounds >= 1);
+    assert!(
+        outcome.bytes_moved >= 32u64 << 30,
+        "moves at least the state"
+    );
+
+    let st = &fleet.allocator().state;
+    let inst = st.instances[id as usize].expect("instance survives");
+    assert_eq!(inst.pod, 1, "instance re-homed to the target pod");
+    assert!(st.migration(id).is_none(), "ticket closed");
+    assert_eq!(st.migrations_committed, 1);
+    assert!(fleet.allocator().consistent_with_log());
+
+    // Transfer metrics land on the CXL tag; the NIC tag stays absent.
+    let snap = fleet.metrics_snapshot();
+    assert_eq!(snap.counter("core.fleet_migrations_started", 0), 1);
+    assert_eq!(snap.counter("core.fleet_migrations_committed", 0), 1);
+    assert_eq!(
+        snap.counter("core.fleet_migration_rounds", 0),
+        outcome.rounds as u64
+    );
+    assert_eq!(
+        snap.counter("core.fleet_migration_bytes", 0),
+        outcome.bytes_moved
+    );
+    assert_eq!(snap.counter("core.fleet_migration_bytes", 1), 0);
+}
+
+#[test]
+fn failed_target_launch_rolls_the_migration_back() {
+    use oasis_core::allocator::TransferPath;
+    use oasis_core::error::FleetError;
+
+    let mut fleet = Fleet::new();
+    fleet.add_pod(small_pod(0)).unwrap();
+    // Target pod with two NICs: fleet-level capacity is their sum, but
+    // pod-local admission needs a single NIC with the whole lease spare.
+    let mut b = PodBuilder::new(OasisConfig::default()).site(1);
+    b.add_host();
+    b.add_nic_host();
+    b.add_nic_host();
+    fleet.add_pod(b.build()).unwrap();
+    fleet
+        .connect(0, 1, oasis_cxl::topology::UPLINK_LATENCY)
+        .unwrap();
+
+    let (id, _, _) = fleet
+        .create_instance(SimTime::ZERO, AppKind::None, 8, 32, 0, 50_000, Some(0))
+        .expect("pod 0 has capacity");
+    // Fragment the target: each NIC ends up 60/100 Gbit/s used, so pod 1
+    // has 80 Gbit/s free in aggregate but no NIC with 50 Gbit/s spare.
+    for _ in 0..2 {
+        fleet
+            .create_instance(SimTime::ZERO, AppKind::None, 8, 32, 0, 60_000, Some(1))
+            .expect("pod 1 has aggregate capacity");
+    }
+
+    let err = fleet
+        .migrate_instance(SimTime::from_micros(5), id, 1, TransferPath::Nic)
+        .expect_err("target launch must fail on fragmented NICs");
+    assert!(matches!(err, FleetError::Pod(_)), "got: {err:?}");
+
+    // Compensating rollback: the ticket is gone, the target reservation
+    // released, and the source never stopped serving.
+    let st = &fleet.allocator().state;
+    let inst = st.instances[id as usize].expect("instance survives");
+    assert_eq!(inst.pod, 0, "source keeps the instance");
+    assert!(st.migration(id).is_none(), "ticket rolled back");
+    assert_eq!(st.migrations_aborted, 1);
+    assert!(fleet.allocator().consistent_with_log());
+}

@@ -1,0 +1,123 @@
+//! Pod-level checkpoint/restore: a snapshot taken at a quiesce point
+//! restores into an identically built pod byte-identically, and the
+//! restored pod keeps running (ISSUE 10).
+
+use oasis_core::config::OasisConfig;
+use oasis_core::instance::AppKind;
+use oasis_core::pod::{Pod, PodBuilder};
+use oasis_core::snapshot::SnapshotError;
+use oasis_sim::time::SimTime;
+use oasis_storage::ssd::SsdConfig;
+use oasis_storage::BLOCK_SIZE;
+
+fn block(tag: u8) -> Vec<u8> {
+    (0..BLOCK_SIZE as usize).map(|i| tag ^ (i as u8)).collect()
+}
+
+/// A pod with a device-less instance host plus a NIC+SSD+accel host; both
+/// the snapshot source and the restore target are built through here so
+/// their topology is identical by construction.
+fn build_pod() -> (Pod, usize) {
+    let mut b = PodBuilder::new(OasisConfig::default());
+    let host_a = b.add_host();
+    let host_b = b.add_nic_host();
+    b.add_ssd(host_b, SsdConfig::default());
+    let mut pod = b.build();
+    let inst = pod.launch_instance(host_a, AppKind::None, 1_000);
+    let _ = inst;
+    (pod, host_a)
+}
+
+/// Drive some storage traffic so queues, dedup windows, and completion
+/// caches hold real state, then drain it (quiesce point).
+fn run_traffic(pod: &mut Pod, host: usize) {
+    let inst = 0;
+    let vol = pod.create_volume(inst, 32).expect("capacity");
+    for lba in 0..6 {
+        pod.volume_write(vol, lba, &block(lba as u8)).unwrap();
+    }
+    pod.run(SimTime::from_millis(3));
+    let done = pod.take_storage_completions(host);
+    assert_eq!(done.len(), 6);
+    pod.volume_read(vol, 2, 1).unwrap();
+    pod.run(SimTime::from_millis(5));
+    assert_eq!(pod.take_storage_completions(host).len(), 1);
+}
+
+#[test]
+fn snapshot_restores_byte_identically() {
+    let (mut src, host) = build_pod();
+    run_traffic(&mut src, host);
+    let snap = src.snapshot();
+
+    // A freshly built pod differs (no traffic has run)...
+    let (mut dst, _) = build_pod();
+    assert_ne!(dst.snapshot(), snap);
+
+    // ...until the snapshot is restored; then re-snapshotting reproduces
+    // the source bytes exactly.
+    dst.restore(&snap).expect("restore succeeds");
+    assert_eq!(dst.snapshot(), snap, "restore → snapshot is byte-identical");
+}
+
+#[test]
+fn restored_pod_keeps_running() {
+    let (mut src, host) = build_pod();
+    run_traffic(&mut src, host);
+    let snap = src.snapshot();
+
+    let (mut dst, _) = build_pod();
+    // The target needs the same volume table (allocator state is restored,
+    // but the Pod-side volume handle comes from the carve API).
+    let vol = dst.create_volume(0, 32).expect("capacity");
+    dst.restore(&snap).expect("restore succeeds");
+
+    // The restored pod serves I/O: retry/dedup state and command-id
+    // sequences continue from the checkpoint instead of colliding. (SSD
+    // media contents are device state outside the snapshot, so write fresh
+    // data before reading it back.)
+    dst.volume_write(vol, 3, &block(9)).unwrap();
+    dst.run(SimTime::from_millis(8));
+    let done = dst.take_storage_completions(host);
+    assert_eq!(done.len(), 1);
+    assert!(done[0].status.is_ok());
+    dst.volume_read(vol, 3, 1).unwrap();
+    dst.run(SimTime::from_millis(10));
+    let done = dst.take_storage_completions(host);
+    assert_eq!(done.len(), 1);
+    assert!(done[0].status.is_ok());
+    assert_eq!(done[0].data.as_deref(), Some(&block(9)[..]));
+}
+
+#[test]
+fn restore_rejects_mismatched_topology() {
+    let (mut src, host) = build_pod();
+    run_traffic(&mut src, host);
+    let snap = src.snapshot();
+
+    // A pod with a different host count must refuse the snapshot with a
+    // typed error, never panic.
+    let mut b = PodBuilder::new(OasisConfig::default());
+    let h0 = b.add_host();
+    let _h1 = b.add_host();
+    let dev = b.add_nic_host();
+    b.add_ssd(dev, SsdConfig::default());
+    let mut other = b.build();
+    let _ = other.launch_instance(h0, AppKind::None, 1_000);
+    assert!(matches!(
+        other.restore(&snap),
+        Err(SnapshotError::Corrupt("pod host count"))
+    ));
+}
+
+#[test]
+fn restore_rejects_garbage() {
+    let (mut pod, _) = build_pod();
+    assert!(matches!(
+        pod.restore(b"not a snapshot"),
+        Err(SnapshotError::BadMagic)
+    ));
+    let mut truncated = pod.snapshot();
+    truncated.truncate(truncated.len() / 2);
+    assert!(pod.restore(&truncated).is_err());
+}

@@ -12,15 +12,19 @@
 //!    drifts from the registry without a version bump.
 
 use oasis_core::allocator::command::{ALLOC_SCHEMA_VERSION, FLEET_SCHEMA_VERSION};
-use oasis_core::allocator::{AllocCommand, FleetCommand, ANY_POD};
+use oasis_core::allocator::{AllocCommand, FleetCommand, TransferPath, ANY_POD};
+use oasis_core::snapshot::SNAPSHOT_SCHEMA_VERSION;
 use oasis_net::addr::Ipv4Addr;
 
 #[test]
 fn schema_versions_are_pinned() {
-    // Bumping either const is a deliberate act: refresh the goldens below
+    // Bumping any const is a deliberate act: refresh the goldens below
     // and the `ENUM_GOLDENS` registry in the same commit.
     assert_eq!(ALLOC_SCHEMA_VERSION, 1);
-    assert_eq!(FLEET_SCHEMA_VERSION, 1);
+    // v2 appended MigrateInstance / FinishMigration (ISSUE 10).
+    assert_eq!(FLEET_SCHEMA_VERSION, 2);
+    // v2 added the FleetState / ReplayCursor sections.
+    assert_eq!(SNAPSHOT_SCHEMA_VERSION, 2);
 }
 
 #[test]
@@ -66,7 +70,10 @@ fn alloc_command_golden_bytes() {
             vec![7, 10, 0, 0, 7, 3, 0, 0, 0, 0, 1, 0, 0, 64, 0, 0, 0],
         ),
         (AllocCommand::ReleaseVolumes { ip }, vec![8, 10, 0, 0, 7]),
-        (AllocCommand::MarkHostFailed { host: 5 }, vec![9, 5, 0, 0, 0]),
+        (
+            AllocCommand::MarkHostFailed { host: 5 },
+            vec![9, 5, 0, 0, 0],
+        ),
         (
             AllocCommand::MarkHostRestarted { host: 5 },
             vec![10, 5, 0, 0, 0],
@@ -142,6 +149,44 @@ fn fleet_command_golden_bytes() {
             vec![5, 184, 11, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0],
         ),
         (FleetCommand::QueryFleetState, vec![6]),
+        (
+            FleetCommand::MigrateInstance {
+                at: 4_000,
+                id: 7,
+                dst_pod: 3,
+                path: TransferPath::Cxl,
+            },
+            vec![
+                7, 160, 15, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0,
+            ],
+        ),
+        (
+            FleetCommand::MigrateInstance {
+                at: 4_000,
+                id: 7,
+                dst_pod: 3,
+                path: TransferPath::Nic,
+            },
+            vec![
+                7, 160, 15, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 1,
+            ],
+        ),
+        (
+            FleetCommand::FinishMigration {
+                at: 5_000,
+                id: 7,
+                commit: true,
+            },
+            vec![8, 136, 19, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 1],
+        ),
+        (
+            FleetCommand::FinishMigration {
+                at: 5_000,
+                id: 7,
+                commit: false,
+            },
+            vec![8, 136, 19, 0, 0, 0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 0],
+        ),
     ];
     for (cmd, golden) in cases {
         let bytes = cmd.encode();

@@ -63,7 +63,9 @@ pub enum NvmeStatus {
 }
 
 impl NvmeStatus {
-    fn to_byte(self) -> u8 {
+    /// Status byte as it appears in an encoded completion (also used by
+    /// the snapshot layer to serialize completion caches).
+    pub fn to_byte(self) -> u8 {
         match self {
             NvmeStatus::Success => 0x00,
             NvmeStatus::LbaOutOfRange => 0x80,
@@ -73,7 +75,9 @@ impl NvmeStatus {
         }
     }
 
-    fn from_byte(b: u8) -> NvmeStatus {
+    /// Inverse of [`NvmeStatus::to_byte`]; unknown bytes degrade to
+    /// [`NvmeStatus::DeviceFailure`].
+    pub fn from_byte(b: u8) -> NvmeStatus {
         match b {
             0x00 => NvmeStatus::Success,
             0x80 => NvmeStatus::LbaOutOfRange,

@@ -33,6 +33,7 @@ use std::collections::BinaryHeap;
 
 use oasis_core::allocator::{FleetAllocator, FleetCommand, FleetResponse, FleetState, ANY_POD};
 use oasis_core::error::FleetError;
+use oasis_core::snapshot::{SnapshotError, SnapshotReader, SnapshotSection, SnapshotWriter};
 use oasis_cxl::topology::{FleetTopology, PodTopology};
 use oasis_sim::rng::SimRng;
 use oasis_sim::time::{SimDuration, SimTime};
@@ -394,114 +395,7 @@ impl AllocTrace {
         policy: HomePolicy,
         resize_every: usize,
     ) -> Result<FleetReplay, FleetError> {
-        let cap = HostCapacity::default();
-        let nic_mbps_per_host = cap.nic_mbps();
-        let mut alloc = FleetAllocator::new();
-        for (p, pod) in topo.pods.iter().enumerate() {
-            alloc.execute(
-                SimTime::ZERO,
-                &FleetCommand::RegisterPod {
-                    pod: p as u32,
-                    hosts: pod.hosts as u32,
-                    vcpus_per_host: cap.vcpus,
-                    mem_gb_per_host: cap.mem_gb,
-                    nic_mbps: pod.hosts as u64 * nic_mbps_per_host,
-                    ssd_cap: pod.hosts as u64 * cap.ssd_gb as u64,
-                },
-            )?;
-        }
-        for l in &topo.links {
-            alloc.execute(
-                SimTime::ZERO,
-                &FleetCommand::AddLink {
-                    a: l.a as u32,
-                    b: l.b as u32,
-                    latency_ns: l.latency.as_nanos(),
-                },
-            )?;
-        }
-
-        let npods = topo.pods.len().max(1);
-        // Pending departures as a min-heap of (ends, fleet id).
-        let mut departures: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
-        let mut placements = Vec::new();
-        let mut rejected = 0usize;
-
-        for (i, arr) in stream.arrivals.iter().enumerate() {
-            let now = SimTime::from_nanos(arr.at);
-            while let Some(&Reverse((ends, id))) = departures.peek() {
-                if ends > arr.at {
-                    break;
-                }
-                departures.pop();
-                alloc.execute(now, &FleetCommand::KillInstance { at: ends, id })?;
-            }
-            let ty = &stream.catalog[arr.type_idx];
-            let nic_mbps = ty.nic_mbps() as u32;
-            let home_pod = match policy {
-                HomePolicy::AnyPod => ANY_POD,
-                HomePolicy::RoundRobin => (i % npods) as u32,
-            };
-            let outcome = alloc.execute(
-                now,
-                &FleetCommand::CreateInstance {
-                    at: arr.at,
-                    vcpus: ty.vcpus,
-                    mem_gb: ty.mem_gb,
-                    ssd: ty.ssd_gb,
-                    nic_mbps,
-                    home_pod,
-                },
-            )?;
-            match outcome {
-                FleetResponse::Created {
-                    id,
-                    pod,
-                    host,
-                    device_pod,
-                } => {
-                    departures.push(Reverse((arr.ends, id)));
-                    placements.push(FleetPlacement {
-                        type_idx: arr.type_idx,
-                        start: now,
-                        end: SimTime::from_nanos(arr.ends),
-                        pod,
-                        host,
-                        device_pod,
-                    });
-                    if resize_every > 0 && (id + 1) % resize_every as u64 == 0 {
-                        alloc.execute(
-                            now,
-                            &FleetCommand::ResizeInstance {
-                                at: arr.at,
-                                id,
-                                nic_mbps,
-                                ssd: ty.ssd_gb,
-                            },
-                        )?;
-                    }
-                }
-                _ => rejected += 1,
-            }
-        }
-        // Close every remaining lease at its departure time so the spill
-        // byte counters cover each instance's full lifetime.
-        while let Some(Reverse((ends, id))) = departures.pop() {
-            alloc.execute(
-                SimTime::from_nanos(ends),
-                &FleetCommand::KillInstance { at: ends, id },
-            )?;
-        }
-
-        Ok(FleetReplay {
-            catalog: stream.catalog.clone(),
-            host_cap: cap,
-            pod_hosts: topo.pods.iter().map(|p| p.hosts).collect(),
-            placements,
-            rejected,
-            duration: SimTime::ZERO + stream.duration,
-            state: alloc.state.clone(),
-        })
+        ReplaySession::new(stream, topo, policy, resize_every)?.finish()
     }
 
     /// Time-averaged allocated fraction of a resource across the whole
@@ -544,6 +438,331 @@ impl AllocTrace {
             peak = peak.max(cur);
         }
         peak
+    }
+}
+
+/// A resumable fleet replay: the identical command sequence to
+/// [`AllocTrace::replay_fleet`], split into steps so a run can be stopped
+/// at an epoch, serialized into the `oasis-core` snapshot container, and
+/// resumed byte-identically later (DESIGN.md §15).
+///
+/// A checkpoint carries two sections: `FleetState` (the allocator's
+/// applied state, via [`FleetAllocator::checkpoint`] — the restored
+/// allocator treats it as its log-compaction base) and `ReplayCursor`
+/// (a workload digest plus the replay loop's own working set: pending
+/// departures, placements so far, the rejection tally, and the next
+/// arrival index). The digest pins the checkpoint to one exact workload —
+/// resuming against a different stream, topology, policy, or resize
+/// cadence is a typed [`SnapshotError::StreamMismatch`], never a silently
+/// diverging run.
+pub struct ReplaySession<'a> {
+    stream: &'a ArrivalStream,
+    pod_hosts: Vec<usize>,
+    policy: HomePolicy,
+    resize_every: usize,
+    alloc: FleetAllocator,
+    /// Pending departures as a min-heap of (ends, fleet id).
+    departures: BinaryHeap<Reverse<(u64, u64)>>,
+    placements: Vec<FleetPlacement>,
+    rejected: usize,
+    /// Index of the first arrival not yet replayed.
+    next_arrival: usize,
+}
+
+/// FNV-1a over one little-endian word (the digest primitive — cheap,
+/// deterministic, and dependency-free).
+fn fnv1a_u64(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for b in v.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+impl<'a> ReplaySession<'a> {
+    /// Start a replay: registers every pod and link with a fresh fleet
+    /// allocator, exactly as [`AllocTrace::replay_fleet`] always did.
+    pub fn new(
+        stream: &'a ArrivalStream,
+        topo: &FleetTopology,
+        policy: HomePolicy,
+        resize_every: usize,
+    ) -> Result<ReplaySession<'a>, FleetError> {
+        let cap = HostCapacity::default();
+        let nic_mbps_per_host = cap.nic_mbps();
+        let mut alloc = FleetAllocator::new();
+        for (p, pod) in topo.pods.iter().enumerate() {
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::RegisterPod {
+                    pod: p as u32,
+                    hosts: pod.hosts as u32,
+                    vcpus_per_host: cap.vcpus,
+                    mem_gb_per_host: cap.mem_gb,
+                    nic_mbps: pod.hosts as u64 * nic_mbps_per_host,
+                    ssd_cap: pod.hosts as u64 * cap.ssd_gb as u64,
+                },
+            )?;
+        }
+        for l in &topo.links {
+            alloc.execute(
+                SimTime::ZERO,
+                &FleetCommand::AddLink {
+                    a: l.a as u32,
+                    b: l.b as u32,
+                    latency_ns: l.latency.as_nanos(),
+                },
+            )?;
+        }
+        Ok(ReplaySession {
+            stream,
+            pod_hosts: topo.pods.iter().map(|p| p.hosts).collect(),
+            policy,
+            resize_every,
+            alloc,
+            departures: BinaryHeap::new(),
+            placements: Vec::new(),
+            rejected: 0,
+            next_arrival: 0,
+        })
+    }
+
+    /// Digest pinning a checkpoint to one workload: every arrival triple,
+    /// the pod sizes, the home policy, and the resize cadence.
+    pub fn workload_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv1a_u64(h, self.stream.arrivals.len() as u64);
+        for arr in &self.stream.arrivals {
+            h = fnv1a_u64(h, arr.at);
+            h = fnv1a_u64(h, arr.ends);
+            h = fnv1a_u64(h, arr.type_idx as u64);
+        }
+        for &p in &self.pod_hosts {
+            h = fnv1a_u64(h, p as u64);
+        }
+        h = fnv1a_u64(
+            h,
+            match self.policy {
+                HomePolicy::AnyPod => 0,
+                HomePolicy::RoundRobin => 1,
+            },
+        );
+        fnv1a_u64(h, self.resize_every as u64)
+    }
+
+    /// Replay one arrival (first killing every lease that departs at or
+    /// before it). Returns `false` once the stream is exhausted.
+    fn step(&mut self) -> Result<bool, FleetError> {
+        let Some(arr) = self.stream.arrivals.get(self.next_arrival).copied() else {
+            return Ok(false);
+        };
+        let i = self.next_arrival;
+        self.next_arrival += 1;
+        let now = SimTime::from_nanos(arr.at);
+        while let Some(&Reverse((ends, id))) = self.departures.peek() {
+            if ends > arr.at {
+                break;
+            }
+            self.departures.pop();
+            self.alloc
+                .execute(now, &FleetCommand::KillInstance { at: ends, id })?;
+        }
+        let ty = &self.stream.catalog[arr.type_idx];
+        let nic_mbps = ty.nic_mbps() as u32;
+        let npods = self.pod_hosts.len().max(1);
+        let home_pod = match self.policy {
+            HomePolicy::AnyPod => ANY_POD,
+            HomePolicy::RoundRobin => (i % npods) as u32,
+        };
+        let outcome = self.alloc.execute(
+            now,
+            &FleetCommand::CreateInstance {
+                at: arr.at,
+                vcpus: ty.vcpus,
+                mem_gb: ty.mem_gb,
+                ssd: ty.ssd_gb,
+                nic_mbps,
+                home_pod,
+            },
+        )?;
+        match outcome {
+            FleetResponse::Created {
+                id,
+                pod,
+                host,
+                device_pod,
+            } => {
+                self.departures.push(Reverse((arr.ends, id)));
+                self.placements.push(FleetPlacement {
+                    type_idx: arr.type_idx,
+                    start: now,
+                    end: SimTime::from_nanos(arr.ends),
+                    pod,
+                    host,
+                    device_pod,
+                });
+                if self.resize_every > 0 && (id + 1) % self.resize_every as u64 == 0 {
+                    self.alloc.execute(
+                        now,
+                        &FleetCommand::ResizeInstance {
+                            at: arr.at,
+                            id,
+                            nic_mbps,
+                            ssd: ty.ssd_gb,
+                        },
+                    )?;
+                }
+            }
+            _ => self.rejected += 1,
+        }
+        Ok(true)
+    }
+
+    /// Replay every arrival with `at <= epoch_ns`, then stop. Leases
+    /// departing after the last replayed arrival stay pending — they are
+    /// part of the checkpoint and are killed on the resumed (or
+    /// continued) run exactly when the uninterrupted run would kill them.
+    pub fn run_to_epoch(&mut self, epoch_ns: u64) -> Result<(), FleetError> {
+        while self
+            .stream
+            .arrivals
+            .get(self.next_arrival)
+            .is_some_and(|a| a.at <= epoch_ns)
+        {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Replay the rest of the stream, close every remaining lease at its
+    /// departure time, and return the completed [`FleetReplay`].
+    pub fn finish(mut self) -> Result<FleetReplay, FleetError> {
+        while self.step()? {}
+        while let Some(Reverse((ends, id))) = self.departures.pop() {
+            self.alloc.execute(
+                SimTime::from_nanos(ends),
+                &FleetCommand::KillInstance { at: ends, id },
+            )?;
+        }
+        Ok(FleetReplay {
+            catalog: self.stream.catalog.clone(),
+            host_cap: HostCapacity::default(),
+            pod_hosts: self.pod_hosts,
+            placements: self.placements,
+            rejected: self.rejected,
+            duration: SimTime::ZERO + self.stream.duration,
+            state: self.alloc.state.clone(),
+        })
+    }
+
+    /// Read access to the embedded allocator (consistency checks).
+    pub fn allocator(&self) -> &FleetAllocator {
+        &self.alloc
+    }
+
+    /// Serialize the paused replay into the snapshot container.
+    /// Byte-stable: the same paused state always checkpoints to the same
+    /// bytes (the departure heap is canonicalized by sorting).
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        w.begin_section(SnapshotSection::FleetState);
+        self.alloc.checkpoint(&mut w);
+        w.end_section();
+        w.begin_section(SnapshotSection::ReplayCursor);
+        w.put_u64(self.workload_digest());
+        w.put_u64(self.next_arrival as u64);
+        w.put_u64(self.rejected as u64);
+        let mut pending: Vec<(u64, u64)> = self.departures.iter().map(|&Reverse(p)| p).collect();
+        pending.sort_unstable();
+        w.put_u64(pending.len() as u64);
+        for (ends, id) in pending {
+            w.put_u64(ends);
+            w.put_u64(id);
+        }
+        w.put_u64(self.placements.len() as u64);
+        for pl in &self.placements {
+            w.put_u64(pl.type_idx as u64);
+            w.put_u64(pl.start.as_nanos());
+            w.put_u64(pl.end.as_nanos());
+            w.put_u32(pl.pod as u32);
+            w.put_u32(pl.host as u32);
+            w.put_u32(pl.device_pod as u32);
+        }
+        w.end_section();
+        w.finish()
+    }
+
+    /// Resume a checkpointed replay against the same workload. The
+    /// allocator restores the `FleetState` section as its compaction
+    /// base (so `consistent_with_log` keeps holding with the
+    /// pre-checkpoint log gone), and the cursor section re-arms the
+    /// replay loop. A digest mismatch — different stream, topology,
+    /// policy, or resize cadence — is a typed error.
+    pub fn resume(
+        stream: &'a ArrivalStream,
+        topo: &FleetTopology,
+        policy: HomePolicy,
+        resize_every: usize,
+        bytes: &[u8],
+    ) -> Result<ReplaySession<'a>, SnapshotError> {
+        let mut session = ReplaySession {
+            stream,
+            pod_hosts: topo.pods.iter().map(|p| p.hosts).collect(),
+            policy,
+            resize_every,
+            alloc: FleetAllocator::new(),
+            departures: BinaryHeap::new(),
+            placements: Vec::new(),
+            rejected: 0,
+            next_arrival: 0,
+        };
+        let mut r = SnapshotReader::open(bytes)?;
+        let mut st = r.section(SnapshotSection::FleetState)?;
+        session.alloc.restore(&mut st)?;
+        let mut cur = r.section(SnapshotSection::ReplayCursor)?;
+        let want = cur.u64("replay digest")?;
+        let got = session.workload_digest();
+        if want != got {
+            return Err(SnapshotError::StreamMismatch { want, got });
+        }
+        let next = cur.u64("replay next arrival")? as usize;
+        if next > stream.arrivals.len() {
+            return Err(SnapshotError::Corrupt("replay next arrival"));
+        }
+        session.next_arrival = next;
+        session.rejected = cur.u64("replay rejected")? as usize;
+        let pending = cur.u64("replay departure count")?;
+        let mut prev: Option<(u64, u64)> = None;
+        for _ in 0..pending {
+            let ends = cur.u64("replay departure ends")?;
+            let id = cur.u64("replay departure id")?;
+            if prev.is_some_and(|p| p >= (ends, id)) {
+                return Err(SnapshotError::Corrupt("replay departure order"));
+            }
+            prev = Some((ends, id));
+            session.departures.push(Reverse((ends, id)));
+        }
+        let placed = cur.u64("replay placement count")?;
+        for _ in 0..placed {
+            let type_idx = cur.u64("replay placement type")? as usize;
+            if type_idx >= stream.catalog.len() {
+                return Err(SnapshotError::Corrupt("replay placement type"));
+            }
+            let start = cur.u64("replay placement start")?;
+            let end = cur.u64("replay placement end")?;
+            let pod = cur.u32("replay placement pod")? as usize;
+            let host = cur.u32("replay placement host")? as usize;
+            let device_pod = cur.u32("replay placement device pod")? as usize;
+            session.placements.push(FleetPlacement {
+                type_idx,
+                start: SimTime::from_nanos(start),
+                end: SimTime::from_nanos(end),
+                pod,
+                host,
+                device_pod,
+            });
+        }
+        Ok(session)
     }
 }
 
@@ -668,6 +887,65 @@ mod tests {
         assert_eq!(a.placements, b.placements);
         assert_eq!(a.rejected, b.rejected);
         assert_eq!(a.state, b.state);
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let s = stream();
+        let topo = FleetTopology::ring(
+            3,
+            PodTopology::production(5, 0),
+            oasis_cxl::topology::UPLINK_LATENCY,
+        );
+        let full = AllocTrace::replay_fleet(&s, &topo, HomePolicy::RoundRobin, 7)
+            .expect("ring topology is valid");
+
+        // Stop at the stream midpoint, checkpoint, resume, finish.
+        let mut session = ReplaySession::new(&s, &topo, HomePolicy::RoundRobin, 7).unwrap();
+        session
+            .run_to_epoch(s.duration.as_nanos() / 2)
+            .expect("first half replays");
+        let bytes = session.checkpoint();
+        assert_eq!(bytes, session.checkpoint(), "checkpoint is byte-stable");
+        drop(session);
+        let resumed = ReplaySession::resume(&s, &topo, HomePolicy::RoundRobin, 7, &bytes)
+            .expect("checkpoint resumes");
+        assert!(
+            resumed.allocator().consistent_with_log(),
+            "restored base + empty log must stay consistent"
+        );
+        let half = resumed.finish().expect("second half replays");
+
+        assert_eq!(half.placements, full.placements);
+        assert_eq!(half.rejected, full.rejected);
+        assert_eq!(half.state, full.state, "final state diverged after resume");
+    }
+
+    #[test]
+    fn resume_rejects_a_different_workload() {
+        let s = stream();
+        let topo = FleetTopology::ring(
+            3,
+            PodTopology::production(5, 0),
+            oasis_cxl::topology::UPLINK_LATENCY,
+        );
+        let mut session = ReplaySession::new(&s, &topo, HomePolicy::RoundRobin, 7).unwrap();
+        session.run_to_epoch(s.duration.as_nanos() / 2).unwrap();
+        let bytes = session.checkpoint();
+
+        // Different seed → different arrivals → digest mismatch.
+        let other = ArrivalStream::generate(16, SimDuration::from_secs(3 * 3600), 43);
+        match ReplaySession::resume(&other, &topo, HomePolicy::RoundRobin, 7, &bytes) {
+            Err(oasis_core::snapshot::SnapshotError::StreamMismatch { .. }) => {}
+            other => panic!("expected StreamMismatch, got {:?}", other.err()),
+        }
+        // Same stream, different resize cadence: also a mismatch.
+        match ReplaySession::resume(&s, &topo, HomePolicy::RoundRobin, 8, &bytes) {
+            Err(oasis_core::snapshot::SnapshotError::StreamMismatch { .. }) => {}
+            other => panic!("expected StreamMismatch, got {:?}", other.err()),
+        }
+        // Garbage is a typed error, not a panic.
+        assert!(ReplaySession::resume(&s, &topo, HomePolicy::RoundRobin, 7, b"junk").is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod stranding_sweep;
 
 pub use alloc_trace::{
     AllocTrace, ArrivalStream, FleetPlacement, FleetReplay, HomePolicy, HostCapacity, Instance,
-    InstanceType,
+    InstanceType, ReplaySession,
 };
 pub use packet_trace::{HostProfile, PacketTrace};
 pub use stranding::{

@@ -112,7 +112,7 @@ pub fn measure_fleet_stranding(replay: &FleetReplay) -> Vec<PodStranding> {
     for pl in &replay.placements {
         let ty = &replay.catalog[pl.type_idx];
         worlds[pl.device_pod].items.push((
-            ty.nic_mbps() as u64,
+            ty.nic_mbps(),
             ty.ssd_gb as u64,
             pl.start.as_nanos(),
             pl.end.as_nanos(),
